@@ -1,0 +1,492 @@
+//! Step 1(c) of the heuristic: re-adding non-branching edges.
+//!
+//! After the maximum branching is extracted, each remaining edge `u → v`
+//! of the access graph is examined (§2.2.3, §6):
+//!
+//! * if both endpoints already lie in the same component, the edge imposes
+//!   `M_root·R_u·W = M_root·R_v`. When `R_u·W = R_v` exactly (a multiple
+//!   path of equal matrix weight, or a cycle whose weight product is the
+//!   identity) the edge is **free**: it can be added and its communication
+//!   is local for *every* choice of `M_root`;
+//! * otherwise, with `K = R_u·W − R_v ≠ 0`, the communication is local
+//!   only for roots satisfying `M_root·K = 0`. That is possible with a
+//!   full-rank `M_root` iff the left kernel of the accumulated constraint
+//!   matrix `[K₁ | K₂ | …]` still has dimension ≥ `m` — the paper's
+//!   "`F_{p1} − F_{p2}` of deficient rank: it can or not be possible";
+//! * edges across two components are left for the residual-communication
+//!   optimizer (the branching, being maximum, had its reasons).
+
+use crate::graph::{AccessGraph, EdgeId, Vertex};
+use crate::paths::Component;
+use rescomm_intlin::{left_kernel_basis, IMat};
+use std::collections::HashMap;
+
+/// Outcome of examining one non-branching edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AugmentOutcome {
+    /// `R_u·W = R_v`: local for free (identity cycle / duplicate path).
+    Free,
+    /// Local only under the recorded root constraint, which is satisfiable
+    /// with a full-rank root; the constraint was accepted.
+    Constrained,
+    /// The constraint would make a full-rank root impossible; edge stays
+    /// residual.
+    Residual,
+    /// Endpoints in different components; edge stays residual.
+    CrossComponent,
+    /// A cross-component edge whose compatibility equation solved: the two
+    /// components were merged and the edge is local
+    /// (see [`merge_cross_components`]).
+    Merged,
+}
+
+/// Result of the augmentation pass for one component set.
+#[derive(Debug, Clone)]
+pub struct Augmented {
+    /// Per-edge outcome for every non-branching edge.
+    pub outcomes: Vec<(EdgeId, AugmentOutcome)>,
+    /// Edges now known local (branching ∪ free ∪ constrained).
+    pub local_edges: Vec<EdgeId>,
+    /// Residual edges (to hand to the macro-communication detector and
+    /// the decomposer).
+    pub residual_edges: Vec<EdgeId>,
+    /// Per component-root accumulated constraint `M_root·K = 0`
+    /// (`None` = unconstrained root).
+    pub root_constraints: HashMap<Vertex, IMat>,
+}
+
+/// Run the augmentation pass.
+///
+/// `branching_edges` are the already-local edges; `components` the
+/// structure from [`crate::paths::component_structure`]; `m` the target
+/// grid dimension.
+pub fn augment(
+    graph: &AccessGraph,
+    branching_edges: &[EdgeId],
+    components: &[Component],
+    m: usize,
+) -> Augmented {
+    let in_branching: Vec<bool> = {
+        let mut v = vec![false; graph.edges.len()];
+        for e in branching_edges {
+            v[e.0] = true;
+        }
+        v
+    };
+    // Vertex -> component index.
+    let mut comp_of: HashMap<Vertex, usize> = HashMap::new();
+    for (ci, c) in components.iter().enumerate() {
+        for &v in &c.members {
+            comp_of.insert(v, ci);
+        }
+    }
+
+    let mut outcomes = Vec::new();
+    let mut local_edges: Vec<EdgeId> = branching_edges.to_vec();
+    let mut residual_edges = Vec::new();
+    let mut root_constraints: HashMap<Vertex, IMat> = HashMap::new();
+    // Track which access ids are already local: the second direction of a
+    // square access is the same communication.
+    let mut local_access: Vec<bool> = vec![false; graph.edges.len().max(1)];
+    let mark_access = |local_access: &mut Vec<bool>, graph: &AccessGraph, eid: EdgeId| {
+        let a = graph.edges[eid.0].access;
+        for e in &graph.edges {
+            if e.access == a {
+                if e.id.0 >= local_access.len() {
+                    local_access.resize(e.id.0 + 1, false);
+                }
+                local_access[e.id.0] = true;
+            }
+        }
+    };
+    for &eid in branching_edges {
+        mark_access(&mut local_access, graph, eid);
+    }
+
+    // Accesses already decided residual: both directions of a square access
+    // express the same locality equation (the constraints differ by an
+    // invertible factor), so the twin must not be re-counted.
+    let mut residual_access: std::collections::HashSet<rescomm_loopnest::AccessId> =
+        std::collections::HashSet::new();
+
+    for e in &graph.edges {
+        if in_branching[e.id.0] {
+            continue;
+        }
+        if local_access.get(e.id.0).copied().unwrap_or(false) {
+            // Twin of an already-local square access: nothing to do, and it
+            // is not a residual communication either.
+            outcomes.push((e.id, AugmentOutcome::Free));
+            continue;
+        }
+        if residual_access.contains(&e.access) {
+            outcomes.push((e.id, AugmentOutcome::Residual));
+            continue;
+        }
+        let (cu, cv) = (comp_of[&e.from], comp_of[&e.to]);
+        if cu != cv {
+            outcomes.push((e.id, AugmentOutcome::CrossComponent));
+            residual_edges.push(e.id);
+            residual_access.insert(e.access);
+            continue;
+        }
+        let comp = &components[cu];
+        let ru = &comp.rel[&e.from];
+        let rv = &comp.rel[&e.to];
+        let lhs = ru * &e.weight;
+        if lhs == *rv {
+            outcomes.push((e.id, AugmentOutcome::Free));
+            local_edges.push(e.id);
+            mark_access(&mut local_access, graph, e.id);
+            continue;
+        }
+        // Constraint K = R_u·W − R_v; accumulate with existing ones.
+        let k = &lhs - rv;
+        let accumulated = match root_constraints.get(&comp.root) {
+            Some(prev) => prev.hstack(&k),
+            None => k.clone(),
+        };
+        // Need a full-rank m root with M·K = 0: the left kernel of the
+        // accumulated constraint must have dimension ≥ m.
+        let feasible = match left_kernel_basis(&accumulated) {
+            Some(basis) => basis.rows() >= m,
+            None => false,
+        };
+        if feasible {
+            root_constraints.insert(comp.root, accumulated);
+            outcomes.push((e.id, AugmentOutcome::Constrained));
+            local_edges.push(e.id);
+            mark_access(&mut local_access, graph, e.id);
+        } else {
+            outcomes.push((e.id, AugmentOutcome::Residual));
+            residual_edges.push(e.id);
+            residual_access.insert(e.access);
+        }
+    }
+
+    Augmented {
+        outcomes,
+        local_edges,
+        residual_edges,
+        root_constraints,
+    }
+}
+
+/// Second pass over the `CrossComponent` residuals: try to *merge* the two
+/// components so the edge becomes local.
+///
+/// For an edge `u → v` (locality `M_v = M_u·W`) with `u` in component `cu`
+/// (root relation `R_u`) and `v` in `cv` (relation `R_v`), the components
+/// unify when the root of one can be expressed from the root of the other:
+///
+/// * rebase `cv` onto `cu`'s root: find `Z` with `Z·R_v = R_u·W`, then
+///   every `w ∈ cv` gets `R'_w = Z·R_w`;
+/// * or, symmetrically, rebase `cu` onto `cv`'s root via `Z'·(R_u·W) = R_v`.
+///
+/// A rebase is accepted only when every rebased relation keeps **full row
+/// rank** (so any full-rank seed still yields full-rank allocations, the
+/// Lemma-1 guarantee the branching relations enjoy by construction).
+/// Components carrying root constraints are left alone (transforming the
+/// constraints is possible but the pipeline keeps them rare).
+pub fn merge_cross_components(
+    graph: &AccessGraph,
+    components: &mut Vec<Component>,
+    aug: &mut Augmented,
+    _m: usize,
+) {
+    use rescomm_intlin::solve_xf_eq_s;
+    let mut comp_of: HashMap<Vertex, usize> = HashMap::new();
+    for (ci, c) in components.iter().enumerate() {
+        for &v in &c.members {
+            comp_of.insert(v, ci);
+        }
+    }
+    let cross: Vec<EdgeId> = aug
+        .outcomes
+        .iter()
+        .filter(|(_, o)| *o == AugmentOutcome::CrossComponent)
+        .map(|(e, _)| *e)
+        .collect();
+    for eid in cross {
+        let e = &graph.edges[eid.0];
+        let (cu, cv) = (comp_of[&e.from], comp_of[&e.to]);
+        if cu == cv {
+            continue; // already merged through an earlier edge
+        }
+        if aug.root_constraints.contains_key(&components[cu].root)
+            || aug.root_constraints.contains_key(&components[cv].root)
+        {
+            continue;
+        }
+        let target = &components[cu].rel[&e.from] * &e.weight; // R_u·W
+
+        // Direction (a): rebase cv onto cu's root.
+        let try_a = solve_xf_eq_s(&target, &components[cv].rel[&e.to])
+            .ok()
+            .map(|f| f.particular)
+            .filter(|z| {
+                components[cv].rel.values().all(|rw| {
+                    // Full row rank keeps the Lemma-1 guarantee alive.
+                    (z * rw).rank() == z.rows()
+                })
+            });
+        if let Some(z) = try_a {
+            let (absorbed, grown) = (cv, cu);
+            apply_merge(components, &mut comp_of, absorbed, grown, &z, eid, graph);
+            mark_merged(aug, eid);
+            continue;
+        }
+        // Direction (b): rebase cu onto cv's root.
+        let try_b = solve_xf_eq_s(&components[cv].rel[&e.to], &target)
+            .ok()
+            .map(|f| f.particular)
+            .filter(|z| {
+                components[cu].rel.values().all(|rw| {
+                    let rebased = z * rw;
+                    rebased.rank() == z.rows()
+                })
+            });
+        if let Some(z) = try_b {
+            let (absorbed, grown) = (cu, cv);
+            apply_merge(components, &mut comp_of, absorbed, grown, &z, eid, graph);
+            mark_merged(aug, eid);
+        }
+    }
+    // Drop now-empty components (keep indices stable by filtering at the
+    // end; comp_of was only internal).
+    components.retain(|c| !c.members.is_empty());
+}
+
+fn apply_merge(
+    components: &mut [Component],
+    comp_of: &mut HashMap<Vertex, usize>,
+    absorbed: usize,
+    grown: usize,
+    z: &IMat,
+    eid: EdgeId,
+    _graph: &AccessGraph,
+) {
+    let moved: Vec<(Vertex, IMat)> = components[absorbed]
+        .rel
+        .iter()
+        .map(|(&w, r)| (w, z * r))
+        .collect();
+    let moved_members: Vec<Vertex> = components[absorbed].members.clone();
+    let moved_edges: Vec<EdgeId> = components[absorbed].edges.clone();
+    for (w, r) in moved {
+        components[grown].rel.insert(w, r);
+    }
+    for w in moved_members {
+        components[grown].members.push(w);
+        comp_of.insert(w, grown);
+    }
+    components[grown].edges.extend(moved_edges);
+    components[grown].edges.push(eid);
+    components[absorbed].members.clear();
+    components[absorbed].rel.clear();
+    components[absorbed].edges.clear();
+}
+
+fn mark_merged(aug: &mut Augmented, eid: EdgeId) {
+    for (e, o) in aug.outcomes.iter_mut() {
+        if *e == eid {
+            *o = AugmentOutcome::Merged;
+        }
+    }
+    aug.residual_edges.retain(|e| *e != eid);
+    aug.local_edges.push(eid);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branching::maximum_branching;
+    use crate::graph::AccessGraph;
+    use crate::paths::component_structure;
+    use rescomm_intlin::IMat;
+    use rescomm_loopnest::{examples, Domain, NestBuilder};
+
+    mod rescomm_accessgraph_test_helpers {
+        pub use crate::augment::merge_cross_components;
+        pub use rescomm_intlin::IMat;
+        pub use rescomm_loopnest::{Domain, NestBuilder};
+    }
+
+    fn run(nest: &rescomm_loopnest::LoopNest, m: usize) -> (AccessGraph, Augmented) {
+        let g = AccessGraph::build(nest, m);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, nest);
+        let a = augment(&g, &b.edges, &comps, m);
+        (g, a)
+    }
+
+    #[test]
+    fn motivating_example_residuals_are_f3_and_f6() {
+        let (nest, ids) = examples::motivating_example(8, 4);
+        let (g, aug) = run(&nest, 2);
+        let residual_accs: Vec<_> = aug
+            .residual_edges
+            .iter()
+            .map(|e| g.edges[e.0].access)
+            .collect();
+        assert!(residual_accs.contains(&ids.f3), "F3 must stay residual");
+        assert!(residual_accs.contains(&ids.f6), "F6 must stay residual");
+        assert_eq!(residual_accs.len(), 2, "exactly two residuals: {residual_accs:?}");
+        // Five communications are local (the branching).
+        let local_accs: std::collections::HashSet<_> = aug
+            .local_edges
+            .iter()
+            .map(|e| g.edges[e.0].access)
+            .collect();
+        assert_eq!(local_accs.len(), 5);
+        assert!(aug.root_constraints.is_empty());
+    }
+
+    #[test]
+    fn identity_cycle_edge_is_free() {
+        // x read twice through the same matrix: second edge duplicates the
+        // first path exactly → free.
+        let mut bld = NestBuilder::new("dup");
+        let x = bld.array("x", 2);
+        let s = bld.statement("S", 2, Domain::cube(2, 4));
+        let f = IMat::from_rows(&[&[1, 1], &[0, 1]]);
+        bld.read(s, x, f.clone(), &[0, 0]);
+        bld.read(s, x, f, &[3, 3]); // same matrix, different offset
+        let nest = bld.build().unwrap();
+        let (g, aug) = run(&nest, 2);
+        assert!(aug.residual_edges.is_empty());
+        // One branching edge + free twin edges.
+        assert!(aug
+            .outcomes
+            .iter()
+            .any(|(_, o)| *o == AugmentOutcome::Free));
+        let local_accs: std::collections::HashSet<_> = aug
+            .local_edges
+            .iter()
+            .map(|e| g.edges[e.0].access)
+            .collect();
+        assert_eq!(local_accs.len(), 2);
+    }
+
+    #[test]
+    fn deficient_rank_constraint_accepted_when_kernel_large() {
+        // Two reads whose matrices differ in a rank-1 way that a rank-1
+        // target (m = 1) can still kill: M·(F1 − F2) = 0 with M 1×2.
+        let mut bld = NestBuilder::new("constrained");
+        let x = bld.array("x", 2);
+        let s = bld.statement("S", 2, Domain::cube(2, 4));
+        bld.read(s, x, IMat::from_rows(&[&[1, 0], &[0, 1]]), &[0, 0]);
+        // F2 = F1 + e2·(0,1)ᵗ difference of rank 1 with left kernel (1,0).
+        bld.read(s, x, IMat::from_rows(&[&[1, 0], &[1, 1]]), &[0, 0]);
+        let nest = bld.build().unwrap();
+        let (_, aug) = run(&nest, 1);
+        assert!(
+            aug.outcomes
+                .iter()
+                .any(|(_, o)| *o == AugmentOutcome::Constrained),
+            "outcomes: {:?}",
+            aug.outcomes
+        );
+        assert!(aug.residual_edges.is_empty());
+        assert_eq!(aug.root_constraints.len(), 1);
+    }
+
+    #[test]
+    fn deficient_rank_constraint_rejected_when_kernel_small() {
+        // Same nest but m = 2: killing the rank-1 difference leaves only a
+        // rank-1 root — infeasible, the edge stays residual.
+        let mut bld = NestBuilder::new("residual");
+        let x = bld.array("x", 2);
+        let s = bld.statement("S", 2, Domain::cube(2, 4));
+        bld.read(s, x, IMat::from_rows(&[&[1, 0], &[0, 1]]), &[0, 0]);
+        bld.read(s, x, IMat::from_rows(&[&[1, 0], &[1, 1]]), &[0, 0]);
+        let nest = bld.build().unwrap();
+        let (_, aug) = run(&nest, 2);
+        assert!(aug
+            .outcomes
+            .iter()
+            .any(|(_, o)| *o == AugmentOutcome::Residual));
+        assert_eq!(aug.residual_edges.len(), 1);
+        assert!(aug.root_constraints.is_empty());
+    }
+
+    #[test]
+    fn matmul_two_residual_cross_component() {
+        let nest = examples::matmul(4);
+        let (_, aug) = run(&nest, 2);
+        // One access local, the other two stay residual (they enter the
+        // same statement vertex from other components).
+        assert_eq!(aug.residual_edges.len(), 2);
+        assert!(aug
+            .outcomes
+            .iter()
+            .all(|(_, o)| *o != AugmentOutcome::Constrained));
+    }
+
+    #[test]
+    fn cross_component_merge_unifies_compatible_reads() {
+        use rescomm_accessgraph_test_helpers::*;
+        // S (depth 3) writes c[Id], reads a[Fa], reads b[Fb] with Fb a row
+        // swap of Fa: both reads can be local simultaneously once the
+        // components merge.
+        let mut bld = NestBuilder::new("mergeable");
+        let a = bld.array("a", 2);
+        let b = bld.array("b", 2);
+        let c = bld.array("c", 3);
+        let s = bld.statement("S", 3, Domain::cube(3, 4));
+        bld.write(s, c, IMat::identity(3), &[0, 0, 0]);
+        bld.read(s, a, IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]), &[0, 0]);
+        bld.read(s, b, IMat::from_rows(&[&[0, 1, 0], &[1, 0, 0]]), &[0, 0]);
+        let nest = bld.build().unwrap();
+        let g = AccessGraph::build(&nest, 2);
+        let br = maximum_branching(&g);
+        let mut comps = component_structure(&g, &br, &nest);
+        let mut aug = augment(&g, &br.edges, &comps, 2);
+        let before = aug.residual_edges.len();
+        merge_cross_components(&g, &mut comps, &mut aug, 2);
+        assert!(
+            aug.residual_edges.len() < before,
+            "merging must absorb at least one residual: {:?}",
+            aug.outcomes
+        );
+        assert!(aug
+            .outcomes
+            .iter()
+            .any(|(_, o)| *o == AugmentOutcome::Merged));
+        // One unified component containing all five vertices.
+        assert_eq!(comps.iter().filter(|c| !c.members.is_empty()).count(), 1);
+        assert_eq!(comps[0].members.len(), 4);
+        // Merged relations still satisfy every component edge.
+        for &eid in &comps[0].edges {
+            let e = &g.edges[eid.0];
+            assert_eq!(comps[0].rel[&e.to], &comps[0].rel[&e.from] * &e.weight);
+        }
+    }
+
+    #[test]
+    fn matmul_merge_attempts_fail_cleanly() {
+        // matmul's cross edges are genuinely incompatible (at most one
+        // operand aligns at full rank): merging must not change anything.
+        let nest = examples::matmul(4);
+        let g = AccessGraph::build(&nest, 2);
+        let br = maximum_branching(&g);
+        let mut comps = component_structure(&g, &br, &nest);
+        let mut aug = augment(&g, &br.edges, &comps, 2);
+        let before = aug.residual_edges.clone();
+        merge_cross_components(&g, &mut comps, &mut aug, 2);
+        assert_eq!(aug.residual_edges, before);
+    }
+
+    #[test]
+    fn square_twin_not_double_counted() {
+        // A single square access: branching picks one direction, the twin
+        // must be reported Free (same communication), not residual.
+        let mut bld = NestBuilder::new("square");
+        let x = bld.array("x", 2);
+        let s = bld.statement("S", 2, Domain::cube(2, 4));
+        bld.read(s, x, IMat::from_rows(&[&[1, 1], &[0, 1]]), &[0, 0]);
+        let nest = bld.build().unwrap();
+        let (_, aug) = run(&nest, 2);
+        assert!(aug.residual_edges.is_empty());
+    }
+}

@@ -1,0 +1,392 @@
+//! Maximum branchings via Chu–Liu/Edmonds with cycle contraction.
+//!
+//! A *branching* of a directed graph is an edge set in which every vertex
+//! has at most one incoming edge and which contains no cycle; a *maximum
+//! branching* maximizes the total edge weight (Evans & Minieka, cited by
+//! the paper). The paper extracts a maximum branching of the access graph
+//! so that the zeroed-out communications favour the edges of largest
+//! integer weight — the accesses moving the most data.
+
+use crate::graph::{AccessGraph, EdgeId};
+
+/// A maximum branching: the chosen edges and their total integer weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Branching {
+    /// Chosen edges of the original graph.
+    pub edges: Vec<EdgeId>,
+    /// Sum of the chosen edges' integer weights.
+    pub total_weight: i64,
+}
+
+#[derive(Debug, Clone)]
+struct RawEdge {
+    from: usize,
+    to: usize,
+    w: i64,
+    /// Index into the original edge list (stable across contractions).
+    orig: usize,
+    /// If this edge enters a contracted cycle, the original vertex of that
+    /// cycle it used to enter.
+    entry: Option<usize>,
+}
+
+/// Compute a maximum branching of `graph` (using the integer edge weights)
+/// and return the chosen edge ids with the total weight.
+pub fn maximum_branching(graph: &AccessGraph) -> Branching {
+    let n = graph.vertices.len();
+    let raw: Vec<RawEdge> = graph
+        .edges
+        .iter()
+        .map(|e| RawEdge {
+            from: graph.vertex_index(e.from),
+            to: graph.vertex_index(e.to),
+            w: e.int_weight,
+            orig: e.id.0,
+            entry: None,
+        })
+        .collect();
+    let chosen = max_branching_raw(n, raw);
+    let total_weight = chosen
+        .iter()
+        .map(|&i| graph.edges[i].int_weight)
+        .sum();
+    Branching {
+        edges: chosen.into_iter().map(EdgeId).collect(),
+        total_weight,
+    }
+}
+
+/// Core recursion on `(vertex count, edges)`; vertices are `0..n` plus any
+/// super-vertices appended by contraction. Returns original edge indices.
+fn max_branching_raw(n: usize, edges: Vec<RawEdge>) -> Vec<usize> {
+    // 1. Best positive in-edge per vertex (ties broken by lowest original
+    //    index for determinism).
+    let mut best: Vec<Option<usize>> = vec![None; n]; // index into `edges`
+    for (i, e) in edges.iter().enumerate() {
+        if e.w <= 0 || e.from == e.to {
+            continue;
+        }
+        match best[e.to] {
+            None => best[e.to] = Some(i),
+            Some(j) => {
+                let cur = &edges[j];
+                if e.w > cur.w || (e.w == cur.w && e.orig < cur.orig) {
+                    best[e.to] = Some(i);
+                }
+            }
+        }
+    }
+
+    // 2. Find a cycle in the selection (follow parents).
+    let parent = |v: usize| best[v].map(|i| edges[i].from);
+    let mut cycle: Option<Vec<usize>> = None;
+    'outer: for start in 0..n {
+        let mut seen = vec![false; n];
+        let mut v = start;
+        loop {
+            if seen[v] {
+                // Walk again from v to collect the cycle.
+                let mut c = vec![v];
+                let mut u = parent(v).unwrap();
+                while u != v {
+                    c.push(u);
+                    u = parent(u).unwrap();
+                }
+                cycle = Some(c);
+                break 'outer;
+            }
+            seen[v] = true;
+            match parent(v) {
+                Some(p) => v = p,
+                None => break,
+            }
+        }
+    }
+
+    let Some(cyc) = cycle else {
+        // Acyclic selection: done.
+        return best
+            .iter()
+            .flatten()
+            .map(|&i| edges[i].orig)
+            .collect();
+    };
+
+    // 3. Contract the cycle into super-vertex `n`.
+    let in_cycle = {
+        let mut m = vec![false; n];
+        for &v in &cyc {
+            m[v] = true;
+        }
+        m
+    };
+    let sel_weight = |v: usize| edges[best[v].unwrap()].w;
+    let wmin = cyc.iter().map(|&v| sel_weight(v)).min().unwrap();
+
+    let mut contracted: Vec<RawEdge> = Vec::with_capacity(edges.len());
+    for e in &edges {
+        let fu = in_cycle[e.from];
+        let tv = in_cycle[e.to];
+        match (fu, tv) {
+            (false, false) => contracted.push(e.clone()),
+            (false, true) => contracted.push(RawEdge {
+                from: e.from,
+                to: n,
+                w: e.w - sel_weight(e.to) + wmin,
+                orig: e.orig,
+                entry: Some(e.to),
+            }),
+            (true, false) => contracted.push(RawEdge {
+                from: n,
+                to: e.to,
+                // `to` is untouched, so any entry recorded by an earlier
+                // contraction level (for a super-vertex target) survives.
+                w: e.w,
+                orig: e.orig,
+                entry: e.entry,
+            }),
+            (true, true) => { /* intra-cycle edge: dropped */ }
+        }
+    }
+
+    let sub = max_branching_raw(n + 1, contracted.clone());
+
+    // 4. Expand: did the sub-solution pick an edge entering the cycle?
+    let entry_vertex = sub
+        .iter()
+        .filter_map(|&orig| {
+            contracted
+                .iter()
+                .find(|e| e.orig == orig && e.to == n)
+                .and_then(|e| e.entry)
+        })
+        .next();
+
+    let mut result = sub;
+    match entry_vertex {
+        Some(v_in) => {
+            // Keep all cycle edges except the one that entered v_in.
+            for &v in &cyc {
+                if v != v_in {
+                    result.push(edges[best[v].unwrap()].orig);
+                }
+            }
+        }
+        None => {
+            // Keep all cycle edges except a minimum-weight one.
+            let drop = cyc
+                .iter()
+                .copied()
+                .min_by_key(|&v| (sel_weight(v), edges[best[v].unwrap()].orig))
+                .unwrap();
+            for &v in &cyc {
+                if v != drop {
+                    result.push(edges[best[v].unwrap()].orig);
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Brute-force maximum branching over all edge subsets: exponential, only
+/// for validation on tiny graphs.
+pub fn brute_force_branching(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
+    assert!(edges.len() <= 20, "brute force limited to 20 edges");
+    let mut best = 0i64;
+    for mask in 0u32..(1 << edges.len()) {
+        let mut indeg = vec![0usize; n];
+        let mut w = 0i64;
+        let mut ok = true;
+        let mut chosen = Vec::new();
+        for (i, &(u, v, ew)) in edges.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                indeg[v] += 1;
+                if indeg[v] > 1 || u == v {
+                    ok = false;
+                    break;
+                }
+                w += ew;
+                chosen.push((u, v));
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Acyclicity: repeatedly remove vertices with no outgoing edge.
+        let mut alive: Vec<(usize, usize)> = chosen.clone();
+        loop {
+            let before = alive.len();
+            let has_out: Vec<bool> = {
+                let mut h = vec![false; n];
+                for &(u, _) in &alive {
+                    h[u] = true;
+                }
+                h
+            };
+            alive.retain(|&(_, v)| has_out[v]);
+            if alive.len() == before {
+                break;
+            }
+        }
+        if alive.is_empty() {
+            best = best.max(w);
+        }
+    }
+    best
+}
+
+/// Validity check used by tests and the pipeline's debug assertions:
+/// in-degree ≤ 1 and acyclicity of the chosen edge set.
+pub fn is_valid_branching(graph: &AccessGraph, b: &Branching) -> bool {
+    let n = graph.vertices.len();
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &eid in &b.edges {
+        let e = &graph.edges[eid.0];
+        let (u, v) = (graph.vertex_index(e.from), graph.vertex_index(e.to));
+        indeg[v] += 1;
+        if indeg[v] > 1 {
+            return false;
+        }
+        adj[u].push(v);
+    }
+    // Kahn-style acyclicity on the chosen edges.
+    let mut indeg2 = indeg.clone();
+    let mut stack: Vec<usize> = (0..n).filter(|&v| indeg2[v] == 0).collect();
+    let mut visited = 0;
+    while let Some(v) = stack.pop() {
+        visited += 1;
+        for &w in &adj[v] {
+            indeg2[w] -= 1;
+            if indeg2[w] == 0 {
+                stack.push(w);
+            }
+        }
+    }
+    visited == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescomm_loopnest::examples;
+
+    fn raw(n: usize, edges: &[(usize, usize, i64)]) -> i64 {
+        let re: Vec<RawEdge> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| RawEdge {
+                from: u,
+                to: v,
+                w,
+                orig: i,
+                entry: None,
+            })
+            .collect();
+        let chosen = max_branching_raw(n, re);
+        chosen.iter().map(|&i| edges[i].2).sum()
+    }
+
+    #[test]
+    fn simple_chain() {
+        assert_eq!(raw(3, &[(0, 1, 5), (1, 2, 3)]), 8);
+    }
+
+    #[test]
+    fn indegree_conflict_picks_heavier() {
+        assert_eq!(raw(3, &[(0, 2, 5), (1, 2, 7)]), 7);
+    }
+
+    #[test]
+    fn two_cycle_broken() {
+        // 0→1 (4) and 1→0 (5) form a cycle; only one survives.
+        assert_eq!(raw(2, &[(0, 1, 4), (1, 0, 5)]), 5);
+    }
+
+    #[test]
+    fn cycle_with_external_entry() {
+        // Cycle 0→1→2→0 of weight 3 each, plus 3→1 (weight 2). The
+        // optimum takes 3→1, 1→2, 2→0: weight 8.
+        assert_eq!(
+            raw(4, &[(0, 1, 3), (1, 2, 3), (2, 0, 3), (3, 1, 2)]),
+            8
+        );
+    }
+
+    #[test]
+    fn matches_brute_force_on_randoms() {
+        let mut seed = 0xfeedu64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(3);
+            (seed >> 33) as usize
+        };
+        for _ in 0..300 {
+            let n = 2 + next() % 4; // 2..=5 vertices
+            let ecount = 1 + next() % 9; // 1..=9 edges
+            let mut edges = Vec::new();
+            for _ in 0..ecount {
+                let u = next() % n;
+                let mut v = next() % n;
+                if v == u {
+                    v = (v + 1) % n;
+                }
+                let w = 1 + (next() % 5) as i64;
+                edges.push((u, v, w));
+            }
+            let got = raw(n, &edges);
+            let want = brute_force_branching(n, &edges);
+            assert_eq!(got, want, "n={n} edges={edges:?}");
+        }
+    }
+
+    #[test]
+    fn motivating_example_branching() {
+        let (nest, ids) = examples::motivating_example(8, 4);
+        let g = crate::graph::AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        assert!(is_valid_branching(&g, &b));
+        // 5 edges (6 vertices, a as root), and both weight-3 edges in.
+        assert_eq!(b.edges.len(), 5);
+        assert_eq!(b.total_weight, 3 + 3 + 2 + 2 + 2);
+        let accs: Vec<_> = b.edges.iter().map(|e| g.edges[e.0].access).collect();
+        assert!(accs.contains(&ids.f5), "weight-3 F5 must be zeroed");
+        assert!(accs.contains(&ids.f7), "weight-3 F7 must be zeroed");
+        assert!(accs.contains(&ids.f1));
+        assert!(accs.contains(&ids.f4));
+        // Exactly one of F2/F3 (both enter S1).
+        let s1_reads = [ids.f2, ids.f3]
+            .iter()
+            .filter(|&&a| accs.contains(&a))
+            .count();
+        assert_eq!(s1_reads, 1);
+        // F6 (a→S2) cannot be in: S2 already has its in-edge from b (F5)…
+        // unless the branching chose F6 instead; weight says F5 (3) beats
+        // F6 (2).
+        assert!(!accs.contains(&ids.f6));
+    }
+
+    #[test]
+    fn matmul_branching_saturates() {
+        let nest = examples::matmul(4);
+        let g = crate::graph::AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        assert!(is_valid_branching(&g, &b));
+        // Three edges all enter the single statement: only one fits.
+        assert_eq!(b.edges.len(), 1);
+        assert_eq!(b.total_weight, 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        use rescomm_loopnest::{Domain, NestBuilder};
+        let mut bld = NestBuilder::new("empty");
+        let _ = bld.array("x", 1);
+        let _ = bld.statement("S", 1, Domain::cube(1, 2));
+        let nest = bld.build().unwrap();
+        let g = crate::graph::AccessGraph::build(&nest, 1);
+        let b = maximum_branching(&g);
+        assert!(b.edges.is_empty());
+        assert_eq!(b.total_weight, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Graphviz DOT rendering of access graphs and branchings — the textual
+//! equivalent of the paper's Figures 1–3.
+
+use crate::branching::Branching;
+use crate::graph::{AccessGraph, Vertex};
+use rescomm_loopnest::LoopNest;
+use std::fmt::Write;
+
+fn vertex_name(nest: &LoopNest, v: Vertex) -> String {
+    match v {
+        Vertex::Array(x) => nest.array(x).name.clone(),
+        Vertex::Stmt(s) => nest.statement(s).name.clone(),
+    }
+}
+
+/// Render the access graph (and optionally a branching, whose edges are
+/// drawn bold) as a Graphviz digraph.
+pub fn to_dot(graph: &AccessGraph, nest: &LoopNest, branching: Option<&Branching>) -> String {
+    let chosen: Vec<bool> = {
+        let mut v = vec![false; graph.edges.len()];
+        if let Some(b) = branching {
+            for e in &b.edges {
+                v[e.0] = true;
+            }
+        }
+        v
+    };
+    let mut out = String::new();
+    writeln!(out, "digraph access_graph {{").unwrap();
+    writeln!(out, "  rankdir=LR;").unwrap();
+    for &v in &graph.vertices {
+        let shape = match v {
+            Vertex::Array(_) => "ellipse",
+            Vertex::Stmt(_) => "box",
+        };
+        writeln!(
+            out,
+            "  \"{}\" [shape={shape}];",
+            vertex_name(nest, v)
+        )
+        .unwrap();
+    }
+    for e in &graph.edges {
+        let style = if chosen[e.id.0] {
+            ", style=bold, color=black"
+        } else {
+            ", color=gray50"
+        };
+        writeln!(
+            out,
+            "  \"{}\" -> \"{}\" [label=\"F{} (w={}){}\"{}];",
+            vertex_name(nest, e.from),
+            vertex_name(nest, e.to),
+            e.access.0 + 1,
+            e.int_weight,
+            if e.twin_of_square { ", square" } else { "" },
+            style
+        )
+        .unwrap();
+    }
+    for (a, reason) in &graph.excluded {
+        writeln!(
+            out,
+            "  // access F{} excluded: {:?}",
+            a.0 + 1,
+            reason
+        )
+        .unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branching::maximum_branching;
+    use rescomm_loopnest::examples::motivating_example;
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let (nest, _) = motivating_example(4, 2);
+        let g = AccessGraph::build(&nest, 2);
+        let dot = to_dot(&g, &nest, None);
+        for name in ["a", "b", "c", "S1", "S2", "S3"] {
+            assert!(dot.contains(&format!("\"{name}\"")), "missing {name}");
+        }
+        assert_eq!(dot.matches(" -> ").count(), g.edges.len());
+        assert!(dot.contains("excluded"));
+    }
+
+    #[test]
+    fn branching_edges_are_bold() {
+        let (nest, _) = motivating_example(4, 2);
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let dot = to_dot(&g, &nest, Some(&b));
+        assert_eq!(dot.matches("style=bold").count(), b.edges.len());
+    }
+
+    #[test]
+    fn dot_is_parseable_shape() {
+        let (nest, _) = motivating_example(4, 2);
+        let g = AccessGraph::build(&nest, 2);
+        let dot = to_dot(&g, &nest, None);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,320 @@
+//! Construction of the access graph `G(V, E, m)`.
+//!
+//! Definition (§2.2.2 of the paper): one vertex per array and per
+//! statement; for every access `x[F·I + c]` of statement `S` with `F` of
+//! full rank `min(q_x, d) ≥ m`:
+//!
+//! * `q_x < d` (flat `F`): edge `x → S`, weight matrix `F` — given `M_x` of
+//!   rank `m` one can always set `M_S = M_x·F` (Lemma 1);
+//! * `q_x > d` (narrow `F`): edge `S → x`, weight matrix any `G` with
+//!   `G·F = Id` (remark at the end of §2.2.2; the true pseudo-inverse is
+//!   rational in general, so we search a small *integer* one) — given `M_S`
+//!   one sets `M_x = M_S·G`;
+//! * `q_x = d` (square): a double-arrow edge; direction `x → S` always
+//!   works with weight `F`, direction `S → x` needs `F` unimodular for the
+//!   allocation to stay integral.
+//!
+//! Accesses whose matrix is rank-deficient or of rank < `m` are *excluded*
+//! (they are dealt with later: a rank-deficient access can still turn into
+//! a broadcast, cf. the motivating example's `F8`).
+
+use rescomm_intlin::{small_left_inverse, IMat};
+use rescomm_loopnest::{AccessId, ArrayId, LoopNest, StmtId};
+use std::fmt;
+
+/// A vertex of the access graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vertex {
+    /// An array variable.
+    Array(ArrayId),
+    /// A statement.
+    Stmt(StmtId),
+}
+
+/// Identifier of a directed edge in the access graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// A directed edge of the access graph: choosing it makes the underlying
+/// communication local by setting `M_to = M_from · weight`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Edge identifier (index into [`AccessGraph::edges`]).
+    pub id: EdgeId,
+    /// The access this edge represents.
+    pub access: AccessId,
+    /// Source vertex.
+    pub from: Vertex,
+    /// Destination vertex.
+    pub to: Vertex,
+    /// Weight matrix `W`: local iff `M_to = M_from · W`.
+    pub weight: IMat,
+    /// Integer weight for the branching: `rank F`, a consistent estimate of
+    /// the communication volume (§2.2.3).
+    pub int_weight: i64,
+    /// `true` if this edge is one direction of a square (double-arrow)
+    /// access; its twin has the same `access`.
+    pub twin_of_square: bool,
+}
+
+/// Why an access did not produce a graph edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exclusion {
+    /// `F` is rank-deficient.
+    RankDeficient,
+    /// `rank F < m`: the communication is too small to distribute over the
+    /// full target grid; the heuristic ignores it.
+    RankBelowTarget,
+    /// Narrow `F` with no integer left inverse (non-primitive lattice).
+    NoIntegerInverse,
+}
+
+/// The access graph of a nest for target dimension `m`.
+#[derive(Debug, Clone)]
+pub struct AccessGraph {
+    /// Target virtual-grid dimension.
+    pub m: usize,
+    /// All vertices (arrays first, then statements; order is stable).
+    pub vertices: Vec<Vertex>,
+    /// All directed edges (a square access contributes two).
+    pub edges: Vec<Edge>,
+    /// Accesses that produced no edge, with the reason.
+    pub excluded: Vec<(AccessId, Exclusion)>,
+}
+
+impl AccessGraph {
+    /// Build the access graph of `nest` for an `m`-dimensional target grid
+    /// (integer edge weights = `rank F`, the paper's volume estimate).
+    pub fn build(nest: &LoopNest, m: usize) -> Self {
+        Self::build_weighted(nest, m, true)
+    }
+
+    /// Build with a choice of weighting: `by_rank = true` gives the
+    /// paper's volume-prioritized weights, `false` gives unit weights
+    /// (the ablation: a plain maximum-cardinality branching).
+    pub fn build_weighted(nest: &LoopNest, m: usize, by_rank: bool) -> Self {
+        assert!(m >= 1, "target dimension must be at least 1");
+        let mut vertices = Vec::new();
+        for i in 0..nest.arrays.len() {
+            vertices.push(Vertex::Array(ArrayId(i)));
+        }
+        for i in 0..nest.statements.len() {
+            vertices.push(Vertex::Stmt(StmtId(i)));
+        }
+
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut excluded = Vec::new();
+        for acc in &nest.accesses {
+            let f = &acc.f;
+            let (q, d) = f.shape();
+            let full = q.min(d);
+            if f.rank() < full {
+                excluded.push((acc.id, Exclusion::RankDeficient));
+                continue;
+            }
+            if full < m {
+                excluded.push((acc.id, Exclusion::RankBelowTarget));
+                continue;
+            }
+            let x = Vertex::Array(acc.array);
+            let s = Vertex::Stmt(acc.stmt);
+            let w = if by_rank { full as i64 } else { 1 };
+            let push = |edges: &mut Vec<Edge>, from, to, weight, twin| {
+                let id = EdgeId(edges.len());
+                edges.push(Edge {
+                    id,
+                    access: acc.id,
+                    from,
+                    to,
+                    weight,
+                    int_weight: w,
+                    twin_of_square: twin,
+                });
+            };
+            if q < d {
+                // Flat: array → statement with weight F.
+                push(&mut edges, x, s, f.clone(), false);
+            } else if q > d {
+                // Narrow: statement → array with an integer G, G·F = Id.
+                match small_left_inverse(f, 2) {
+                    Ok(g) => push(&mut edges, s, x, g, false),
+                    Err(_) => excluded.push((acc.id, Exclusion::NoIntegerInverse)),
+                }
+            } else {
+                // Square: x → S always; S → x only if F is unimodular.
+                push(&mut edges, x, s, f.clone(), true);
+                if matches!(f.det(), 1 | -1) {
+                    let inv = f.inverse_unimodular().expect("unimodular inverse");
+                    push(&mut edges, s, x, inv, true);
+                }
+            }
+        }
+        AccessGraph {
+            m,
+            vertices,
+            edges,
+            excluded,
+        }
+    }
+
+    /// Index of a vertex in [`AccessGraph::vertices`].
+    pub fn vertex_index(&self, v: Vertex) -> usize {
+        self.vertices
+            .iter()
+            .position(|&u| u == v)
+            .expect("vertex not in graph")
+    }
+
+    /// Number of *accesses* represented in the graph (square accesses
+    /// count once even though they contribute two directed edges).
+    pub fn represented_accesses(&self) -> usize {
+        let mut ids: Vec<AccessId> = self.edges.iter().map(|e| e.access).collect();
+        ids.sort();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The dimension (depth for statements, array rank for arrays)
+    /// associated with a vertex — the column count of its allocation
+    /// matrix.
+    pub fn vertex_dim(&self, nest: &LoopNest, v: Vertex) -> usize {
+        match v {
+            Vertex::Array(x) => nest.array(x).dim,
+            Vertex::Stmt(s) => nest.statement(s).depth,
+        }
+    }
+}
+
+impl fmt::Display for AccessGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "access graph (m = {}): {} vertices, {} directed edges, {} excluded",
+            self.m,
+            self.vertices.len(),
+            self.edges.len(),
+            self.excluded.len()
+        )?;
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {:?} -> {:?}  (access {:?}, |w| = {})",
+                e.from, e.to, e.access, e.int_weight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescomm_loopnest::examples;
+
+    #[test]
+    fn motivating_example_graph_shape() {
+        let (nest, ids) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 2);
+        // 6 vertices: a, b, c, S1, S2, S3.
+        assert_eq!(g.vertices.len(), 6);
+        // 7 of the 8 accesses are represented (F8 is rank-deficient).
+        assert_eq!(g.represented_accesses(), 7);
+        assert_eq!(g.excluded.len(), 1);
+        assert_eq!(g.excluded[0], (ids.f8, Exclusion::RankDeficient));
+    }
+
+    #[test]
+    fn motivating_example_orientations() {
+        let (nest, ids) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 2);
+        // F1 narrow (3×2): edge S1 → b.
+        let e1 = g.edges.iter().find(|e| e.access == ids.f1).unwrap();
+        assert_eq!(e1.from, Vertex::Stmt(ids.s1));
+        assert_eq!(e1.to, Vertex::Array(ids.b));
+        // Its weight satisfies G·F1 = Id.
+        let f1 = &nest.access(ids.f1).f;
+        assert!((&e1.weight * f1).is_identity());
+        // F6 flat (2×3): edge a → S2 with weight F6 itself.
+        let e6 = g.edges.iter().find(|e| e.access == ids.f6).unwrap();
+        assert_eq!(e6.from, Vertex::Array(ids.a));
+        assert_eq!(e6.to, Vertex::Stmt(ids.s2));
+        assert_eq!(e6.weight, nest.access(ids.f6).f);
+        // F5 square identity: double arrow (two edges).
+        let e5: Vec<_> = g.edges.iter().filter(|e| e.access == ids.f5).collect();
+        assert_eq!(e5.len(), 2);
+        assert!(e5.iter().all(|e| e.twin_of_square));
+    }
+
+    #[test]
+    fn motivating_example_weights() {
+        let (nest, ids) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 2);
+        // Depth-3 square accesses have weight 3 ("edges of maximum weight").
+        for e in &g.edges {
+            let expect = nest.access(e.access).f.rank() as i64;
+            assert_eq!(e.int_weight, expect);
+        }
+        let w5 = g.edges.iter().find(|e| e.access == ids.f5).unwrap().int_weight;
+        let w3 = g.edges.iter().find(|e| e.access == ids.f3).unwrap().int_weight;
+        assert_eq!(w5, 3);
+        assert_eq!(w3, 2);
+    }
+
+    #[test]
+    fn rank_below_target_excluded() {
+        // With m = 3, the 2-D accesses of S1 fall below the target rank.
+        let (nest, ids) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 3);
+        assert!(g
+            .excluded
+            .iter()
+            .any(|(a, r)| *a == ids.f2 && *r == Exclusion::RankBelowTarget));
+        // F5 (3×3, rank 3) survives.
+        assert!(g.edges.iter().any(|e| e.access == ids.f5));
+    }
+
+    #[test]
+    fn square_non_unimodular_gets_single_direction() {
+        use rescomm_intlin::IMat;
+        use rescomm_loopnest::{Domain, NestBuilder};
+        let mut b = NestBuilder::new("t");
+        let x = b.array("x", 2);
+        let s = b.statement("S", 2, Domain::cube(2, 4));
+        // det = 2: no integral inverse.
+        b.read(s, x, IMat::from_rows(&[&[2, 0], &[0, 1]]), &[0, 0]);
+        let nest = b.build().unwrap();
+        let g = AccessGraph::build(&nest, 2);
+        assert_eq!(g.edges.len(), 1);
+        assert_eq!(g.edges[0].from, Vertex::Array(x));
+    }
+
+    #[test]
+    fn matmul_graph() {
+        let nest = examples::matmul(4);
+        let g = AccessGraph::build(&nest, 2);
+        // Three flat accesses: three array→statement edges.
+        assert_eq!(g.edges.len(), 3);
+        assert!(g.edges.iter().all(|e| matches!(e.from, Vertex::Array(_))));
+        assert!(g.excluded.is_empty());
+    }
+
+    #[test]
+    fn gauss_graph_excludes_pivot() {
+        let nest = examples::gauss_elim(4);
+        let g = AccessGraph::build(&nest, 2);
+        // The A[k,k] access (rank 1) is excluded; four flat rank-2 edges.
+        assert_eq!(g.excluded.len(), 1);
+        assert_eq!(g.excluded[0].1, Exclusion::RankDeficient);
+        assert_eq!(g.edges.len(), 4);
+    }
+
+    #[test]
+    fn vertex_dims() {
+        let (nest, ids) = examples::motivating_example(4, 2);
+        let g = AccessGraph::build(&nest, 2);
+        assert_eq!(g.vertex_dim(&nest, Vertex::Array(ids.a)), 2);
+        assert_eq!(g.vertex_dim(&nest, Vertex::Array(ids.b)), 3);
+        assert_eq!(g.vertex_dim(&nest, Vertex::Stmt(ids.s1)), 2);
+        assert_eq!(g.vertex_dim(&nest, Vertex::Stmt(ids.s2)), 3);
+    }
+}

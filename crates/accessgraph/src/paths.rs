@@ -1,0 +1,198 @@
+//! Components of a branching and relative alignment matrices.
+//!
+//! Inside one connected component of the chosen branching, every
+//! allocation matrix is determined by the component root's matrix:
+//! following the tree edges, `M_v = M_root · R_v` where `R_v` is the
+//! product of the weight matrices along the root→v path (`R_root = Id`).
+//! This is the paper's observation that alignment matrices are fixed *up
+//! to left-multiplication by a unimodular matrix* per component (§2.3
+//! remark) — later exploited to rotate broadcasts onto grid axes and to
+//! massage dataflow matrices into decomposable similarity classes.
+
+use crate::branching::Branching;
+use crate::graph::{AccessGraph, EdgeId, Vertex};
+use rescomm_intlin::IMat;
+use rescomm_loopnest::LoopNest;
+use std::collections::HashMap;
+
+/// One connected component of the branching forest.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// The root vertex (no incoming branching edge).
+    pub root: Vertex,
+    /// All member vertices, root first, in BFS order.
+    pub members: Vec<Vertex>,
+    /// `R_v` per member: `M_v = M_root · R_v` (`R_root = Id`).
+    pub rel: HashMap<Vertex, IMat>,
+    /// The branching edges inside this component.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Component {
+    /// Dimension of the root vertex (column count of `M_root`).
+    pub fn root_dim(&self) -> usize {
+        self.rel[&self.root].rows()
+    }
+
+    /// `true` iff the vertex belongs to this component.
+    pub fn contains(&self, v: Vertex) -> bool {
+        self.rel.contains_key(&v)
+    }
+}
+
+/// Split the branching into its connected components and compute the
+/// relative matrices along the tree paths.
+pub fn component_structure(
+    graph: &AccessGraph,
+    branching: &Branching,
+    nest: &LoopNest,
+) -> Vec<Component> {
+    // child -> (parent, edge)
+    let mut parent: HashMap<Vertex, (Vertex, EdgeId)> = HashMap::new();
+    let mut children: HashMap<Vertex, Vec<(Vertex, EdgeId)>> = HashMap::new();
+    for &eid in &branching.edges {
+        let e = &graph.edges[eid.0];
+        let prev = parent.insert(e.to, (e.from, eid));
+        assert!(prev.is_none(), "branching has in-degree > 1 at {:?}", e.to);
+        children.entry(e.from).or_default().push((e.to, eid));
+    }
+
+    let mut comps = Vec::new();
+    for &v in &graph.vertices {
+        if parent.contains_key(&v) {
+            continue; // not a root
+        }
+        // BFS from the root.
+        let root = v;
+        let mut members = vec![root];
+        let mut rel: HashMap<Vertex, IMat> = HashMap::new();
+        let mut edges = Vec::new();
+        // R_root = identity of the root's dimension, derived from any
+        // incident weight matrix; fall back to the vertex dimension via
+        // the first edge or 0 columns for isolated vertices. We need the
+        // root dimension: take it from the weight shapes.
+        let root_dim = root_dimension(graph, root)
+            .unwrap_or_else(|| graph.vertex_dim(nest, root));
+        rel.insert(root, IMat::identity(root_dim));
+        let mut queue = vec![root];
+        while let Some(u) = queue.pop() {
+            if let Some(kids) = children.get(&u) {
+                for &(child, eid) in kids {
+                    let w = &graph.edges[eid.0].weight;
+                    let r = &rel[&u] * w;
+                    rel.insert(child, r);
+                    members.push(child);
+                    edges.push(eid);
+                    queue.push(child);
+                }
+            }
+        }
+        comps.push(Component {
+            root,
+            members,
+            rel,
+            edges,
+        });
+    }
+    comps
+}
+
+/// Dimension of a vertex as implied by the incident edge weight matrices:
+/// for an edge `u → v`, `W` is `dim(u) × dim(v)`. `None` for isolated
+/// vertices (the caller falls back to the nest's dimensions).
+fn root_dimension(graph: &AccessGraph, v: Vertex) -> Option<usize> {
+    for e in &graph.edges {
+        if e.from == v {
+            return Some(e.weight.rows());
+        }
+        if e.to == v {
+            return Some(e.weight.cols());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branching::maximum_branching;
+    use crate::graph::AccessGraph;
+    use rescomm_loopnest::examples;
+
+    #[test]
+    fn motivating_example_single_component() {
+        let (nest, _) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        assert_eq!(comps.len(), 1, "all six vertices align into one tree");
+        let c = &comps[0];
+        assert_eq!(c.members.len(), 6);
+        assert_eq!(c.edges.len(), 5);
+        // Root relative matrix is the identity.
+        assert!(c.rel[&c.root].is_identity());
+    }
+
+    #[test]
+    fn relative_matrices_compose_edge_weights() {
+        let (nest, _) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        let c = &comps[0];
+        // Every branching edge u→v must satisfy R_v = R_u · W.
+        for &eid in &c.edges {
+            let e = &g.edges[eid.0];
+            assert_eq!(c.rel[&e.to], &c.rel[&e.from] * &e.weight);
+        }
+    }
+
+    #[test]
+    fn relative_matrices_have_full_row_rank() {
+        // Lemma 1 chain: all R_v keep rank = root_dim, so any full-rank
+        // seed M_root yields full-rank allocations.
+        let (nest, _) = examples::motivating_example(8, 4);
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        let c = &comps[0];
+        for (v, r) in &c.rel {
+            assert_eq!(
+                r.rank(),
+                c.root_dim(),
+                "R for {v:?} lost rank: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_singletons() {
+        use rescomm_loopnest::{Domain, NestBuilder};
+        let mut bld = NestBuilder::new("iso");
+        let _x = bld.array("x", 2);
+        let _y = bld.array("y", 2);
+        let _s = bld.statement("S", 2, Domain::cube(2, 4));
+        let nest = bld.build().unwrap();
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.members.len() == 1));
+    }
+
+    #[test]
+    fn matmul_components() {
+        let nest = examples::matmul(4);
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        // One edge chosen: one 2-vertex component + two singletons.
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = comps.iter().map(|c| c.members.len()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sizes, vec![1, 1, 2]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests for the access graph and the maximum branching on
+//! randomly generated nests.
+
+use proptest::prelude::*;
+use rescomm_accessgraph::{
+    augment, component_structure, maximum_branching, AccessGraph, Vertex,
+};
+use rescomm_accessgraph::branching::is_valid_branching;
+use rescomm_intlin::IMat;
+use rescomm_loopnest::{Domain, LoopNest, NestBuilder};
+
+fn random_nest() -> impl Strategy<Value = LoopNest> {
+    (
+        proptest::collection::vec(1usize..=3, 1..=3), // array dims
+        proptest::collection::vec(2usize..=3, 1..=2), // stmt depths
+        proptest::collection::vec(
+            (0usize..100, 0usize..100, proptest::collection::vec(-2i64..=2, 9), any::<bool>()),
+            1..=6,
+        ),
+    )
+        .prop_map(|(dims, depths, accs)| {
+            let mut b = NestBuilder::new("rand");
+            let arrays: Vec<_> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| b.array(&format!("x{i}"), d))
+                .collect();
+            let stmts: Vec<_> = depths
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| b.statement(&format!("S{i}"), d, Domain::cube(d, 4)))
+                .collect();
+            for (ai, si, coeffs, write) in accs {
+                let x = arrays[ai % arrays.len()];
+                let s = stmts[si % stmts.len()];
+                let q = dims[ai % arrays.len()];
+                let d = depths[si % stmts.len()];
+                let f = IMat::from_fn(q, d, |i, j| coeffs[(i * d + j) % coeffs.len()]);
+                if write {
+                    b.write(s, x, f, &vec![0; q]);
+                } else {
+                    b.read(s, x, f, &vec![0; q]);
+                }
+            }
+            b.build().expect("random nest valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Orientation rules of §2.2.2 hold on every edge.
+    #[test]
+    fn edge_orientation_rules(nest in random_nest()) {
+        let g = AccessGraph::build(&nest, 2);
+        for e in &g.edges {
+            let acc = nest.access(e.access);
+            let (q, d) = acc.f.shape();
+            // Full rank ≥ m.
+            prop_assert_eq!(acc.f.rank(), q.min(d));
+            prop_assert!(q.min(d) >= 2);
+            match (q.cmp(&d), e.from) {
+                (std::cmp::Ordering::Less, Vertex::Array(_)) => {
+                    // Flat: array → statement, weight = F.
+                    prop_assert_eq!(&e.weight, &acc.f);
+                }
+                (std::cmp::Ordering::Greater, Vertex::Stmt(_)) => {
+                    // Narrow: statement → array, weight·F = Id.
+                    prop_assert!((&e.weight * &acc.f).is_identity());
+                }
+                (std::cmp::Ordering::Equal, _) => {
+                    prop_assert!(e.twin_of_square);
+                }
+                other => prop_assert!(false, "bad orientation {:?}", other),
+            }
+        }
+    }
+
+    /// The branching is always structurally valid and weight-maximal
+    /// against brute force (on the raw integer weights).
+    #[test]
+    fn branching_valid_and_maximal(nest in random_nest()) {
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        prop_assert!(is_valid_branching(&g, &b));
+        if g.edges.len() <= 12 {
+            let raw: Vec<(usize, usize, i64)> = g
+                .edges
+                .iter()
+                .map(|e| {
+                    (
+                        g.vertex_index(e.from),
+                        g.vertex_index(e.to),
+                        e.int_weight,
+                    )
+                })
+                .collect();
+            let best = rescomm_accessgraph::branching::brute_force_branching(
+                g.vertices.len(),
+                &raw,
+            );
+            prop_assert_eq!(b.total_weight, best, "suboptimal branching");
+        }
+    }
+
+    /// Components cover each vertex exactly once and the relative
+    /// matrices satisfy every branching edge.
+    #[test]
+    fn components_consistent(nest in random_nest()) {
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        let mut seen = std::collections::HashSet::new();
+        for c in &comps {
+            for &v in &c.members {
+                prop_assert!(seen.insert(v), "vertex {v:?} in two components");
+            }
+            for &eid in &c.edges {
+                let e = &g.edges[eid.0];
+                prop_assert_eq!(c.rel[&e.to].clone(), &c.rel[&e.from] * &e.weight);
+            }
+        }
+        prop_assert_eq!(seen.len(), g.vertices.len());
+    }
+
+    /// Whatever augment accepts as local must be certified: free edges
+    /// satisfy R_u·W = R_v exactly; constrained roots keep a kernel of
+    /// dimension ≥ m.
+    #[test]
+    fn augmentation_certificates(nest in random_nest()) {
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let comps = component_structure(&g, &b, &nest);
+        let aug = augment(&g, &b.edges, &comps, 2);
+        for (_, k) in &aug.root_constraints {
+            let basis = rescomm_intlin::left_kernel_basis(k)
+                .expect("accepted constraint must have kernel");
+            prop_assert!(basis.rows() >= 2);
+        }
+        // local ∪ residual covers all non-twin edges; no overlap.
+        let locals: std::collections::HashSet<_> =
+            aug.local_edges.iter().copied().collect();
+        for e in &aug.residual_edges {
+            prop_assert!(!locals.contains(e), "edge both local and residual");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Ablation bench: what does each piece of step 2 buy?
+//!
+//! Compares the estimated end-to-end communication cost of the motivating
+//! example on the 8×4 mesh under: the full heuristic, macro-detection
+//! only, decomposition only, and step 1 alone — the design choices
+//! DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm::{map_nest, MappingOptions};
+use rescomm_bench::workload::{mapping_cost_on_mesh, paragon_mesh};
+use rescomm_loopnest::examples::motivating_example;
+use std::hint::black_box;
+
+fn variants() -> Vec<(&'static str, MappingOptions)> {
+    let full = MappingOptions::new(2);
+    let mut macro_only = full;
+    macro_only.enable_decompose = false;
+    macro_only.enable_similarity = false;
+    let mut decomp_only = full;
+    decomp_only.enable_macro = false;
+    vec![
+        ("full", full),
+        ("macro-only", macro_only),
+        ("decompose-only", decomp_only),
+        ("step1-only", MappingOptions::step1_only(2)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let (nest, _) = motivating_example(8, 4);
+    let mesh = paragon_mesh();
+
+    eprintln!("\n[Ablation] estimated communication cost, motivating example, 8×4 mesh, 256 B:");
+    for (name, opts) in variants() {
+        let mapping = map_nest(&nest, &opts);
+        let cost = mapping_cost_on_mesh(&nest, &mapping, &mesh, (32, 16), 256);
+        let r = mapping.report(&nest);
+        eprintln!(
+            "  {name:>15}: {cost:>10} ns  ({} local, {} macro, {} decomposed, {} general)",
+            r.n_local + r.n_translation,
+            r.n_macro(),
+            r.n_decomposed,
+            r.n_general
+        );
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("ablation_residual");
+    for (name, opts) in variants() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| {
+                let mapping = map_nest(black_box(&nest), opts);
+                black_box(mapping_cost_on_mesh(&nest, &mapping, &mesh, (32, 16), 256))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

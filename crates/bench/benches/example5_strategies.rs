@@ -1,0 +1,31 @@
+//! Criterion bench regenerating the **§7.2 Example 5** comparison
+//! (locality-first two-step heuristic vs Platonoff's macro-first
+//! strategy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm::baselines::platonoff_map;
+use rescomm::{map_nest, MappingOptions};
+use rescomm_bench::example5;
+use rescomm_loopnest::examples::example5_platonoff;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let row = example5(8);
+    eprintln!(
+        "\n[Example 5] ours non-local: {} | Platonoff non-local: {} (broadcast kept: {})\n",
+        row.ours_nonlocal, row.platonoff_nonlocal, row.platonoff_macro
+    );
+
+    let (nest, _) = example5_platonoff(8);
+    let mut g = c.benchmark_group("example5_strategies");
+    g.bench_function(BenchmarkId::from_parameter("two-step"), |b| {
+        b.iter(|| black_box(map_nest(black_box(&nest), &MappingOptions::new(2))));
+    });
+    g.bench_function(BenchmarkId::from_parameter("platonoff"), |b| {
+        b.iter(|| black_box(platonoff_map(black_box(&nest), 2)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the extension experiments: §3.5 message
+//! vectorization, the Table 2 payload crossover, and the §5.4
+//! grouped-vs-cyclic check on undecomposed communications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm_bench::{table2_crossover, vectorization};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let v = vectorization(64, 64);
+    eprintln!(
+        "\n[Vectorization] 64 steps: unvectorized {} ns, vectorized {} ns ({:.1}x)",
+        v.unvectorized,
+        v.vectorized,
+        v.unvectorized as f64 / v.vectorized as f64
+    );
+    let rows = table2_crossover((32, 16), &[64, 1024, 16384]);
+    for r in &rows {
+        eprintln!(
+            "[Crossover] {} B: direct {} ns, decomposed {} ns",
+            r.bytes, r.direct, r.decomposed
+        );
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("extensions");
+    for steps in [16usize, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("vectorization", steps),
+            &steps,
+            |b, &steps| {
+                b.iter(|| black_box(vectorization(black_box(steps), 64)));
+            },
+        );
+    }
+    g.bench_function(BenchmarkId::new("crossover", "sweep"), |b| {
+        b.iter(|| black_box(table2_crossover((32, 16), &[64, 1024, 16384])));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

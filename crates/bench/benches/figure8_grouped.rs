@@ -1,0 +1,31 @@
+//! Criterion bench regenerating **Figure 8** (grouped partition vs the
+//! standard HPF distributions for `U(k)` communications).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm_bench::figure8;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for (label, mesh) in [("a-4x4", (4, 4)), ("b-8x4", (8, 4)), ("c-8x8", (8, 8))] {
+        let rows = figure8(mesh, 48, 8, 8, 2, 256);
+        eprintln!("\n[Figure 8 {label}] k, CYCLIC/grouped, BLOCK/grouped, CYCLIC(2)/grouped");
+        for r in &rows {
+            eprintln!(
+                "  k={}  {:.2}  {:.2}  {:.2}",
+                r.k, r.cyclic_ratio, r.block_ratio, r.cyclic_block_ratio
+            );
+        }
+    }
+    eprintln!();
+
+    let mut g = c.benchmark_group("figure8_grouped");
+    for (label, mesh) in [("a-4x4", (4usize, 4usize)), ("b-8x4", (8, 4)), ("c-8x8", (8, 8))] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mesh, |b, &mesh| {
+            b.iter(|| black_box(figure8(black_box(mesh), 48, 8, 8, 2, 256)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Microbenchmarks of the compiler analysis itself: access-graph
+//! construction + Edmonds branching, the full two-step pipeline on the
+//! paper's kernels, dataflow decomposition, and the mesh simulator's
+//! scheduling loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm::substrate::accessgraph::{maximum_branching, AccessGraph};
+use rescomm::{map_nest, MappingOptions};
+use rescomm_decompose::decompose_direct;
+use rescomm_intlin::{right_hermite, smith_normal_form, IMat};
+use rescomm_loopnest::examples;
+use rescomm_machine::{CostModel, Mesh2D, PMsg};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("map_nest");
+    let cases = [
+        ("motivating", examples::motivating_example(8, 4).0),
+        ("matmul", examples::matmul(8)),
+        ("gauss", examples::gauss_elim(8)),
+        ("adi", examples::adi_sweep(8)),
+    ];
+    for (name, nest) in &cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), nest, |b, nest| {
+            b.iter(|| black_box(map_nest(black_box(nest), &MappingOptions::new(2))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let (nest, _) = examples::motivating_example(8, 4);
+    c.bench_function("access_graph_and_branching", |b| {
+        b.iter(|| {
+            let g = AccessGraph::build(black_box(&nest), 2);
+            black_box(maximum_branching(&g))
+        });
+    });
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    // A pool of random SL₂(ℤ) matrices.
+    let mut seed = 0x1234u64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+        ((seed >> 33) as i64 % 7) - 3
+    };
+    let mut pool = Vec::new();
+    while pool.len() < 64 {
+        let (a, b, cc) = (next(), next(), next());
+        if a == 0 {
+            continue;
+        }
+        let num = 1 + b * cc;
+        if num % a != 0 {
+            continue;
+        }
+        pool.push(IMat::from_rows(&[&[a, b], &[cc, num / a]]));
+    }
+    c.bench_function("decompose_direct_sl2", |b| {
+        b.iter(|| {
+            for t in &pool {
+                black_box(decompose_direct(black_box(t)));
+            }
+        });
+    });
+}
+
+fn bench_intlin(c: &mut Criterion) {
+    let mut seed = 0x777u64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((seed >> 33) as i64 % 9) - 4
+    };
+    let mats: Vec<IMat> = (0..32).map(|_| IMat::from_fn(4, 4, |_, _| next())).collect();
+    c.bench_function("hermite_4x4", |b| {
+        b.iter(|| {
+            for m in &mats {
+                black_box(right_hermite(black_box(m)));
+            }
+        });
+    });
+    c.bench_function("smith_4x4", |b| {
+        b.iter(|| {
+            for m in &mats {
+                black_box(smith_normal_form(black_box(m)));
+            }
+        });
+    });
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mesh_simulate_phase");
+    for n in [64usize, 256, 1024] {
+        let mesh = Mesh2D::new(16, 16, CostModel::paragon());
+        let msgs: Vec<PMsg> = (0..n)
+            .map(|i| PMsg {
+                src: i % 256,
+                dst: (i * 37 + 11) % 256,
+                bytes: 256,
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &msgs, |b, msgs| {
+            b.iter(|| black_box(mesh.simulate_phase(black_box(msgs))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_graph,
+    bench_decompose,
+    bench_intlin,
+    bench_mesh
+);
+criterion_main!(benches);

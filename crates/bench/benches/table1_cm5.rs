@@ -1,0 +1,26 @@
+//! Criterion bench regenerating **Table 1** (CM-5 data-movement ratios).
+//!
+//! The simulated table is printed once at start-up; Criterion then
+//! measures the cost of the simulation itself across payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm_bench::table1;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the regenerated table once.
+    let row = table1(1024);
+    eprintln!("\n[Table 1] reduction/broadcast/translation/general (ns): {:?}", row.times);
+    eprintln!("[Table 1] ratios to reduction: {:?}\n", row.ratios);
+
+    let mut g = c.benchmark_group("table1_cm5");
+    for bytes in [64u64, 1024, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| black_box(table1(black_box(bytes))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

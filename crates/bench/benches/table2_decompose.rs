@@ -1,0 +1,29 @@
+//! Criterion bench regenerating **Table 2** (decomposing `T = L·U` on the
+//! Paragon mesh).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm_bench::table2;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let row = table2((32, 16), 512);
+    eprintln!(
+        "\n[Table 2] not-decomposed {} | L {} | U {} | L·U {} (ns); ratios {:?}\n",
+        row.not_decomposed,
+        row.l_phase,
+        row.u_phase,
+        row.lu_total,
+        row.ratios()
+    );
+
+    let mut g = c.benchmark_group("table2_decompose");
+    for vrows in [16usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(vrows), &vrows, |b, &v| {
+            b.iter(|| black_box(table2(black_box((v, v / 2)), 512)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

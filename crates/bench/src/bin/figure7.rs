@@ -1,0 +1,21 @@
+//! Regenerate **Figures 6 and 7**: the grouped-partition layouts.
+//!
+//! ```text
+//! cargo run -p rescomm-bench --bin figure7
+//! ```
+
+use rescomm_bench::figure7_layout;
+
+fn main() {
+    println!("Figure 6 — U = [[1,3],[0,1]]: 12 virtual processors per row,");
+    println!("3 classes, mapped onto P = 4 physical processors:\n");
+    println!("{}\n", figure7_layout(12, 3, 4));
+
+    println!("Figure 7 — T = L(2)·U(3): 2-D grouped partition of a 10×6");
+    println!("virtual grid onto physical processors (rows grouped with k=3,");
+    println!("columns grouped with k=2):\n");
+    println!("row axis (k = 3, 10 virtuals, P = 5):");
+    println!("{}\n", figure7_layout(10, 3, 5));
+    println!("column axis (k = 2, 6 virtuals, Q = 3):");
+    println!("{}", figure7_layout(6, 2, 3));
+}

@@ -1,0 +1,37 @@
+//! Regenerate **Figure 8**: ratio of the communication time of a `U(k)`
+//! matrix under the standard HPF distributions over the grouped
+//! partition, for `k = 1..8`, on three mesh configurations.
+//!
+//! ```text
+//! cargo run -p rescomm-bench --bin figure8 [--bytes N]
+//! ```
+
+use rescomm_bench::figure8;
+
+fn main() {
+    let bytes = std::env::args()
+        .skip_while(|a| a != "--bytes")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256u64);
+    for (label, mesh) in [
+        ("(a) 4×4 mesh", (4usize, 4usize)),
+        ("(b) 8×4 mesh", (8, 4)),
+        ("(c) 8×8 mesh", (8, 8)),
+    ] {
+        println!("Figure 8 {label} — time(scheme)/time(grouped) for U(k), {bytes} B/element");
+        println!(
+            "{:>3} {:>12} {:>10} {:>10} {:>10}",
+            "k", "grouped(ns)", "CYCLIC", "BLOCK", "CYCLIC(2)"
+        );
+        for r in figure8(mesh, 48, 8, 8, 2, bytes) {
+            println!(
+                "{:>3} {:>12} {:>10.2} {:>10.2} {:>10.2}",
+                r.k, r.grouped, r.cyclic_ratio, r.block_ratio, r.cyclic_block_ratio
+            );
+        }
+        println!();
+    }
+    println!("paper's qualitative claim: grouped ≥ all standard schemes for k ≥ 2;");
+    println!("CYCLIC tracks grouped closely (equal when k is a multiple of P).");
+}

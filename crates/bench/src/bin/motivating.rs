@@ -1,0 +1,46 @@
+//! Regenerate the **§2 motivating example** end to end: access graph,
+//! maximum branching, mapping report, and estimated mesh cost per
+//! strategy (Figures 1–3 in structural form).
+//!
+//! ```text
+//! cargo run -p rescomm-bench --bin motivating
+//! ```
+
+use rescomm::substrate::accessgraph::{maximum_branching, AccessGraph};
+use rescomm::{map_nest, MappingOptions};
+use rescomm_bench::motivating;
+use rescomm_loopnest::examples::motivating_example;
+
+fn main() {
+    let (nest, _) = motivating_example(8, 4);
+    println!("{nest}");
+
+    let graph = AccessGraph::build(&nest, 2);
+    println!("{graph}");
+    let b = maximum_branching(&graph);
+    println!(
+        "maximum branching: {} edges, total weight {} (both weight-3 edges zeroed)",
+        b.edges.len(),
+        b.total_weight
+    );
+    for e in &b.edges {
+        let ed = &graph.edges[e.0];
+        println!("  {:?} -> {:?} via access {:?}", ed.from, ed.to, ed.access);
+    }
+    println!();
+
+    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    println!("{}", mapping.report(&nest));
+
+    println!("strategy comparison (estimated communication time, 8×4 mesh, 256 B):");
+    println!(
+        "{:>32} {:>7} {:>7} {:>11} {:>9} {:>14}",
+        "strategy", "local", "macro", "decomposed", "general", "est. time (ns)"
+    );
+    for row in motivating(256) {
+        println!(
+            "{:>32} {:>7} {:>7} {:>11} {:>9} {:>14}",
+            row.strategy, row.counts[0], row.counts[1], row.counts[2], row.counts[3], row.est_time
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerate **Table 1**: execution-time ratios of the four data
+//! movements on the simulated CM-5 (fat tree + control network).
+//!
+//! ```text
+//! cargo run -p rescomm-bench --bin table1 [--bytes N]
+//! ```
+
+use rescomm_bench::table1;
+
+fn main() {
+    let bytes = std::env::args()
+        .skip_while(|a| a != "--bytes")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024u64);
+    println!("Table 1 — comparing data movements on the simulated CM-5 (32 procs)");
+    println!("payload: {bytes} bytes/processor\n");
+    println!("{:>12} {:>12} {:>12} {:>22}", "Reduction", "Broadcast", "Translation", "General communication");
+    let row = table1(bytes);
+    println!(
+        "{:>12} {:>12} {:>12} {:>22}   (simulated ns)",
+        row.times[0], row.times[1], row.times[2], row.times[3]
+    );
+    println!(
+        "{:>12.1} {:>12.1} {:>12.1} {:>22.1}   (ratio to reduction)",
+        row.ratios[0], row.ratios[1], row.ratios[2], row.ratios[3]
+    );
+    println!("\npaper's qualitative claim: reduction ≈ broadcast ≪ translation ≪ general");
+}

@@ -1,0 +1,43 @@
+//! Regenerate **Table 2**: decomposing the general affine communication
+//! `T = [[1,3],[2,7]] = L(2)·U(3)` on the simulated Paragon (8×4 mesh,
+//! CYCLIC distribution).
+//!
+//! ```text
+//! cargo run -p rescomm-bench --bin table2 [--bytes N]
+//! ```
+
+use rescomm_bench::{combined, table2};
+
+fn main() {
+    let bytes = std::env::args()
+        .skip_while(|a| a != "--bytes")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512u64);
+    println!("Table 2 — decomposing vs not decomposing on the simulated Paragon (8×4 mesh)");
+    println!("T = [[1,3],[2,7]] = L(2)·U(3), CYCLIC distribution, {bytes} B/virtual processor\n");
+    println!(
+        "{:>18} {:>10} {:>10} {:>10}",
+        "Not decomposed", "L", "U", "L·U"
+    );
+    for vshape in [(32usize, 16usize), (64, 32)] {
+        let row = table2(vshape, bytes);
+        let r = row.ratios();
+        println!(
+            "{:>18} {:>10} {:>10} {:>10}   (ns, virtual grid {}×{})",
+            row.not_decomposed, row.l_phase, row.u_phase, row.lu_total, vshape.0, vshape.1
+        );
+        println!(
+            "{:>18.2} {:>10.2} {:>10.2} {:>10.2}   (ratio to L)",
+            r[0], r[1], r[2], r[3]
+        );
+    }
+    let c = combined((36, 18), bytes);
+    println!("\n§4+§5 composition (36×18 virtual grid, {bytes} B):");
+    println!(
+        "  direct+CYCLIC {} ns | decomposed+CYCLIC {} ns | decomposed+grouped {} ns",
+        c.direct_cyclic, c.decomposed_cyclic, c.decomposed_grouped
+    );
+    println!("\npaper's qualitative claim: L·U < not decomposed; U costs more than L;");
+    println!("the grouped partition further refines the decomposed phases.");
+}

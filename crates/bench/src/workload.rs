@@ -1,0 +1,119 @@
+//! Workload generators shared by the experiments: communication patterns
+//! on the simulated machines and cost estimation for a whole mapping.
+
+use rescomm::{CommOutcome, Mapping};
+use rescomm_distribution::{general_pattern, physical_messages, Dist1D, Dist2D};
+use rescomm_intlin::IMat;
+use rescomm_loopnest::LoopNest;
+use rescomm_machine::{broadcast_rows_time, shift_time, CostModel, Mesh2D, PMsg};
+
+/// Fold a dataflow matrix's virtual pattern onto a mesh and simulate it.
+pub fn simulate_dataflow(
+    t: &IMat,
+    mesh: &Mesh2D,
+    dist: Dist2D,
+    vshape: (usize, usize),
+    bytes: u64,
+) -> u64 {
+    let pattern = general_pattern(t, vshape);
+    let msgs = physical_messages(&pattern, dist, vshape, (mesh.px, mesh.py), bytes);
+    let pms: Vec<PMsg> = msgs
+        .iter()
+        .map(|m| PMsg {
+            src: mesh.node_id(m.src.0, m.src.1),
+            dst: mesh.node_id(m.dst.0, m.dst.1),
+            bytes: m.bytes,
+        })
+        .collect();
+    mesh.simulate_phase(&pms)
+}
+
+/// The paper's default Paragon-like testbed: an 8×4 mesh (32 nodes).
+pub fn paragon_mesh() -> Mesh2D {
+    Mesh2D::new(8, 4, CostModel::paragon())
+}
+
+/// Estimated communication time of a whole mapping on a mesh, pricing
+/// each access by its outcome class (an end-to-end extension experiment;
+/// the paper prices single communications only).
+pub fn mapping_cost_on_mesh(
+    nest: &LoopNest,
+    mapping: &Mapping,
+    mesh: &Mesh2D,
+    vshape: (usize, usize),
+    bytes: u64,
+) -> u64 {
+    let dist = Dist2D::uniform(Dist1D::Cyclic);
+    let mut total = 0u64;
+    for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+        total += match out {
+            CommOutcome::Local => 0,
+            CommOutcome::Translation => shift_time(mesh, 1, 0, bytes),
+            CommOutcome::Macro { .. } => broadcast_rows_time(mesh, bytes),
+            CommOutcome::Decomposed { factors, .. } => factors
+                .iter()
+                .map(|f| simulate_dataflow(&f.to_mat(), mesh, dist, vshape, bytes))
+                .sum(),
+            CommOutcome::DecomposedGeneral { n_factors } => {
+                // Price each unirow factor like one elementary sweep.
+                let one = simulate_dataflow(
+                    &IMat::from_rows(&[&[1, 1], &[0, 1]]),
+                    mesh,
+                    dist,
+                    vshape,
+                    bytes,
+                );
+                one * *n_factors as u64
+            }
+            CommOutcome::General => {
+                let t = rescomm::pipeline::dataflow_matrix(&mapping.alignment, nest, acc.id)
+                    .filter(|t| t.shape() == (2, 2))
+                    .unwrap_or_else(|| IMat::from_rows(&[&[1, 3], &[2, 7]]));
+                simulate_dataflow(&t, mesh, dist, vshape, bytes)
+            }
+        };
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataflow_simulation_nonzero_for_nonlocal() {
+        let mesh = paragon_mesh();
+        let t = IMat::from_rows(&[&[1, 3], &[2, 7]]);
+        let time = simulate_dataflow(&t, &mesh, Dist2D::uniform(Dist1D::Cyclic), (32, 16), 256);
+        assert!(time > 0);
+    }
+
+    #[test]
+    fn identity_dataflow_is_free() {
+        let mesh = paragon_mesh();
+        let time = simulate_dataflow(
+            &IMat::identity(2),
+            &mesh,
+            Dist2D::uniform(Dist1D::Cyclic),
+            (32, 16),
+            256,
+        );
+        assert_eq!(time, 0);
+    }
+
+    #[test]
+    fn mapping_cost_orders_strategies() {
+        use rescomm::{map_nest, MappingOptions};
+        use rescomm_loopnest::examples;
+        let (nest, _) = examples::motivating_example(8, 4);
+        let mesh = paragon_mesh();
+        let ours = map_nest(&nest, &MappingOptions::new(2));
+        let base = rescomm::baselines::feautrier_map(&nest, 2);
+        let c_ours = mapping_cost_on_mesh(&nest, &ours, &mesh, (32, 16), 256);
+        let c_base = mapping_cost_on_mesh(&nest, &base, &mesh, (32, 16), 256);
+        assert!(
+            c_ours <= c_base,
+            "residual optimization must not cost more: {c_ours} vs {c_base}"
+        );
+    }
+}

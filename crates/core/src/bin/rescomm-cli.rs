@@ -1,0 +1,120 @@
+//! `rescomm-cli` — map an affine loop nest (textual format) and report
+//! what happens to every communication.
+//!
+//! ```text
+//! rescomm-cli <nest-file> [--m N] [--no-macro] [--no-decompose]
+//!             [--unit-weights] [--dot] [--compare]
+//! ```
+//!
+//! * `--m N`           target virtual-grid dimension (default 2)
+//! * `--no-macro`      disable step 2(a) (macro-communication detection)
+//! * `--no-decompose`  disable step 2(b) (decomposition)
+//! * `--unit-weights`  unit edge weights instead of rank weights
+//! * `--dot`           print the access graph (with the branching in
+//!                     bold) as Graphviz DOT instead of the report
+//! * `--compare`       also run the Platonoff and step-1-only baselines
+//!
+//! The nest format is documented in `rescomm_loopnest::parser`.
+
+use rescomm::baselines::{feautrier_map, platonoff_map};
+use rescomm::substrate::accessgraph::{maximum_branching, to_dot, AccessGraph};
+use rescomm::{map_nest, MappingOptions};
+use rescomm_loopnest::parser::parse_nest;
+use std::process::ExitCode;
+
+struct Args {
+    file: String,
+    m: usize,
+    no_macro: bool,
+    no_decompose: bool,
+    unit_weights: bool,
+    dot: bool,
+    compare: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        m: 2,
+        no_macro: false,
+        no_decompose: false,
+        unit_weights: false,
+        dot: false,
+        compare: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--m" => {
+                args.m = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--m needs an integer")?;
+            }
+            "--no-macro" => args.no_macro = true,
+            "--no-decompose" => args.no_decompose = true,
+            "--unit-weights" => args.unit_weights = true,
+            "--dot" => args.dot = true,
+            "--compare" => args.compare = true,
+            "--help" | "-h" => {
+                return Err("usage: rescomm-cli <nest-file> [--m N] [--no-macro] \
+                            [--no-decompose] [--unit-weights] [--dot] [--compare]"
+                    .to_string())
+            }
+            f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.file.is_empty() {
+        return Err("missing nest file (try --help)".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = match std::fs::read_to_string(&args.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let nest = match parse_nest(&src) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{}: parse error: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.dot {
+        let g = AccessGraph::build_weighted(&nest, args.m, !args.unit_weights);
+        let b = maximum_branching(&g);
+        print!("{}", to_dot(&g, &nest, Some(&b)));
+        return ExitCode::SUCCESS;
+    }
+
+    let mut opts = MappingOptions::new(args.m);
+    opts.enable_macro = !args.no_macro;
+    opts.enable_decompose = !args.no_decompose;
+    opts.weight_by_rank = !args.unit_weights;
+
+    println!("{nest}");
+    let mapping = map_nest(&nest, &opts);
+    println!("{}", mapping.report(&nest));
+
+    if args.compare {
+        println!("--- baseline: step 1 only (greedy zeroing) ---");
+        println!("{}", feautrier_map(&nest, args.m).report(&nest));
+        println!("--- baseline: Platonoff (macro-first) ---");
+        println!("{}", platonoff_map(&nest, args.m).report(&nest));
+    }
+    ExitCode::SUCCESS
+}

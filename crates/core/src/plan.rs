@@ -1,0 +1,392 @@
+//! Communication plans: from a [`Mapping`] to concrete message phases.
+//!
+//! This is the artifact a runtime or code generator consumes: for every
+//! access, the ordered list of *phases* (virtual-processor message
+//! patterns) that realize its communication — none for a local access,
+//! one shift for a translation, one placement phase for a collective,
+//! one sweep per elementary factor (plus the paper's final "up to a
+//! translation" shift) for a decomposition, a single irregular pattern
+//! for a general residual.
+//!
+//! Patterns are generated **exactly** from the iteration domain and the
+//! allocation functions and carry *raw* virtual coordinates;
+//! [`CommPlan::simulate_on_mesh`] folds them toroidally onto a physical
+//! machine. [`CommPlan::verify_availability`] proves the plan correct:
+//! chaining the phases of each access delivers every element to exactly
+//! the processor that computes with it.
+
+use crate::pipeline::{CommOutcome, Mapping};
+use rescomm_decompose::Elementary;
+use rescomm_distribution::{physical_messages, Dist2D};
+use rescomm_loopnest::{AccessId, LoopNest};
+use rescomm_machine::{Mesh2D, PMsg};
+use std::collections::BTreeSet;
+
+/// What a phase implements (for reporting; the pattern is authoritative).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// A constant-distance shift.
+    Translation,
+    /// The data-placement phase of a collective (the machine's tree rounds
+    /// implement the fan-out/fan-in).
+    CollectiveRound,
+    /// One elementary factor of a decomposition.
+    Elementary(Elementary),
+    /// The final constant shift of a decomposition ("up to a
+    /// translation", §4.2).
+    DecompositionShift,
+    /// One unirow factor of a general decomposition.
+    UnirowFactor,
+    /// An irregular affine pattern executed directly.
+    GeneralAffine,
+}
+
+/// One communication phase: a set of virtual-processor point-to-point
+/// transfers that may all proceed concurrently. Coordinates are raw
+/// (unwrapped) virtual grid positions.
+#[derive(Debug, Clone)]
+pub struct CommPhase {
+    /// The access this phase belongs to.
+    pub access: AccessId,
+    /// Reporting tag.
+    pub kind: PhaseKind,
+    /// Virtual messages `(source, destination)` (2-D grids).
+    pub pattern: Vec<((i64, i64), (i64, i64))>,
+}
+
+/// The full plan of a mapping: phases in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct CommPlan {
+    /// Ordered phases.
+    pub phases: Vec<CommPhase>,
+}
+
+fn wrap2(p: (i64, i64), vshape: (usize, usize)) -> (i64, i64) {
+    (
+        p.0.rem_euclid(vshape.0 as i64),
+        p.1.rem_euclid(vshape.1 as i64),
+    )
+}
+
+/// Pad a (possibly degenerate, e.g. 1-D array owner) virtual coordinate
+/// to the 2-D grid: missing dimensions live at coordinate 0.
+fn coord2(v: &[i64]) -> (i64, i64) {
+    (
+        v.first().copied().unwrap_or(0),
+        v.get(1).copied().unwrap_or(0),
+    )
+}
+
+impl CommPlan {
+    /// Total number of virtual messages across all phases.
+    pub fn message_count(&self) -> usize {
+        self.phases.iter().map(|p| p.pattern.len()).sum()
+    }
+
+    /// Fold onto a mesh with a distribution (toroidal wrap into `vshape`)
+    /// and simulate the phases sequentially; returns total time.
+    pub fn simulate_on_mesh(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+    ) -> u64 {
+        let mut total = 0u64;
+        for phase in &self.phases {
+            let wrapped: Vec<((i64, i64), (i64, i64))> = phase
+                .pattern
+                .iter()
+                .map(|&(s, d)| (wrap2(s, vshape), wrap2(d, vshape)))
+                .filter(|(s, d)| s != d)
+                .collect();
+            let msgs = physical_messages(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes);
+            let pms: Vec<PMsg> = msgs
+                .iter()
+                .map(|m| PMsg {
+                    src: mesh.node_id(m.src.0, m.src.1),
+                    dst: mesh.node_id(m.dst.0, m.dst.1),
+                    bytes: m.bytes,
+                })
+                .collect();
+            total += mesh.simulate_phase(&pms);
+        }
+        total
+    }
+
+    /// Verify the plan delivers data correctly: for every non-local access
+    /// and every iteration point, following the access's phases from the
+    /// element's owner must end at the computing processor.
+    ///
+    /// Returns `Err` with a witness description on the first violation.
+    pub fn verify_availability(
+        &self,
+        nest: &LoopNest,
+        mapping: &Mapping,
+    ) -> Result<(), String> {
+        for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+            if matches!(out, CommOutcome::Local) {
+                continue;
+            }
+            let phases: Vec<&CommPhase> =
+                self.phases.iter().filter(|p| p.access == acc.id).collect();
+            let dom = &nest.statement(acc.stmt).domain;
+            for p in dom.points() {
+                let e = acc.subscript(&p);
+                let src = coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e));
+                let dst = coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p));
+                if src == dst {
+                    continue;
+                }
+                let chained = phases.iter().all(|ph| {
+                    matches!(
+                        ph.kind,
+                        PhaseKind::Elementary(_) | PhaseKind::DecompositionShift
+                    )
+                });
+                if chained {
+                    // A decomposition moves each position functionally:
+                    // chain the phases (absent entry = stays in place).
+                    let mut pos = src;
+                    for phase in &phases {
+                        if let Some(&(_, to)) =
+                            phase.pattern.iter().find(|&&(f, _)| f == pos)
+                        {
+                            pos = to;
+                        }
+                    }
+                    if pos != dst {
+                        return Err(format!(
+                            "access {:?} at {:?}: element owner {:?} routed to {:?}, \
+                             but the computation runs on {:?}",
+                            acc.id, p, src, pos, dst
+                        ));
+                    }
+                } else {
+                    // One-shot phases (translation / collective / general)
+                    // may fan out: the endpoint pair must be present in
+                    // some phase of this access.
+                    let present = phases
+                        .iter()
+                        .any(|ph| ph.pattern.contains(&(src, dst)));
+                    if !present {
+                        return Err(format!(
+                            "access {:?} at {:?}: transfer {:?} → {:?} missing \
+                             from the plan",
+                            acc.id, p, src, dst
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the communication plan of a mapping (2-D mappings only — the
+/// simulators are 2-D). Coordinates are raw; wrapping happens at fold
+/// time.
+pub fn build_plan(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
+    assert_eq!(mapping.alignment.m, 2, "plans target 2-D grids");
+    let mut plan = CommPlan::default();
+    for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+        let dom = &nest.statement(acc.stmt).domain;
+        // Exact (owner → computer) endpoints per iteration point.
+        let endpoints = || {
+            let mut seen = BTreeSet::new();
+            let mut v = Vec::new();
+            for p in dom.points() {
+                let e = acc.subscript(&p);
+                let src = coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e));
+                let dst = coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p));
+                if src != dst && seen.insert((src, dst)) {
+                    v.push((src, dst));
+                }
+            }
+            v
+        };
+        match out {
+            CommOutcome::Local => {}
+            CommOutcome::Translation => plan.phases.push(CommPhase {
+                access: acc.id,
+                kind: PhaseKind::Translation,
+                pattern: endpoints(),
+            }),
+            CommOutcome::Macro { .. } => plan.phases.push(CommPhase {
+                access: acc.id,
+                kind: PhaseKind::CollectiveRound,
+                pattern: endpoints(),
+            }),
+            CommOutcome::Decomposed { factors, .. } => {
+                // precv = F₁·…·F_n·psend + t₀: one phase per factor (right
+                // to left), then the constant shift t₀ (§4.2: the dataflow
+                // equality holds "up to a translation").
+                let mut sources: Vec<((i64, i64), (i64, i64))> = {
+                    // (current position, final destination) pairs.
+                    let mut seen = BTreeSet::new();
+                    let mut v = Vec::new();
+                    for p in dom.points() {
+                        let e = acc.subscript(&p);
+                        let src =
+                            coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e));
+                        let dst =
+                            coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p));
+                        if seen.insert((src, dst)) {
+                            v.push((src, dst));
+                        }
+                    }
+                    v
+                };
+                for f in factors.iter().rev() {
+                    let mat = f.to_mat();
+                    let mut pattern = Vec::new();
+                    for (pos, _) in &mut sources {
+                        let q = mat.mul_vec(&[pos.0, pos.1]);
+                        let q = (q[0], q[1]);
+                        if q != *pos {
+                            pattern.push((*pos, q));
+                        }
+                        *pos = q;
+                    }
+                    pattern.sort();
+                    pattern.dedup();
+                    plan.phases.push(CommPhase {
+                        access: acc.id,
+                        kind: PhaseKind::Elementary(*f),
+                        pattern,
+                    });
+                }
+                // Final constant shift to the true destination.
+                let mut shift: Vec<((i64, i64), (i64, i64))> = sources
+                    .iter()
+                    .filter(|(pos, dst)| pos != dst)
+                    .map(|&(pos, dst)| (pos, dst))
+                    .collect();
+                shift.sort();
+                shift.dedup();
+                if !shift.is_empty() {
+                    // All moves share one offset (affine constant term).
+                    let d0 = (shift[0].1 .0 - shift[0].0 .0, shift[0].1 .1 - shift[0].0 .1);
+                    debug_assert!(
+                        shift
+                            .iter()
+                            .all(|&(s, d)| (d.0 - s.0, d.1 - s.1) == d0),
+                        "decomposition residue is not a constant shift"
+                    );
+                    plan.phases.push(CommPhase {
+                        access: acc.id,
+                        kind: PhaseKind::DecompositionShift,
+                        pattern: shift,
+                    });
+                }
+            }
+            CommOutcome::DecomposedGeneral { .. } => plan.phases.push(CommPhase {
+                access: acc.id,
+                kind: PhaseKind::UnirowFactor,
+                pattern: endpoints(),
+            }),
+            CommOutcome::General => plan.phases.push(CommPhase {
+                access: acc.id,
+                kind: PhaseKind::GeneralAffine,
+                pattern: endpoints(),
+            }),
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{map_nest, MappingOptions};
+    use rescomm_distribution::Dist1D;
+    use rescomm_loopnest::examples;
+    use rescomm_machine::CostModel;
+
+    #[test]
+    fn local_accesses_produce_no_phase() {
+        let (nest, _) = examples::example5_platonoff(4);
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let plan = build_plan(&nest, &mapping);
+        assert!(plan.phases.is_empty(), "communication-free nest");
+        assert_eq!(plan.message_count(), 0);
+        plan.verify_availability(&nest, &mapping).unwrap();
+    }
+
+    #[test]
+    fn motivating_example_plan_structure() {
+        let (nest, ids) = examples::motivating_example(6, 2);
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let plan = build_plan(&nest, &mapping);
+        // The decomposed access contributes one phase per factor plus
+        // (possibly) the final shift.
+        let f3_phases: Vec<_> = plan.phases.iter().filter(|p| p.access == ids.f3).collect();
+        assert!(f3_phases.len() >= 2, "{}", f3_phases.len());
+        assert!(f3_phases
+            .iter()
+            .take(2)
+            .all(|p| matches!(p.kind, PhaseKind::Elementary(_))));
+        assert!(plan
+            .phases
+            .iter()
+            .any(|p| p.access == ids.f6 && p.kind == PhaseKind::CollectiveRound));
+        assert!(plan
+            .phases
+            .iter()
+            .all(|p| p.kind != PhaseKind::GeneralAffine));
+    }
+
+    #[test]
+    fn every_plan_delivers_its_data() {
+        // The availability proof across kernels — the strongest
+        // correctness statement about the whole pipeline.
+        for nest in [
+            examples::motivating_example(6, 2).0,
+            examples::jacobi2d(6),
+            examples::transpose(6),
+            examples::matmul(4),
+            examples::syrk(4),
+            examples::example2_broadcast(6),
+            examples::gauss_elim(4),
+            examples::adi_sweep(6),
+        ] {
+            let mapping = map_nest(&nest, &MappingOptions::new(2));
+            let plan = build_plan(&nest, &mapping);
+            plan.verify_availability(&nest, &mapping)
+                .unwrap_or_else(|e| panic!("{}: {e}", nest.name));
+        }
+    }
+
+    #[test]
+    fn jacobi_plan_is_pure_translations() {
+        let nest = examples::jacobi2d(8);
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let plan = build_plan(&nest, &mapping);
+        assert!(plan.phases.iter().all(|p| p.kind == PhaseKind::Translation));
+        assert!(!plan.phases.is_empty());
+    }
+
+    #[test]
+    fn plan_simulation_runs() {
+        let (nest, _) = examples::motivating_example(6, 2);
+        let mesh = Mesh2D::new(4, 4, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let full = map_nest(&nest, &MappingOptions::new(2));
+        let t = build_plan(&nest, &full).simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn patterns_are_deduplicated() {
+        let nest = examples::example2_broadcast(8);
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let plan = build_plan(&nest, &mapping);
+        for phase in &plan.phases {
+            let mut sorted = phase.pattern.clone();
+            sorted.sort();
+            let before = sorted.len();
+            sorted.dedup();
+            assert_eq!(sorted.len(), before, "duplicate virtual messages");
+        }
+    }
+}

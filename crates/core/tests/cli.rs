@@ -1,0 +1,113 @@
+//! Integration tests of the `rescomm-cli` binary (run end to end via
+//! `CARGO_BIN_EXE_*`, the standard Cargo mechanism).
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rescomm-cli"))
+}
+
+fn write_nest(contents: &str) -> tempfile_path::TempPath {
+    tempfile_path::write(contents)
+}
+
+/// Minimal self-cleaning temp-file helper (no external crates).
+mod tempfile_path {
+    use std::path::PathBuf;
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    pub fn write(contents: &str) -> TempPath {
+        let mut p = std::env::temp_dir();
+        let unique = format!(
+            "rescomm-cli-test-{}-{}.nest",
+            std::process::id(),
+            contents.len()
+        );
+        p.push(unique);
+        std::fs::write(&p, contents).unwrap();
+        TempPath(p)
+    }
+}
+
+const NEST: &str = "\
+nest demo
+array a 2
+array r 2
+stmt S depth 2 domain 0..7 0..7
+  write r [1 0; 0 1]
+  read  a [1 0; 0 1] + [1 0]
+";
+
+#[test]
+fn maps_a_nest_and_reports() {
+    let f = write_nest(NEST);
+    let out = cli().arg(f.as_str()).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("mapping report for `demo`"));
+    assert!(text.contains("local"));
+}
+
+#[test]
+fn dot_output_is_graphviz() {
+    let f = write_nest(NEST);
+    let out = cli().arg(f.as_str()).arg("--dot").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("style=bold"), "branching edges in bold");
+}
+
+#[test]
+fn compare_runs_baselines() {
+    let f = write_nest(NEST);
+    let out = cli().arg(f.as_str()).arg("--compare").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Platonoff"));
+    assert!(text.contains("step 1 only"));
+}
+
+#[test]
+fn parse_error_is_reported_with_line() {
+    let f = write_nest("nest x\narray a 2\nstmt S depth 2 domain 0..3\n");
+    let out = cli().arg(f.as_str()).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("line 3"), "stderr: {err}");
+}
+
+#[test]
+fn missing_file_fails_gracefully() {
+    let out = cli().arg("/nonexistent/nest.file").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn unknown_flag_rejected() {
+    let out = cli().arg("--bogus").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn m_flag_changes_target_dimension() {
+    let f = write_nest(NEST);
+    let out = cli().arg(f.as_str()).args(["--m", "1"]).output().unwrap();
+    assert!(out.status.success());
+}

@@ -1,0 +1,227 @@
+//! Decomposing dataflow matrices with `det ≠ ±1` (§4.4 "Extensions").
+//!
+//! A non-unimodular dataflow matrix cannot be a product of elementary
+//! `L`/`U` factors (those have determinant 1). The paper generalizes with
+//! *unirow* / *unicolumn* matrices — identity except for one row/column —
+//! which still generate axis-parallel communications (the grouped
+//! partition implements them efficiently too). We factor
+//! `T = R₁·R₂·…·R_n` with one unirow factor per row, by in-place
+//! elimination; each factor only mixes one output coordinate, i.e. it is a
+//! communication parallel to that grid axis.
+
+use crate::direct::euclid_decompose;
+use crate::elementary::{unirow, Elementary};
+use rescomm_intlin::{smith_normal_form, IMat, LinError, RMat};
+
+/// A factor of a general decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenFactor {
+    /// A unirow matrix: identity except row `row`, whose entries are
+    /// `coeffs`. Moves data only along grid axis `row`.
+    Unirow {
+        /// The affected row/axis.
+        row: usize,
+        /// The full replacement row.
+        coeffs: Vec<i64>,
+    },
+}
+
+impl GenFactor {
+    /// Materialize the factor as a matrix of order `n`.
+    pub fn to_mat(&self, n: usize) -> IMat {
+        match self {
+            GenFactor::Unirow { row, coeffs } => unirow(n, *row, coeffs),
+        }
+    }
+}
+
+/// Decompose a nonsingular `n×n` integer matrix into `n` unirow factors
+/// (one per output axis): `T = R₀·R₁·…·R_{n−1}`, where factor `R_i` is the
+/// identity outside row `i`.
+///
+/// This is exactly LU-style Gaussian elimination with the row operations
+/// collected per axis; it succeeds whenever all *trailing* principal
+/// minors are nonzero and the arising fractions clear (true for the
+/// dataflow matrices of the paper's examples). Returns
+/// [`LinError::Singular`] / [`LinError::NotIntegral`] otherwise.
+pub fn decompose_general(t: &IMat) -> Result<Vec<GenFactor>, LinError> {
+    assert!(t.is_square(), "dataflow matrix must be square");
+    let n = t.rows();
+    if t.det() == 0 {
+        return Err(LinError::Singular);
+    }
+    if n == 2 {
+        return decompose_general_2x2(t);
+    }
+    row_peel(t)
+}
+
+/// Elementary 2×2 factors *are* unirow matrices: `U(k)` acts on axis 0,
+/// `L(l)` on axis 1.
+fn elem_to_unirow(e: Elementary) -> GenFactor {
+    match e {
+        Elementary::U(k) => GenFactor::Unirow {
+            row: 0,
+            coeffs: vec![1, k],
+        },
+        Elementary::L(l) => GenFactor::Unirow {
+            row: 1,
+            coeffs: vec![l, 1],
+        },
+    }
+}
+
+/// Full-coverage 2×2 path via the Smith form: `T = U·D·V` with `U`, `V`
+/// unimodular (→ elementary products, with a sign-flip unirow factor when
+/// `det = −1`) and `D` diagonal (→ one unirow factor per nonzero scaling).
+fn decompose_general_2x2(t: &IMat) -> Result<Vec<GenFactor>, LinError> {
+    let s = smith_normal_form(t);
+    let mut factors: Vec<GenFactor> = Vec::new();
+    let push_unimodular = |m: &IMat, factors: &mut Vec<GenFactor>| {
+        if m.det() == 1 {
+            let seq = euclid_decompose(m).expect("det = 1 decomposes");
+            factors.extend(seq.into_iter().map(elem_to_unirow));
+        } else {
+            // det = −1: M = (M·J)·J with J = diag(1, −1) a unirow factor.
+            let j = IMat::from_rows(&[&[1, 0], &[0, -1]]);
+            let mj = m * &j;
+            let seq = euclid_decompose(&mj).expect("det = 1 decomposes");
+            factors.extend(seq.into_iter().map(elem_to_unirow));
+            factors.push(GenFactor::Unirow {
+                row: 1,
+                coeffs: vec![0, -1],
+            });
+        }
+    };
+    push_unimodular(&s.u, &mut factors);
+    for i in 0..2 {
+        let d = s.d[(i, i)];
+        if d != 1 {
+            let mut coeffs = vec![0i64, 0];
+            coeffs[i] = d;
+            factors.push(GenFactor::Unirow { row: i, coeffs });
+        }
+    }
+    push_unimodular(&s.v, &mut factors);
+    debug_assert_eq!(product_general(&factors, 2), *t);
+    Ok(factors)
+}
+
+/// Row-peel scheme for `n > 2`: one unirow factor per axis, requires the
+/// trailing principal structure to clear fractions.
+fn row_peel(t: &IMat) -> Result<Vec<GenFactor>, LinError> {
+    let n = t.rows();
+    let mut factors: Vec<GenFactor> = Vec::new();
+    let mut suffix = IMat::identity(n); // product of factors already peeled
+    // Peel from the last row upward so the suffix stays triangular-ish.
+    for i in (0..n).rev() {
+        // Need rᵢ with rᵢ·suffix = row i of T. suffix is invertible.
+        let suffix_r = RMat::from_int(&suffix);
+        let inv = suffix_r.inverse()?;
+        let row_t = IMat::row_vec(t.row(i));
+        let ri = RMat::from_int(&row_t).mul(&inv);
+        let ri = ri.to_int()?;
+        let coeffs: Vec<i64> = (0..n).map(|j| ri[(0, j)]).collect();
+        let r = unirow(n, i, &coeffs);
+        if r.det() == 0 {
+            return Err(LinError::Singular);
+        }
+        suffix = &r * &suffix;
+        factors.push(GenFactor::Unirow { row: i, coeffs });
+    }
+    factors.reverse();
+    // factors[0] corresponds to row 0 … — but we built suffix as
+    // R_{n−1}, then R_{n−2}·R_{n−1}, … so the product of the reversed list
+    // is R₀·R₁·…·R_{n−1} = T.
+    debug_assert_eq!(suffix, *t);
+    Ok(factors)
+}
+
+/// Multiply the factors back (for verification).
+pub fn product_general(factors: &[GenFactor], n: usize) -> IMat {
+    let mut acc = IMat::identity(n);
+    for f in factors {
+        acc = &acc * &f.to_mat(n);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn det2_matrix_decomposes() {
+        let t = m(&[&[2, 1], &[1, 1]]); // det = 1 — also fine here
+        let f = decompose_general(&t).unwrap();
+        assert!(!f.is_empty());
+        assert_eq!(product_general(&f, 2), t);
+    }
+
+    #[test]
+    fn non_unimodular_decomposes() {
+        let t = m(&[&[2, 1], &[1, 2]]); // det = 3
+        let f = decompose_general(&t).unwrap();
+        assert_eq!(product_general(&f, 2), t);
+        // Every factor moves a single axis.
+        for fac in &f {
+            let GenFactor::Unirow { row, .. } = fac;
+            assert!(*row < 2);
+        }
+    }
+
+    #[test]
+    fn negative_determinant_decomposes() {
+        let t = m(&[&[0, 1], &[1, 0]]); // det = −1 (swap)
+        let f = decompose_general(&t).unwrap();
+        assert_eq!(product_general(&f, 2), t);
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        let t = m(&[&[1, 0, 0], &[1, 2, 0], &[0, 1, 3]]); // det = 6
+        let f = decompose_general(&t).unwrap();
+        assert_eq!(f.len(), 3);
+        assert_eq!(product_general(&f, 3), t);
+    }
+
+    #[test]
+    fn singular_rejected() {
+        let t = m(&[&[1, 2], &[2, 4]]);
+        assert_eq!(decompose_general(&t), Err(LinError::Singular));
+    }
+
+    #[test]
+    fn elementary_matrices_decompose_compactly() {
+        let t = m(&[&[1, 3], &[0, 1]]);
+        let f = decompose_general(&t).unwrap();
+        assert_eq!(product_general(&f, 2), t);
+        // An elementary matrix should not explode into a long chain.
+        assert!(f.len() <= 3, "got {} factors", f.len());
+    }
+
+    #[test]
+    fn random_nonsingular_roundtrip() {
+        let mut seed = 0x2468u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(17);
+            ((seed >> 33) as i64 % 5) - 2
+        };
+        let mut done = 0;
+        for _ in 0..500 {
+            let t = IMat::from_fn(2, 2, |_, _| next());
+            if t.det() == 0 {
+                continue;
+            }
+            // The 2×2 Smith path covers every nonsingular matrix.
+            let f = decompose_general(&t).unwrap_or_else(|e| panic!("{e} for {t:?}"));
+            assert_eq!(product_general(&f, 2), t, "bad factors for {t:?}");
+            done += 1;
+        }
+        assert!(done > 100, "too few successes: {done}");
+    }
+}

@@ -1,0 +1,247 @@
+//! Elementary decomposition on `n`-dimensional grids (§4.1 extension).
+//!
+//! The paper notes that "some current-generation machines have a 3-D
+//! topology (Cray T3D), hence the cases m = 2 and m = 3 are of particular
+//! practical interest" and that the 2-D ideas "can be obviously extended
+//! to higher dimensions". The `n`-dimensional elementary factor is a
+//! *shear*: the identity plus a single off-diagonal entry
+//! `E(r, c, k) = Id + k·e_r·e_cᵗ` — a communication parallel to grid axis
+//! `r` whose stride depends on coordinate `c` only. Every matrix of
+//! `SL_n(ℤ)` is a product of such shears; we produce one by integer
+//! Gaussian elimination.
+
+use rescomm_intlin::IMat;
+
+/// An `n`-dimensional elementary shear `Id + k·e_row·e_colᵗ`
+/// (`row ≠ col`): a communication parallel to axis `row`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NShear {
+    /// The moved axis.
+    pub row: usize,
+    /// The driving coordinate.
+    pub col: usize,
+    /// The stride multiplier.
+    pub k: i64,
+}
+
+impl NShear {
+    /// Materialize as an `n×n` matrix.
+    pub fn to_mat(&self, n: usize) -> IMat {
+        assert!(self.row < n && self.col < n && self.row != self.col);
+        let mut m = IMat::identity(n);
+        m[(self.row, self.col)] = self.k;
+        m
+    }
+
+    /// Inverse shear.
+    pub fn inverse(&self) -> NShear {
+        NShear { k: -self.k, ..*self }
+    }
+}
+
+/// Product of a shear sequence (left to right).
+pub fn shear_product(factors: &[NShear], n: usize) -> IMat {
+    let mut acc = IMat::identity(n);
+    for f in factors {
+        acc = &acc * &f.to_mat(n);
+    }
+    acc
+}
+
+/// Decompose a `det = 1` integer matrix into elementary shears.
+///
+/// Returns `None` when `det T ≠ 1` (for `det = −1` compose with a unirow
+/// sign flip first, see [`crate::general`]). The factor count is
+/// `O(n² log‖T‖)`; no minimality is claimed (the 2-D module has the sharp
+/// ≤ 4-factor conditions).
+pub fn shear_decompose(t: &IMat) -> Option<Vec<NShear>> {
+    assert!(t.is_square());
+    let n = t.rows();
+    if t.det() != 1 {
+        return None;
+    }
+    if n == 1 {
+        return Some(vec![]); // det 1 ⟹ T = [1]
+    }
+    // Reduce T to the identity by left-multiplying with shears:
+    // T = E₁…E_k ⟺ (E₁…E_k)⁻¹ T = Id. We record the *stripped* factors.
+    let mut cur = t.clone();
+    let mut factors: Vec<NShear> = Vec::new();
+    let strip = |cur: &mut IMat, factors: &mut Vec<NShear>, s: NShear| {
+        // prefix ← prefix·s ; cur ← s⁻¹·cur.
+        factors.push(s);
+        *cur = &s.inverse().to_mat(cur.rows()) * &*cur;
+    };
+    for col in 0..n {
+        // Clear column `col` below and above the diagonal; first create a
+        // ±1 pivot at (col, col) by gcd steps within rows col..n.
+        for _ in 0..256 {
+            // Find the two smallest nonzero entries in this column at
+            // rows ≥ col and reduce one by the other.
+            let mut nz: Vec<usize> = (col..n).filter(|&r| cur[(r, col)] != 0).collect();
+            nz.sort_by_key(|&r| cur[(r, col)].unsigned_abs());
+            match nz.len() {
+                0 => return None, // singular — cannot happen for det 1
+                1 => {
+                    let r = nz[0];
+                    if r != col {
+                        // Move the pivot to the diagonal with two shears
+                        // (a swap up to sign): row_col += row_r; then
+                        // row_r -= row_col (old col row was 0 there)…
+                        strip(
+                            &mut cur,
+                            &mut factors,
+                            NShear { row: col, col: r, k: 1 },
+                        );
+                        continue;
+                    }
+                    break;
+                }
+                _ => {
+                    let (small, big) = (nz[0], nz[1]);
+                    let q = cur[(big, col)] / cur[(small, col)];
+                    strip(
+                        &mut cur,
+                        &mut factors,
+                        NShear {
+                            row: big,
+                            col: small,
+                            k: q,
+                        },
+                    );
+                }
+            }
+        }
+        // Pivot now at (col, col); normalize to +1 if it is −1 using a
+        // partner row (n ≥ 2 guarantees one exists).
+        let p = cur[(col, col)];
+        if p == -1 {
+            // Three shears flip the sign of the pivot using a partner row
+            // (det = 1 guarantees a −1 pivot never occurs in the last
+            // column, so the partner row is always still unreduced):
+            //   R_p −= R_c   (partner picks up +1 in this column)
+            //   R_c += 2·R_p (pivot becomes −1 + 2 = +1)
+            //   R_p −= R_c   (partner's column entry returns to 0)
+            let partner = if col + 1 < n { col + 1 } else { col - 1 };
+            strip(&mut cur, &mut factors, NShear { row: partner, col, k: 1 });
+            strip(&mut cur, &mut factors, NShear { row: col, col: partner, k: -2 });
+            strip(&mut cur, &mut factors, NShear { row: partner, col, k: 1 });
+        } else if p != 1 {
+            return None; // non-unimodular residue — cannot happen
+        }
+        // Clear the rest of the column with the +1 pivot.
+        for r in 0..n {
+            if r != col && cur[(r, col)] != 0 {
+                let q = cur[(r, col)];
+                strip(&mut cur, &mut factors, NShear { row: r, col, k: q });
+            }
+        }
+        // Clear the rest of the *row* right of the diagonal so later
+        // columns stay clean.
+        for c in col + 1..n {
+            if cur[(col, c)] != 0 {
+                let q = cur[(col, c)];
+                strip(&mut cur, &mut factors, NShear { row: col, col: c, k: q });
+            }
+        }
+    }
+    if !cur.is_identity() {
+        return None;
+    }
+    // Drop identity factors.
+    factors.retain(|f| f.k != 0);
+    debug_assert_eq!(shear_product(&factors, n), *t);
+    Some(factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescomm_intlin::random_unimodular;
+
+    #[test]
+    fn shear_matrices() {
+        let s = NShear { row: 0, col: 2, k: 3 };
+        let m = s.to_mat(3);
+        assert_eq!(m[(0, 2)], 3);
+        assert_eq!(m.det(), 1);
+        assert!((&m * &s.inverse().to_mat(3)).is_identity());
+    }
+
+    #[test]
+    fn identity_decomposes_empty() {
+        assert_eq!(shear_decompose(&IMat::identity(3)), Some(vec![]));
+    }
+
+    #[test]
+    fn l_and_u_are_single_shears() {
+        let l = IMat::from_rows(&[&[1, 0], &[5, 1]]);
+        let f = shear_decompose(&l).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0], NShear { row: 1, col: 0, k: 5 });
+    }
+
+    #[test]
+    fn det_minus_one_rejected() {
+        let swap = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        assert!(shear_decompose(&swap).is_none());
+    }
+
+    #[test]
+    fn non_unimodular_rejected() {
+        let m = IMat::from_rows(&[&[2, 0], &[0, 1]]); // det = 2
+        assert!(shear_decompose(&m).is_none());
+    }
+
+    #[test]
+    fn random_sl3_roundtrip() {
+        for seed in 0..60u64 {
+            let mut u = random_unimodular(3, 25, seed * 7 + 1);
+            if u.det() == -1 {
+                u.negate_row(0);
+                if u.det() != 1 {
+                    continue;
+                }
+            }
+            let f = shear_decompose(&u)
+                .unwrap_or_else(|| panic!("SL3 must decompose: {u:?}"));
+            assert_eq!(shear_product(&f, 3), u, "bad product for {u:?}");
+        }
+    }
+
+    #[test]
+    fn random_sl4_roundtrip() {
+        for seed in 0..30u64 {
+            let mut u = random_unimodular(4, 30, seed * 13 + 5);
+            if u.det() == -1 {
+                u.negate_row(0);
+            }
+            if u.det() != 1 {
+                continue;
+            }
+            let f = shear_decompose(&u).expect("SL4 must decompose");
+            assert_eq!(shear_product(&f, 4), u);
+        }
+    }
+
+    #[test]
+    fn factors_are_axis_parallel() {
+        // Every emitted factor moves exactly one axis: that is the whole
+        // point (communications parallel to one axis of the grid).
+        let u = random_unimodular(3, 20, 99);
+        let u = if u.det() == 1 {
+            u
+        } else {
+            let mut v = u;
+            v.negate_row(2);
+            v
+        };
+        if u.det() != 1 {
+            return;
+        }
+        for f in shear_decompose(&u).unwrap() {
+            assert_ne!(f.row, f.col);
+            assert_ne!(f.k, 0);
+        }
+    }
+}

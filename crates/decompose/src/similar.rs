@@ -1,0 +1,180 @@
+//! Decomposition up to unimodular similarity (§4.2.2).
+//!
+//! Alignment matrices in one component are only fixed up to a unimodular
+//! left factor `M`, which turns the dataflow matrix `T` into `M·T·M⁻¹`.
+//! Instead of decomposing `T` directly, one may search its similarity
+//! class for a matrix that is a product of just two elementary factors.
+//! The paper shows by class-number arguments that this is *not* always
+//! possible, and gives a sufficient condition — `c | a − 1` — with an
+//! explicit change of basis; note it is the same condition as for a
+//! 3-factor direct decomposition, so "either strategy could be more
+//! interesting depending upon the target machine".
+
+use crate::direct::decompose2;
+use crate::elementary::{product, Elementary};
+use rescomm_intlin::{random_unimodular, IMat};
+
+/// A decomposition of `M·T·M⁻¹` rather than `T` itself.
+#[derive(Debug, Clone)]
+pub struct SimilarDecomposition {
+    /// The unimodular rotation to apply to the component's allocations.
+    pub m: IMat,
+    /// The conjugated dataflow matrix `M·T·M⁻¹`.
+    pub conjugate: IMat,
+    /// Elementary factors of the conjugate.
+    pub factors: Vec<Elementary>,
+}
+
+impl SimilarDecomposition {
+    /// Check internal consistency: `M·T·M⁻¹ = Π factors`.
+    pub fn verify(&self, t: &IMat) -> bool {
+        let minv = match self.m.inverse_unimodular() {
+            Ok(x) => x,
+            Err(_) => return false,
+        };
+        let conj = &(&self.m * t) * &minv;
+        conj == self.conjugate && product(&self.factors) == self.conjugate
+    }
+}
+
+/// The paper's sufficient condition: if `c | a − 1` (with `c ≠ 0`), then
+/// `T` is similar to `[[1, c], [μ, μc + 1]]` with `μ = (a + d − 2) / c`,
+/// via the unimodular basis `M⁻¹ = [[λ, a], [1, c]]`, `λ = (a − 1)/c`.
+pub fn paper_similarity(t: &IMat) -> Option<SimilarDecomposition> {
+    let (a, b, c, d) = (t[(0, 0)], t[(0, 1)], t[(1, 0)], t[(1, 1)]);
+    if a * d - b * c != 1 {
+        return None;
+    }
+    // Direct conditions first (a = 1 or d = 1 needs no rotation).
+    if let Some(factors) = decompose2(t) {
+        return Some(SimilarDecomposition {
+            m: IMat::identity(2),
+            conjugate: t.clone(),
+            factors,
+        });
+    }
+    let attempt = |t: &IMat| -> Option<SimilarDecomposition> {
+        let (a, _b, c, _d) = (t[(0, 0)], t[(0, 1)], t[(1, 0)], t[(1, 1)]);
+        if c == 0 || (a - 1) % c != 0 {
+            return None;
+        }
+        let lambda = (a - 1) / c;
+        let minv = IMat::from_rows(&[&[lambda, a], &[1, c]]);
+        if !matches!(minv.det(), 1 | -1) {
+            return None; // λc − a = −1 always, but stay defensive
+        }
+        let m = minv.inverse_unimodular().ok()?;
+        let conjugate = &(&m * t) * &minv;
+        let factors = decompose2(&conjugate)?;
+        Some(SimilarDecomposition {
+            m,
+            conjugate,
+            factors,
+        })
+    };
+    if let Some(s) = attempt(t) {
+        return Some(s);
+    }
+    // Symmetric condition through the transpose: Tᵗ similar-decomposable
+    // means T is too (conjugate by the transposed inverse), but the factor
+    // bookkeeping is simpler by just trying the transposed condition on a
+    // swapped basis; the random search below covers what this misses.
+    None
+}
+
+/// Random search over unimodular conjugations: try `tries` pseudo-random
+/// `M` (plus the paper's construction) and return the first conjugate that
+/// decomposes into ≤ 2 elementary factors.
+pub fn search_similarity(t: &IMat, tries: usize) -> Option<SimilarDecomposition> {
+    if let Some(s) = paper_similarity(t) {
+        return Some(s);
+    }
+    for seed in 0..tries as u64 {
+        let m = random_unimodular(2, 12, seed.wrapping_mul(0x9e3779b9) | 1);
+        let Ok(minv) = m.inverse_unimodular() else {
+            continue;
+        };
+        let conj = &(&m * t) * &minv;
+        if conj.max_abs() > 64 {
+            continue; // keep the dataflow coefficients tame
+        }
+        if let Some(factors) = decompose2(&conj) {
+            return Some(SimilarDecomposition {
+                m,
+                conjugate: conj,
+                factors,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m2(a: i64, b: i64, c: i64, d: i64) -> IMat {
+        IMat::from_rows(&[&[a, b], &[c, d]])
+    }
+
+    #[test]
+    fn already_decomposable_needs_no_rotation() {
+        let t = m2(1, 1, 1, 2);
+        let s = paper_similarity(&t).unwrap();
+        assert!(s.m.is_identity());
+        assert!(s.verify(&t));
+        assert_eq!(s.factors.len(), 2);
+    }
+
+    #[test]
+    fn sufficient_condition_constructs_similarity() {
+        // c | a−1 with a ≠ 1, d ≠ 1: [[3, 4], [2, 3]].
+        let t = m2(3, 4, 2, 3);
+        let s = paper_similarity(&t).expect("c | a−1 must construct");
+        assert!(s.verify(&t), "verification failed: {s:?}");
+        assert!(s.factors.len() <= 2);
+        // The conjugate has a 1 in the corner as predicted.
+        assert_eq!(s.conjugate[(0, 0)], 1);
+    }
+
+    #[test]
+    fn conjugate_trace_preserved() {
+        let t = m2(3, 4, 2, 3);
+        let s = paper_similarity(&t).unwrap();
+        assert_eq!(s.conjugate.trace(), t.trace());
+        assert_eq!(s.conjugate.det(), t.det());
+    }
+
+    #[test]
+    fn search_similarity_extends_reach() {
+        // Build a guaranteed-awkward det-1 matrix: conjugate L(1)·U(1) by a
+        // random unimodular, then ask the search to undo the twist.
+        let v = random_unimodular(2, 10, 42);
+        let vinv = v.inverse_unimodular().unwrap();
+        let base = product(&[Elementary::L(1), Elementary::U(1)]);
+        let twisted = &(&v * &base) * &vinv;
+        let s = search_similarity(&twisted, 500).expect("conjugate of LU");
+        assert!(s.verify(&twisted));
+        assert!(s.factors.len() <= 2);
+    }
+
+    #[test]
+    fn similarity_fails_for_some_classes() {
+        // Trace-2 non-elementary classes: [[1+k, −k],[k, 1−k]] for k = 4 is
+        // unipotent with "modulus" 4… conjugates of U(±4)-like classes can
+        // never equal a product L(l)U(k) with lk = 0 unless the class is
+        // elementary. Our search must give up (return None) on the class of
+        // −Id-like or stubborn matrices within the try budget, never return
+        // a wrong answer.
+        let t = m2(-1, 0, 0, -1); // −Id: conjugation-invariant, never LU.
+        assert!(search_similarity(&t, 200).is_none());
+    }
+
+    #[test]
+    fn verify_rejects_corrupted_witness() {
+        let t = m2(3, 4, 2, 3);
+        let mut s = paper_similarity(&t).unwrap();
+        s.conjugate = m2(1, 0, 0, 1);
+        assert!(!s.verify(&t));
+    }
+}

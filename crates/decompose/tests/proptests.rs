@@ -1,0 +1,132 @@
+//! Property tests for the decomposition algebra: every factor sequence
+//! any function of this crate emits must multiply back to its input, and
+//! the paper's structural conditions must hold on random matrices.
+
+use proptest::prelude::*;
+use rescomm_decompose::direct::{decompose2, decompose3, decompose4};
+use rescomm_decompose::general::product_general;
+use rescomm_decompose::{
+    decompose_direct, decompose_general, euclid_decompose, paper_similarity, product,
+    search_similarity, shear_decompose, shear_product,
+};
+use rescomm_intlin::IMat;
+
+/// Strategy: a random SL₂(ℤ) matrix with small entries (built from
+/// elementary factors so det = 1 by construction; coefficients stay
+/// bounded by the factor count and sizes).
+fn sl2() -> impl Strategy<Value = IMat> {
+    proptest::collection::vec((-3i64..=3, any::<bool>()), 0..5).prop_map(|fs| {
+        let mut acc = IMat::identity(2);
+        for (k, upper) in fs {
+            let f = if upper {
+                IMat::from_rows(&[&[1, k], &[0, 1]])
+            } else {
+                IMat::from_rows(&[&[1, 0], &[k, 1]])
+            };
+            acc = &acc * &f;
+        }
+        acc
+    })
+}
+
+fn small2x2() -> impl Strategy<Value = IMat> {
+    proptest::collection::vec(-6i64..=6, 4).prop_map(|v| IMat::from_vec(2, 2, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn euclid_always_reconstructs_sl2(t in sl2()) {
+        let f = euclid_decompose(&t).expect("det = 1 must decompose");
+        prop_assert_eq!(product(&f), t);
+    }
+
+    #[test]
+    fn direct_hierarchy_is_consistent(t in sl2()) {
+        // decompose2 ⊆ decompose3 ⊆ decompose4 ⊆ decompose_direct: if a
+        // shorter method succeeds, the longer ones must too, with results
+        // that reconstruct.
+        if let Some(f2) = decompose2(&t) {
+            prop_assert_eq!(product(&f2), t.clone());
+            prop_assert!(decompose3(&t).is_some());
+        }
+        if let Some(f3) = decompose3(&t) {
+            prop_assert_eq!(product(&f3), t.clone());
+            prop_assert!(decompose4(&t).is_some());
+        }
+        if let Some(f4) = decompose4(&t) {
+            prop_assert_eq!(product(&f4), t.clone());
+            prop_assert!(f4.len() <= 4);
+        }
+        let f = decompose_direct(&t).expect("det = 1");
+        prop_assert_eq!(product(&f), t);
+    }
+
+    #[test]
+    fn non_unimodular_never_gets_elementary_factors(t in small2x2()) {
+        if t.det() != 1 {
+            prop_assert!(decompose_direct(&t).is_none());
+            prop_assert!(euclid_decompose(&t).is_none());
+        }
+    }
+
+    #[test]
+    fn general_decomposition_reconstructs(t in small2x2()) {
+        if t.det() != 0 {
+            let f = decompose_general(&t).expect("2×2 Smith path is total");
+            prop_assert_eq!(product_general(&f, 2), t);
+        } else {
+            prop_assert!(decompose_general(&t).is_err());
+        }
+    }
+
+    #[test]
+    fn similarity_witnesses_verify(t in sl2()) {
+        if let Some(s) = paper_similarity(&t) {
+            prop_assert!(s.verify(&t), "bad witness for {:?}", t);
+            prop_assert!(s.factors.len() <= 2);
+        }
+        if let Some(s) = search_similarity(&t, 50) {
+            prop_assert!(s.verify(&t));
+        }
+    }
+
+    #[test]
+    fn similarity_never_changes_trace_or_det(t in sl2()) {
+        if let Some(s) = paper_similarity(&t) {
+            prop_assert_eq!(s.conjugate.trace(), t.trace());
+            prop_assert_eq!(s.conjugate.det(), t.det());
+        }
+    }
+
+    #[test]
+    fn shear_decomposition_reconstructs_sl3(
+        fs in proptest::collection::vec((0usize..3, 0usize..3, -2i64..=2), 0..6)
+    ) {
+        // Build an SL₃ product of shears, decompose, reconstruct.
+        let mut t = IMat::identity(3);
+        for (r, c, k) in fs {
+            if r == c {
+                continue;
+            }
+            let mut e = IMat::identity(3);
+            e[(r, c)] = k;
+            t = &t * &e;
+        }
+        let f = shear_decompose(&t).expect("SL₃ by construction");
+        prop_assert_eq!(shear_product(&f, 3), t);
+    }
+
+    #[test]
+    fn factor_counts_bounded_for_small_matrices(t in sl2()) {
+        if t.max_abs() <= 5 {
+            // The paper's claim (§4.2.1): ≤ 5 elementary factors suffice.
+            // Our constructive pipeline may emit more via the Euclidean
+            // fallback, but the *conditions* must certify ≤ 4 or euclid
+            // must stay reasonable.
+            let f = decompose_direct(&t).unwrap();
+            prop_assert!(f.len() <= 12, "factor chain blew up: {} for {:?}", f.len(), t);
+        }
+    }
+}

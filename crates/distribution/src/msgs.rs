@@ -1,0 +1,166 @@
+//! From virtual communication patterns to physical message sets.
+//!
+//! The benchmark harness reproduces the paper's Paragon experiments by
+//! generating, for a dataflow matrix `T` and a distribution, the set of
+//! physical messages (aggregated source→destination byte counts) and
+//! feeding it to the mesh simulator.
+
+use crate::Dist2D;
+use rescomm_intlin::IMat;
+
+/// An aggregated physical message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Source physical processor `(p, q)`.
+    pub src: (usize, usize),
+    /// Destination physical processor.
+    pub dst: (usize, usize),
+    /// Payload size in bytes.
+    pub bytes: u64,
+}
+
+/// The virtual pattern of a dataflow matrix `T`: every virtual processor
+/// `v` sends one element to `T·v mod vshape` (toroidal wrap keeps the
+/// pattern inside the grid, as the paper's row-length-12 example does).
+pub fn general_pattern(t: &IMat, vshape: (usize, usize)) -> Vec<((i64, i64), (i64, i64))> {
+    assert_eq!(t.shape(), (2, 2));
+    let (vr, vc) = (vshape.0 as i64, vshape.1 as i64);
+    let mut out = Vec::with_capacity(vshape.0 * vshape.1);
+    for i in 0..vr {
+        for j in 0..vc {
+            let d = t.mul_vec(&[i, j]);
+            out.push(((i, j), (d[0].rem_euclid(vr), d[1].rem_euclid(vc))));
+        }
+    }
+    out
+}
+
+/// The virtual pattern of the elementary `U(k)` communication:
+/// `(i, j) → (i + k·j mod V, j)` — the paper's Figure 6 pattern.
+pub fn elementary_pattern(k: i64, vshape: (usize, usize)) -> Vec<((i64, i64), (i64, i64))> {
+    let t = IMat::from_rows(&[&[1, k], &[0, 1]]);
+    general_pattern(&t, vshape)
+}
+
+/// Fold a virtual pattern onto the physical grid and aggregate messages.
+///
+/// Each virtual send contributes `elem_bytes`; sends whose endpoints land
+/// on the same physical processor are local and dropped. The result is
+/// sorted and deterministic.
+pub fn physical_messages(
+    pattern: &[((i64, i64), (i64, i64))],
+    dist: Dist2D,
+    vshape: (usize, usize),
+    pshape: (usize, usize),
+    elem_bytes: u64,
+) -> Vec<Msg> {
+    use std::collections::BTreeMap;
+    let mut agg: BTreeMap<((usize, usize), (usize, usize)), u64> = BTreeMap::new();
+    for &(src_v, dst_v) in pattern {
+        let s = dist.map(src_v, vshape, pshape);
+        let d = dist.map(dst_v, vshape, pshape);
+        if s == d {
+            continue;
+        }
+        *agg.entry((s, d)).or_insert(0) += elem_bytes;
+    }
+    agg.into_iter()
+        .map(|((src, dst), bytes)| Msg { src, dst, bytes })
+        .collect()
+}
+
+/// Fraction of virtual sends that stay on their physical processor.
+pub fn locality_fraction(
+    pattern: &[((i64, i64), (i64, i64))],
+    dist: Dist2D,
+    vshape: (usize, usize),
+    pshape: (usize, usize),
+) -> f64 {
+    if pattern.is_empty() {
+        return 1.0;
+    }
+    let local = pattern
+        .iter()
+        .filter(|&&(s, d)| dist.map(s, vshape, pshape) == dist.map(d, vshape, pshape))
+        .count();
+    local as f64 / pattern.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dist1D;
+
+    #[test]
+    fn elementary_pattern_stays_in_class() {
+        // U(3) on a 12-wide row: source and destination always share
+        // i mod 3 — the class invariant behind the grouped partition.
+        let pat = elementary_pattern(3, (12, 6));
+        for ((i, _j), (i2, _j2)) in pat {
+            assert_eq!(i.rem_euclid(3), i2.rem_euclid(3));
+        }
+    }
+
+    #[test]
+    fn identity_pattern_is_all_local() {
+        let t = rescomm_intlin::IMat::identity(2);
+        let pat = general_pattern(&t, (8, 8));
+        let d = Dist2D::uniform(Dist1D::Block);
+        assert_eq!(locality_fraction(&pat, d, (8, 8), (4, 4)), 1.0);
+        assert!(physical_messages(&pat, d, (8, 8), (4, 4), 8).is_empty());
+    }
+
+    #[test]
+    fn grouped_beats_block_on_locality_for_uk() {
+        // The headline structural claim behind Figure 8: for the U(k)
+        // pattern the grouped partition keeps at least as many sends local
+        // as BLOCK, and strictly more for k > 1.
+        for k in 2..=6i64 {
+            let v = (24usize, 8usize);
+            let p = (4usize, 2usize);
+            let pat = elementary_pattern(k, v);
+            let grouped = Dist2D {
+                rows: Dist1D::Grouped(k as usize),
+                cols: Dist1D::Block,
+            };
+            let block = Dist2D::uniform(Dist1D::Block);
+            let lg = locality_fraction(&pat, grouped, v, p);
+            let lb = locality_fraction(&pat, block, v, p);
+            assert!(
+                lg > lb,
+                "k={k}: grouped locality {lg} not above block {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn message_aggregation_sums_bytes() {
+        // Two virtual sends over the same physical edge aggregate.
+        let pat = vec![((0, 0), (7, 0)), ((1, 0), (6, 0))];
+        let d = Dist2D::uniform(Dist1D::Block);
+        let msgs = physical_messages(&pat, d, (8, 4), (2, 2), 16);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].bytes, 32);
+        assert_eq!(msgs[0].src, (0, 0));
+        assert_eq!(msgs[0].dst, (1, 0));
+    }
+
+    #[test]
+    fn pattern_covers_whole_grid() {
+        let pat = elementary_pattern(2, (8, 4));
+        assert_eq!(pat.len(), 32);
+        // Destinations stay inside the grid.
+        for (_, (i, j)) in pat {
+            assert!((0..8).contains(&i) && (0..4).contains(&j));
+        }
+    }
+
+    #[test]
+    fn general_pattern_wraps_toroidally() {
+        let t = rescomm_intlin::IMat::from_rows(&[&[1, 3], &[2, 7]]);
+        let pat = general_pattern(&t, (6, 6));
+        for (_, (i, j)) in pat {
+            assert!((0..6).contains(&i) && (0..6).contains(&j));
+        }
+    }
+}

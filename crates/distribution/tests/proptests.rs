@@ -1,0 +1,103 @@
+//! Property tests for the folding schemes.
+
+use proptest::prelude::*;
+use rescomm_distribution::{
+    elementary_pattern, general_pattern, grouped_rank, locality_fraction, physical_messages,
+    Dist1D, Dist2D,
+};
+use rescomm_intlin::IMat;
+
+fn any_dist() -> impl Strategy<Value = Dist1D> {
+    prop_oneof![
+        Just(Dist1D::Block),
+        Just(Dist1D::Cyclic),
+        (1usize..=4).prop_map(Dist1D::CyclicBlock),
+        (1usize..=6).prop_map(Dist1D::Grouped),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every scheme is total and in range.
+    #[test]
+    fn map_total_and_in_range(d in any_dist(), v in 1usize..64, p in 1usize..8) {
+        for i in 0..v {
+            let q = d.map(i as i64, v, p);
+            prop_assert!(q < p, "{d:?} v={v} p={p} i={i} -> {q}");
+        }
+    }
+
+    /// The grouped permutation is a bijection for every (v, k).
+    #[test]
+    fn grouped_rank_bijective(v in 1usize..80, k in 1usize..12) {
+        let mut seen = vec![false; v];
+        for i in 0..v {
+            let r = grouped_rank(i, v, k);
+            prop_assert!(r < v);
+            prop_assert!(!seen[r], "collision v={v} k={k} i={i}");
+            seen[r] = true;
+        }
+    }
+
+    /// owned() partitions the index space.
+    #[test]
+    fn owned_partitions(d in any_dist(), v in 1usize..48, p in 1usize..6) {
+        let mut count = 0;
+        for proc in 0..p {
+            for i in d.owned(proc, v, p) {
+                prop_assert_eq!(d.map(i as i64, v, p), proc);
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, v);
+    }
+
+    /// Block load imbalance is at most one block.
+    #[test]
+    fn block_load_near_balanced(v in 1usize..64, p in 1usize..8) {
+        let l = Dist1D::Block.load(v, p);
+        let bs = v.div_ceil(p);
+        prop_assert!(l.iter().all(|&x| x <= bs));
+        prop_assert_eq!(l.iter().sum::<usize>(), v);
+    }
+
+    /// The U(k) pattern never leaves its i-mod-k class when k | V.
+    #[test]
+    fn elementary_class_invariant(k in 1i64..8, mult in 1usize..6, w in 1usize..6) {
+        let v = (k as usize) * mult * 2;
+        let pat = elementary_pattern(k, (v, w));
+        for ((i, _), (i2, _)) in pat {
+            prop_assert_eq!(i.rem_euclid(k), i2.rem_euclid(k));
+        }
+    }
+
+    /// physical_messages drops exactly the local sends and conserves
+    /// total bytes of the remote ones.
+    #[test]
+    fn message_bytes_conserved(
+        d in any_dist(),
+        k in 1i64..6,
+        bytes in 1u64..64,
+    ) {
+        let vshape = (24usize, 8usize);
+        let pshape = (4usize, 2usize);
+        let pat = elementary_pattern(k, vshape);
+        let dist = Dist2D { rows: d, cols: Dist1D::Block };
+        let msgs = physical_messages(&pat, dist, vshape, pshape, bytes);
+        let loc = locality_fraction(&pat, dist, vshape, pshape);
+        let remote = pat.len() - (loc * pat.len() as f64).round() as usize;
+        let total: u64 = msgs.iter().map(|m| m.bytes).sum();
+        prop_assert_eq!(total, remote as u64 * bytes);
+        // No self-messages survive.
+        prop_assert!(msgs.iter().all(|m| m.src != m.dst));
+    }
+
+    /// The identity dataflow matrix is always fully local.
+    #[test]
+    fn identity_pattern_local(d in any_dist(), v in 2usize..24, p in 1usize..4) {
+        let pat = general_pattern(&IMat::identity(2), (v, v));
+        let dist = Dist2D::uniform(d);
+        prop_assert_eq!(locality_fraction(&pat, dist, (v, v), (p, p)), 1.0);
+    }
+}

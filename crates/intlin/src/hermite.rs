@@ -1,0 +1,226 @@
+//! Hermite normal forms with unimodular cofactors.
+//!
+//! The paper's appendix (Definition 1) uses the *right Hermite form*: for a
+//! nonsingular `A ∈ M_n(ℤ)` there is a unimodular `Q` and a triangular `H`
+//! with `A = Q·H`; for a tall rectangular full-column-rank `A` (m×p, m ≥ p)
+//! the same construction gives `A = Q·[H; 0]`. Section 3.1 uses this to
+//! rotate a mapping so that partial-broadcast directions become parallel to
+//! the axes of the processor grid: if `D` collects the broadcast directions,
+//! left-multiplying all allocation matrices by `Q⁻¹` confines the directions
+//! to the first `rank(D)` grid axes.
+//!
+//! Convention note: we produce the *row-echelon* (upper-staircase) variant —
+//! `H` has its pivots on a descending staircase with zeros below, positive
+//! pivots, and entries above each pivot reduced into `[0, pivot)`. The
+//! paper states the lower-triangular variant; the two differ by a column
+//! permutation and are interchangeable everywhere the paper uses the form
+//! (only the *zero rows below* structure matters).
+
+use crate::mat::IMat;
+
+/// Result of a Hermite decomposition `A = Q·H` (see [`right_hermite`]) or
+/// `A = H·Q` (see [`left_hermite`]).
+#[derive(Debug, Clone)]
+pub struct HermiteForm {
+    /// Unimodular cofactor.
+    pub q: IMat,
+    /// The Hermite (echelon) form.
+    pub h: IMat,
+    /// Rank of the input matrix.
+    pub rank: usize,
+}
+
+/// Row-style Hermite decomposition: returns `(U, H, rank)` with `H = U·A`,
+/// `U` unimodular `m×m`, `H` in row-echelon Hermite form (pivots positive,
+/// zeros below pivots, entries above pivots reduced).
+pub fn row_reduce(a: &IMat) -> (IMat, IMat, usize) {
+    let (m, n) = a.shape();
+    let mut h = a.clone();
+    let mut u = IMat::identity(m);
+    let mut r = 0usize;
+    for c in 0..n {
+        if r == m {
+            break;
+        }
+        // Euclidean elimination in column c among rows r..m.
+        loop {
+            // Pick the nonzero entry of minimum absolute value as pivot.
+            let piv = (r..m)
+                .filter(|&i| h[(i, c)] != 0)
+                .min_by_key(|&i| h[(i, c)].unsigned_abs());
+            let Some(p) = piv else { break };
+            if p != r {
+                h.swap_rows(p, r);
+                u.swap_rows(p, r);
+            }
+            let mut again = false;
+            for i in r + 1..m {
+                if h[(i, c)] != 0 {
+                    let k = h[(i, c)] / h[(r, c)];
+                    h.add_row_multiple(i, r, -k);
+                    u.add_row_multiple(i, r, -k);
+                    if h[(i, c)] != 0 {
+                        again = true;
+                    }
+                }
+            }
+            if !again {
+                break;
+            }
+        }
+        if h[(r, c)] == 0 {
+            continue;
+        }
+        if h[(r, c)] < 0 {
+            h.negate_row(r);
+            u.negate_row(r);
+        }
+        // Reduce the entries above the pivot into [0, pivot).
+        for i in 0..r {
+            let k = h[(i, c)].div_euclid(h[(r, c)]);
+            if k != 0 {
+                h.add_row_multiple(i, r, -k);
+                u.add_row_multiple(i, r, -k);
+            }
+        }
+        r += 1;
+    }
+    (u, h, r)
+}
+
+/// Right Hermite form `A = Q·H` with `Q` unimodular (`m×m`) and `H` in
+/// row-echelon Hermite form. For a full-column-rank tall matrix this is the
+/// paper's `A = Q·[H'; 0]` decomposition (appendix Definition 1).
+///
+/// ```
+/// use rescomm_intlin::{right_hermite, IMat};
+/// let a = IMat::from_rows(&[&[4, 6], &[2, 2]]);
+/// let hf = right_hermite(&a);
+/// assert_eq!(&hf.q * &hf.h, a);
+/// assert!(matches!(hf.q.det(), 1 | -1));
+/// ```
+pub fn right_hermite(a: &IMat) -> HermiteForm {
+    let (u, h, rank) = row_reduce(a);
+    let q = u
+        .inverse_unimodular()
+        .expect("row_reduce produced a non-unimodular transform");
+    HermiteForm { q, h, rank }
+}
+
+/// Left Hermite form `A = H·Q` with `Q` unimodular (`n×n`) and `H` in
+/// column-echelon Hermite form (the transpose-dual of [`right_hermite`]).
+pub fn left_hermite(a: &IMat) -> HermiteForm {
+    let hf = right_hermite(&a.transpose());
+    HermiteForm {
+        q: hf.q.transpose(),
+        h: hf.h.transpose(),
+        rank: hf.rank,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unimodular::is_unimodular;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    fn check_right(a: &IMat) {
+        let hf = right_hermite(a);
+        assert!(is_unimodular(&hf.q), "Q not unimodular for {a:?}");
+        assert_eq!(&hf.q * &hf.h, *a, "A != Q·H for {a:?}");
+        assert_eq!(hf.rank, a.rank());
+        // Echelon structure: rows past rank are zero.
+        for i in hf.rank..a.rows() {
+            assert!(hf.h.row(i).iter().all(|&x| x == 0), "nonzero row below rank");
+        }
+        // Pivots positive, zeros below pivots, reduced above.
+        let mut last_col = None;
+        for i in 0..hf.rank {
+            let c = hf.h.row(i).iter().position(|&x| x != 0).expect("zero pivot row");
+            if let Some(lc) = last_col {
+                assert!(c > lc, "pivots not strictly staircase");
+            }
+            last_col = Some(c);
+            assert!(hf.h[(i, c)] > 0, "pivot not positive");
+            for ii in 0..i {
+                let p = hf.h[(i, c)];
+                assert!(
+                    (0..p).contains(&hf.h[(ii, c)]),
+                    "entry above pivot not reduced"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hermite_square_nonsingular() {
+        check_right(&m(&[&[2, 1], &[7, 4]]));
+        check_right(&m(&[&[4, 6], &[2, 2]]));
+        check_right(&m(&[&[1, 2, 3], &[0, 1, 4], &[5, 6, 0]]));
+    }
+
+    #[test]
+    fn hermite_tall_full_column_rank() {
+        // The broadcast-direction use case: D is m×p tall.
+        let d = m(&[&[1, 0], &[2, 1], &[3, 5]]);
+        let hf = right_hermite(&d);
+        assert_eq!(hf.rank, 2);
+        assert_eq!(&hf.q * &hf.h, d);
+        assert!(hf.h.row(2).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn hermite_paper_broadcast_rotation() {
+        // §2.3 of the paper: M_S2·v = (-1, 1)ᵗ is not axis-parallel; the
+        // unimodular V = [[1,1],[0,1]] rotates it to (0,1)ᵗ.
+        let d = IMat::col_vec(&[-1, 1]);
+        let hf = right_hermite(&d);
+        // Q⁻¹·D must be supported on the first axis only.
+        let qinv = hf.q.inverse_unimodular().unwrap();
+        let rot = &qinv * &d;
+        assert_eq!(rot[(0, 0)].abs(), 1);
+        assert_eq!(rot[(1, 0)], 0);
+    }
+
+    #[test]
+    fn hermite_rank_deficient() {
+        check_right(&m(&[&[1, 2], &[2, 4]]));
+        check_right(&m(&[&[0, 0], &[0, 0]]));
+        check_right(&m(&[&[1, 1, 1], &[-1, -1, -1]]));
+    }
+
+    #[test]
+    fn hermite_flat() {
+        check_right(&m(&[&[2, 4, 4], &[6, 6, 12]]));
+    }
+
+    #[test]
+    fn left_hermite_roundtrip() {
+        let a = m(&[&[2, 4, 4], &[-6, 6, 12]]);
+        let hf = left_hermite(&a);
+        assert!(is_unimodular(&hf.q));
+        assert_eq!(&hf.h * &hf.q, a);
+        assert_eq!(hf.rank, 2);
+        // Columns past the rank are zero in the column-echelon form.
+        for j in hf.rank..a.cols() {
+            assert!((0..a.rows()).all(|i| hf.h[(i, j)] == 0));
+        }
+    }
+
+    #[test]
+    fn hermite_uniqueness_of_h_square() {
+        // H should not depend on elimination order for fixed A (uniqueness
+        // of the HNF for nonsingular square matrices): compare against a
+        // permuted-row reconstruction.
+        let a = m(&[&[3, 1], &[1, 2]]);
+        let hf = right_hermite(&a);
+        // Reconstruct A with extra unimodular noise, then HNF again: the
+        // Hermite form of U·A differs from that of A only through Q.
+        let u = m(&[&[1, 4], &[0, 1]]);
+        let hf2 = right_hermite(&(&u * &a));
+        assert_eq!(hf.h, hf2.h);
+    }
+}

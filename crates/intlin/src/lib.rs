@@ -1,0 +1,123 @@
+//! # rescomm-intlin — exact integer & rational linear algebra
+//!
+//! Substrate crate for the `rescomm` workspace (reproduction of Dion,
+//! Randriamaro & Robert, *“How to optimize residual communications?”*,
+//! IPPS 1996). All of the paper's compiler analysis is exact linear algebra
+//! over ℤ and ℚ on small dense matrices: allocation matrices, access
+//! matrices, their kernels, pseudo-inverses, Hermite/Smith normal forms and
+//! unimodular transformations.
+//!
+//! The crate provides:
+//!
+//! * [`IMat`] — dense integer matrices (`i64` entries, `i128` intermediate
+//!   arithmetic, overflow-checked);
+//! * [`Rational`] / [`RMat`] — exact rationals over `i128` and dense
+//!   rational matrices with Gauss–Jordan inversion;
+//! * [`hermite`] — left/right Hermite normal forms with unimodular
+//!   cofactors (Definition 1 of the paper's appendix);
+//! * [`smith`] — Smith normal form `A = U·D·V`;
+//! * [`kernel`] — integer bases of null spaces, left null spaces and kernel
+//!   intersections (the paper's broadcast/scatter/gather conditions are all
+//!   kernel-dimension comparisons);
+//! * [`pseudo`] — left/right pseudo-inverses `F⁻` (appendix §8.2), both the
+//!   rational Moore–Penrose-style ones and *integer* one-sided inverses
+//!   `G·F = Id` obtained from the Hermite form (the access-graph weights);
+//! * [`solve`] — the matrix equation `X·F = S` (appendix Lemmas 2 and 3,
+//!   used to orient access-graph edges and to propagate allocations);
+//! * [`unimodular`] — unimodular completions and generators (used to rotate
+//!   mappings so that partial broadcasts become axis-parallel, §3.1, and to
+//!   search similarity classes for decomposability, §4.2.2).
+//!
+//! Everything is deterministic and allocation-light; matrices in this
+//! domain are tiny (loop depths and array ranks are ≤ 6 in practice), so
+//! the code favours clarity and exactness over asymptotics.
+
+pub mod hermite;
+pub mod kernel;
+pub mod mat;
+pub mod pseudo;
+pub mod rat;
+pub mod smith;
+pub mod solve;
+pub mod unimodular;
+
+pub use hermite::{left_hermite, right_hermite, HermiteForm};
+pub use kernel::{
+    kernel_basis, kernel_dim, kernel_escapes, kernel_intersection, kernel_subset,
+    left_kernel_basis,
+};
+pub use mat::{IMat, LinError};
+pub use pseudo::{left_inverse_int, pseudo_inverse, right_inverse_int, small_left_inverse};
+pub use rat::{RMat, Rational};
+pub use smith::{smith_normal_form, SmithForm};
+pub use solve::{solve_axb_int, solve_xf_eq_s, solve_xf_eq_s_fullrank, SolutionFamily};
+pub use unimodular::{complete_to_unimodular, is_unimodular, random_unimodular};
+
+/// Greatest common divisor of two integers (always non-negative;
+/// `gcd(0, 0) = 0`).
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a as i64
+}
+
+/// Extended gcd: returns `(g, x, y)` with `a·x + b·y = g = gcd(a, b)`,
+/// `g ≥ 0`.
+pub fn egcd(a: i64, b: i64) -> (i64, i64, i64) {
+    if b == 0 {
+        if a < 0 {
+            (-a, -1, 0)
+        } else {
+            (a, 1, 0)
+        }
+    } else {
+        let (g, x, y) = egcd(b, a.rem_euclid(b));
+        // a = (a div b)·b + (a mod b) with Euclidean division.
+        let q = (a - a.rem_euclid(b)) / b;
+        (g, y, x - q * y)
+    }
+}
+
+/// Least common multiple (non-negative; `lcm(0, x) = 0`).
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(-4, 6), 2);
+        assert_eq!(gcd(12, 18), 6);
+    }
+
+    #[test]
+    fn egcd_identity() {
+        for a in -20..20i64 {
+            for b in -20..20i64 {
+                let (g, x, y) = egcd(a, b);
+                assert_eq!(a * x + b * y, g, "bezout failed for {a},{b}");
+                assert_eq!(g, gcd(a, b));
+                assert!(g >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(-3, 5), 15);
+    }
+}

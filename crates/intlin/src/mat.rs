@@ -1,0 +1,718 @@
+//! Dense integer matrices over `i64`.
+//!
+//! Entries are `i64`; all products are computed through `i128` and checked
+//! on narrowing so that silent wrap-around is impossible. The matrices in
+//! this problem domain (access matrices of affine loop nests, allocation
+//! matrices for ≤ 4-dimensional processor grids) are tiny, so a simple
+//! row-major `Vec<i64>` layout is the right representation.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Errors produced by fallible exact linear-algebra operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinError {
+    /// A square matrix was singular where an inverse was required.
+    Singular,
+    /// The equation has no solution (compatibility condition failed).
+    Incompatible,
+    /// A result that had to be integral turned out to be fractional.
+    NotIntegral,
+    /// Intermediate arithmetic exceeded the representable range.
+    Overflow,
+    /// A full-rank solution was required but none exists.
+    RankDeficient,
+}
+
+impl fmt::Display for LinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinError::Singular => write!(f, "matrix is singular"),
+            LinError::Incompatible => write!(f, "equation is incompatible"),
+            LinError::NotIntegral => write!(f, "solution is not integral"),
+            LinError::Overflow => write!(f, "integer overflow in exact arithmetic"),
+            LinError::RankDeficient => write!(f, "no full-rank solution exists"),
+        }
+    }
+}
+
+impl std::error::Error for LinError {}
+
+/// A dense integer matrix with `i64` entries, stored row-major.
+///
+/// ```
+/// use rescomm_intlin::IMat;
+/// let f = IMat::from_rows(&[&[1, 3], &[2, 7]]);
+/// assert_eq!(f.det(), 1);
+/// assert_eq!(f.rank(), 2);
+/// let inv = f.inverse_unimodular().unwrap();
+/// assert!((&f * &inv).is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+#[inline]
+fn narrow(v: i128) -> i64 {
+    i64::try_from(v).expect("i64 overflow in exact integer matrix arithmetic")
+}
+
+impl IMat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = IMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1;
+        }
+        m
+    }
+
+    /// Build from a closure over `(row, col)` positions.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        IMat { rows, cols, data }
+    }
+
+    /// Build from nested slices; every row must have the same length.
+    ///
+    /// # Panics
+    /// Panics if the rows are ragged or empty.
+    pub fn from_rows(rows: &[&[i64]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows: no rows");
+        let cols = rows[0].len();
+        assert!(cols > 0, "from_rows: empty rows");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        IMat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Build from a flat row-major vector.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: shape mismatch");
+        IMat { rows, cols, data }
+    }
+
+    /// Column vector from a slice.
+    pub fn col_vec(v: &[i64]) -> Self {
+        IMat {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
+    }
+
+    /// Row vector from a slice.
+    pub fn row_vec(v: &[i64]) -> Self {
+        IMat {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[i64] {
+        assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` as an owned vector.
+    pub fn col(&self, j: usize) -> Vec<i64> {
+        assert!(j < self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> IMat {
+        IMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let mut acc: i128 = 0;
+                for j in 0..self.cols {
+                    acc += self[(i, j)] as i128 * v[j] as i128;
+                }
+                narrow(acc)
+            })
+            .collect()
+    }
+
+    /// Multiply every entry by the scalar `s`.
+    pub fn scale(&self, s: i64) -> IMat {
+        IMat::from_fn(self.rows, self.cols, |i, j| {
+            narrow(self[(i, j)] as i128 * s as i128)
+        })
+    }
+
+    /// `true` iff this is exactly the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        self.is_square()
+            && (0..self.rows).all(|i| (0..self.cols).all(|j| self[(i, j)] == i64::from(i == j)))
+    }
+
+    /// `true` iff every entry is zero.
+    pub fn is_zero(&self) -> bool {
+        self.data.iter().all(|&x| x == 0)
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hstack(&self, other: &IMat) -> IMat {
+        assert_eq!(self.rows, other.rows, "hstack: row mismatch");
+        IMat::from_fn(self.rows, self.cols + other.cols, |i, j| {
+            if j < self.cols {
+                self[(i, j)]
+            } else {
+                other[(i, j - self.cols)]
+            }
+        })
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    pub fn vstack(&self, other: &IMat) -> IMat {
+        assert_eq!(self.cols, other.cols, "vstack: column mismatch");
+        IMat::from_fn(self.rows + other.rows, self.cols, |i, j| {
+            if i < self.rows {
+                self[(i, j)]
+            } else {
+                other[(i - self.rows, j)]
+            }
+        })
+    }
+
+    /// Contiguous submatrix `rows r0..r1, cols c0..c1` (half-open).
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> IMat {
+        assert!(r0 <= r1 && r1 <= self.rows && c0 <= c1 && c1 <= self.cols);
+        IMat::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    /// Determinant via the fraction-free Bareiss algorithm (exact).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn det(&self) -> i64 {
+        assert!(self.is_square(), "det: non-square matrix");
+        let n = self.rows;
+        if n == 0 {
+            return 1;
+        }
+        let mut a: Vec<i128> = self.data.iter().map(|&x| x as i128).collect();
+        let at = |a: &[i128], i: usize, j: usize| a[i * n + j];
+        let mut sign: i128 = 1;
+        let mut prev: i128 = 1;
+        for k in 0..n - 1 {
+            if at(&a, k, k) == 0 {
+                // Find a pivot row below and swap.
+                match (k + 1..n).find(|&r| at(&a, r, k) != 0) {
+                    Some(r) => {
+                        for j in 0..n {
+                            a.swap(k * n + j, r * n + j);
+                        }
+                        sign = -sign;
+                    }
+                    None => return 0,
+                }
+            }
+            for i in k + 1..n {
+                for j in k + 1..n {
+                    let num = at(&a, i, j)
+                        .checked_mul(at(&a, k, k))
+                        .and_then(|x| x.checked_sub(at(&a, i, k).checked_mul(at(&a, k, j))?))
+                        .expect("det: i128 overflow");
+                    a[i * n + j] = num / prev;
+                }
+                a[i * n + k] = 0;
+            }
+            prev = at(&a, k, k);
+        }
+        narrow(sign * at(&a, n - 1, n - 1))
+    }
+
+    /// Rank over ℚ (fraction-free Gaussian elimination).
+    pub fn rank(&self) -> usize {
+        let (r, c) = (self.rows, self.cols);
+        let mut a: Vec<i128> = self.data.iter().map(|&x| x as i128).collect();
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..c {
+            // Find pivot.
+            let piv = (row..r).find(|&i| a[i * c + col] != 0);
+            let Some(p) = piv else { continue };
+            if p != row {
+                for j in 0..c {
+                    a.swap(row * c + j, p * c + j);
+                }
+            }
+            let pv = a[row * c + col];
+            for i in row + 1..r {
+                let f = a[i * c + col];
+                if f == 0 {
+                    continue;
+                }
+                let g = gcd128(pv, f);
+                let (m1, m2) = (pv / g, f / g);
+                for j in 0..c {
+                    a[i * c + j] = a[i * c + j]
+                        .checked_mul(m1)
+                        .and_then(|x| x.checked_sub(a[row * c + j].checked_mul(m2)?))
+                        .expect("rank: i128 overflow");
+                }
+                // Keep entries small to avoid blow-up.
+                let rg = row_gcd(&a[i * c..(i + 1) * c]);
+                if rg > 1 {
+                    for j in 0..c {
+                        a[i * c + j] /= rg;
+                    }
+                }
+            }
+            row += 1;
+            rank += 1;
+            if row == r {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// `true` iff the matrix has full rank `min(rows, cols)`.
+    pub fn is_full_rank(&self) -> bool {
+        self.rank() == self.rows.min(self.cols)
+    }
+
+    /// Inverse of a square unimodular-or-not integer matrix when the
+    /// inverse is itself integral (i.e. `det = ±1`).
+    pub fn inverse_unimodular(&self) -> Result<IMat, LinError> {
+        assert!(self.is_square(), "inverse: non-square matrix");
+        let d = self.det();
+        if d != 1 && d != -1 {
+            return Err(LinError::NotIntegral);
+        }
+        // Adjugate method is fine at these sizes: inv = adj / det.
+        let n = self.rows;
+        let mut inv = IMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let minor = self.minor(j, i);
+                let cof = minor.det();
+                let sgn = if (i + j) % 2 == 0 { 1 } else { -1 };
+                inv[(i, j)] = sgn * cof * d; // divide by det = multiply, d = ±1
+            }
+        }
+        Ok(inv)
+    }
+
+    /// The `(i,j)` minor: the matrix with row `i` and column `j` removed.
+    pub fn minor(&self, i: usize, j: usize) -> IMat {
+        assert!(self.rows > 0 && self.cols > 0);
+        IMat::from_fn(self.rows - 1, self.cols - 1, |r, c| {
+            let rr = if r < i { r } else { r + 1 };
+            let cc = if c < j { c } else { c + 1 };
+            self[(rr, cc)]
+        })
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> i64 {
+        assert!(self.is_square());
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for j in 0..self.cols {
+            let (x, y) = (self[(a, j)], self[(b, j)]);
+            self[(a, j)] = y;
+            self[(b, j)] = x;
+        }
+    }
+
+    /// Swap two columns in place.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for i in 0..self.rows {
+            let (x, y) = (self[(i, a)], self[(i, b)]);
+            self[(i, a)] = y;
+            self[(i, b)] = x;
+        }
+    }
+
+    /// `row[a] += k · row[b]` in place.
+    pub fn add_row_multiple(&mut self, a: usize, b: usize, k: i64) {
+        assert_ne!(a, b);
+        for j in 0..self.cols {
+            self[(a, j)] = narrow(self[(a, j)] as i128 + k as i128 * self[(b, j)] as i128);
+        }
+    }
+
+    /// `col[a] += k · col[b]` in place.
+    pub fn add_col_multiple(&mut self, a: usize, b: usize, k: i64) {
+        assert_ne!(a, b);
+        for i in 0..self.rows {
+            self[(i, a)] = narrow(self[(i, a)] as i128 + k as i128 * self[(i, b)] as i128);
+        }
+    }
+
+    /// Negate a row in place.
+    pub fn negate_row(&mut self, i: usize) {
+        for j in 0..self.cols {
+            self[(i, j)] = -self[(i, j)];
+        }
+    }
+
+    /// Negate a column in place.
+    pub fn negate_col(&mut self, j: usize) {
+        for i in 0..self.rows {
+            self[(i, j)] = -self[(i, j)];
+        }
+    }
+
+    /// Maximum absolute value of any entry.
+    pub fn max_abs(&self) -> i64 {
+        self.data.iter().map(|x| x.abs()).max().unwrap_or(0)
+    }
+}
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+fn row_gcd(row: &[i128]) -> i128 {
+    let mut g: i128 = 0;
+    for &x in row {
+        g = gcd128(g, x.abs());
+        if g == 1 {
+            return 1;
+        }
+    }
+    g.max(1)
+}
+
+impl Index<(usize, usize)> for IMat {
+    type Output = i64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for IMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &IMat {
+    type Output = IMat;
+    fn mul(self, rhs: &IMat) -> IMat {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        IMat::from_fn(self.rows, rhs.cols, |i, j| {
+            let mut acc: i128 = 0;
+            for k in 0..self.cols {
+                acc += self[(i, k)] as i128 * rhs[(k, j)] as i128;
+            }
+            narrow(acc)
+        })
+    }
+}
+
+impl Mul for IMat {
+    type Output = IMat;
+    fn mul(self, rhs: IMat) -> IMat {
+        &self * &rhs
+    }
+}
+
+impl Add for &IMat {
+    type Output = IMat;
+    fn add(self, rhs: &IMat) -> IMat {
+        assert_eq!(self.shape(), rhs.shape(), "matrix sum shape mismatch");
+        IMat::from_fn(self.rows, self.cols, |i, j| {
+            narrow(self[(i, j)] as i128 + rhs[(i, j)] as i128)
+        })
+    }
+}
+
+impl Sub for &IMat {
+    type Output = IMat;
+    fn sub(self, rhs: &IMat) -> IMat {
+        assert_eq!(self.shape(), rhs.shape(), "matrix difference shape mismatch");
+        IMat::from_fn(self.rows, self.cols, |i, j| {
+            narrow(self[(i, j)] as i128 - rhs[(i, j)] as i128)
+        })
+    }
+}
+
+impl Neg for &IMat {
+    type Output = IMat;
+    fn neg(self) -> IMat {
+        IMat::from_fn(self.rows, self.cols, |i, j| -self[(i, j)])
+    }
+}
+
+impl fmt::Debug for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  [")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for IMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths: Vec<usize> = (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| format!("{}", self[(i, j)]).len()).max().unwrap_or(1))
+            .collect();
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{:>w$}", self[(i, j)], w = widths[j])?;
+            }
+            write!(f, "]")?;
+            if i + 1 < self.rows {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let id = IMat::identity(3);
+        assert!(id.is_identity());
+        assert!(!id.is_zero());
+        assert!(IMat::zeros(2, 5).is_zero());
+        assert_eq!(id.det(), 1);
+    }
+
+    #[test]
+    fn product_shapes_and_values() {
+        let a = m(&[&[1, 2], &[3, 4]]);
+        let b = m(&[&[0, 1], &[1, 0]]);
+        let ab = &a * &b;
+        assert_eq!(ab, m(&[&[2, 1], &[4, 3]]));
+        let id = IMat::identity(2);
+        assert_eq!(&a * &id, a);
+        assert_eq!(&id * &a, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn product_shape_mismatch_panics() {
+        let a = IMat::zeros(2, 3);
+        let b = IMat::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn det_small() {
+        assert_eq!(m(&[&[2]]).det(), 2);
+        assert_eq!(m(&[&[1, 2], &[3, 4]]).det(), -2);
+        assert_eq!(m(&[&[2, 0, 0], &[0, 3, 0], &[0, 0, 4]]).det(), 24);
+        assert_eq!(m(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]).det(), 0);
+        // Needs a row swap (zero pivot).
+        assert_eq!(m(&[&[0, 1], &[1, 0]]).det(), -1);
+    }
+
+    #[test]
+    fn det_matches_cofactor_on_random() {
+        fn cofactor_det(a: &IMat) -> i128 {
+            let n = a.rows();
+            if n == 1 {
+                return a[(0, 0)] as i128;
+            }
+            let mut acc: i128 = 0;
+            for j in 0..n {
+                let sgn = if j % 2 == 0 { 1 } else { -1 };
+                acc += sgn * a[(0, j)] as i128 * cofactor_det(&a.minor(0, j));
+            }
+            acc
+        }
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as i64 % 7) - 3
+        };
+        for _ in 0..50 {
+            let a = IMat::from_fn(4, 4, |_, _| next());
+            assert_eq!(a.det() as i128, cofactor_det(&a));
+        }
+    }
+
+    #[test]
+    fn rank_cases() {
+        assert_eq!(IMat::identity(4).rank(), 4);
+        assert_eq!(IMat::zeros(3, 5).rank(), 0);
+        assert_eq!(m(&[&[1, 2, 3], &[2, 4, 6]]).rank(), 1);
+        assert_eq!(m(&[&[1, 2, 3], &[4, 5, 6], &[7, 8, 9]]).rank(), 2);
+        // The paper's F6 (deficient rank) from the motivating example:
+        // F6 = [[1, 1, 1], [-1, -1, -1]] has rank 1.
+        assert_eq!(m(&[&[1, 1, 1], &[-1, -1, -1]]).rank(), 1);
+    }
+
+    #[test]
+    fn inverse_unimodular_roundtrip() {
+        let u = m(&[&[1, 2], &[1, 1]]); // det = -1
+        let inv = u.inverse_unimodular().unwrap();
+        assert!((&u * &inv).is_identity());
+        assert!((&inv * &u).is_identity());
+        let v = m(&[&[2, 0], &[0, 2]]);
+        assert_eq!(v.inverse_unimodular(), Err(LinError::NotIntegral));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = m(&[&[1, 2, 3], &[4, 5, 6]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn stack_and_sub() {
+        let a = m(&[&[1, 2], &[3, 4]]);
+        let b = m(&[&[5], &[6]]);
+        let h = a.hstack(&b);
+        assert_eq!(h, m(&[&[1, 2, 5], &[3, 4, 6]]));
+        assert_eq!(h.submatrix(0, 2, 0, 2), a);
+        let v = a.vstack(&m(&[&[7, 8]]));
+        assert_eq!(v.row(2), &[7, 8]);
+        assert_eq!(v.col(1), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_product() {
+        let a = m(&[&[1, 2, 0], &[0, 1, -1]]);
+        let v = [3, 4, 5];
+        assert_eq!(a.mul_vec(&v), vec![11, -1]);
+    }
+
+    #[test]
+    fn row_ops() {
+        let mut a = m(&[&[1, 0], &[0, 1]]);
+        a.add_row_multiple(0, 1, 3);
+        assert_eq!(a, m(&[&[1, 3], &[0, 1]]));
+        a.swap_rows(0, 1);
+        assert_eq!(a, m(&[&[0, 1], &[1, 3]]));
+        a.negate_row(0);
+        assert_eq!(a, m(&[&[0, -1], &[1, 3]]));
+        a.add_col_multiple(1, 0, 2);
+        assert_eq!(a, m(&[&[0, -1], &[1, 5]]));
+        a.swap_cols(0, 1);
+        assert_eq!(a, m(&[&[-1, 0], &[5, 1]]));
+        a.negate_col(0);
+        assert_eq!(a, m(&[&[1, 0], &[-5, 1]]));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn product_overflow_panics_cleanly() {
+        // Exact arithmetic must never wrap silently: a product that leaves
+        // i64 panics with a clear message instead.
+        let big = IMat::from_rows(&[&[i64::MAX / 2, i64::MAX / 2], &[1, 1]]);
+        let _ = &big * &big;
+    }
+
+    #[test]
+    fn trace_and_max_abs() {
+        let a = m(&[&[1, -7], &[2, 3]]);
+        assert_eq!(a.trace(), 4);
+        assert_eq!(a.max_abs(), 7);
+    }
+}

@@ -1,0 +1,250 @@
+//! Exact (enumerative) dependence analysis.
+//!
+//! The paper checks with Tiny that its motivating example carries no data
+//! dependence, so every loop is a DOALL. We reproduce that check: two
+//! accesses to the same array conflict if one of them writes and some pair
+//! of in-domain iteration points touches the same element. Domains here
+//! are small (the check is a validation tool, not part of the mapping
+//! analysis), so an exact enumeration with an early integer-feasibility
+//! filter is the right tool.
+
+use crate::ir::{Access, AccessKind, LoopNest};
+use rescomm_intlin::{solve_axb_int, LinError};
+
+/// A detected dependence between two accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependence {
+    /// Index of the first access in [`LoopNest::accesses`].
+    pub from: usize,
+    /// Index of the second access.
+    pub to: usize,
+    /// A witness pair of iteration points touching the same element.
+    pub witness: (Vec<i64>, Vec<i64>),
+}
+
+/// Upper bound on enumerated point pairs before [`find_dependences`]
+/// refuses (returns `Err`): exact analysis is only meant for test-sized
+/// domains.
+pub const ENUMERATION_LIMIT: u128 = 2_000_000;
+
+fn conflicting_kinds(a: AccessKind, b: AccessKind) -> bool {
+    // Two reads never conflict; reductions commute with themselves; every
+    // other combination involves an update racing with another touch.
+    !matches!(
+        (a, b),
+        (AccessKind::Read, AccessKind::Read) | (AccessKind::Reduce, AccessKind::Reduce)
+    )
+}
+
+/// Quick infeasibility filter: `F1·I − F2·J = c2 − c1` must be solvable
+/// over ℤ (ignoring bounds) for a dependence to exist.
+fn integrally_feasible(a1: &Access, a2: &Access) -> bool {
+    // Stack [F1 | −F2] and solve against c2 − c1.
+    let f1 = &a1.f;
+    let f2 = &a2.f;
+    let stacked = f1.hstack(&f2.scale(-1));
+    let rhs: Vec<i64> = a2
+        .c
+        .iter()
+        .zip(&a1.c)
+        .map(|(&x, &y)| x - y)
+        .collect();
+    match solve_axb_int(&stacked, &rhs) {
+        Ok(_) => true,
+        Err(LinError::Incompatible) | Err(LinError::NotIntegral) => false,
+        Err(_) => true, // conservative
+    }
+}
+
+/// Find all pairwise dependences in the nest by exact enumeration.
+///
+/// Returns `Err` if the enumeration would exceed [`ENUMERATION_LIMIT`]
+/// point pairs.
+pub fn find_dependences(nest: &LoopNest) -> Result<Vec<Dependence>, String> {
+    let mut out = Vec::new();
+    for (i, a1) in nest.accesses.iter().enumerate() {
+        for (j, a2) in nest.accesses.iter().enumerate() {
+            if j < i {
+                continue;
+            }
+            if a1.array != a2.array {
+                continue;
+            }
+            if !conflicting_kinds(a1.kind, a2.kind) {
+                continue;
+            }
+            if !integrally_feasible(a1, a2) {
+                continue;
+            }
+            let d1 = &nest.statement(a1.stmt).domain;
+            let d2 = &nest.statement(a2.stmt).domain;
+            let pairs = d1.size().saturating_mul(d2.size());
+            if pairs > ENUMERATION_LIMIT {
+                return Err(format!(
+                    "dependence check between accesses {i} and {j} needs {pairs} pairs \
+                     (> {ENUMERATION_LIMIT}); shrink the domains"
+                ));
+            }
+            'search: for p in d1.points() {
+                let e1 = a1.subscript(&p);
+                for q in d2.points() {
+                    if a1.stmt == a2.stmt && p == q {
+                        // Same statement instance: its internal read/write
+                        // ordering is sequential, not a loop dependence.
+                        continue;
+                    }
+                    if e1 == a2.subscript(&q) {
+                        out.push(Dependence {
+                            from: i,
+                            to: j,
+                            witness: (p.clone(), q),
+                        });
+                        break 'search; // one witness per pair suffices
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `true` iff the nest is fully parallel: no dependence at all.
+pub fn is_doall(nest: &LoopNest) -> Result<bool, String> {
+    Ok(find_dependences(nest)?.is_empty())
+}
+
+/// `true` iff every dependence is carried by the schedules (the source and
+/// sink never run at the same timestep) — i.e. the declared schedules are
+/// *valid* for the nest. Dependences between instances scheduled at
+/// identical multidimensional timesteps are reported as violations.
+pub fn schedules_valid(nest: &LoopNest) -> Result<Vec<Dependence>, String> {
+    let deps = find_dependences(nest)?;
+    let mut violations = Vec::new();
+    for d in deps {
+        let a1 = &nest.accesses[d.from];
+        let a2 = &nest.accesses[d.to];
+        let t1 = nest.statement(a1.stmt).schedule.time(&d.witness.0);
+        let t2 = nest.statement(a2.stmt).schedule.time(&d.witness.1);
+        if t1 == t2 {
+            violations.push(d);
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+    use crate::domain::Domain;
+    use crate::examples;
+    use crate::schedule::Schedule;
+    use rescomm_intlin::IMat;
+
+    #[test]
+    fn motivating_example_is_dependence_free() {
+        // The paper: "There are no data dependences in the nest … all loops
+        // are DOALL loops". Distinct offsets keep the a/b/c touches apart.
+        let (nest, _) = examples::motivating_example(4, 2);
+        let deps = find_dependences(&nest).unwrap();
+        assert!(deps.is_empty(), "unexpected dependences: {deps:?}");
+        assert!(is_doall(&nest).unwrap());
+    }
+
+    #[test]
+    fn detects_simple_flow_dependence() {
+        // S1 writes x[i], S2 reads x[i-1]: flow dependence.
+        let mut b = NestBuilder::new("dep");
+        let x = b.array("x", 1);
+        let s1 = b.statement("S1", 1, Domain::cube(1, 8));
+        let s2 = b.statement("S2", 1, Domain::cube(1, 8));
+        b.write(s1, x, IMat::identity(1), &[0]);
+        b.read(s2, x, IMat::identity(1), &[-1]);
+        let nest = b.build().unwrap();
+        let deps = find_dependences(&nest).unwrap();
+        assert_eq!(deps.len(), 1);
+        assert!(!is_doall(&nest).unwrap());
+    }
+
+    #[test]
+    fn reads_never_conflict() {
+        let mut b = NestBuilder::new("rr");
+        let x = b.array("x", 1);
+        let s = b.statement("S", 1, Domain::cube(1, 8));
+        b.read(s, x, IMat::identity(1), &[0]);
+        b.read(s, x, IMat::identity(1), &[0]);
+        let nest = b.build().unwrap();
+        assert!(is_doall(&nest).unwrap());
+    }
+
+    #[test]
+    fn reductions_commute() {
+        let mut b = NestBuilder::new("red");
+        let s_arr = b.array("s", 1);
+        let st = b.statement("S", 2, Domain::cube(2, 4));
+        b.reduce(st, s_arr, IMat::zeros(1, 2), &[0]);
+        let nest = b.build().unwrap();
+        assert!(is_doall(&nest).unwrap());
+    }
+
+    #[test]
+    fn infeasibility_filter_rejects_parity_mismatch() {
+        // x[2i] written, x[2j+1] read: never the same element.
+        let mut b = NestBuilder::new("parity");
+        let x = b.array("x", 1);
+        let s1 = b.statement("S1", 1, Domain::cube(1, 8));
+        let s2 = b.statement("S2", 1, Domain::cube(1, 8));
+        b.write(s1, x, IMat::from_rows(&[&[2]]), &[0]);
+        b.read(s2, x, IMat::from_rows(&[&[2]]), &[1]);
+        let nest = b.build().unwrap();
+        let a1 = &nest.accesses[0];
+        let a2 = &nest.accesses[1];
+        assert!(!super::integrally_feasible(a1, a2));
+        assert!(is_doall(&nest).unwrap());
+    }
+
+    #[test]
+    fn gauss_sequential_schedule_is_valid() {
+        // Gaussian elimination has dependences, but they are all carried by
+        // the sequential outer k loop.
+        let nest = examples::gauss_elim(4);
+        let deps = find_dependences(&nest).unwrap();
+        assert!(!deps.is_empty(), "gauss must have dependences");
+        let violations = schedules_valid(&nest).unwrap();
+        assert!(violations.is_empty(), "k-sequential schedule must carry all: {violations:?}");
+    }
+
+    #[test]
+    fn matmul_reduction_schedule() {
+        // The only conflicts are the C-reductions with themselves, which
+        // commute; matmul under the k-linear schedule is clean.
+        let nest = examples::matmul(3);
+        let violations = schedules_valid(&nest).unwrap();
+        assert!(violations.is_empty());
+    }
+
+    #[test]
+    fn invalid_parallel_schedule_is_caught() {
+        // x[i] = x[i-1] with a parallel schedule: violation.
+        let mut b = NestBuilder::new("bad-sched");
+        let x = b.array("x", 1);
+        let s = b.statement("S", 1, Domain::cube(1, 8));
+        b.schedule(s, Schedule::parallel(1));
+        b.write(s, x, IMat::identity(1), &[0]);
+        b.read(s, x, IMat::identity(1), &[-1]);
+        let nest = b.build().unwrap();
+        let violations = schedules_valid(&nest).unwrap();
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn enumeration_limit_enforced() {
+        let mut b = NestBuilder::new("huge");
+        let x = b.array("x", 1);
+        let s = b.statement("S", 2, Domain::cube(2, 3000));
+        b.write(s, x, IMat::from_rows(&[&[1, 1]]), &[0]);
+        b.read(s, x, IMat::from_rows(&[&[1, 1]]), &[-1]);
+        let nest = b.build().unwrap();
+        assert!(find_dependences(&nest).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! A small text format for affine loop nests.
+//!
+//! Lets examples and the CLI describe nests without writing Rust:
+//!
+//! ```text
+//! # comment
+//! nest demo
+//! array a 2
+//! array b 3
+//! stmt S1 depth 2 domain 0..7 0..7
+//!   schedule parallel
+//!   write b [1 0; 0 1; 0 0] + [0 0 0]
+//!   read  a [1 0; 0 1] + [0 1]
+//! stmt S2 depth 3 domain 0..7 0..7 0..11
+//!   schedule linear 1 0 0
+//!   read  a [1 1 0; 0 1 1] + [1 1]
+//! ```
+//!
+//! * `domain` takes one inclusive `lo..hi` range per loop;
+//! * `guard g1 g2 … <= b` adds an affine constraint `g·I ≤ b` to the
+//!   current statement's domain (triangular bounds);
+//! * `schedule` is `parallel`, `linear c1 … cd`, or `seqouter k`
+//!   (first `k` loops sequential); it defaults to `parallel`;
+//! * access matrices are `[row; row; …]`, offsets `+ [v …]`;
+//! * access kinds are `read`, `write`, `reduce`.
+
+use crate::builder::NestBuilder;
+use crate::domain::Domain;
+use crate::ir::{ArrayId, LoopNest, StmtId};
+use crate::schedule::Schedule;
+use rescomm_intlin::IMat;
+use std::collections::HashMap;
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error was detected on.
+    pub line: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        msg: msg.into(),
+    })
+}
+
+/// Parse `[a b; c d; …]` starting at `text`; returns the matrix and the
+/// rest of the line after the closing bracket.
+fn parse_matrix(line_no: usize, text: &str) -> Result<(IMat, &str), ParseError> {
+    let text = text.trim_start();
+    let Some(inner_start) = text.strip_prefix('[') else {
+        return err(line_no, format!("expected '[' to start a matrix, got {text:?}"));
+    };
+    let Some(close) = inner_start.find(']') else {
+        return err(line_no, "unterminated matrix: missing ']'");
+    };
+    let inner = &inner_start[..close];
+    let rest = &inner_start[close + 1..];
+    let mut rows: Vec<Vec<i64>> = Vec::new();
+    for row_text in inner.split(';') {
+        let row: Result<Vec<i64>, _> = row_text
+            .split_whitespace()
+            .map(|t| t.parse::<i64>())
+            .collect();
+        match row {
+            Ok(r) if !r.is_empty() => rows.push(r),
+            Ok(_) => return err(line_no, "empty matrix row"),
+            Err(e) => return err(line_no, format!("bad matrix entry: {e}")),
+        }
+    }
+    if rows.is_empty() {
+        return err(line_no, "empty matrix");
+    }
+    let cols = rows[0].len();
+    if rows.iter().any(|r| r.len() != cols) {
+        return err(line_no, "ragged matrix rows");
+    }
+    let refs: Vec<&[i64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Ok((IMat::from_rows(&refs), rest))
+}
+
+/// Parse a nest from its textual description.
+pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
+    let mut name = "anonymous".to_string();
+    let mut builder: Option<NestBuilder> = None;
+    let mut arrays: HashMap<String, ArrayId> = HashMap::new();
+    let mut cur_stmt: Option<StmtId> = None;
+    let mut cur_depth = 0usize;
+
+    // Two passes would be simpler but one pass with a lazy builder keeps
+    // line numbers exact; the builder is created on the first directive.
+    let get = |b: &mut Option<NestBuilder>, nm: &str| {
+        if b.is_none() {
+            *b = Some(NestBuilder::new(nm));
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().unwrap();
+        match head {
+            "nest" => {
+                let Some(n) = words.next() else {
+                    return err(line_no, "nest needs a name");
+                };
+                name = n.to_string();
+                if builder.is_some() {
+                    return err(line_no, "'nest' must come first");
+                }
+            }
+            "array" => {
+                get(&mut builder, &name);
+                let Some(n) = words.next() else {
+                    return err(line_no, "array needs a name");
+                };
+                let Some(d) = words.next().and_then(|t| t.parse::<usize>().ok()) else {
+                    return err(line_no, "array needs a dimension");
+                };
+                if arrays.contains_key(n) {
+                    return err(line_no, format!("duplicate array {n}"));
+                }
+                let id = builder.as_mut().unwrap().array(n, d);
+                arrays.insert(n.to_string(), id);
+            }
+            "stmt" => {
+                get(&mut builder, &name);
+                let Some(n) = words.next() else {
+                    return err(line_no, "stmt needs a name");
+                };
+                let depth = match (words.next(), words.next()) {
+                    (Some("depth"), Some(t)) => t
+                        .parse::<usize>()
+                        .map_err(|e| ParseError {
+                            line: line_no,
+                            msg: format!("bad depth: {e}"),
+                        })?,
+                    _ => return err(line_no, "expected 'depth <d>'"),
+                };
+                match words.next() {
+                    Some("domain") => {}
+                    _ => return err(line_no, "expected 'domain lo..hi …'"),
+                }
+                let mut bounds = Vec::new();
+                for tok in words {
+                    let Some((lo, hi)) = tok.split_once("..") else {
+                        return err(line_no, format!("bad range {tok:?}, want lo..hi"));
+                    };
+                    let (lo, hi) = match (lo.parse::<i64>(), hi.parse::<i64>()) {
+                        (Ok(l), Ok(h)) => (l, h),
+                        _ => return err(line_no, format!("bad range bounds in {tok:?}")),
+                    };
+                    if lo > hi {
+                        return err(line_no, format!("empty range {tok:?}"));
+                    }
+                    bounds.push((lo, hi));
+                }
+                if bounds.len() != depth {
+                    return err(
+                        line_no,
+                        format!("stmt {n}: {} ranges for depth {depth}", bounds.len()),
+                    );
+                }
+                let id = builder
+                    .as_mut()
+                    .unwrap()
+                    .statement(n, depth, Domain::rect(&bounds));
+                cur_stmt = Some(id);
+                cur_depth = depth;
+            }
+            "guard" => {
+                let Some(s) = cur_stmt else {
+                    return err(line_no, "guard outside a stmt");
+                };
+                let toks: Vec<&str> = words.collect();
+                let Some(sep) = toks.iter().position(|&t| t == "<=") else {
+                    return err(line_no, "guard needs '<=': guard g1 … <= b");
+                };
+                let g: Result<Vec<i64>, _> =
+                    toks[..sep].iter().map(|t| t.parse::<i64>()).collect();
+                let b = toks.get(sep + 1).and_then(|t| t.parse::<i64>().ok());
+                match (g, b, toks.len()) {
+                    (Ok(g), Some(b), n) if n == sep + 2 && g.len() == cur_depth => {
+                        builder.as_mut().unwrap().add_guard(s, &g, b);
+                    }
+                    (Ok(g), _, _) if g.len() != cur_depth => {
+                        return err(
+                            line_no,
+                            format!("guard has {} coefficients for depth {cur_depth}", g.len()),
+                        )
+                    }
+                    _ => return err(line_no, "malformed guard"),
+                }
+            }
+            "schedule" => {
+                let Some(s) = cur_stmt else {
+                    return err(line_no, "schedule outside a stmt");
+                };
+                let b = builder.as_mut().unwrap();
+                match words.next() {
+                    Some("parallel") => { /* default */ }
+                    Some("linear") => {
+                        let pi: Result<Vec<i64>, _> =
+                            words.map(|t| t.parse::<i64>()).collect();
+                        match pi {
+                            Ok(v) if !v.is_empty() => {
+                                b.schedule(s, Schedule::linear(&v));
+                            }
+                            _ => return err(line_no, "linear schedule needs coefficients"),
+                        }
+                    }
+                    Some("seqouter") => {
+                        let Some(k) = words.next().and_then(|t| t.parse::<usize>().ok())
+                        else {
+                            return err(line_no, "seqouter needs a count");
+                        };
+                        if k == 0 || k > cur_depth {
+                            return err(line_no, format!("seqouter {k} out of 1..={cur_depth}"));
+                        }
+                        b.schedule(s, Schedule::sequential_outer(cur_depth, k));
+                    }
+                    other => {
+                        return err(line_no, format!("unknown schedule {other:?}"))
+                    }
+                }
+            }
+            "read" | "write" | "reduce" => {
+                let Some(s) = cur_stmt else {
+                    return err(line_no, format!("{head} outside a stmt"));
+                };
+                let Some(arr_name) = words.next() else {
+                    return err(line_no, format!("{head} needs an array name"));
+                };
+                let Some(&arr) = arrays.get(arr_name) else {
+                    return err(line_no, format!("unknown array {arr_name}"));
+                };
+                let rest: String = words.collect::<Vec<_>>().join(" ");
+                let (f, after) = parse_matrix(line_no, &rest)?;
+                let after = after.trim_start();
+                let c: Vec<i64> = if let Some(off) = after.strip_prefix('+') {
+                    let (cv, _) = parse_matrix(line_no, off)?;
+                    if cv.rows() != 1 && cv.cols() != 1 {
+                        return err(line_no, "offset must be a vector");
+                    }
+                    cv.as_slice().to_vec()
+                } else if after.is_empty() {
+                    vec![0; f.rows()]
+                } else {
+                    return err(line_no, format!("trailing junk after access: {after:?}"));
+                };
+                let b = builder.as_mut().unwrap();
+                match head {
+                    "read" => b.read(s, arr, f, &c),
+                    "write" => b.write(s, arr, f, &c),
+                    _ => b.reduce(s, arr, f, &c),
+                };
+            }
+            other => return err(line_no, format!("unknown directive {other:?}")),
+        }
+    }
+
+    let Some(b) = builder else {
+        return err(0, "empty nest description");
+    };
+    b.build().map_err(|msg| ParseError { line: 0, msg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::AccessKind;
+
+    const DEMO: &str = r#"
+# the reconstructed motivating example, S1/S2 fragment
+nest demo
+array a 2
+array b 3
+stmt S1 depth 2 domain 0..7 0..7
+  write b [1 0; 0 1; 0 0] + [0 0 0]
+  read  a [1 0; 0 1] + [0 1]
+stmt S2 depth 3 domain 0..7 0..7 0..11
+  schedule linear 1 0 0
+  read  a [1 1 0; 0 1 1] + [1 1]
+"#;
+
+    #[test]
+    fn parses_demo() {
+        let nest = parse_nest(DEMO).unwrap();
+        assert_eq!(nest.name, "demo");
+        assert_eq!(nest.arrays.len(), 2);
+        assert_eq!(nest.statements.len(), 2);
+        assert_eq!(nest.accesses.len(), 3);
+        assert_eq!(nest.accesses[0].kind, AccessKind::Write);
+        assert_eq!(nest.accesses[0].c, vec![0, 0, 0]);
+        assert_eq!(nest.accesses[2].f.shape(), (2, 3));
+        assert!(!nest.statements[1].schedule.is_parallel());
+        assert!(nest.statements[0].schedule.is_parallel());
+    }
+
+    #[test]
+    fn default_offset_is_zero() {
+        let src = "nest t\narray x 1\nstmt S depth 1 domain 0..3\n  read x [1]\n";
+        let nest = parse_nest(src).unwrap();
+        assert_eq!(nest.accesses[0].c, vec![0]);
+    }
+
+    #[test]
+    fn reports_unknown_array() {
+        let src = "nest t\nstmt S depth 1 domain 0..3\n  read x [1]\n";
+        let e = parse_nest(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.msg.contains("unknown array"));
+    }
+
+    #[test]
+    fn reports_bad_matrix() {
+        let src = "nest t\narray x 1\nstmt S depth 1 domain 0..3\n  read x [1 q]\n";
+        let e = parse_nest(src).unwrap_err();
+        assert!(e.msg.contains("bad matrix entry"));
+    }
+
+    #[test]
+    fn reports_ragged_matrix() {
+        let src = "nest t\narray x 2\nstmt S depth 2 domain 0..3 0..3\n  read x [1 0; 1]\n";
+        let e = parse_nest(src).unwrap_err();
+        assert!(e.msg.contains("ragged"));
+    }
+
+    #[test]
+    fn reports_domain_arity_mismatch() {
+        let src = "nest t\narray x 1\nstmt S depth 2 domain 0..3\n";
+        let e = parse_nest(src).unwrap_err();
+        assert!(e.msg.contains("ranges for depth"));
+    }
+
+    #[test]
+    fn shape_validation_happens_at_build() {
+        // F is 1×1 but the statement has depth 2.
+        let src = "nest t\narray x 1\nstmt S depth 2 domain 0..3 0..3\n  read x [1]\n";
+        assert!(parse_nest(src).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# top\n\nnest t # trailing\narray x 1\nstmt S depth 1 domain 0..3\nread x [1]\n";
+        let nest = parse_nest(src).unwrap();
+        assert_eq!(nest.accesses.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(parse_nest("").is_err());
+        assert!(parse_nest("# only comments\n").is_err());
+    }
+}

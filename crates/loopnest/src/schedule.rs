@@ -1,0 +1,125 @@
+//! Multidimensional linear schedules.
+//!
+//! Following Feautrier (cited by the paper for multidimensional time), a
+//! statement `S` of depth `d` carries a schedule `θ_S`, an `s×d` integer
+//! matrix: instance `S(I)` executes at (multidimensional, lexicographically
+//! ordered) timestep `θ_S·I`. Two instances run concurrently iff their
+//! timesteps coincide, i.e. iff their difference lies in `ker θ_S` — which
+//! is why every macro-communication condition in §3 of the paper starts
+//! with `I′ − I ∈ ker θ_S`.
+//!
+//! A fully parallel (DOALL) statement is modelled as the all-zero one-row
+//! schedule: every instance at timestep 0, `ker θ = ℤᵈ`.
+
+use rescomm_intlin::IMat;
+
+/// A multidimensional linear schedule `t = θ·I`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    theta: IMat,
+}
+
+impl Schedule {
+    /// Fully parallel schedule for a depth-`d` statement: `θ = 0` (one zero
+    /// row), so all instances share timestep 0.
+    pub fn parallel(depth: usize) -> Self {
+        assert!(depth > 0, "schedule of a depth-0 statement");
+        Schedule {
+            theta: IMat::zeros(1, depth),
+        }
+    }
+
+    /// One-dimensional linear schedule `t = π·I`.
+    pub fn linear(pi: &[i64]) -> Self {
+        assert!(!pi.is_empty());
+        Schedule {
+            theta: IMat::row_vec(pi),
+        }
+    }
+
+    /// The `k`-th outer loops sequential, the rest parallel: θ is the first
+    /// `k` rows of the identity. (`sequential_outer(1)` is the common
+    /// “outer time loop” pattern of the paper's Example 5.)
+    pub fn sequential_outer(depth: usize, k: usize) -> Self {
+        assert!(k >= 1 && k <= depth);
+        Schedule {
+            theta: IMat::from_fn(k, depth, |i, j| i64::from(i == j)),
+        }
+    }
+
+    /// General multidimensional schedule from a full matrix.
+    pub fn multidim(theta: IMat) -> Self {
+        assert!(theta.rows() > 0 && theta.cols() > 0);
+        Schedule { theta }
+    }
+
+    /// The schedule matrix `θ` (`s×d`).
+    pub fn theta(&self) -> &IMat {
+        &self.theta
+    }
+
+    /// Statement depth `d`.
+    pub fn depth(&self) -> usize {
+        self.theta.cols()
+    }
+
+    /// Timestep of an iteration point.
+    pub fn time(&self, point: &[i64]) -> Vec<i64> {
+        self.theta.mul_vec(point)
+    }
+
+    /// `true` iff two instances execute at the same timestep.
+    pub fn concurrent(&self, p: &[i64], q: &[i64]) -> bool {
+        self.time(p) == self.time(q)
+    }
+
+    /// `true` iff the schedule is fully parallel (θ = 0).
+    pub fn is_parallel(&self) -> bool {
+        self.theta.is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_schedule_everything_concurrent() {
+        let s = Schedule::parallel(3);
+        assert!(s.is_parallel());
+        assert!(s.concurrent(&[0, 0, 0], &[5, -2, 7]));
+        assert_eq!(s.time(&[5, -2, 7]), vec![0]);
+    }
+
+    #[test]
+    fn linear_schedule() {
+        let s = Schedule::linear(&[1, 0, 0]);
+        assert!(!s.is_parallel());
+        assert!(s.concurrent(&[3, 1, 2], &[3, 9, -4]));
+        assert!(!s.concurrent(&[3, 1, 2], &[4, 1, 2]));
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn sequential_outer_matches_linear_for_k1() {
+        let a = Schedule::sequential_outer(4, 1);
+        let b = Schedule::linear(&[1, 0, 0, 0]);
+        assert_eq!(a.theta(), b.theta());
+    }
+
+    #[test]
+    fn multidim_schedule() {
+        let theta = IMat::from_rows(&[&[1, 0, 0], &[0, 1, 1]]);
+        let s = Schedule::multidim(theta);
+        assert_eq!(s.time(&[2, 3, 4]), vec![2, 7]);
+        assert!(s.concurrent(&[2, 3, 4], &[2, 4, 3]));
+        assert!(!s.concurrent(&[2, 3, 4], &[2, 4, 4]));
+    }
+
+    #[test]
+    fn kernel_of_parallel_schedule_is_everything() {
+        let s = Schedule::parallel(2);
+        let k = rescomm_intlin::kernel_basis(s.theta()).unwrap();
+        assert_eq!(k.cols(), 2);
+    }
+}

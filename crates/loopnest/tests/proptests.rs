@@ -1,0 +1,145 @@
+//! Property tests for the loop-nest IR: parser robustness, print↔parse
+//! round-trips, domain iteration invariants, and schedule algebra.
+
+use proptest::prelude::*;
+use rescomm_intlin::IMat;
+use rescomm_loopnest::parser::parse_nest;
+use rescomm_loopnest::{to_text, Domain, LoopNest, NestBuilder, Schedule};
+
+fn random_nest() -> impl Strategy<Value = LoopNest> {
+    (
+        proptest::collection::vec(1usize..=3, 1..=3),
+        proptest::collection::vec(1usize..=3, 1..=2),
+        proptest::collection::vec(
+            (
+                0usize..100,
+                0usize..100,
+                proptest::collection::vec(-3i64..=3, 9),
+                proptest::collection::vec(-2i64..=2, 3),
+                0u8..3,
+            ),
+            0..=6,
+        ),
+        proptest::collection::vec(any::<bool>(), 2),
+    )
+        .prop_map(|(dims, depths, accs, seqs)| {
+            let mut b = NestBuilder::new("fuzz");
+            let arrays: Vec<_> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| b.array(&format!("x{i}"), d))
+                .collect();
+            let stmts: Vec<_> = depths
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| b.statement(&format!("S{i}"), d, Domain::cube(d, 3)))
+                .collect();
+            for (i, (&sid, &d)) in stmts.iter().zip(&depths).enumerate() {
+                if seqs.get(i).copied().unwrap_or(false) && d >= 1 {
+                    b.schedule(sid, Schedule::sequential_outer(d, 1));
+                }
+            }
+            for (ai, si, coeffs, offs, kind) in accs {
+                let x = arrays[ai % arrays.len()];
+                let s = stmts[si % stmts.len()];
+                let q = dims[ai % arrays.len()];
+                let d = depths[si % stmts.len()];
+                let f = IMat::from_fn(q, d, |i, j| coeffs[(i * d + j) % coeffs.len()]);
+                let c: Vec<i64> = (0..q).map(|i| offs[i % offs.len()]).collect();
+                match kind {
+                    0 => b.read(s, x, f, &c),
+                    1 => b.write(s, x, f, &c),
+                    _ => b.reduce(s, x, f, &c),
+                };
+            }
+            b.build().expect("generated nest is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(src in "\\PC{0,200}") {
+        let _ = parse_nest(&src);
+    }
+
+    /// …including inputs that look structurally plausible.
+    #[test]
+    fn parser_never_panics_on_plausible_lines(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("nest t".to_string()),
+                Just("array a 2".to_string()),
+                Just("stmt S depth 2 domain 0..3 0..3".to_string()),
+                Just("read a [1 0; 0 1]".to_string()),
+                Just("guard 1 -1 <= 0".to_string()),
+                Just("schedule linear 1 0".to_string()),
+                "[a-z ]{0,20}",
+                "(read|write|stmt|guard) [0-9\\[\\]; .<=-]{0,30}",
+            ],
+            0..12,
+        )
+    ) {
+        let src = lines.join("\n");
+        let _ = parse_nest(&src);
+    }
+
+    /// print → parse is the identity on generated nests.
+    #[test]
+    fn print_parse_roundtrip(nest in random_nest()) {
+        let text = to_text(&nest);
+        let back = parse_nest(&text)
+            .unwrap_or_else(|e| panic!("round-trip parse failed: {e}\n{text}"));
+        prop_assert_eq!(&back.arrays, &nest.arrays);
+        prop_assert_eq!(back.statements.len(), nest.statements.len());
+        for (a, b) in back.statements.iter().zip(&nest.statements) {
+            prop_assert_eq!(&a.domain, &b.domain);
+            prop_assert_eq!(&a.schedule, &b.schedule);
+        }
+        prop_assert_eq!(back.accesses.len(), nest.accesses.len());
+    }
+
+    /// Domain iteration: count matches exact_size, all points contained,
+    /// lexicographic order.
+    #[test]
+    fn domain_iteration_invariants(
+        bounds in proptest::collection::vec((-3i64..=3, 0i64..=3), 1..=3),
+        guard in proptest::collection::vec(-2i64..=2, 1..=3),
+        b in -4i64..=4,
+    ) {
+        let bounds: Vec<(i64, i64)> = bounds
+            .into_iter()
+            .map(|(lo, span)| (lo, lo + span))
+            .collect();
+        let mut dom = Domain::rect(&bounds);
+        if guard.len() == dom.dim() {
+            dom = dom.with_guard(&guard, b);
+        }
+        let pts: Vec<Vec<i64>> = dom.points().collect();
+        prop_assert_eq!(pts.len() as u128, dom.exact_size());
+        let mut prev: Option<&Vec<i64>> = None;
+        for p in &pts {
+            prop_assert!(dom.contains(p));
+            if let Some(q) = prev {
+                prop_assert!(q < p, "not lexicographic: {q:?} !< {p:?}");
+            }
+            prev = Some(p);
+        }
+    }
+
+    /// Schedules: concurrency is an equivalence relation compatible with
+    /// kernel membership.
+    #[test]
+    fn schedule_concurrency(pi in proptest::collection::vec(-3i64..=3, 2..=4)) {
+        let s = Schedule::linear(&pi);
+        let d = pi.len();
+        let zero = vec![0i64; d];
+        let mut e0 = vec![0i64; d];
+        e0[0] = 1;
+        prop_assert!(s.concurrent(&zero, &zero));
+        let same = s.concurrent(&zero, &e0);
+        prop_assert_eq!(same, pi[0] == 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! A CM-5-like machine: 4-ary fat-tree data network plus a dedicated
+//! control network with hardware broadcast / reduction / scan.
+//!
+//! Point-to-point traffic climbs the tree to the lowest common ancestor
+//! and descends; every tree edge (up and down directions separately) is a
+//! serializing resource, which is what makes irregular *general affine*
+//! communications expensive relative to the hardware collectives — the
+//! phenomenon behind Table 1 of the paper.
+
+use crate::model::{CostModel, PMsg};
+
+/// The fat-tree machine.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    /// Number of leaf processors (rounded up to a power of `arity`).
+    pub nprocs: usize,
+    /// Tree arity (4 for the CM-5).
+    pub arity: usize,
+    /// Cost model (use [`CostModel::cm5`]).
+    pub cost: CostModel,
+    /// Parallel lanes per tree edge, indexed by level (level 0 = above
+    /// the leaves). A *fat* tree widens toward the root; the default is
+    /// one lane everywhere (the conservative model).
+    pub lanes: Vec<usize>,
+    levels: usize,
+}
+
+impl FatTree {
+    /// Build a fat tree over `nprocs` leaves with the given arity and one
+    /// lane per edge (the conservative contention model).
+    pub fn new(nprocs: usize, arity: usize, cost: CostModel) -> Self {
+        Self::with_lanes(nprocs, arity, cost, &[])
+    }
+
+    /// Build with explicit per-level lane counts (missing levels get 1).
+    /// `FatTree::with_lanes(32, 4, cm5, &[1, 2, 4])` models a tree whose
+    /// bandwidth doubles per level toward the root, like the real CM-5
+    /// data network.
+    pub fn with_lanes(nprocs: usize, arity: usize, cost: CostModel, lanes: &[usize]) -> Self {
+        assert!(nprocs > 0 && arity >= 2);
+        assert!(lanes.iter().all(|&l| l > 0), "lane counts must be positive");
+        let mut levels = 0;
+        let mut span = 1;
+        while span < nprocs {
+            span *= arity;
+            levels += 1;
+        }
+        let mut lanes = lanes.to_vec();
+        lanes.resize(levels.max(lanes.len()), 1);
+        FatTree {
+            nprocs,
+            arity,
+            cost,
+            lanes,
+            levels,
+        }
+    }
+
+    /// Height of the tree (number of edge levels above the leaves).
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Level of the lowest common ancestor of two leaves (1-based; 0 means
+    /// same leaf).
+    pub fn lca_level(&self, a: usize, b: usize) -> usize {
+        let (mut a, mut b) = (a, b);
+        let mut lvl = 0;
+        while a != b {
+            a /= self.arity;
+            b /= self.arity;
+            lvl += 1;
+        }
+        lvl
+    }
+
+    /// The serializing resources of a route: `(level, group, up?)` edges.
+    /// Edge at level `l` above group `g` connects `g` to its parent.
+    fn route_edges(&self, src: usize, dst: usize) -> Vec<(usize, usize, bool)> {
+        let top = self.lca_level(src, dst);
+        let mut edges = Vec::with_capacity(2 * top);
+        let mut g = src;
+        for l in 0..top {
+            edges.push((l, g, true));
+            g /= self.arity;
+        }
+        // Descend to dst: gather the groups on the way down.
+        let mut down = Vec::with_capacity(top);
+        let mut h = dst;
+        for l in 0..top {
+            down.push((l, h, false));
+            h /= self.arity;
+        }
+        edges.extend(down.into_iter().rev());
+        edges
+    }
+
+    /// Simulate a point-to-point phase on the data network (greedy
+    /// whole-route reservation, like the mesh). Each tree edge offers
+    /// `lanes[level]` parallel lanes; a message takes the earliest-free
+    /// lane on every edge of its route. Returns the makespan.
+    pub fn simulate_phase(&self, msgs: &[PMsg]) -> u64 {
+        use std::collections::HashMap;
+        // (level, group, up) -> per-lane free times.
+        let mut free: HashMap<(usize, usize, bool), Vec<u64>> = HashMap::new();
+        let mut msgs: Vec<PMsg> = msgs
+            .iter()
+            .copied()
+            .filter(|m| m.src != m.dst)
+            .collect();
+        msgs.sort();
+        let mut makespan = 0;
+        for m in &msgs {
+            let edges = self.route_edges(m.src, m.dst);
+            let dur = self.cost.p2p(edges.len(), m.bytes);
+            // Pick the earliest-free lane per edge; start when all chosen
+            // lanes are free.
+            let mut chosen: Vec<((usize, usize, bool), usize)> = Vec::with_capacity(edges.len());
+            let mut start = 0u64;
+            for e in &edges {
+                let nlanes = self.lanes.get(e.0).copied().unwrap_or(1);
+                let lanes = free.entry(*e).or_insert_with(|| vec![0; nlanes]);
+                let (lane, &t) = lanes
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .expect("at least one lane");
+                chosen.push((*e, lane));
+                start = start.max(t);
+            }
+            let end = start + dur;
+            for (e, lane) in chosen {
+                free.get_mut(&e).expect("entry created above")[lane] = end;
+            }
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+
+    /// Hardware broadcast over the control network: one source, `p`
+    /// participants, `bytes` payload.
+    pub fn hw_broadcast(&self, participants: usize, bytes: u64) -> u64 {
+        self.cost.ctrl_collective(participants, bytes)
+    }
+
+    /// Hardware reduction (same control-network price as broadcast on the
+    /// CM-5; the combine happens in the tree).
+    pub fn hw_reduce(&self, participants: usize, bytes: u64) -> u64 {
+        self.cost.ctrl_collective(participants, bytes)
+    }
+
+    /// Hardware scatter/gather: the control network coordinates, but the
+    /// data still flows from/to one leaf — price one serialized stream
+    /// plus the collective start-up.
+    pub fn hw_scatter(&self, participants: usize, bytes_each: u64) -> u64 {
+        self.cost.ctrl_collective(participants, 0)
+            + participants as u64 * bytes_each * self.cost.per_byte
+    }
+
+    /// A translation (uniform shift by `delta` leaves, toroidal): each
+    /// processor sends one message to `(i + delta) mod nprocs`.
+    pub fn translation(&self, delta: usize, bytes: u64) -> u64 {
+        let msgs: Vec<PMsg> = (0..self.nprocs)
+            .map(|i| PMsg {
+                src: i,
+                dst: (i + delta) % self.nprocs,
+                bytes,
+            })
+            .collect();
+        self.simulate_phase(&msgs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ft() -> FatTree {
+        FatTree::new(32, 4, CostModel::cm5())
+    }
+
+    #[test]
+    fn levels_and_lca() {
+        let t = ft();
+        assert_eq!(t.levels(), 3); // 4³ = 64 ≥ 32
+        assert_eq!(t.lca_level(0, 0), 0);
+        assert_eq!(t.lca_level(0, 1), 1);
+        assert_eq!(t.lca_level(0, 4), 2);
+        assert_eq!(t.lca_level(0, 16), 3);
+    }
+
+    #[test]
+    fn route_edges_symmetric_length() {
+        let t = ft();
+        assert_eq!(t.route_edges(0, 1).len(), 2);
+        assert_eq!(t.route_edges(0, 5).len(), 4);
+        assert_eq!(t.route_edges(3, 28).len(), 6);
+    }
+
+    #[test]
+    fn siblings_do_not_contend_with_distant_pairs() {
+        let t = ft();
+        let a = PMsg { src: 0, dst: 1, bytes: 64 };
+        let b = PMsg { src: 8, dst: 9, bytes: 64 };
+        let t2 = t.simulate_phase(&[a, b]);
+        assert_eq!(t2, t.simulate_phase(&[a]));
+    }
+
+    #[test]
+    fn shared_upward_edge_serializes() {
+        let t = ft();
+        // Both messages leave leaf group {0..3} upward from leaf 0.
+        let a = PMsg { src: 0, dst: 16, bytes: 64 };
+        let b = PMsg { src: 0, dst: 20, bytes: 64 };
+        let both = t.simulate_phase(&[a, b]);
+        let one = t.simulate_phase(&[a]);
+        assert!(both > one, "same source must serialize on its up-edge");
+    }
+
+    #[test]
+    fn hw_broadcast_beats_software_emulation() {
+        let t = ft();
+        let hw = t.hw_broadcast(32, 8);
+        // Software emulation: root sends to every leaf one by one.
+        let sw: Vec<PMsg> = (1..32).map(|d| PMsg { src: 0, dst: d, bytes: 8 }).collect();
+        let sw_time = t.simulate_phase(&sw);
+        assert!(hw * 4 < sw_time, "hw {hw} vs sw {sw_time}");
+    }
+
+    #[test]
+    fn translation_cheaper_than_random_like_pattern() {
+        let t = ft();
+        let shift = t.translation(1, 256);
+        // A bit-reversal-like pattern crosses the top of the tree a lot.
+        let msgs: Vec<PMsg> = (0..32)
+            .map(|i| PMsg { src: i, dst: (i * 13 + 5) % 32, bytes: 256 })
+            .collect();
+        let general = t.simulate_phase(&msgs);
+        assert!(shift < general, "shift {shift} vs general {general}");
+    }
+
+    #[test]
+    fn extra_lanes_reduce_contention() {
+        let thin = FatTree::new(32, 4, CostModel::cm5());
+        let fat = FatTree::with_lanes(32, 4, CostModel::cm5(), &[1, 2, 4]);
+        // A root-crossing all-to-one-half pattern that hammers the top.
+        let msgs: Vec<PMsg> = (0..16)
+            .map(|i| PMsg { src: i, dst: 16 + i, bytes: 512 })
+            .collect();
+        let t_thin = thin.simulate_phase(&msgs);
+        let t_fat = fat.simulate_phase(&msgs);
+        assert!(t_fat < t_thin, "fat {t_fat} vs thin {t_thin}");
+        // And a single message costs the same on both.
+        let one = [PMsg { src: 0, dst: 31, bytes: 512 }];
+        assert_eq!(thin.simulate_phase(&one), fat.simulate_phase(&one));
+    }
+
+    #[test]
+    fn lane_counts_default_to_one() {
+        let t = FatTree::new(32, 4, CostModel::cm5());
+        assert!(t.lanes.iter().all(|&l| l == 1));
+        assert_eq!(t.lanes.len(), t.levels());
+    }
+
+    #[test]
+    fn table1_ordering_holds() {
+        // Reduction ≤ broadcast < translation < general communication —
+        // the qualitative content of Table 1.
+        let t = ft();
+        let bytes = 512;
+        let red = t.hw_reduce(32, 8);
+        let bc = t.hw_broadcast(32, bytes.min(64));
+        let tr = t.translation(1, bytes);
+        let msgs: Vec<PMsg> = (0..32)
+            .map(|i| PMsg { src: i, dst: (i * 13 + 5) % 32, bytes })
+            .collect();
+        let gen = t.simulate_phase(&msgs);
+        assert!(red <= bc, "red={red} bc={bc}");
+        assert!(bc < tr, "bc={bc} tr={tr}");
+        assert!(tr < gen, "tr={tr} gen={gen}");
+    }
+}

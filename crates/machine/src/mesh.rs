@@ -1,0 +1,269 @@
+//! A `P×Q` wormhole 2-D mesh with XY routing and per-link serialization —
+//! the Paragon-like substrate for Table 2 and Figure 8.
+//!
+//! Contention model: a wormhole message reserves **every link of its
+//! route** for its whole transfer time (head-of-line blocking collapses
+//! the pipeline to this approximation); two messages sharing any link
+//! serialize. A communication phase is scheduled greedily: messages are
+//! processed in deterministic order, each starting as soon as all its
+//! links are free. The phase *makespan* is what the benchmarks report —
+//! exactly the quantity the paper measures when it times one
+//! communication pattern.
+
+use crate::model::{CostModel, PMsg};
+
+/// A 2-D mesh of `px × py` nodes.
+///
+/// ```
+/// use rescomm_machine::{CostModel, Mesh2D, PMsg};
+/// let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+/// // Two messages forced through one link serialize:
+/// let a = PMsg { src: 0, dst: 3, bytes: 64 };
+/// let b = PMsg { src: 1, dst: 2, bytes: 64 };
+/// let both = mesh.simulate_phase(&[a, b]);
+/// assert_eq!(both, mesh.simulate_phase(&[a]) + mesh.simulate_phase(&[b]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh2D {
+    /// Nodes along X.
+    pub px: usize,
+    /// Nodes along Y.
+    pub py: usize,
+    /// The cost model.
+    pub cost: CostModel,
+}
+
+/// Directed link identifier inside the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(usize);
+
+impl LinkId {
+    /// Dense index of the link (for utilization tables).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl Mesh2D {
+    /// Build a mesh.
+    pub fn new(px: usize, py: usize, cost: CostModel) -> Self {
+        assert!(px > 0 && py > 0);
+        Mesh2D { px, py, cost }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.px * self.py
+    }
+
+    /// Flatten `(x, y)` to a node id.
+    pub fn node_id(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.px && y < self.py, "node ({x},{y}) out of mesh");
+        y * self.px + x
+    }
+
+    /// Unflatten a node id.
+    pub fn coords(&self, id: usize) -> (usize, usize) {
+        assert!(id < self.nodes());
+        (id % self.px, id / self.px)
+    }
+
+    /// Number of directed links (2 per adjacent pair).
+    fn link_count(&self) -> usize {
+        // Horizontal: (px−1)·py pairs; vertical: px·(py−1) pairs; ×2.
+        2 * ((self.px - 1) * self.py + self.px * (self.py - 1))
+    }
+
+    fn h_link(&self, x: usize, y: usize, positive: bool) -> LinkId {
+        // Link between (x,y) and (x+1,y).
+        debug_assert!(x + 1 < self.px + 1);
+        let base = (y * (self.px - 1) + x) * 2;
+        LinkId(base + usize::from(positive))
+    }
+
+    fn v_link(&self, x: usize, y: usize, positive: bool) -> LinkId {
+        let h = 2 * (self.px - 1) * self.py;
+        let base = h + (x * (self.py - 1) + y) * 2;
+        LinkId(base + usize::from(positive))
+    }
+
+    /// XY route between two nodes: X first, then Y; returns directed links.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
+        let (mut x, mut y) = self.coords(src);
+        let (tx, ty) = self.coords(dst);
+        let mut links = Vec::with_capacity(x.abs_diff(tx) + y.abs_diff(ty));
+        while x < tx {
+            links.push(self.h_link(x, y, true));
+            x += 1;
+        }
+        while x > tx {
+            links.push(self.h_link(x - 1, y, false));
+            x -= 1;
+        }
+        while y < ty {
+            links.push(self.v_link(x, y, true));
+            y += 1;
+        }
+        while y > ty {
+            links.push(self.v_link(x, y - 1, false));
+            y -= 1;
+        }
+        links
+    }
+
+    /// Hop count of the XY route.
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        let (x, y) = self.coords(src);
+        let (tx, ty) = self.coords(dst);
+        x.abs_diff(tx) + y.abs_diff(ty)
+    }
+
+    /// Simulate one communication phase: all messages available at t = 0,
+    /// greedy whole-route reservation in deterministic (sorted) order.
+    /// Returns the makespan in nanoseconds (0 for an empty phase).
+    pub fn simulate_phase(&self, msgs: &[PMsg]) -> u64 {
+        let mut link_free = vec![0u64; self.link_count()];
+        let mut msgs: Vec<PMsg> = msgs
+            .iter()
+            .copied()
+            .filter(|m| m.src != m.dst)
+            .collect();
+        msgs.sort();
+        let mut makespan = 0u64;
+        for m in &msgs {
+            let route = self.route(m.src, m.dst);
+            let dur = self.cost.p2p(route.len(), m.bytes);
+            let start = route
+                .iter()
+                .map(|l| link_free[l.0])
+                .max()
+                .unwrap_or(0);
+            let end = start + dur;
+            for l in &route {
+                link_free[l.0] = end;
+            }
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+
+    /// Simulate a sequence of dependent phases (each starts after the
+    /// previous completes) and return the total time.
+    pub fn simulate_phases(&self, phases: &[Vec<PMsg>]) -> u64 {
+        phases.iter().map(|p| self.simulate_phase(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(px: usize, py: usize) -> Mesh2D {
+        Mesh2D::new(px, py, CostModel::paragon())
+    }
+
+    #[test]
+    fn routes_are_xy_and_hop_counts_match() {
+        let m = mesh(4, 4);
+        let a = m.node_id(0, 0);
+        let b = m.node_id(3, 2);
+        let r = m.route(a, b);
+        assert_eq!(r.len(), 5);
+        assert_eq!(m.hops(a, b), 5);
+        // Reverse direction uses different (opposite) links.
+        let r2 = m.route(b, a);
+        assert_eq!(r2.len(), 5);
+        assert!(r.iter().all(|l| !r2.contains(l)), "directed links must differ");
+    }
+
+    #[test]
+    fn empty_phase_is_free() {
+        assert_eq!(mesh(4, 4).simulate_phase(&[]), 0);
+        // Local messages are free too.
+        let m = mesh(4, 4);
+        assert_eq!(m.simulate_phase(&[PMsg { src: 5, dst: 5, bytes: 100 }]), 0);
+    }
+
+    #[test]
+    fn single_message_time_is_p2p() {
+        let m = mesh(4, 4);
+        let t = m.simulate_phase(&[PMsg { src: 0, dst: 1, bytes: 64 }]);
+        assert_eq!(t, m.cost.p2p(1, 64));
+    }
+
+    #[test]
+    fn disjoint_messages_run_in_parallel() {
+        let m = mesh(4, 4);
+        let a = PMsg { src: m.node_id(0, 0), dst: m.node_id(1, 0), bytes: 64 };
+        let b = PMsg { src: m.node_id(0, 2), dst: m.node_id(1, 2), bytes: 64 };
+        let t2 = m.simulate_phase(&[a, b]);
+        let t1 = m.simulate_phase(&[a]);
+        assert_eq!(t2, t1, "disjoint routes must not serialize");
+    }
+
+    #[test]
+    fn shared_link_serializes() {
+        let m = mesh(4, 1);
+        // Two messages crossing the same middle link.
+        let a = PMsg { src: 0, dst: 3, bytes: 64 };
+        let b = PMsg { src: 1, dst: 2, bytes: 64 };
+        let t = m.simulate_phase(&[a, b]);
+        let ta = m.simulate_phase(&[a]);
+        let tb = m.simulate_phase(&[b]);
+        assert_eq!(t, ta + tb, "shared link must serialize");
+    }
+
+    #[test]
+    fn makespan_monotone_in_bytes() {
+        let m = mesh(4, 4);
+        let small: Vec<PMsg> = (0..8)
+            .map(|i| PMsg { src: i, dst: 15 - i, bytes: 16 })
+            .collect();
+        let big: Vec<PMsg> = small.iter().map(|m| PMsg { bytes: 1024, ..*m }).collect();
+        assert!(m.simulate_phase(&big) > m.simulate_phase(&small));
+    }
+
+    #[test]
+    fn makespan_monotone_in_message_count() {
+        let m = mesh(4, 4);
+        let msgs: Vec<PMsg> = (0..12)
+            .map(|i| PMsg { src: i, dst: (i + 5) % 16, bytes: 128 })
+            .collect();
+        let t_half = m.simulate_phase(&msgs[..6]);
+        let t_full = m.simulate_phase(&msgs);
+        assert!(t_full >= t_half);
+    }
+
+    #[test]
+    fn contention_free_lower_bound() {
+        let m = mesh(8, 8);
+        let msgs: Vec<PMsg> = (0..32)
+            .map(|i| PMsg { src: i, dst: 63 - i, bytes: 256 })
+            .collect();
+        let t = m.simulate_phase(&msgs);
+        let lb = msgs
+            .iter()
+            .map(|mm| m.cost.p2p(m.hops(mm.src, mm.dst), mm.bytes))
+            .max()
+            .unwrap();
+        assert!(t >= lb, "makespan below contention-free bound");
+    }
+
+    #[test]
+    fn phases_accumulate() {
+        let m = mesh(4, 1);
+        let p1 = vec![PMsg { src: 0, dst: 1, bytes: 64 }];
+        let p2 = vec![PMsg { src: 2, dst: 3, bytes: 64 }];
+        assert_eq!(
+            m.simulate_phases(&[p1.clone(), p2.clone()]),
+            m.simulate_phase(&p1) + m.simulate_phase(&p2)
+        );
+    }
+
+    #[test]
+    fn degenerate_1x1_mesh() {
+        let m = mesh(1, 1);
+        assert_eq!(m.simulate_phase(&[]), 0);
+        assert_eq!(m.nodes(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Parallel parameter sweeps with crossbeam scoped threads.
+//!
+//! The benchmark harness evaluates many (machine, distribution, k, size)
+//! configurations; each simulation is independent, so we fan them out over
+//! the available cores with `crossbeam::scope` — no `'static` bounds, no
+//! locks, results returned in input order.
+
+/// Run `f` over every config on `threads` worker threads (chunked
+//  statically), preserving input order in the output.
+pub fn par_sweep<C, R, F>(configs: &[C], threads: usize, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send + Default + Clone,
+    F: Fn(&C) -> R + Sync,
+{
+    let n = configs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let mut results = vec![R::default(); n];
+    let chunk = n.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (slot, work) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (out, cfg) in slot.iter_mut().zip(work) {
+                    *out = f(cfg);
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh2D;
+    use crate::model::{CostModel, PMsg};
+
+    #[test]
+    fn preserves_order_and_values() {
+        let configs: Vec<u64> = (0..100).collect();
+        let got = par_sweep(&configs, 8, |&c| c * 2);
+        let want: Vec<u64> = configs.iter().map(|c| c * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let configs: Vec<usize> = (1..20).collect();
+        let f = |&n: &usize| {
+            let m = Mesh2D::new(4, 4, CostModel::paragon());
+            let msgs: Vec<PMsg> = (0..n)
+                .map(|i| PMsg {
+                    src: i % 16,
+                    dst: (i * 7 + 3) % 16,
+                    bytes: 64,
+                })
+                .collect();
+            m.simulate_phase(&msgs)
+        };
+        assert_eq!(par_sweep(&configs, 1, f), par_sweep(&configs, 7, f));
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<u64> = par_sweep(&Vec::<u64>::new(), 4, |&c| c);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let configs = vec![1u64, 2];
+        assert_eq!(par_sweep(&configs, 64, |&c| c + 1), vec![2, 3]);
+    }
+}

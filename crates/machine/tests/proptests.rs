@@ -1,0 +1,93 @@
+//! Property tests for the machine simulators: scheduling invariants that
+//! must hold whatever the message set.
+
+use proptest::prelude::*;
+use rescomm_machine::{trace_phase, CostModel, FatTree, Mesh2D, PMsg};
+
+fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
+    proptest::collection::vec(
+        (0..n_nodes, 0..n_nodes, 1u64..512),
+        0..24,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(s, d, b)| PMsg { src: s, dst: d, bytes: b })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Makespan ≥ the contention-free lower bound (the longest single
+    /// message), and 0 only for empty/local-only phases.
+    #[test]
+    fn mesh_makespan_bounds(ms in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let t = mesh.simulate_phase(&ms);
+        let lb = ms
+            .iter()
+            .filter(|m| m.src != m.dst)
+            .map(|m| mesh.cost.p2p(mesh.hops(m.src, m.dst), m.bytes))
+            .max()
+            .unwrap_or(0);
+        prop_assert!(t >= lb);
+        // Upper bound: full serialization of everything.
+        let ub: u64 = ms
+            .iter()
+            .filter(|m| m.src != m.dst)
+            .map(|m| mesh.cost.p2p(mesh.hops(m.src, m.dst), m.bytes))
+            .sum();
+        prop_assert!(t <= ub, "makespan {t} above serialization bound {ub}");
+    }
+
+    /// Adding a message never shrinks the makespan.
+    #[test]
+    fn mesh_monotone_in_messages(ms in msgs(32), extra in (0usize..32, 0usize..32, 1u64..512)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let base = mesh.simulate_phase(&ms);
+        let mut more = ms.clone();
+        more.push(PMsg { src: extra.0, dst: extra.1, bytes: extra.2 });
+        prop_assert!(mesh.simulate_phase(&more) >= base);
+    }
+
+    /// Growing every payload never shrinks the makespan.
+    #[test]
+    fn mesh_monotone_in_bytes(ms in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let base = mesh.simulate_phase(&ms);
+        let bigger: Vec<PMsg> = ms.iter().map(|m| PMsg { bytes: m.bytes * 2, ..*m }).collect();
+        prop_assert!(mesh.simulate_phase(&bigger) >= base);
+    }
+
+    /// The trace agrees with the simulation and its bottleneck bound.
+    #[test]
+    fn trace_consistent(ms in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let t = trace_phase(&mesh, &ms);
+        prop_assert_eq!(t.makespan, mesh.simulate_phase(&ms));
+        prop_assert!(t.makespan >= t.bottleneck_bound());
+    }
+
+    /// Fat-tree scheduling shares the same monotonicity.
+    #[test]
+    fn fattree_monotone(ms in msgs(32)) {
+        let ft = FatTree::new(32, 4, CostModel::cm5());
+        let base = ft.simulate_phase(&ms);
+        let bigger: Vec<PMsg> = ms.iter().map(|m| PMsg { bytes: m.bytes + 64, ..*m }).collect();
+        prop_assert!(ft.simulate_phase(&bigger) >= base);
+        // More lanes never hurt.
+        let fat = FatTree::with_lanes(32, 4, CostModel::cm5(), &[2, 2, 2]);
+        prop_assert!(fat.simulate_phase(&ms) <= base);
+    }
+
+    /// Determinism: the same message set (any order) gives one makespan,
+    /// because the scheduler sorts internally.
+    #[test]
+    fn order_independent(ms in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut rev = ms.clone();
+        rev.reverse();
+        prop_assert_eq!(mesh.simulate_phase(&ms), mesh.simulate_phase(&rev));
+    }
+}

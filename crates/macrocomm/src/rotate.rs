@@ -1,0 +1,109 @@
+//! Making partial collectives axis-parallel (§3.1, "Partial broadcast
+//! conditions").
+//!
+//! A partial broadcast along directions `D = [M_S v₁ … M_S v_p]` is only
+//! implemented efficiently when the directions live in a coordinate
+//! subspace of the grid — `D = [D₁; 0]` up to a row permutation. When they
+//! do not, the paper decomposes `D = Q·[H; 0]` (right Hermite form) and
+//! left-multiplies every allocation matrix of the connected component by
+//! `Q⁻¹`, which rotates the broadcast onto the first `rank D` axes without
+//! disturbing any local communication.
+
+use rescomm_intlin::{right_hermite, IMat};
+
+/// `true` iff the nonzero rows of `D` number at most `rank D` — i.e. the
+/// directions are confined to `rank D` grid axes (the efficiency condition
+/// for a partial collective).
+pub fn is_axis_confined(d: &IMat) -> bool {
+    let nonzero_rows = (0..d.rows())
+        .filter(|&i| d.row(i).iter().any(|&x| x != 0))
+        .count();
+    nonzero_rows <= d.rank()
+}
+
+/// Compute the unimodular rotation `Q⁻¹` that confines the directions of
+/// `d` to the first `rank d` grid axes: `Q⁻¹·d = [H; 0]`.
+///
+/// Returns `(q_inv, rank)`. Left-multiplying every allocation of the
+/// component by `q_inv` makes the collective axis-parallel.
+pub fn axis_alignment_rotation(d: &IMat) -> (IMat, usize) {
+    let hf = right_hermite(d);
+    let q_inv = hf
+        .q
+        .inverse_unimodular()
+        .expect("Hermite cofactor must be unimodular");
+    (q_inv, hf.rank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn axis_confined_cases() {
+        // Single direction along an axis.
+        assert!(is_axis_confined(&IMat::col_vec(&[0, 3])));
+        assert!(is_axis_confined(&IMat::col_vec(&[2, 0])));
+        // Diagonal direction: touches two axes with rank 1.
+        assert!(!is_axis_confined(&IMat::col_vec(&[1, -1])));
+        // Two directions spanning two axes: confined (rank 2, 2 rows).
+        assert!(is_axis_confined(&m(&[&[1, 1], &[0, 1]])));
+        // Two parallel diagonal directions: rank 1, 2 nonzero rows.
+        assert!(!is_axis_confined(&m(&[&[1, 2], &[-1, -2]])));
+        // Zero matrix: trivially confined.
+        assert!(is_axis_confined(&IMat::zeros(2, 1)));
+    }
+
+    #[test]
+    fn rotation_confines_single_direction() {
+        // The motivating example: D = (1, −1)ᵗ.
+        let d = IMat::col_vec(&[1, -1]);
+        let (qinv, r) = axis_alignment_rotation(&d);
+        assert_eq!(r, 1);
+        let rotated = &qinv * &d;
+        assert!(is_axis_confined(&rotated), "rotated: {rotated:?}");
+        // Confined to the FIRST axis: second row zero.
+        assert_eq!(rotated[(1, 0)], 0);
+        assert_ne!(rotated[(0, 0)], 0);
+    }
+
+    #[test]
+    fn rotation_confines_collapsing_pair() {
+        // The "lucky coincidence": two directions on the same line.
+        let d = m(&[&[1, 1], &[-1, -1]]);
+        let (qinv, r) = axis_alignment_rotation(&d);
+        assert_eq!(r, 1);
+        let rotated = &qinv * &d;
+        assert!(is_axis_confined(&rotated));
+        assert_eq!(rotated.row(1), &[0, 0]);
+    }
+
+    #[test]
+    fn rotation_on_3d_grid() {
+        let d = IMat::col_vec(&[2, 3, 5]);
+        let (qinv, r) = axis_alignment_rotation(&d);
+        assert_eq!(r, 1);
+        let rotated = &qinv * &d;
+        assert_eq!(rotated[(1, 0)], 0);
+        assert_eq!(rotated[(2, 0)], 0);
+        // gcd preserved: the direction is primitive, so the pivot is ±1.
+        assert_eq!(rotated[(0, 0)].abs(), 1);
+    }
+
+    #[test]
+    fn rotation_is_unimodular_and_invertible() {
+        let d = m(&[&[3, 1], &[1, 1], &[2, 2]]);
+        let (qinv, r) = axis_alignment_rotation(&d);
+        assert!(rescomm_intlin::is_unimodular(&qinv));
+        assert_eq!(r, 2);
+        let rotated = &qinv * &d;
+        // All rows past the rank are zero.
+        for i in r..3 {
+            assert!(rotated.row(i).iter().all(|&x| x == 0));
+        }
+    }
+}

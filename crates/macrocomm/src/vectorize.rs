@@ -1,0 +1,83 @@
+//! Message vectorization (§3.5 of the paper).
+//!
+//! A communication can be hoisted out of the (sequential) time loop and
+//! sent as one large message when the data a processor reads does not
+//! change across timesteps — formally, when the source location `M_a·F_a·I`
+//! is a function of the destination processor `M_S·I` alone:
+//! `M_a·F_a = X·M_S` for some `X`, i.e. **`ker M_S ⊆ ker (M_a·F_a)`**.
+//! Replacing many small messages by one removes the per-message start-up
+//! and latency overheads.
+
+use rescomm_intlin::{kernel_subset, IMat};
+
+/// `true` iff the communication `(M_S, M_x·F)` is vectorizable:
+/// `ker M_S ⊆ ker (M_x·F)`.
+///
+/// ```
+/// use rescomm_intlin::IMat;
+/// use rescomm_macrocomm::vectorizable;
+/// // Processor = i; source = 2i (time-invariant): hoistable.
+/// let m_s = IMat::from_rows(&[&[0, 1]]);
+/// assert!(vectorizable(&m_s, &IMat::from_rows(&[&[0, 2]])));
+/// // Source moves with t: not hoistable.
+/// assert!(!vectorizable(&m_s, &IMat::from_rows(&[&[1, 1]])));
+/// ```
+pub fn vectorizable(m_s: &IMat, m_x_f: &IMat) -> bool {
+    assert_eq!(
+        m_s.cols(),
+        m_x_f.cols(),
+        "vectorizable: both maps act on the iteration space"
+    );
+    kernel_subset(m_s, m_x_f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rescomm_intlin::IMat;
+
+    fn m(rows: &[&[i64]]) -> IMat {
+        IMat::from_rows(rows)
+    }
+
+    #[test]
+    fn identical_maps_vectorize() {
+        let a = m(&[&[1, 0, 0], &[0, 1, 0]]);
+        assert!(vectorizable(&a, &a));
+    }
+
+    #[test]
+    fn source_ignoring_time_vectorizes() {
+        // Iteration (t, i): processor = i, source = i too (t-invariant).
+        let m_s = m(&[&[0, 1]]);
+        let mxf = m(&[&[0, 2]]);
+        assert!(vectorizable(&m_s, &mxf));
+    }
+
+    #[test]
+    fn time_dependent_source_does_not_vectorize() {
+        // Processor = i but the source moves with t: a shifting window.
+        let m_s = m(&[&[0, 1]]);
+        let mxf = m(&[&[1, 1]]);
+        assert!(!vectorizable(&m_s, &mxf));
+    }
+
+    #[test]
+    fn full_rank_processor_map_always_vectorizes() {
+        // ker M_S = 0: trivially contained.
+        let m_s = IMat::identity(3);
+        let mxf = m(&[&[1, 2, 3], &[0, 0, 0], &[1, 1, 1]]);
+        assert!(vectorizable(&m_s, &mxf));
+    }
+
+    #[test]
+    fn factorization_exists_when_vectorizable() {
+        // When ker M_S ⊆ ker(MxF), an X with MxF = X·M_S exists (check by
+        // solving the equation).
+        let m_s = m(&[&[1, 0, 0], &[0, 1, 1]]);
+        let mxf = m(&[&[2, 0, 0], &[1, 1, 1]]);
+        assert!(vectorizable(&m_s, &mxf));
+        let fam = rescomm_intlin::solve_xf_eq_s(&mxf, &m_s).unwrap();
+        assert_eq!(&fam.particular * &m_s, mxf);
+    }
+}

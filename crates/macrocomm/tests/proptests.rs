@@ -1,0 +1,142 @@
+//! Property tests for macro-communication detection and rotation.
+
+use proptest::prelude::*;
+use rescomm_intlin::{is_unimodular, IMat};
+use rescomm_loopnest::AccessKind;
+use rescomm_macrocomm::{
+    axis_alignment_rotation, detect, is_axis_confined, vectorizable, Extent, MacroInput,
+};
+
+fn small_mat(rows: usize, cols: usize) -> impl Strategy<Value = IMat> {
+    proptest::collection::vec(-3i64..=3, rows * cols)
+        .prop_map(move |v| IMat::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Hermite rotation always confines any nonzero direction matrix
+    /// to its rank's worth of axes, with a unimodular transform.
+    #[test]
+    fn rotation_always_confines(d in small_mat(2, 2)) {
+        let (qinv, r) = axis_alignment_rotation(&d);
+        prop_assert!(is_unimodular(&qinv));
+        prop_assert_eq!(r, d.rank());
+        let rotated = &qinv * &d;
+        prop_assert!(is_axis_confined(&rotated), "not confined: {:?}", rotated);
+        // Rows past the rank are zero.
+        for i in r..2 {
+            prop_assert!(rotated.row(i).iter().all(|&x| x == 0));
+        }
+    }
+
+    #[test]
+    fn rotation_confines_3d(d in small_mat(3, 2)) {
+        let (qinv, r) = axis_alignment_rotation(&d);
+        let rotated = &qinv * &d;
+        prop_assert!(is_axis_confined(&rotated));
+        for i in r..3 {
+            prop_assert!(rotated.row(i).iter().all(|&x| x == 0));
+        }
+    }
+
+    /// Broadcast detection is invariant under unimodular rotation of the
+    /// whole component: kind and extent never change; axis-parallelism
+    /// becomes true after the canonical rotation.
+    #[test]
+    fn detection_invariant_under_rotation(
+        f in small_mat(2, 3),
+        m_s in small_mat(2, 3),
+        shear in -3i64..=3,
+    ) {
+        let theta = IMat::zeros(1, 3);
+        let m_x = IMat::identity(2);
+        let input = MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        };
+        let before = detect(input);
+        let v = IMat::from_rows(&[&[1, shear], &[0, 1]]);
+        let m_s2 = &v * &m_s;
+        let m_x2 = &v * &m_x;
+        let after = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s2,
+            m_x: &m_x2,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        });
+        match (before, after) {
+            (None, None) => {}
+            (Some(b), Some(a)) => {
+                prop_assert_eq!(b.kind, a.kind);
+                prop_assert_eq!(b.extent, a.extent, "extent changed under rotation");
+            }
+            (b, a) => prop_assert!(false, "detection flipped: {:?} vs {:?}", b.is_some(), a.is_some()),
+        }
+    }
+
+    /// Vectorizability is decided by kernels, so scaling M_S by an
+    /// invertible factor cannot change it.
+    #[test]
+    fn vectorizable_invariant_under_row_ops(
+        m_s in small_mat(2, 3),
+        mxf in small_mat(2, 3),
+        shear in -3i64..=3,
+    ) {
+        let v = IMat::from_rows(&[&[1, shear], &[0, 1]]);
+        let m_s2 = &v * &m_s;
+        prop_assert_eq!(vectorizable(&m_s, &mxf), vectorizable(&m_s2, &mxf));
+    }
+
+    /// A full-rank access matrix with trivial kernel can never broadcast
+    /// under a parallel schedule… unless the schedule contributes: with
+    /// θ = 0 the kernel intersection is exactly ker F.
+    #[test]
+    fn square_nonsingular_reads_never_broadcast(f in small_mat(2, 2), m_s in small_mat(2, 2)) {
+        prop_assume!(f.det() != 0);
+        let theta = IMat::zeros(1, 2);
+        let m_x = IMat::identity(2);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        });
+        if let Some(mc) = got {
+            // ker F trivial ⟹ no broadcast geometry; only scatter/gather
+            // shapes (through ker(M_x·F)) may fire, or a Hidden verdict.
+            prop_assert!(
+                mc.extent == Extent::Hidden
+                    || mc.kind != rescomm_macrocomm::MacroKind::Broadcast,
+                "broadcast from trivial kernel: {:?}",
+                mc
+            );
+        }
+    }
+
+    /// Writes never produce broadcasts or reductions.
+    #[test]
+    fn writes_only_gather(f in small_mat(2, 3), m_s in small_mat(2, 3)) {
+        let theta = IMat::zeros(1, 3);
+        let m_x = IMat::identity(2);
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Write,
+            stmt_is_reduction: false,
+        });
+        if let Some(mc) = got {
+            prop_assert_eq!(mc.kind, rescomm_macrocomm::MacroKind::Gather);
+        }
+    }
+}

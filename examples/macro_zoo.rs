@@ -1,0 +1,52 @@
+//! The macro-communication zoo: the paper's Examples 2–4 (broadcast,
+//! gather, reduction) detected end to end, plus the geometry of total vs
+//! partial vs hidden collectives.
+//!
+//! ```text
+//! cargo run -p rescomm-bench --example macro_zoo
+//! ```
+
+use rescomm::{map_nest, MappingOptions};
+use rescomm_intlin::IMat;
+use rescomm_loopnest::examples::{example2_broadcast, example3_gather, example4_reduction};
+use rescomm_loopnest::AccessKind;
+use rescomm::substrate::macrocomm::{detect, Extent, MacroInput};
+
+fn main() {
+    for (name, nest) in [
+        ("Example 2 (broadcast)", example2_broadcast(8)),
+        ("Example 3 (gather)", example3_gather(8)),
+        ("Example 4 (reduction)", example4_reduction(8)),
+    ] {
+        println!("=== {name} ===");
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        println!("{}", mapping.report(&nest));
+    }
+
+    // Raw detector geometry: the same access under three mappings.
+    println!("=== geometry of r[i,j] = f(a[i]) under three mappings ===");
+    let theta = IMat::zeros(1, 2);
+    let f = IMat::from_rows(&[&[1, 0]]);
+    let m_x = IMat::identity(1);
+    for (label, m_s) in [
+        ("identity mapping (axis-parallel partial broadcast)", IMat::identity(2)),
+        ("skewed mapping (diagonal broadcast, needs rotation)", IMat::from_rows(&[&[1, 1], &[0, 1]])),
+        ("projection onto i (broadcast hidden)", IMat::from_rows(&[&[1, 0]])),
+    ] {
+        let got = detect(MacroInput {
+            theta: &theta,
+            f: &f,
+            m_s: &m_s,
+            m_x: &m_x,
+            kind: AccessKind::Read,
+            stmt_is_reduction: false,
+        })
+        .expect("broadcast geometry always present");
+        let extent = match got.extent {
+            Extent::Total => "total".to_string(),
+            Extent::Partial { r } => format!("partial (r = {r})"),
+            Extent::Hidden => "hidden".to_string(),
+        };
+        println!("  {label}: {extent}, axis-parallel = {}", got.axis_parallel);
+    }
+}

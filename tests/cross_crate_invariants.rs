@@ -1,0 +1,129 @@
+//! Property-based integration tests: random small affine nests are pushed
+//! through the whole pipeline and the cross-crate invariants checked —
+//! whatever the heuristic decides, it must never lie.
+
+use proptest::prelude::*;
+use rescomm::pipeline::dataflow_matrix;
+use rescomm::{map_nest, CommOutcome, MappingOptions};
+use rescomm_decompose::product;
+use rescomm_intlin::IMat;
+use rescomm_loopnest::{Domain, LoopNest, NestBuilder};
+
+/// Strategy: a random nest with 1–2 statements (depths 2–3), 1–3 arrays
+/// (dims 1–3) and 2–5 affine accesses with small coefficients.
+fn small_nest() -> impl Strategy<Value = LoopNest> {
+    let dims = proptest::collection::vec(1usize..=3, 1..=3);
+    let depths = proptest::collection::vec(2usize..=3, 1..=2);
+    (dims, depths, proptest::collection::vec((0usize..100, 0usize..100, proptest::collection::vec(-2i64..=2, 9), proptest::collection::vec(-2i64..=2, 3), any::<bool>()), 2..=5))
+        .prop_map(|(dims, depths, accs)| {
+            let mut b = NestBuilder::new("random");
+            let arrays: Vec<_> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| b.array(&format!("x{i}"), d))
+                .collect();
+            let stmts: Vec<_> = depths
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| b.statement(&format!("S{i}"), d, Domain::cube(d, 4)))
+                .collect();
+            for (ai, si, coeffs, offs, write) in accs {
+                let x = arrays[ai % arrays.len()];
+                let s = stmts[si % stmts.len()];
+                let q = dims[ai % arrays.len()];
+                let d = depths[si % stmts.len()];
+                let f = IMat::from_fn(q, d, |i, j| coeffs[(i * d + j) % coeffs.len()]);
+                let c: Vec<i64> = (0..q).map(|i| offs[i % offs.len()]).collect();
+                if write {
+                    b.write(s, x, f, &c);
+                } else {
+                    b.read(s, x, f, &c);
+                }
+            }
+            b.build().expect("random nest must validate")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the mapping, an access reported Local really has zero
+    /// communication distance at every point, and a Translation has a
+    /// constant one.
+    #[test]
+    fn reported_locality_is_real(nest in small_nest()) {
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+            let dom = &nest.statement(acc.stmt).domain;
+            match out {
+                CommOutcome::Local => {
+                    for p in dom.points().take(32) {
+                        let d = mapping.alignment.comm_distance(&nest, acc, &p);
+                        prop_assert!(d.iter().all(|&x| x == 0),
+                            "Local access {:?} moved at {:?}", acc.id, p);
+                    }
+                }
+                CommOutcome::Translation => {
+                    let mut seen: Option<Vec<i64>> = None;
+                    for p in dom.points().take(32) {
+                        let d = mapping.alignment.comm_distance(&nest, acc, &p);
+                        match &seen {
+                            None => seen = Some(d),
+                            Some(s) => prop_assert_eq!(s, &d, "translation not constant"),
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Reported elementary decompositions multiply back to the dataflow
+    /// matrix of the (post-rotation) alignment.
+    #[test]
+    fn reported_decompositions_verify(nest in small_nest()) {
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+            if let CommOutcome::Decomposed { factors, .. } = out {
+                let t = dataflow_matrix(&mapping.alignment, &nest, acc.id)
+                    .expect("decomposed access must have a dataflow matrix");
+                prop_assert_eq!(product(factors), t,
+                    "factor product mismatch for {:?}", acc.id);
+            }
+        }
+    }
+
+    /// All rotations recorded by the pipeline are unimodular, and the
+    /// outcome vector covers every access exactly once.
+    #[test]
+    fn pipeline_bookkeeping(nest in small_nest()) {
+        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        prop_assert_eq!(mapping.outcomes.len(), nest.accesses.len());
+        for v in mapping.rotations.values() {
+            prop_assert!(rescomm::substrate::intlin::is_unimodular(v));
+        }
+        // Report counts always sum to the access count.
+        let r = mapping.report(&nest);
+        prop_assert_eq!(
+            r.n_local + r.n_translation + r.n_macro() + r.n_decomposed + r.n_general,
+            nest.accesses.len()
+        );
+    }
+
+    /// Disabling step 2 never changes step-1 locality: the Local set of
+    /// the full pipeline contains the Local set of step1-only (rotations
+    /// must not destroy locality).
+    #[test]
+    fn step2_never_loses_locality(nest in small_nest()) {
+        let full = map_nest(&nest, &MappingOptions::new(2));
+        let step1 = map_nest(&nest, &MappingOptions::step1_only(2));
+        for (i, o) in step1.outcomes.iter().enumerate() {
+            if matches!(o, CommOutcome::Local) {
+                prop_assert!(
+                    matches!(full.outcomes[i], CommOutcome::Local),
+                    "access {i} was local under step 1 but not under the full pipeline"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The classic-kernel suite: qualitative mapping expectations for the
+//! textbook nests, end to end through the full pipeline.
+
+use rescomm::{map_nest, CommOutcome, MappingOptions};
+use rescomm_loopnest::examples;
+
+fn outcome_counts(nest: &rescomm_loopnest::LoopNest) -> (usize, usize, usize, usize, usize) {
+    let mapping = map_nest(nest, &MappingOptions::new(2));
+    let mut loc = 0;
+    let mut tra = 0;
+    let mut mac = 0;
+    let mut dec = 0;
+    let mut gen = 0;
+    for o in &mapping.outcomes {
+        match o {
+            CommOutcome::Local => loc += 1,
+            CommOutcome::Translation => tra += 1,
+            CommOutcome::Macro { .. } => mac += 1,
+            CommOutcome::Decomposed { .. } | CommOutcome::DecomposedGeneral { .. } => dec += 1,
+            CommOutcome::General => gen += 1,
+        }
+    }
+    (loc, tra, mac, dec, gen)
+}
+
+#[test]
+fn jacobi_is_all_local_or_translation() {
+    // Uniform dependences: alignment zeroes the linear parts; the offsets
+    // remain as fixed-size translations — exactly the "regular fixed-size
+    // communications that can be performed efficiently" of §2.1.
+    let nest = examples::jacobi2d(8);
+    let (loc, tra, mac, dec, gen) = outcome_counts(&nest);
+    assert_eq!(mac + dec + gen, 0, "no structured residue expected");
+    assert_eq!(loc + tra, 6);
+    assert!(tra >= 4, "the four neighbour reads are translations");
+}
+
+#[test]
+fn stencil1d_translations_not_vectorizable() {
+    let nest = examples::stencil1d(10, 5);
+    let (loc, tra, mac, dec, gen) = outcome_counts(&nest);
+    assert_eq!(mac + dec + gen, 0);
+    assert_eq!(loc + tra, 4);
+    // §3.5: the moving window reads different data every timestep, so the
+    // communication must NOT be vectorizable.
+    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    for acc in &nest.accesses {
+        let m_s = &mapping.alignment.stmt_alloc[acc.stmt.0].mat;
+        let m_x = &mapping.alignment.array_alloc[acc.array.0].mat;
+        let mxf = m_x * &acc.f;
+        // Identity allocations on (t, i): ker M_S trivial ⇒ vectorizable
+        // holds trivially; the interesting check is that the *time-sliced*
+        // processor map (drop the t row) is not vectorizable.
+        let sliced_ms = m_s.submatrix(1, 2, 0, 2);
+        assert!(
+            !rescomm::substrate::macrocomm::vectorizable(&sliced_ms, &mxf)
+                || mxf.rank() < 2
+                || acc.c[0] == 1, // the write moves with t by construction
+            "shifting-window access {:?} must not vectorize",
+            acc.id
+        );
+    }
+}
+
+#[test]
+fn transpose_aligns_completely() {
+    // With independent allocations for A and B, the swap is absorbed into
+    // M_B = M_S·J: a transpose alone is communication-FREE after
+    // alignment (the cost only appears when a third access closes a
+    // non-identity cycle — see examples/parse_and_map.rs).
+    let nest = examples::transpose(8);
+    let (loc, tra, mac, dec, gen) = outcome_counts(&nest);
+    assert_eq!(loc + tra, 2);
+    assert_eq!(mac + dec + gen, 0);
+}
+
+#[test]
+fn syrk_broadcast_structure() {
+    // C aligned with one A-read; the second A-read shares elements across
+    // the l loop: macro-communication or decomposition, never general.
+    let nest = examples::syrk(6);
+    let (loc, _tra, mac, dec, gen) = outcome_counts(&nest);
+    assert!(loc >= 1);
+    assert_eq!(gen + mac + dec + loc, 3);
+    assert_eq!(gen, 0, "syrk residuals must be structured");
+}
+
+#[test]
+fn matmul_no_general_residue() {
+    let nest = examples::matmul(8);
+    let (_loc, _tra, mac, dec, gen) = outcome_counts(&nest);
+    assert_eq!(gen, 0, "matmul residuals must be structured (macro)");
+    assert!(mac + dec >= 1);
+}
+
+#[test]
+fn gauss_pivot_broadcasts() {
+    // The A[k,k] and A[k,c] / A[r,k] accesses read pivot data used by a
+    // whole row/column of processors at fixed k: broadcast candidates.
+    let nest = examples::gauss_elim(8);
+    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let n_macro = mapping
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, CommOutcome::Macro { .. }))
+        .count();
+    assert!(n_macro >= 1, "outcomes: {:?}", mapping.outcomes);
+}
+
+#[test]
+fn every_kernel_maps_deterministically() {
+    // Same input ⇒ same mapping, across repeated runs (no hidden state).
+    for nest in [
+        examples::jacobi2d(6),
+        examples::transpose(6),
+        examples::syrk(4),
+        examples::stencil1d(8, 4),
+        examples::matmul(4),
+        examples::gauss_elim(4),
+        examples::adi_sweep(6),
+    ] {
+        let a = map_nest(&nest, &MappingOptions::new(2));
+        let b = map_nest(&nest, &MappingOptions::new(2));
+        assert_eq!(a.outcomes, b.outcomes, "nondeterminism on {}", nest.name);
+        assert_eq!(a.alignment.stmt_alloc, b.alignment.stmt_alloc);
+        assert_eq!(a.alignment.array_alloc, b.alignment.array_alloc);
+    }
+}
+
+#[test]
+fn stress_many_statements_and_arrays() {
+    // A synthetic program with 8 statements and 6 arrays, 24 accesses with
+    // assorted shapes: the pipeline must stay fast and sound.
+    use rescomm::substrate::intlin::IMat;
+    use rescomm_loopnest::{Domain, NestBuilder};
+    let mut b = NestBuilder::new("stress");
+    let arrays: Vec<_> = (0..6).map(|i| b.array(&format!("x{i}"), 2 + i % 2)).collect();
+    let stmts: Vec<_> = (0..8)
+        .map(|i| b.statement(&format!("S{i}"), 2 + i % 2, Domain::cube(2 + i % 2, 4)))
+        .collect();
+    let mut seed = 0x5a5au64;
+    let mut next = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(7);
+        ((seed >> 33) as i64 % 5) - 2
+    };
+    for k in 0..24usize {
+        let s = stmts[k % stmts.len()];
+        let x = arrays[(k * 5 + 1) % arrays.len()];
+        let q = 2 + ((k * 5 + 1) % arrays.len()) % 2;
+        let d = 2 + (k % stmts.len()) % 2;
+        let f = IMat::from_fn(q, d, |_, _| next());
+        let c: Vec<i64> = (0..q).map(|_| next()).collect();
+        if k % 3 == 0 {
+            b.write(s, x, f, &c);
+        } else {
+            b.read(s, x, f, &c);
+        }
+    }
+    let nest = b.build().unwrap();
+    let t0 = std::time::Instant::now();
+    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    assert!(t0.elapsed().as_secs() < 10, "pipeline too slow: {:?}", t0.elapsed());
+    assert_eq!(mapping.outcomes.len(), 24);
+    // Soundness: every Local claim is real.
+    for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+        if matches!(out, CommOutcome::Local) {
+            let dom = &nest.statement(acc.stmt).domain;
+            for p in dom.points().take(16) {
+                assert!(
+                    mapping
+                        .alignment
+                        .comm_distance(&nest, acc, &p)
+                        .iter()
+                        .all(|&x| x == 0),
+                    "false Local on access {:?}",
+                    acc.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_weight_ablation_changes_nothing_or_something_sane() {
+    // With unit weights the branching maximizes cardinality instead of
+    // volume: on the motivating example both are optimal at 5 edges, but
+    // the chosen edges may differ. The pipeline must stay sound either way.
+    let (nest, _) = examples::motivating_example(8, 4);
+    let mut opts = MappingOptions::new(2);
+    opts.weight_by_rank = false;
+    let mapping = map_nest(&nest, &opts);
+    let r = mapping.report(&nest);
+    assert_eq!(
+        r.n_local + r.n_translation + r.n_macro() + r.n_decomposed + r.n_general,
+        8
+    );
+    assert!(r.n_local >= 4, "unit weights still zero out most edges: {r}");
+}

@@ -1,0 +1,80 @@
+//! The paper's quantitative claims, asserted against the simulated
+//! machines (shape reproduction: orderings and rough factors, not
+//! absolute numbers — see EXPERIMENTS.md).
+
+use rescomm_bench::{example5, figure8, table1, table2};
+
+#[test]
+fn table1_macro_communications_an_order_of_magnitude_cheaper() {
+    // Platonoff's CM-5 measurement behind Table 1: general/broadcast ≈ an
+    // order of magnitude (he quotes ~40× against the broadcast).
+    let row = table1(1024);
+    let [red, bc, tr, gen] = row.times;
+    assert!(red <= bc, "reduction must be cheapest");
+    assert!(bc < tr, "broadcast beats translation");
+    assert!(tr < gen, "translation beats general");
+    let ratio = gen as f64 / bc as f64;
+    assert!(
+        (10.0..2000.0).contains(&ratio),
+        "general/broadcast should be order(s) of magnitude: {ratio}"
+    );
+}
+
+#[test]
+fn table1_stable_across_sizes() {
+    for bytes in [64u64, 512, 4096, 32768] {
+        let row = table1(bytes);
+        let [red, bc, tr, gen] = row.times;
+        assert!(red <= bc && bc < tr && tr < gen, "bytes={bytes}: {:?}", row.times);
+    }
+}
+
+#[test]
+fn table2_decomposition_wins_across_sizes() {
+    for (vshape, bytes) in [((32, 16), 128u64), ((32, 16), 512), ((64, 32), 512), ((64, 32), 2048)]
+    {
+        let row = table2(vshape, bytes);
+        assert!(
+            row.lu_total < row.not_decomposed,
+            "vshape={vshape:?} bytes={bytes}: LU {} vs direct {}",
+            row.lu_total,
+            row.not_decomposed
+        );
+        assert!(row.u_phase >= row.l_phase, "U must cost at least L");
+    }
+}
+
+#[test]
+fn figure8_grouped_dominates_for_k_at_least_2() {
+    for mesh in [(4, 4), (8, 4), (8, 8)] {
+        let rows = figure8(mesh, 48, 8, 8, 2, 256);
+        for r in rows.iter().filter(|r| r.k >= 2) {
+            assert!(r.block_ratio >= 1.0, "mesh {mesh:?} k={}: {r:?}", r.k);
+            assert!(r.cyclic_ratio >= 1.0, "mesh {mesh:?} k={}: {r:?}", r.k);
+            assert!(r.cyclic_block_ratio >= 1.0, "mesh {mesh:?} k={}: {r:?}", r.k);
+        }
+        assert!(
+            rows.iter().any(|r| r.block_ratio > 3.0),
+            "grouped must beat BLOCK substantially somewhere: {rows:?}"
+        );
+    }
+}
+
+#[test]
+fn figure8_cyclic_equals_grouped_when_k_is_p() {
+    // "The CYCLIC distribution performs well because it amounts to the
+    // grouped partition with k = P."
+    let rows = figure8((4, 4), 48, 8, 8, 2, 256);
+    let r4 = rows.iter().find(|r| r.k == 4).unwrap();
+    assert!((r4.cyclic_ratio - 1.0).abs() < 1e-9, "{r4:?}");
+}
+
+#[test]
+fn example5_claim() {
+    for n in [2, 4, 8] {
+        let row = example5(n);
+        assert_eq!(row.ours_nonlocal, 0);
+        assert!(row.platonoff_nonlocal > 0);
+        assert!(row.platonoff_macro);
+    }
+}
