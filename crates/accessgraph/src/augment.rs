@@ -331,7 +331,11 @@ mod tests {
             .collect();
         assert!(residual_accs.contains(&ids.f3), "F3 must stay residual");
         assert!(residual_accs.contains(&ids.f6), "F6 must stay residual");
-        assert_eq!(residual_accs.len(), 2, "exactly two residuals: {residual_accs:?}");
+        assert_eq!(
+            residual_accs.len(),
+            2,
+            "exactly two residuals: {residual_accs:?}"
+        );
         // Five communications are local (the branching).
         let local_accs: std::collections::HashSet<_> = aug
             .local_edges
@@ -356,10 +360,7 @@ mod tests {
         let (g, aug) = run(&nest, 2);
         assert!(aug.residual_edges.is_empty());
         // One branching edge + free twin edges.
-        assert!(aug
-            .outcomes
-            .iter()
-            .any(|(_, o)| *o == AugmentOutcome::Free));
+        assert!(aug.outcomes.iter().any(|(_, o)| *o == AugmentOutcome::Free));
         let local_accs: std::collections::HashSet<_> = aug
             .local_edges
             .iter()

@@ -46,10 +46,7 @@ pub fn maximum_branching(graph: &AccessGraph) -> Branching {
         })
         .collect();
     let chosen = max_branching_raw(n, raw);
-    let total_weight = chosen
-        .iter()
-        .map(|&i| graph.edges[i].int_weight)
-        .sum();
+    let total_weight = chosen.iter().map(|&i| graph.edges[i].int_weight).sum();
     Branching {
         edges: chosen.into_iter().map(EdgeId).collect(),
         total_weight,
@@ -105,11 +102,7 @@ fn max_branching_raw(n: usize, edges: Vec<RawEdge>) -> Vec<usize> {
 
     let Some(cyc) = cycle else {
         // Acyclic selection: done.
-        return best
-            .iter()
-            .flatten()
-            .map(|&i| edges[i].orig)
-            .collect();
+        return best.iter().flatten().map(|&i| edges[i].orig).collect();
     };
 
     // 3. Contract the cycle into super-vertex `n`.
@@ -308,10 +301,7 @@ mod tests {
     fn cycle_with_external_entry() {
         // Cycle 0→1→2→0 of weight 3 each, plus 3→1 (weight 2). The
         // optimum takes 3→1, 1→2, 2→0: weight 8.
-        assert_eq!(
-            raw(4, &[(0, 1, 3), (1, 2, 3), (2, 0, 3), (3, 1, 2)]),
-            8
-        );
+        assert_eq!(raw(4, &[(0, 1, 3), (1, 2, 3), (2, 0, 3), (3, 1, 2)]), 8);
     }
 
     #[test]

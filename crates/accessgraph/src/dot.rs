@@ -33,12 +33,7 @@ pub fn to_dot(graph: &AccessGraph, nest: &LoopNest, branching: Option<&Branching
             Vertex::Array(_) => "ellipse",
             Vertex::Stmt(_) => "box",
         };
-        writeln!(
-            out,
-            "  \"{}\" [shape={shape}];",
-            vertex_name(nest, v)
-        )
-        .unwrap();
+        writeln!(out, "  \"{}\" [shape={shape}];", vertex_name(nest, v)).unwrap();
     }
     for e in &graph.edges {
         let style = if chosen[e.id.0] {
@@ -59,13 +54,7 @@ pub fn to_dot(graph: &AccessGraph, nest: &LoopNest, branching: Option<&Branching
         .unwrap();
     }
     for (a, reason) in &graph.excluded {
-        writeln!(
-            out,
-            "  // access F{} excluded: {:?}",
-            a.0 + 1,
-            reason
-        )
-        .unwrap();
+        writeln!(out, "  // access F{} excluded: {:?}", a.0 + 1, reason).unwrap();
     }
     writeln!(out, "}}").unwrap();
     out

@@ -254,8 +254,18 @@ mod tests {
             let expect = nest.access(e.access).f.rank() as i64;
             assert_eq!(e.int_weight, expect);
         }
-        let w5 = g.edges.iter().find(|e| e.access == ids.f5).unwrap().int_weight;
-        let w3 = g.edges.iter().find(|e| e.access == ids.f3).unwrap().int_weight;
+        let w5 = g
+            .edges
+            .iter()
+            .find(|e| e.access == ids.f5)
+            .unwrap()
+            .int_weight;
+        let w3 = g
+            .edges
+            .iter()
+            .find(|e| e.access == ids.f3)
+            .unwrap()
+            .int_weight;
         assert_eq!(w5, 3);
         assert_eq!(w3, 2);
     }

@@ -20,13 +20,13 @@
 //!   (`M·(F_{p1} − F_{p2}) = 0` with full-rank `M`).
 
 pub mod augment;
-pub mod dot;
 pub mod branching;
+pub mod dot;
 pub mod graph;
 pub mod paths;
 
 pub use augment::{augment, merge_cross_components, AugmentOutcome, Augmented};
-pub use dot::to_dot;
 pub use branching::{maximum_branching, Branching};
+pub use dot::to_dot;
 pub use graph::{AccessGraph, Edge, EdgeId, Exclusion, Vertex};
 pub use paths::{component_structure, Component};

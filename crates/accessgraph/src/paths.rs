@@ -71,8 +71,7 @@ pub fn component_structure(
         // incident weight matrix; fall back to the vertex dimension via
         // the first edge or 0 columns for isolated vertices. We need the
         // root dimension: take it from the weight shapes.
-        let root_dim = root_dimension(graph, root)
-            .unwrap_or_else(|| graph.vertex_dim(nest, root));
+        let root_dim = root_dimension(graph, root).unwrap_or_else(|| graph.vertex_dim(nest, root));
         rel.insert(root, IMat::identity(root_dim));
         let mut queue = vec![root];
         while let Some(u) = queue.pop() {
@@ -157,11 +156,7 @@ mod tests {
         let comps = component_structure(&g, &b, &nest);
         let c = &comps[0];
         for (v, r) in &c.rel {
-            assert_eq!(
-                r.rank(),
-                c.root_dim(),
-                "R for {v:?} lost rank: {r:?}"
-            );
+            assert_eq!(r.rank(), c.root_dim(), "R for {v:?} lost rank: {r:?}");
         }
     }
 

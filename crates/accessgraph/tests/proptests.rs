@@ -2,10 +2,8 @@
 //! randomly generated nests.
 
 use proptest::prelude::*;
-use rescomm_accessgraph::{
-    augment, component_structure, maximum_branching, AccessGraph, Vertex,
-};
 use rescomm_accessgraph::branching::is_valid_branching;
+use rescomm_accessgraph::{augment, component_structure, maximum_branching, AccessGraph, Vertex};
 use rescomm_intlin::IMat;
 use rescomm_loopnest::{Domain, LoopNest, NestBuilder};
 
@@ -14,7 +12,12 @@ fn random_nest() -> impl Strategy<Value = LoopNest> {
         proptest::collection::vec(1usize..=3, 1..=3), // array dims
         proptest::collection::vec(2usize..=3, 1..=2), // stmt depths
         proptest::collection::vec(
-            (0usize..100, 0usize..100, proptest::collection::vec(-2i64..=2, 9), any::<bool>()),
+            (
+                0usize..100,
+                0usize..100,
+                proptest::collection::vec(-2i64..=2, 9),
+                any::<bool>(),
+            ),
             1..=6,
         ),
     )
@@ -132,7 +135,7 @@ proptest! {
         let b = maximum_branching(&g);
         let comps = component_structure(&g, &b, &nest);
         let aug = augment(&g, &b.edges, &comps, 2);
-        for (_, k) in &aug.root_constraints {
+        for k in aug.root_constraints.values() {
             let basis = rescomm_intlin::left_kernel_basis(k)
                 .expect("accepted constraint must have kernel");
             prop_assert!(basis.rows() >= 2);

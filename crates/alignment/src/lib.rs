@@ -208,15 +208,13 @@ pub fn compute_alignment(
                 match (rho.contains_key(&xv), rho.contains_key(&sv)) {
                     (true, false) => {
                         let rx = &rho[&xv];
-                        let rs: Vec<i64> =
-                            mc.iter().zip(rx).map(|(&a, &b)| a + b).collect();
+                        let rs: Vec<i64> = mc.iter().zip(rx).map(|(&a, &b)| a + b).collect();
                         rho.insert(sv, rs);
                         progress = true;
                     }
                     (false, true) => {
                         let rs = &rho[&sv];
-                        let rx: Vec<i64> =
-                            rs.iter().zip(&mc).map(|(&a, &b)| a - b).collect();
+                        let rx: Vec<i64> = rs.iter().zip(&mc).map(|(&a, &b)| a - b).collect();
                         rho.insert(xv, rx);
                         progress = true;
                     }

@@ -19,7 +19,11 @@ fn bench(c: &mut Criterion) {
     eprintln!();
 
     let mut g = c.benchmark_group("figure8_grouped");
-    for (label, mesh) in [("a-4x4", (4usize, 4usize)), ("b-8x4", (8, 4)), ("c-8x8", (8, 8))] {
+    for (label, mesh) in [
+        ("a-4x4", (4usize, 4usize)),
+        ("b-8x4", (8, 4)),
+        ("c-8x8", (8, 8)),
+    ] {
         g.bench_with_input(BenchmarkId::from_parameter(label), &mesh, |b, &mesh| {
             b.iter(|| black_box(figure8(black_box(mesh), 48, 8, 8, 2, 256)));
         });

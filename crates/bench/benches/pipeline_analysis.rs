@@ -72,7 +72,9 @@ fn bench_intlin(c: &mut Criterion) {
         seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         ((seed >> 33) as i64 % 9) - 4
     };
-    let mats: Vec<IMat> = (0..32).map(|_| IMat::from_fn(4, 4, |_, _| next())).collect();
+    let mats: Vec<IMat> = (0..32)
+        .map(|_| IMat::from_fn(4, 4, |_, _| next()))
+        .collect();
     c.bench_function("hermite_4x4", |b| {
         b.iter(|| {
             for m in &mats {

@@ -10,7 +10,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     // Print the regenerated table once.
     let row = table1(1024);
-    eprintln!("\n[Table 1] reduction/broadcast/translation/general (ns): {:?}", row.times);
+    eprintln!(
+        "\n[Table 1] reduction/broadcast/translation/general (ns): {:?}",
+        row.times
+    );
     eprintln!("[Table 1] ratios to reduction: {:?}\n", row.ratios);
 
     let mut g = c.benchmark_group("table1_cm5");

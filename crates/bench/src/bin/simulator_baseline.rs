@@ -1,0 +1,182 @@
+//! Measure the simulator hot path and write a machine-readable baseline
+//! to `BENCH_simulator.json` so later PRs can track the perf trajectory.
+//!
+//! Two axes, matching the two halves of the optimization:
+//!
+//! * **generation** — enumerated (`general_pattern` + `physical_messages`,
+//!   the `O(V log V)` oracle) vs closed-form residue-class folding
+//!   (`fold_general`) at virtual grids 64²..2048².
+//! * **scheduling** — one-shot `Mesh2D::simulate_phase` (fresh link
+//!   table and route `Vec` per message) vs the reused `PhaseSim` scratch
+//!   engine and `CachedPhase` replay, at message counts up to 10⁵.
+//!
+//! ```text
+//! cargo run --release -p rescomm-bench --bin simulator_baseline [--out PATH]
+//! ```
+//!
+//! Every timed pair is also checked for equality (same message sets, same
+//! makespans) before timing, so the numbers can't drift from a wrong
+//! answer going fast.
+
+use rescomm_distribution::{fold_general, general_pattern, physical_messages, Dist1D, Dist2D};
+use rescomm_intlin::IMat;
+use rescomm_machine::{CachedPhase, CostModel, Mesh2D, PMsg, PhaseSim};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of `reps` timed runs of `f`, in nanoseconds.
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f()); // warm up
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct GenRow {
+    side: usize,
+    enumerated_ns: u64,
+    closed_ns: u64,
+}
+
+struct SchedRow {
+    messages: usize,
+    oneshot_ns: u64,
+    phasesim_ns: u64,
+    cached_ns: u64,
+}
+
+fn main() {
+    let out = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simulator.json".into());
+
+    let t = IMat::from_rows(&[&[1, 3], &[0, 1]]);
+    let dist = Dist2D {
+        rows: Dist1D::Grouped(3),
+        cols: Dist1D::Block,
+    };
+    let pshape = (8usize, 4usize);
+    let bytes = 64u64;
+
+    eprintln!("generation: enumerated vs closed-form, U(3), grouped×block on 8×4");
+    let mut gen = Vec::new();
+    for side in [64usize, 256, 1024, 2048] {
+        let vshape = (side, side);
+        // Correctness gate before timing.
+        let folded = fold_general(&t, dist, vshape, pshape, bytes);
+        let oracle = physical_messages(&general_pattern(&t, vshape), dist, vshape, pshape, bytes);
+        assert_eq!(folded.msgs, oracle, "closed form diverged at {side}x{side}");
+
+        let reps = if side >= 1024 { 5 } else { 9 };
+        let enumerated_ns = median_ns(reps, || {
+            let pat = general_pattern(&t, vshape);
+            physical_messages(&pat, dist, vshape, pshape, bytes)
+        });
+        let closed_ns = median_ns(reps.max(9), || {
+            fold_general(&t, dist, vshape, pshape, bytes)
+        });
+        eprintln!(
+            "  {side:>4}²  enumerated {:>12} ns   closed {:>9} ns   ×{:.1}",
+            enumerated_ns,
+            closed_ns,
+            enumerated_ns as f64 / closed_ns.max(1) as f64
+        );
+        gen.push(GenRow {
+            side,
+            enumerated_ns,
+            closed_ns,
+        });
+    }
+
+    eprintln!("scheduling: one-shot vs PhaseSim vs CachedPhase replay on 8×4");
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let mut sched = Vec::new();
+    for n in [1_000usize, 10_000, 100_000] {
+        let msgs: Vec<PMsg> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                PMsg {
+                    src: (h % 32) as usize,
+                    dst: ((h >> 17) % 32) as usize,
+                    bytes: 1 + (h >> 40) % 4096,
+                }
+            })
+            .collect();
+        let mut sim = PhaseSim::new(mesh.clone());
+        let cached = CachedPhase::new(&mesh, &msgs);
+        // Correctness gate before timing.
+        let want = mesh.simulate_phase(&msgs);
+        assert_eq!(
+            sim.simulate_phase(&msgs),
+            want,
+            "PhaseSim diverged at n={n}"
+        );
+        assert_eq!(
+            sim.run_cached(&cached),
+            want,
+            "CachedPhase diverged at n={n}"
+        );
+
+        let reps = if n >= 100_000 { 5 } else { 9 };
+        let oneshot_ns = median_ns(reps, || mesh.simulate_phase(&msgs));
+        let phasesim_ns = median_ns(reps, || sim.simulate_phase(&msgs));
+        let cached_ns = median_ns(reps, || sim.run_cached(&cached));
+        eprintln!(
+            "  {n:>6} msgs  oneshot {:>12} ns   phasesim {:>12} ns (×{:.1})   cached {:>12} ns (×{:.1})",
+            oneshot_ns,
+            phasesim_ns,
+            oneshot_ns as f64 / phasesim_ns.max(1) as f64,
+            cached_ns,
+            oneshot_ns as f64 / cached_ns.max(1) as f64
+        );
+        sched.push(SchedRow {
+            messages: n,
+            oneshot_ns,
+            phasesim_ns,
+            cached_ns,
+        });
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"simulator\",\n  \"mesh\": [8, 4],\n");
+    let _ = writeln!(
+        j,
+        "  \"dataflow\": \"U(3)\",\n  \"dist\": \"grouped(3) x block\",\n  \"elem_bytes\": {bytes},"
+    );
+    j.push_str("  \"generation\": [\n");
+    for (i, r) in gen.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"grid\": \"{side}x{side}\", \"enumerated_ns\": {e}, \"closed_form_ns\": {c}, \"speedup\": {s:.2}}}",
+            side = r.side,
+            e = r.enumerated_ns,
+            c = r.closed_ns,
+            s = r.enumerated_ns as f64 / r.closed_ns.max(1) as f64
+        );
+        j.push_str(if i + 1 < gen.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"scheduling\": [\n");
+    for (i, r) in sched.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"messages\": {n}, \"oneshot_ns\": {o}, \"phasesim_ns\": {p}, \"cached_replay_ns\": {c}, \"phasesim_speedup\": {ps:.2}, \"cached_speedup\": {cs:.2}}}",
+            n = r.messages,
+            o = r.oneshot_ns,
+            p = r.phasesim_ns,
+            c = r.cached_ns,
+            ps = r.oneshot_ns as f64 / r.phasesim_ns.max(1) as f64,
+            cs = r.oneshot_ns as f64 / r.cached_ns.max(1) as f64
+        );
+        j.push_str(if i + 1 < sched.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

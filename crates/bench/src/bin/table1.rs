@@ -15,7 +15,10 @@ fn main() {
         .unwrap_or(1024u64);
     println!("Table 1 — comparing data movements on the simulated CM-5 (32 procs)");
     println!("payload: {bytes} bytes/processor\n");
-    println!("{:>12} {:>12} {:>12} {:>22}", "Reduction", "Broadcast", "Translation", "General communication");
+    println!(
+        "{:>12} {:>12} {:>12} {:>22}",
+        "Reduction", "Broadcast", "Translation", "General communication"
+    );
     let row = table1(bytes);
     println!(
         "{:>12} {:>12} {:>12} {:>22}   (simulated ns)",

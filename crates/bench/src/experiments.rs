@@ -1,14 +1,13 @@
 //! The experiment implementations, one per paper artifact.
 
-use crate::workload::{mapping_cost_on_mesh, paragon_mesh, simulate_dataflow};
+use crate::workload::{mapping_cost_on_mesh, msgs_to_phase, paragon_mesh, simulate_dataflow_with};
 use rescomm::baselines::{feautrier_map, platonoff_map};
 use rescomm::{map_nest, CommOutcome, MappingOptions};
 use rescomm_decompose::Elementary;
-use rescomm_distribution::{Dist1D, Dist2D};
+use rescomm_distribution::{fold_general, Dist1D, Dist2D};
 use rescomm_intlin::IMat;
 use rescomm_loopnest::examples;
-use rescomm_machine::{CostModel, FatTree, PMsg};
-
+use rescomm_machine::{CachedPhase, CostModel, FatTree, PMsg, PhaseSim};
 
 /// One row of Table 1: simulated CM-5 times for the four data movements,
 /// normalized to the reduction.
@@ -86,9 +85,10 @@ pub fn table2(vshape: (usize, usize), bytes: u64) -> Table2Row {
     let t = IMat::from_rows(&[&[1, 3], &[2, 7]]);
     let l = Elementary::L(2).to_mat();
     let u = Elementary::U(3).to_mat();
-    let not_decomposed = simulate_dataflow(&t, &mesh, dist, vshape, bytes);
-    let l_phase = simulate_dataflow(&l, &mesh, dist, vshape, bytes);
-    let u_phase = simulate_dataflow(&u, &mesh, dist, vshape, bytes);
+    let mut sim = PhaseSim::new(mesh);
+    let not_decomposed = simulate_dataflow_with(&mut sim, &t, dist, vshape, bytes);
+    let l_phase = simulate_dataflow_with(&mut sim, &l, dist, vshape, bytes);
+    let u_phase = simulate_dataflow_with(&mut sim, &u, dist, vshape, bytes);
     Table2Row {
         bytes,
         not_decomposed,
@@ -129,17 +129,18 @@ pub fn figure8(
     bytes: u64,
 ) -> Vec<Figure8Row> {
     let mesh = rescomm_machine::Mesh2D::new(mesh_shape.0, mesh_shape.1, CostModel::paragon());
+    let mut sim = PhaseSim::new(mesh);
     (1..=kmax)
         .map(|k| {
             let l = lcm(k, mesh_shape.0);
             let vshape = (l * base_rows.div_ceil(l), vcols);
             let u = IMat::from_rows(&[&[1, k as i64], &[0, 1]]);
-            let run = |rows: Dist1D| {
+            let mut run = |rows: Dist1D| {
                 let dist = Dist2D {
                     rows,
                     cols: Dist1D::Block,
                 };
-                simulate_dataflow(&u, &mesh, dist, vshape, bytes)
+                simulate_dataflow_with(&mut sim, &u, dist, vshape, bytes)
             };
             let grouped = run(Dist1D::Grouped(k));
             // When k is a multiple of P the whole pattern is local under
@@ -184,16 +185,29 @@ pub struct CrossoverRow {
 }
 
 /// Sweep payload sizes for the Table 2 configuration.
+///
+/// The three message patterns do not depend on the payload, so each is
+/// generated closed-form and route-compiled **once** and replayed per
+/// size with a uniform byte scale — bit-identical to calling [`table2`]
+/// at every size (the per-size test pins this), at a fraction of the
+/// cost.
 pub fn table2_crossover(vshape: (usize, usize), sizes: &[u64]) -> Vec<CrossoverRow> {
+    let mesh = paragon_mesh();
+    let dist = Dist2D::uniform(Dist1D::Cyclic);
+    let compile = |t: &IMat| {
+        let folded = fold_general(t, dist, vshape, (mesh.px, mesh.py), 1);
+        CachedPhase::new(&mesh, &msgs_to_phase(&folded.msgs, &mesh))
+    };
+    let direct = compile(&IMat::from_rows(&[&[1, 3], &[2, 7]]));
+    let l = compile(&Elementary::L(2).to_mat());
+    let u = compile(&Elementary::U(3).to_mat());
+    let mut sim = PhaseSim::new(mesh);
     sizes
         .iter()
-        .map(|&bytes| {
-            let row = table2(vshape, bytes);
-            CrossoverRow {
-                bytes,
-                direct: row.not_decomposed,
-                decomposed: row.lu_total,
-            }
+        .map(|&bytes| CrossoverRow {
+            bytes,
+            direct: sim.run_cached_scaled(&direct, bytes),
+            decomposed: sim.run_cached_scaled(&l, bytes) + sim.run_cached_scaled(&u, bytes),
         })
         .collect()
 }
@@ -220,11 +234,15 @@ pub fn combined(vshape: (usize, usize), bytes: u64) -> CombinedRow {
     let t = product(&[l, u]);
     let cyclic = Dist2D::uniform(Dist1D::Cyclic);
     let grouped = rescomm_distribution::scheme_for_factors(&[l.to_mat(), u.to_mat()]);
-    let phase = |f: Elementary, d: Dist2D| simulate_dataflow(&f.to_mat(), &mesh, d, vshape, bytes);
+    let mut sim = PhaseSim::new(mesh);
+    let mut phase =
+        |f: Elementary, d: Dist2D| simulate_dataflow_with(&mut sim, &f.to_mat(), d, vshape, bytes);
+    let decomposed_cyclic = phase(l, cyclic) + phase(u, cyclic);
+    let decomposed_grouped = phase(l, grouped) + phase(u, grouped);
     CombinedRow {
-        direct_cyclic: simulate_dataflow(&t, &mesh, cyclic, vshape, bytes),
-        decomposed_cyclic: phase(l, cyclic) + phase(u, cyclic),
-        decomposed_grouped: phase(l, grouped) + phase(u, grouped),
+        direct_cyclic: simulate_dataflow_with(&mut sim, &t, cyclic, vshape, bytes),
+        decomposed_cyclic,
+        decomposed_grouped,
     }
 }
 
@@ -317,19 +335,15 @@ pub fn vectorization(n_steps: usize, bytes: u64) -> VectorizationRow {
             }
         })
         .collect();
-    let per_step = mesh.simulate_phase(&shift);
-    let big: Vec<PMsg> = shift
-        .iter()
-        .map(|m| PMsg {
-            bytes: m.bytes * n_steps as u64,
-            ..*m
-        })
-        .collect();
+    // The regrouped schedule is the same pattern with n× payloads: compile
+    // the routes once, replay at both scales.
+    let cached = CachedPhase::new(&mesh, &shift);
+    let mut sim = PhaseSim::new(mesh);
     VectorizationRow {
         n_steps,
         bytes,
-        unvectorized: per_step * n_steps as u64,
-        vectorized: mesh.simulate_phase(&big),
+        unvectorized: sim.run_cached(&cached) * n_steps as u64,
+        vectorized: sim.run_cached_scaled(&cached, n_steps as u64),
     }
 }
 
@@ -370,7 +384,10 @@ pub fn motivating(bytes: u64) -> Vec<MotivatingRow> {
             est_time,
         });
     };
-    push("two-step heuristic", map_nest(&nest, &MappingOptions::new(2)));
+    push(
+        "two-step heuristic",
+        map_nest(&nest, &MappingOptions::new(2)),
+    );
     push("step 1 only (greedy zeroing)", feautrier_map(&nest, 2));
     push("Platonoff (macro-first)", platonoff_map(&nest, 2));
     rows
@@ -480,14 +497,24 @@ mod tests {
     #[test]
     fn combined_stack_wins() {
         let row = combined((36, 18), 512);
-        assert!(
-            row.decomposed_cyclic < row.direct_cyclic,
-            "{row:?}"
-        );
+        assert!(row.decomposed_cyclic < row.direct_cyclic, "{row:?}");
         assert!(
             row.decomposed_grouped < row.decomposed_cyclic,
             "grouped partition must refine the decomposition: {row:?}"
         );
+    }
+
+    /// The cached-replay sweep is bit-identical to re-running table2 at
+    /// every payload size.
+    #[test]
+    fn crossover_matches_table2_per_size() {
+        let sizes = [16u64, 256, 4096];
+        let rows = table2_crossover((32, 16), &sizes);
+        for (r, &bytes) in rows.iter().zip(&sizes) {
+            let t2 = table2((32, 16), bytes);
+            assert_eq!(r.direct, t2.not_decomposed, "bytes={bytes}");
+            assert_eq!(r.decomposed, t2.lu_total, "bytes={bytes}");
+        }
     }
 
     #[test]
@@ -506,8 +533,8 @@ mod tests {
         // …but the advantage declines toward large payloads, where the
         // twice-moved bytes of the decomposition eat into the win.
         let first_ratio = rows[0].direct as f64 / rows[0].decomposed as f64;
-        let last_ratio = rows.last().unwrap().direct as f64
-            / rows.last().unwrap().decomposed as f64;
+        let last_ratio =
+            rows.last().unwrap().direct as f64 / rows.last().unwrap().decomposed as f64;
         assert!(
             last_ratio <= first_ratio,
             "advantage should shrink with payload: {first_ratio} vs {last_ratio}"

@@ -2,12 +2,40 @@
 //! on the simulated machines and cost estimation for a whole mapping.
 
 use rescomm::{CommOutcome, Mapping};
-use rescomm_distribution::{general_pattern, physical_messages, Dist1D, Dist2D};
+use rescomm_distribution::{fold_general, Dist1D, Dist2D, Msg};
 use rescomm_intlin::IMat;
 use rescomm_loopnest::LoopNest;
-use rescomm_machine::{broadcast_rows_time, shift_time, CostModel, Mesh2D, PMsg};
+use rescomm_machine::{broadcast_rows_time, shift_time, CostModel, Mesh2D, PMsg, PhaseSim};
 
-/// Fold a dataflow matrix's virtual pattern onto a mesh and simulate it.
+/// Flatten aggregated distribution messages onto mesh node ids.
+pub fn msgs_to_phase(msgs: &[Msg], mesh: &Mesh2D) -> Vec<PMsg> {
+    msgs.iter()
+        .map(|m| PMsg {
+            src: mesh.node_id(m.src.0, m.src.1),
+            dst: mesh.node_id(m.dst.0, m.dst.1),
+            bytes: m.bytes,
+        })
+        .collect()
+}
+
+/// Generate the physical phase of a dataflow matrix closed-form and
+/// schedule it on a reused [`PhaseSim`] — the zero-alloc hot path every
+/// sweep in this crate goes through.
+pub fn simulate_dataflow_with(
+    sim: &mut PhaseSim,
+    t: &IMat,
+    dist: Dist2D,
+    vshape: (usize, usize),
+    bytes: u64,
+) -> u64 {
+    let mesh = sim.mesh();
+    let folded = fold_general(t, dist, vshape, (mesh.px, mesh.py), bytes);
+    let pms = msgs_to_phase(&folded.msgs, sim.mesh());
+    sim.simulate_phase(&pms)
+}
+
+/// Fold a dataflow matrix's virtual pattern onto a mesh and simulate it
+/// (one-shot convenience over [`simulate_dataflow_with`]).
 pub fn simulate_dataflow(
     t: &IMat,
     mesh: &Mesh2D,
@@ -15,17 +43,7 @@ pub fn simulate_dataflow(
     vshape: (usize, usize),
     bytes: u64,
 ) -> u64 {
-    let pattern = general_pattern(t, vshape);
-    let msgs = physical_messages(&pattern, dist, vshape, (mesh.px, mesh.py), bytes);
-    let pms: Vec<PMsg> = msgs
-        .iter()
-        .map(|m| PMsg {
-            src: mesh.node_id(m.src.0, m.src.1),
-            dst: mesh.node_id(m.dst.0, m.dst.1),
-            bytes: m.bytes,
-        })
-        .collect();
-    mesh.simulate_phase(&pms)
+    simulate_dataflow_with(&mut PhaseSim::new(mesh.clone()), t, dist, vshape, bytes)
 }
 
 /// The paper's default Paragon-like testbed: an 8×4 mesh (32 nodes).
@@ -44,6 +62,8 @@ pub fn mapping_cost_on_mesh(
     bytes: u64,
 ) -> u64 {
     let dist = Dist2D::uniform(Dist1D::Cyclic);
+    // One scratch engine for every simulated outcome of the mapping.
+    let mut sim = PhaseSim::new(mesh.clone());
     let mut total = 0u64;
     for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
         total += match out {
@@ -52,13 +72,13 @@ pub fn mapping_cost_on_mesh(
             CommOutcome::Macro { .. } => broadcast_rows_time(mesh, bytes),
             CommOutcome::Decomposed { factors, .. } => factors
                 .iter()
-                .map(|f| simulate_dataflow(&f.to_mat(), mesh, dist, vshape, bytes))
+                .map(|f| simulate_dataflow_with(&mut sim, &f.to_mat(), dist, vshape, bytes))
                 .sum(),
             CommOutcome::DecomposedGeneral { n_factors } => {
                 // Price each unirow factor like one elementary sweep.
-                let one = simulate_dataflow(
+                let one = simulate_dataflow_with(
+                    &mut sim,
                     &IMat::from_rows(&[&[1, 1], &[0, 1]]),
-                    mesh,
                     dist,
                     vshape,
                     bytes,
@@ -69,7 +89,7 @@ pub fn mapping_cost_on_mesh(
                 let t = rescomm::pipeline::dataflow_matrix(&mapping.alignment, nest, acc.id)
                     .filter(|t| t.shape() == (2, 2))
                     .unwrap_or_else(|| IMat::from_rows(&[&[1, 3], &[2, 7]]));
-                simulate_dataflow(&t, mesh, dist, vshape, bytes)
+                simulate_dataflow_with(&mut sim, &t, dist, vshape, bytes)
             }
         };
     }
@@ -79,6 +99,38 @@ pub fn mapping_cost_on_mesh(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The rewired hot path (closed-form generation + PhaseSim) gives the
+    /// same times as the original enumeration + one-shot simulation.
+    #[test]
+    fn closed_form_path_matches_enumeration_path() {
+        use rescomm_distribution::{general_pattern, physical_messages};
+        let mesh = paragon_mesh();
+        let vshape = (32, 16);
+        let mut sim = PhaseSim::new(mesh.clone());
+        for t in [
+            IMat::from_rows(&[&[1, 3], &[0, 1]]),
+            IMat::from_rows(&[&[1, 0], &[2, 1]]),
+            IMat::from_rows(&[&[1, 3], &[2, 7]]),
+        ] {
+            for dist in [
+                Dist2D::uniform(Dist1D::Cyclic),
+                Dist2D {
+                    rows: Dist1D::Grouped(3),
+                    cols: Dist1D::Block,
+                },
+            ] {
+                let pattern = general_pattern(&t, vshape);
+                let msgs = physical_messages(&pattern, dist, vshape, (mesh.px, mesh.py), 256);
+                let want = mesh.simulate_phase(&msgs_to_phase(&msgs, &mesh));
+                assert_eq!(
+                    simulate_dataflow_with(&mut sim, &t, dist, vshape, 256),
+                    want,
+                    "t={t:?} dist={dist:?}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn dataflow_simulation_nonzero_for_nonlocal() {

@@ -84,7 +84,10 @@ pub fn platonoff_map(nest: &LoopNest, m: usize) -> Mapping {
     order.sort_by_key(|&i| {
         let a = &nest.accesses[i];
         let write = matches!(a.kind, AccessKind::Write | AccessKind::Reduce);
-        (std::cmp::Reverse(usize::from(write)), std::cmp::Reverse(a.f.rank()))
+        (
+            std::cmp::Reverse(usize::from(write)),
+            std::cmp::Reverse(a.f.rank()),
+        )
     });
     for i in order {
         let a = &nest.accesses[i];
@@ -218,10 +221,7 @@ mod tests {
         let base = feautrier_map(&nest, 2);
         assert!(matches!(base.outcomes[ids.f6.0], CommOutcome::General));
         let ours = map_nest(&nest, &MappingOptions::new(2));
-        assert!(matches!(
-            ours.outcomes[ids.f6.0],
-            CommOutcome::Macro { .. }
-        ));
+        assert!(matches!(ours.outcomes[ids.f6.0], CommOutcome::Macro { .. }));
     }
 
     #[test]

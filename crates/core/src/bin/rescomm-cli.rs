@@ -11,7 +11,7 @@
 //! * `--no-decompose`  disable step 2(b) (decomposition)
 //! * `--unit-weights`  unit edge weights instead of rank weights
 //! * `--dot`           print the access graph (with the branching in
-//!                     bold) as Graphviz DOT instead of the report
+//!   bold) as Graphviz DOT instead of the report
 //! * `--compare`       also run the Platonoff and step-1-only baselines
 //!
 //! The nest format is documented in `rescomm_loopnest::parser`.

@@ -69,7 +69,10 @@ fn instances_by_time(nest: &LoopNest) -> BTreeMap<Vec<i64>, Vec<(usize, Vec<i64>
     let mut by_time: BTreeMap<Vec<i64>, Vec<(usize, Vec<i64>)>> = BTreeMap::new();
     for (si, st) in nest.statements.iter().enumerate() {
         for p in st.domain.points() {
-            by_time.entry(st.schedule.time(&p)).or_default().push((si, p));
+            by_time
+                .entry(st.schedule.time(&p))
+                .or_default()
+                .push((si, p));
         }
     }
     by_time
@@ -245,8 +248,8 @@ mod tests {
             examples::example5_platonoff(3).0,
         ] {
             let mapping = map_nest(&nest, &MappingOptions::new(2));
-            let stats = verify_execution(&nest, &mapping)
-                .unwrap_or_else(|e| panic!("{}: {e}", nest.name));
+            let stats =
+                verify_execution(&nest, &mapping).unwrap_or_else(|e| panic!("{}: {e}", nest.name));
             assert!(stats.instances > 0);
         }
     }

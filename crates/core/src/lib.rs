@@ -33,8 +33,8 @@ pub mod pipeline;
 pub mod plan;
 pub mod report;
 
-pub use pipeline::{map_nest, CommOutcome, Mapping, MappingOptions};
 pub use exec::{run_distributed, run_sequential, verify_execution, ExecStats};
+pub use pipeline::{map_nest, CommOutcome, Mapping, MappingOptions};
 pub use plan::{build_plan, CommPhase, CommPlan, PhaseKind};
 pub use report::MappingReport;
 

@@ -15,8 +15,7 @@ use rescomm_accessgraph::{
 };
 use rescomm_alignment::{compute_alignment, residual_communications, Alignment};
 use rescomm_decompose::{
-    decompose_direct, decompose_general, search_similarity, shear_decompose, Elementary,
-    GenFactor,
+    decompose_direct, decompose_general, search_similarity, shear_decompose, Elementary, GenFactor,
 };
 use rescomm_intlin::{solve_xf_eq_s, IMat};
 use rescomm_loopnest::{AccessId, AccessKind, LoopNest};
@@ -204,10 +203,7 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
                         continue;
                     }
                     Extent::Partial { .. } if mc.axis_parallel => {
-                        let ci = alignment
-                            .component_of
-                            .get(&Vertex::Stmt(acc.stmt))
-                            .copied();
+                        let ci = alignment.component_of.get(&Vertex::Stmt(acc.stmt)).copied();
                         outcomes.push(CommOutcome::Macro {
                             kind: mc.kind,
                             total: false,
@@ -221,8 +217,7 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
         }
         // Decomposition?
         if opts.enable_decompose {
-            if let Some(outcome) = try_decompose(nest, &mut alignment, &mut rotations, acc, opts)
-            {
+            if let Some(outcome) = try_decompose(nest, &mut alignment, &mut rotations, acc, opts) {
                 outcomes.push(outcome);
                 continue;
             }
@@ -299,9 +294,7 @@ fn try_decompose(
         // det ≠ 1: unirow decomposition.
         if t.det() != 0 {
             if let Ok(f) = decompose_general(&t) {
-                return Some(CommOutcome::DecomposedGeneral {
-                    n_factors: f.len(),
-                });
+                return Some(CommOutcome::DecomposedGeneral { n_factors: f.len() });
             }
         }
         return None;
@@ -395,10 +388,7 @@ mod tests {
         let vinv = v.inverse_unimodular().unwrap();
         let base = map_nest(&nest, &MappingOptions::step1_only(2));
         let t0 = dataflow_matrix(&base.alignment, &nest, ids.f3).unwrap();
-        assert_eq!(
-            &(&v * &t0) * &vinv,
-            IMat::from_rows(&[&[1, 1], &[1, 2]])
-        );
+        assert_eq!(&(&v * &t0) * &vinv, IMat::from_rows(&[&[1, 1], &[1, 2]]));
     }
 
     #[test]
@@ -510,7 +500,11 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, CommOutcome::Local))
             .count();
-        assert!(locals0 < 3, "merging must be the difference: {:?}", without.outcomes);
+        assert!(
+            locals0 < 3,
+            "merging must be the difference: {:?}",
+            without.outcomes
+        );
     }
 
     #[test]
@@ -520,7 +514,7 @@ mod tests {
         // gadget, with different skews: each component needs its own
         // unimodular rotation.
         let mut b = NestBuilder::new("two-gadgets");
-        let mut gadget = |b: &mut NestBuilder, tag: usize, f_skew: IMat| {
+        let gadget = |b: &mut NestBuilder, tag: usize, f_skew: IMat| {
             let a = b.array(&format!("a{tag}"), 2);
             let w = b.array(&format!("w{tag}"), 3);
             let p = b.statement(&format!("P{tag}"), 2, Domain::cube(2, 4));
@@ -543,7 +537,15 @@ mod tests {
         let broadcasts = mapping
             .outcomes
             .iter()
-            .filter(|o| matches!(o, CommOutcome::Macro { kind: MacroKind::Broadcast, .. }))
+            .filter(|o| {
+                matches!(
+                    o,
+                    CommOutcome::Macro {
+                        kind: MacroKind::Broadcast,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(broadcasts, 2, "outcomes: {:?}", mapping.outcomes);
         // All other accesses local.
@@ -601,10 +603,9 @@ mod tests {
         let nest = b.build().unwrap();
         let mapping = map_nest(&nest, &MappingOptions::new(3));
         assert!(
-            mapping
-                .outcomes
-                .iter()
-                .any(|o| matches!(o, CommOutcome::DecomposedGeneral { n_factors } if *n_factors >= 1)),
+            mapping.outcomes.iter().any(
+                |o| matches!(o, CommOutcome::DecomposedGeneral { n_factors } if *n_factors >= 1)
+            ),
             "outcomes: {:?}",
             mapping.outcomes
         );

@@ -17,9 +17,9 @@
 
 use crate::pipeline::{CommOutcome, Mapping};
 use rescomm_decompose::Elementary;
-use rescomm_distribution::{physical_messages, Dist2D};
+use rescomm_distribution::{fold_pattern, Dist2D};
 use rescomm_loopnest::{AccessId, LoopNest};
-use rescomm_machine::{Mesh2D, PMsg};
+use rescomm_machine::{Mesh2D, PMsg, PhaseSim};
 use std::collections::BTreeSet;
 
 /// What a phase implements (for reporting; the pattern is authoritative).
@@ -92,6 +92,10 @@ impl CommPlan {
         vshape: (usize, usize),
         bytes: u64,
     ) -> u64 {
+        // One fused fold per phase and one reused scratch engine for the
+        // whole plan — the pattern never touches a tree map or a
+        // per-phase link table.
+        let mut sim = PhaseSim::new(mesh.clone());
         let mut total = 0u64;
         for phase in &self.phases {
             let wrapped: Vec<((i64, i64), (i64, i64))> = phase
@@ -100,8 +104,9 @@ impl CommPlan {
                 .map(|&(s, d)| (wrap2(s, vshape), wrap2(d, vshape)))
                 .filter(|(s, d)| s != d)
                 .collect();
-            let msgs = physical_messages(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes);
-            let pms: Vec<PMsg> = msgs
+            let folded = fold_pattern(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes);
+            let pms: Vec<PMsg> = folded
+                .msgs
                 .iter()
                 .map(|m| PMsg {
                     src: mesh.node_id(m.src.0, m.src.1),
@@ -109,7 +114,7 @@ impl CommPlan {
                     bytes: m.bytes,
                 })
                 .collect();
-            total += mesh.simulate_phase(&pms);
+            total += sim.simulate_phase(&pms);
         }
         total
     }
@@ -119,11 +124,7 @@ impl CommPlan {
     /// element's owner must end at the computing processor.
     ///
     /// Returns `Err` with a witness description on the first violation.
-    pub fn verify_availability(
-        &self,
-        nest: &LoopNest,
-        mapping: &Mapping,
-    ) -> Result<(), String> {
+    pub fn verify_availability(&self, nest: &LoopNest, mapping: &Mapping) -> Result<(), String> {
         for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
             if matches!(out, CommOutcome::Local) {
                 continue;
@@ -149,9 +150,7 @@ impl CommPlan {
                     // chain the phases (absent entry = stays in place).
                     let mut pos = src;
                     for phase in &phases {
-                        if let Some(&(_, to)) =
-                            phase.pattern.iter().find(|&&(f, _)| f == pos)
-                        {
+                        if let Some(&(_, to)) = phase.pattern.iter().find(|&&(f, _)| f == pos) {
                             pos = to;
                         }
                     }
@@ -166,9 +165,7 @@ impl CommPlan {
                     // One-shot phases (translation / collective / general)
                     // may fan out: the endpoint pair must be present in
                     // some phase of this access.
-                    let present = phases
-                        .iter()
-                        .any(|ph| ph.pattern.contains(&(src, dst)));
+                    let present = phases.iter().any(|ph| ph.pattern.contains(&(src, dst)));
                     if !present {
                         return Err(format!(
                             "access {:?} at {:?}: transfer {:?} → {:?} missing \
@@ -227,10 +224,8 @@ pub fn build_plan(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
                     let mut v = Vec::new();
                     for p in dom.points() {
                         let e = acc.subscript(&p);
-                        let src =
-                            coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e));
-                        let dst =
-                            coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p));
+                        let src = coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e));
+                        let dst = coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p));
                         if seen.insert((src, dst)) {
                             v.push((src, dst));
                         }
@@ -268,9 +263,7 @@ pub fn build_plan(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
                     // All moves share one offset (affine constant term).
                     let d0 = (shift[0].1 .0 - shift[0].0 .0, shift[0].1 .1 - shift[0].0 .1);
                     debug_assert!(
-                        shift
-                            .iter()
-                            .all(|&(s, d)| (d.0 - s.0, d.1 - s.1) == d0),
+                        shift.iter().all(|&(s, d)| (d.0 - s.0, d.1 - s.1) == d0),
                         "decomposition residue is not a constant shift"
                     );
                     plan.phases.push(CommPhase {

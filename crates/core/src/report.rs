@@ -58,7 +58,11 @@ impl MappingReport {
                     r.n_translation += 1;
                     "translation".to_string()
                 }
-                CommOutcome::Macro { kind, total, rotated } => {
+                CommOutcome::Macro {
+                    kind,
+                    total,
+                    rotated,
+                } => {
                     let k = match kind {
                         MacroKind::Broadcast => {
                             r.n_broadcast += 1;
@@ -91,7 +95,11 @@ impl MappingReport {
                     format!(
                         "decomposed: {}{}",
                         fs.join("·"),
-                        if *rotated { " (after similarity rotation)" } else { "" }
+                        if *rotated {
+                            " (after similarity rotation)"
+                        } else {
+                            ""
+                        }
                     )
                 }
                 CommOutcome::DecomposedGeneral { n_factors } => {

@@ -1,7 +1,6 @@
 //! Integration tests of the `rescomm-cli` binary (run end to end via
 //! `CARGO_BIN_EXE_*`, the standard Cargo mechanism).
 
-use std::io::Write;
 use std::process::Command;
 
 fn cli() -> Command {

@@ -1,0 +1,206 @@
+//! # rescomm-criterion — an offline, dependency-free subset of `criterion`
+//!
+//! The workspace's benches were written against the real
+//! [`criterion`](https://docs.rs/criterion) crate; the build environment is
+//! fully offline, so this shim re-implements the API surface those benches
+//! use and is wired in via a Cargo dependency rename. It measures with
+//! `std::time::Instant` (auto-scaled iteration counts, median of samples)
+//! and prints one `name ... time: [..]` line per benchmark — enough to
+//! compare runs by eye or with a diff, with none of criterion's statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// `group/parameter` form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing driver handed to the benchmark closure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    sampled_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, auto-scaling the iteration count so one sample lasts at
+    /// least ~2 ms, and keep the median of several samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and per-call estimate.
+        let mut n: u64 = 1;
+        let estimate = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            if dt >= Duration::from_millis(2) || n >= 1 << 20 {
+                break dt.as_nanos() as f64 / n as f64;
+            }
+            n *= 4;
+        };
+        let per_sample = ((2_000_000.0 / estimate.max(0.5)) as u64).clamp(1, 1 << 22);
+        let mut samples: Vec<f64> = (0..7)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..per_sample {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / per_sample as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.sampled_ns = samples[samples.len() / 2];
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    println!("{name:<52} time: [{}]", human(ns));
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { sampled_ns: 0.0 };
+        f(&mut b);
+        report(name, b.sampled_ns);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { sampled_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), b.sampled_ns);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { sampled_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), b.sampled_ns);
+        self
+    }
+
+    /// End the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        let mut g = c.benchmark_group("group");
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

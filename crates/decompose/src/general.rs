@@ -113,7 +113,7 @@ fn row_peel(t: &IMat) -> Result<Vec<GenFactor>, LinError> {
     let n = t.rows();
     let mut factors: Vec<GenFactor> = Vec::new();
     let mut suffix = IMat::identity(n); // product of factors already peeled
-    // Peel from the last row upward so the suffix stays triangular-ish.
+                                        // Peel from the last row upward so the suffix stays triangular-ish.
     for i in (0..n).rev() {
         // Need rᵢ with rᵢ·suffix = row i of T. suffix is invertible.
         let suffix_r = RMat::from_int(&suffix);

@@ -35,7 +35,10 @@ impl NShear {
 
     /// Inverse shear.
     pub fn inverse(&self) -> NShear {
-        NShear { k: -self.k, ..*self }
+        NShear {
+            k: -self.k,
+            ..*self
+        }
     }
 }
 
@@ -91,7 +94,11 @@ pub fn shear_decompose(t: &IMat) -> Option<Vec<NShear>> {
                         strip(
                             &mut cur,
                             &mut factors,
-                            NShear { row: col, col: r, k: 1 },
+                            NShear {
+                                row: col,
+                                col: r,
+                                k: 1,
+                            },
                         );
                         continue;
                     }
@@ -123,9 +130,33 @@ pub fn shear_decompose(t: &IMat) -> Option<Vec<NShear>> {
             //   R_c += 2·R_p (pivot becomes −1 + 2 = +1)
             //   R_p −= R_c   (partner's column entry returns to 0)
             let partner = if col + 1 < n { col + 1 } else { col - 1 };
-            strip(&mut cur, &mut factors, NShear { row: partner, col, k: 1 });
-            strip(&mut cur, &mut factors, NShear { row: col, col: partner, k: -2 });
-            strip(&mut cur, &mut factors, NShear { row: partner, col, k: 1 });
+            strip(
+                &mut cur,
+                &mut factors,
+                NShear {
+                    row: partner,
+                    col,
+                    k: 1,
+                },
+            );
+            strip(
+                &mut cur,
+                &mut factors,
+                NShear {
+                    row: col,
+                    col: partner,
+                    k: -2,
+                },
+            );
+            strip(
+                &mut cur,
+                &mut factors,
+                NShear {
+                    row: partner,
+                    col,
+                    k: 1,
+                },
+            );
         } else if p != 1 {
             return None; // non-unimodular residue — cannot happen
         }
@@ -141,7 +172,15 @@ pub fn shear_decompose(t: &IMat) -> Option<Vec<NShear>> {
         for c in col + 1..n {
             if cur[(col, c)] != 0 {
                 let q = cur[(col, c)];
-                strip(&mut cur, &mut factors, NShear { row: col, col: c, k: q });
+                strip(
+                    &mut cur,
+                    &mut factors,
+                    NShear {
+                        row: col,
+                        col: c,
+                        k: q,
+                    },
+                );
             }
         }
     }
@@ -161,7 +200,11 @@ mod tests {
 
     #[test]
     fn shear_matrices() {
-        let s = NShear { row: 0, col: 2, k: 3 };
+        let s = NShear {
+            row: 0,
+            col: 2,
+            k: 3,
+        };
         let m = s.to_mat(3);
         assert_eq!(m[(0, 2)], 3);
         assert_eq!(m.det(), 1);
@@ -178,7 +221,14 @@ mod tests {
         let l = IMat::from_rows(&[&[1, 0], &[5, 1]]);
         let f = shear_decompose(&l).unwrap();
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0], NShear { row: 1, col: 0, k: 5 });
+        assert_eq!(
+            f[0],
+            NShear {
+                row: 1,
+                col: 0,
+                k: 5
+            }
+        );
     }
 
     #[test]
@@ -203,8 +253,7 @@ mod tests {
                     continue;
                 }
             }
-            let f = shear_decompose(&u)
-                .unwrap_or_else(|| panic!("SL3 must decompose: {u:?}"));
+            let f = shear_decompose(&u).unwrap_or_else(|| panic!("SL3 must decompose: {u:?}"));
             assert_eq!(shear_product(&f, 3), u, "bad product for {u:?}");
         }
     }

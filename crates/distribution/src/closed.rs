@@ -1,0 +1,654 @@
+//! Closed-form physical message generation for affine dataflow patterns.
+//!
+//! [`crate::physical_messages`] enumerates every virtual processor and
+//! folds it through the distribution — `O(V log V)` with a tree map, which
+//! dominates the benchmark harness once the virtual grid reaches
+//! production sizes (1024² and up). But the patterns the paper studies are
+//! affine (`v → T·v mod vshape`), and all four distributions are unions of
+//! **arithmetic-progression segments** `{i ≡ r (mod q), i ∈ [lo, hi)}`
+//! mapped to one processor each. That structure admits analytic
+//! aggregation:
+//!
+//! * when one axis of `T` is *pure* (the destination coordinate depends on
+//!   one source coordinate only) and the coupled axis is a shift or a
+//!   reflection (coefficient ±1) — which covers the paper's `U(k)`,
+//!   `L(k)`, identity, transpositions and reflections — each value of the
+//!   driving coordinate contributes a whole *shift-transition matrix*
+//!   `R_s[a][b] = #{i : owner(i) = a ∧ owner((±i + s) mod v) = b}`,
+//!   computed per segment pair with a CRT interval count and memoized per
+//!   distinct shift. Cost: `O(vc·P² + D·S²)` instead of `O(V log V)`,
+//!   where `D` is the number of distinct shifts and `S` the number of
+//!   segments — independent of the grid height;
+//! * for general `T` a dense fallback still avoids the tree map: fold
+//!   both axes through precomputed per-axis tables into a flat
+//!   `P²×P²` count array — `O(V)` with a handful of adds per element.
+//!
+//! Both paths return *exactly* the oracle's message set (same aggregation,
+//! same sort order) plus the locality statistics of the same fold; the
+//! property tests in `tests/proptests.rs` pin the equivalence against
+//! [`crate::physical_messages`] over random matrices, grids and all four
+//! distributions.
+
+use crate::msgs::{FoldedPattern, Msg};
+use crate::{Dist1D, Dist2D};
+use rescomm_intlin::IMat;
+use std::collections::HashMap;
+
+/// One arithmetic-progression piece of a distribution's ownership map:
+/// all `i ≡ r (mod q)` with `lo ≤ i < hi` belong to processor `proc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Seg {
+    q: usize,
+    r: usize,
+    lo: usize,
+    hi: usize,
+    proc: usize,
+}
+
+/// Decompose a 1-D distribution of `v` virtuals over `p` processors into
+/// disjoint segments covering `[0, v)`.
+pub(crate) fn segments(d: Dist1D, v: usize, p: usize) -> Vec<Seg> {
+    let mut segs = Vec::new();
+    match d {
+        Dist1D::Block => {
+            let bs = v.div_ceil(p);
+            for a in 0..p {
+                let lo = (a * bs).min(v);
+                let hi = ((a + 1) * bs).min(v);
+                if lo < hi {
+                    segs.push(Seg {
+                        q: 1,
+                        r: 0,
+                        lo,
+                        hi,
+                        proc: a,
+                    });
+                }
+            }
+        }
+        Dist1D::Cyclic => {
+            for a in 0..p.min(v) {
+                segs.push(Seg {
+                    q: p,
+                    r: a,
+                    lo: 0,
+                    hi: v,
+                    proc: a,
+                });
+            }
+        }
+        Dist1D::CyclicBlock(b) => {
+            assert!(b > 0, "CYCLIC(0) is meaningless");
+            let q = b * p;
+            for a in 0..p {
+                for t in 0..b {
+                    let r = a * b + t;
+                    if r < v {
+                        segs.push(Seg {
+                            q,
+                            r,
+                            lo: 0,
+                            hi: v,
+                            proc: a,
+                        });
+                    }
+                }
+            }
+        }
+        Dist1D::Grouped(k) => {
+            assert!(k > 0, "grouped partition needs k ≥ 1");
+            let bs = v.div_ceil(p);
+            for c in 0..k.min(v) {
+                // Class c holds i = c, c+k, …; its ranks are contiguous.
+                let n_c = (v - c).div_ceil(k);
+                let base = c * (v / k) + c.min(v % k);
+                let mut m0 = 0usize;
+                while m0 < n_c {
+                    let proc = (base + m0) / bs;
+                    let run_end = ((proc + 1) * bs).saturating_sub(base).min(n_c);
+                    segs.push(Seg {
+                        q: k,
+                        r: c,
+                        lo: c + m0 * k,
+                        hi: c + (run_end - 1) * k + 1,
+                        proc,
+                    });
+                    m0 = run_end;
+                }
+            }
+        }
+    }
+    segs
+}
+
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// `#{ x ∈ [lo, hi) : x ≡ r1 (mod q1) ∧ x ≡ r2 (mod q2) }` via CRT.
+fn count_crt(lo: i64, hi: i64, q1: i64, r1: i64, q2: i64, r2: i64) -> u64 {
+    if hi <= lo {
+        return 0;
+    }
+    let (q1, r1, q2, r2) = (q1 as i128, r1 as i128, q2 as i128, r2 as i128);
+    let (g, inv, _) = egcd(q1, q2);
+    if (r2 - r1) % g != 0 {
+        return 0;
+    }
+    let m = q2 / g;
+    let l = q1 * m; // lcm(q1, q2)
+                    // x ≡ r1 (mod q1), x ≡ r2 (mod q2)  ⇒  x = r1 + q1·t with
+                    // t ≡ (r2−r1)/g · inv(q1/g) (mod q2/g); `inv` from the egcd above.
+    let t = (((r2 - r1) / g % m) * (inv % m) % m + m) % m;
+    let x0 = (r1 + q1 * t).rem_euclid(l);
+    let (lo, hi) = (lo as i128, hi as i128);
+    let first = lo + (x0 - lo).rem_euclid(l);
+    if first >= hi {
+        0
+    } else {
+        ((hi - 1 - first) / l + 1) as u64
+    }
+}
+
+/// The shift-transition matrix `R[a·p + b] = #{i ∈ [0, v) :
+/// owner(i) = a ∧ owner((sign·i + s) mod v) = b}`, counted analytically
+/// per segment pair (toroidal wrap split into two linear pieces).
+fn shift_transition(segs: &[Seg], v: usize, p: usize, s: usize, sign: i64) -> Vec<u64> {
+    let mut m = vec![0u64; p * p];
+    let (vi, si) = (v as i64, s as i64);
+    for a in segs {
+        let (q1, r1, lo1, hi1) = (a.q as i64, a.r as i64, a.lo as i64, a.hi as i64);
+        for b in segs {
+            let (q2, r2, lo2, hi2) = (b.q as i64, b.r as i64, b.lo as i64, b.hi as i64);
+            let n = if sign > 0 {
+                // d = i + s (no wrap): i ∈ [lo2−s, hi2−s) and i < v − s.
+                count_crt(
+                    lo1.max(lo2 - si),
+                    hi1.min(hi2 - si).min(vi - si),
+                    q1,
+                    r1,
+                    q2,
+                    (r2 - si).rem_euclid(q2),
+                ) +
+                // d = i + s − v (wrap): i ∈ [lo2+v−s, hi2+v−s).
+                count_crt(
+                    lo1.max(lo2 + vi - si),
+                    hi1.min(hi2 + vi - si),
+                    q1,
+                    r1,
+                    q2,
+                    (r2 - si + vi).rem_euclid(q2),
+                )
+            } else {
+                // d = s − i (i ≤ s): i ∈ [s−hi2+1, s−lo2+1).
+                count_crt(
+                    lo1.max(si - hi2 + 1).max(0),
+                    hi1.min(si - lo2 + 1),
+                    q1,
+                    r1,
+                    q2,
+                    (si - r2).rem_euclid(q2),
+                ) +
+                // d = s + v − i (i > s): i ∈ [s+v−hi2+1, s+v−lo2+1).
+                count_crt(
+                    lo1.max(si + vi - hi2 + 1).max(si + 1),
+                    hi1.min(si + vi - lo2 + 1),
+                    q1,
+                    r1,
+                    q2,
+                    (si + vi - r2).rem_euclid(q2),
+                )
+            };
+            if n > 0 {
+                m[a.proc * p + b.proc] += n;
+            }
+        }
+    }
+    m
+}
+
+/// Core of the closed form, in "rows are the shifted axis" orientation:
+/// `(i, j) → ((sign·i + t01·j) mod vr, (t11·j) mod vc)`. Returns the flat
+/// `(P²)²` count table indexed `[src_proc · np + dst_proc]` with
+/// `proc = row_proc · pc + col_proc`.
+#[allow(clippy::too_many_arguments)]
+fn fold_shifted_rows(
+    sign: i64,
+    t01: i64,
+    t11: i64,
+    (vr, vc): (usize, usize),
+    (pr, pc): (usize, usize),
+    drow: Dist1D,
+    dcol: Dist1D,
+) -> Vec<u64> {
+    let np = pr * pc;
+    let segs = segments(drow, vr, pr);
+    let cmap: Vec<usize> = (0..vc).map(|j| dcol.map(j as i64, vc, pc)).collect();
+    let mut memo: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut counts = vec![0u64; np * np];
+    for (j, &sc) in cmap.iter().enumerate() {
+        let dj = (t11 * j as i64).rem_euclid(vc as i64) as usize;
+        let s = (t01 * j as i64).rem_euclid(vr as i64) as usize;
+        let dc = cmap[dj];
+        let trans = memo
+            .entry(s)
+            .or_insert_with(|| shift_transition(&segs, vr, pr, s, sign));
+        for a in 0..pr {
+            for b in 0..pr {
+                let n = trans[a * pr + b];
+                if n > 0 {
+                    counts[(a * pc + sc) * np + (b * pc + dc)] += n;
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Dense fallback for arbitrary `T`: still `O(V)`, but with both axis
+/// images and both ownership maps precomputed into flat tables, and the
+/// aggregation done in a flat count array — no tree map, no per-element
+/// matrix multiply.
+fn fold_dense(
+    t: &IMat,
+    dist: Dist2D,
+    (vr, vc): (usize, usize),
+    (pr, pc): (usize, usize),
+) -> Vec<u64> {
+    let np = pr * pc;
+    let (t00, t01, t10, t11) = (t[(0, 0)], t[(0, 1)], t[(1, 0)], t[(1, 1)]);
+    let (vri, vci) = (vr as i64, vc as i64);
+    let rmap: Vec<usize> = (0..vr).map(|i| dist.rows.map(i as i64, vr, pr)).collect();
+    let cmap: Vec<usize> = (0..vc).map(|j| dist.cols.map(j as i64, vc, pc)).collect();
+    let row_i: Vec<usize> = (0..vri)
+        .map(|i| (t00 * i).rem_euclid(vri) as usize)
+        .collect();
+    let row_j: Vec<usize> = (0..vci)
+        .map(|j| (t01 * j).rem_euclid(vri) as usize)
+        .collect();
+    let col_i: Vec<usize> = (0..vri)
+        .map(|i| (t10 * i).rem_euclid(vci) as usize)
+        .collect();
+    let col_j: Vec<usize> = (0..vci)
+        .map(|j| (t11 * j).rem_euclid(vci) as usize)
+        .collect();
+    let mut counts = vec![0u64; np * np];
+    for i in 0..vr {
+        let (ri, ci) = (row_i[i], col_i[i]);
+        let src_row = rmap[i] * pc;
+        for j in 0..vc {
+            let mut di = ri + row_j[j];
+            if di >= vr {
+                di -= vr;
+            }
+            let mut dj = ci + col_j[j];
+            if dj >= vc {
+                dj -= vc;
+            }
+            let src = src_row + cmap[j];
+            let dst = rmap[di] * pc + cmap[dj];
+            counts[src * np + dst] += 1;
+        }
+    }
+    counts
+}
+
+/// Extract the sorted non-local message list from a flat count table
+/// (shared with [`crate::msgs::fold_pattern`]).
+pub(crate) fn msgs_from_counts(
+    counts: &[u64],
+    (pr, pc): (usize, usize),
+    elem_bytes: u64,
+) -> Vec<Msg> {
+    let np = pr * pc;
+    let mut msgs = Vec::new();
+    for sp in 0..np {
+        for dp in 0..np {
+            let n = counts[sp * np + dp];
+            if n > 0 && sp != dp {
+                msgs.push(Msg {
+                    src: (sp / pc, sp % pc),
+                    dst: (dp / pc, dp % pc),
+                    bytes: n * elem_bytes,
+                });
+            }
+        }
+    }
+    msgs
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Generate the physical message set of the affine pattern
+/// `v → T·v mod vshape` under `dist` **without enumerating the virtual
+/// grid** whenever `T` has a pure axis with a ±1-coupled partner (the
+/// paper's `U(k)`/`L(k)` families, identity, reflections), falling back
+/// to a dense `O(V)` flat-table fold otherwise.
+///
+/// Identical to
+/// `physical_messages(&general_pattern(t, vshape), dist, …)` — same
+/// aggregation, same order — and also reports the locality of the fold.
+pub fn fold_general(
+    t: &IMat,
+    dist: Dist2D,
+    vshape: (usize, usize),
+    pshape: (usize, usize),
+    elem_bytes: u64,
+) -> FoldedPattern {
+    assert_eq!(t.shape(), (2, 2));
+    let (vr, vc) = vshape;
+    let (t00, t01, t10, t11) = (t[(0, 0)], t[(0, 1)], t[(1, 0)], t[(1, 1)]);
+    // Estimated closed-form cost: one transition matrix per distinct shift
+    // (S² segment pairs each) — worth it only when well below O(V).
+    let worth = |shift_coeff: i64, v: usize, other_v: usize, d: Dist1D, p: usize| {
+        let distinct = match shift_coeff.rem_euclid(v as i64) as usize {
+            0 => 1,
+            c => (v / gcd(c, v)).min(other_v),
+        };
+        let s = segments(d, v, p).len();
+        distinct.saturating_mul(s * s) < vr.saturating_mul(vc) / 2
+    };
+    let (counts, transposed) =
+        if t10 == 0 && (t00 == 1 || t00 == -1) && worth(t01, vr, vc, dist.rows, pshape.0) {
+            (
+                fold_shifted_rows(t00, t01, t11, vshape, pshape, dist.rows, dist.cols),
+                false,
+            )
+        } else if t01 == 0 && (t11 == 1 || t11 == -1) && worth(t10, vc, vr, dist.cols, pshape.1) {
+            (
+                fold_shifted_rows(
+                    t11,
+                    t10,
+                    t00,
+                    (vc, vr),
+                    (pshape.1, pshape.0),
+                    dist.cols,
+                    dist.rows,
+                ),
+                true,
+            )
+        } else {
+            (fold_dense(t, dist, vshape, pshape), false)
+        };
+    let np = pshape.0 * pshape.1;
+    let mut local = 0u64;
+    for p in 0..np {
+        local += counts[p * np + p];
+    }
+    let msgs = if transposed {
+        // The core ran with axes swapped: procs come back as (col, row),
+        // flattened with the original row count as the minor dimension.
+        let pc_t = pshape.0;
+        let mut msgs = Vec::new();
+        for sp in 0..np {
+            for dp in 0..np {
+                let n = counts[sp * np + dp];
+                if n > 0 && sp != dp {
+                    msgs.push(Msg {
+                        src: (sp % pc_t, sp / pc_t),
+                        dst: (dp % pc_t, dp / pc_t),
+                        bytes: n * elem_bytes,
+                    });
+                }
+            }
+        }
+        msgs.sort_by_key(|m| (m.src, m.dst));
+        msgs
+    } else {
+        msgs_from_counts(&counts, pshape, elem_bytes)
+    };
+    FoldedPattern {
+        msgs,
+        local_sends: local,
+        total_sends: (vr * vc) as u64,
+    }
+}
+
+/// Closed-form fold of the elementary `U(k)` pattern
+/// (`(i, j) → (i + k·j, j)`, the paper's Figure 6) — the common case of
+/// [`fold_general`].
+pub fn fold_elementary(
+    k: i64,
+    dist: Dist2D,
+    vshape: (usize, usize),
+    pshape: (usize, usize),
+    elem_bytes: u64,
+) -> FoldedPattern {
+    let t = IMat::from_rows(&[&[1, k], &[0, 1]]);
+    fold_general(&t, dist, vshape, pshape, elem_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msgs::{general_pattern, locality_fraction, physical_messages};
+
+    const DISTS: [Dist1D; 4] = [
+        Dist1D::Block,
+        Dist1D::Cyclic,
+        Dist1D::CyclicBlock(2),
+        Dist1D::Grouped(3),
+    ];
+
+    fn oracle(
+        t: &IMat,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        pshape: (usize, usize),
+        elem_bytes: u64,
+    ) -> (Vec<Msg>, f64) {
+        let pat = general_pattern(t, vshape);
+        (
+            physical_messages(&pat, dist, vshape, pshape, elem_bytes),
+            locality_fraction(&pat, dist, vshape, pshape),
+        )
+    }
+
+    fn check(t: &IMat, dist: Dist2D, vshape: (usize, usize), pshape: (usize, usize)) {
+        let (want, want_loc) = oracle(t, dist, vshape, pshape, 8);
+        let got = fold_general(t, dist, vshape, pshape, 8);
+        assert_eq!(
+            got.msgs, want,
+            "T={t:?} dist={dist:?} v={vshape:?} p={pshape:?}"
+        );
+        assert!(
+            (got.locality_fraction() - want_loc).abs() < 1e-12,
+            "locality mismatch for T={t:?} dist={dist:?}"
+        );
+    }
+
+    #[test]
+    fn segments_partition_every_distribution() {
+        for d in DISTS {
+            for v in [1usize, 7, 12, 30] {
+                for p in [1usize, 2, 4] {
+                    let segs = segments(d, v, p);
+                    let mut owner = vec![None; v];
+                    for s in &segs {
+                        let mut i = if s.lo % s.q == s.r {
+                            s.lo
+                        } else {
+                            s.lo + (s.r + s.q - s.lo % s.q) % s.q
+                        };
+                        while i < s.hi {
+                            assert!(owner[i].is_none(), "{d:?} v={v} p={p}: i={i} twice");
+                            owner[i] = Some(s.proc);
+                            i += s.q;
+                        }
+                    }
+                    for (i, o) in owner.iter().enumerate() {
+                        assert_eq!(*o, Some(d.map(i as i64, v, p)), "{d:?} v={v} p={p} i={i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_crt_agrees_with_enumeration() {
+        for q1 in 1..6i64 {
+            for r1 in 0..q1 {
+                for q2 in 1..6i64 {
+                    for r2 in 0..q2 {
+                        for lo in -3..4i64 {
+                            for hi in lo..12 {
+                                let want = (lo..hi)
+                                    .filter(|x| x.rem_euclid(q1) == r1 && x.rem_euclid(q2) == r2)
+                                    .count() as u64;
+                                assert_eq!(
+                                    count_crt(lo, hi, q1, r1, q2, r2),
+                                    want,
+                                    "[{lo},{hi}) ≡{r1}({q1}) ≡{r2}({q2})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_transition_counts_every_index() {
+        for d in DISTS {
+            let (v, p) = (24usize, 4usize);
+            let segs = segments(d, v, p);
+            for s in 0..v {
+                for sign in [1i64, -1] {
+                    let m = shift_transition(&segs, v, p, s, sign);
+                    // Brute-force reference.
+                    let mut want = vec![0u64; p * p];
+                    for i in 0..v {
+                        let di = (sign * i as i64 + s as i64).rem_euclid(v as i64);
+                        want[d.map(i as i64, v, p) * p + d.map(di, v, p)] += 1;
+                    }
+                    assert_eq!(m, want, "{d:?} s={s} sign={sign}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uk_matches_oracle_across_distributions() {
+        for dr in DISTS {
+            for dc in DISTS {
+                let dist = Dist2D { rows: dr, cols: dc };
+                for k in [0i64, 1, 3, 5, -2] {
+                    let t = IMat::from_rows(&[&[1, k], &[0, 1]]);
+                    check(&t, dist, (24, 12), (4, 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lk_transposed_case_matches_oracle() {
+        for d in DISTS {
+            let dist = Dist2D::uniform(d);
+            for l in [2i64, 4, -3] {
+                let t = IMat::from_rows(&[&[1, 0], &[l, 1]]);
+                check(&t, dist, (12, 24), (2, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn reflections_match_oracle() {
+        // sign = −1 on the shifted axis.
+        for d in DISTS {
+            let dist = Dist2D::uniform(d);
+            check(
+                &IMat::from_rows(&[&[-1, 2], &[0, 1]]),
+                dist,
+                (18, 10),
+                (3, 2),
+            );
+            check(
+                &IMat::from_rows(&[&[1, 0], &[3, -1]]),
+                dist,
+                (10, 18),
+                (2, 3),
+            );
+        }
+    }
+
+    #[test]
+    fn dense_fallback_matches_oracle() {
+        let dist = Dist2D {
+            rows: Dist1D::Grouped(3),
+            cols: Dist1D::Cyclic,
+        };
+        // Neither axis pure: must take the dense path.
+        check(
+            &IMat::from_rows(&[&[1, 3], &[2, 7]]),
+            dist,
+            (18, 12),
+            (3, 2),
+        );
+        check(
+            &IMat::from_rows(&[&[2, 1], &[1, 2]]),
+            dist,
+            (16, 16),
+            (4, 4),
+        );
+    }
+
+    #[test]
+    fn ragged_and_degenerate_shapes() {
+        let dist = Dist2D {
+            rows: Dist1D::Grouped(5),
+            cols: Dist1D::CyclicBlock(3),
+        };
+        // v not divisible by p, k, or b; 1-wide axes; single processor.
+        check(&IMat::from_rows(&[&[1, 2], &[0, 1]]), dist, (13, 7), (3, 2));
+        check(&IMat::from_rows(&[&[1, 1], &[0, 1]]), dist, (1, 7), (1, 2));
+        check(&IMat::from_rows(&[&[1, 4], &[0, 1]]), dist, (9, 1), (2, 1));
+        check(
+            &IMat::from_rows(&[&[1, 2], &[0, 1]]),
+            Dist2D::uniform(Dist1D::Block),
+            (8, 8),
+            (1, 1),
+        );
+    }
+
+    #[test]
+    fn elementary_helper_matches_general() {
+        let dist = Dist2D {
+            rows: Dist1D::Grouped(3),
+            cols: Dist1D::Block,
+        };
+        let via_t = fold_general(
+            &IMat::from_rows(&[&[1, 3], &[0, 1]]),
+            dist,
+            (24, 8),
+            (4, 2),
+            16,
+        );
+        assert_eq!(fold_elementary(3, dist, (24, 8), (4, 2), 16), via_t);
+    }
+
+    #[test]
+    fn identity_is_fully_local() {
+        let got = fold_general(
+            &IMat::identity(2),
+            Dist2D::uniform(Dist1D::Block),
+            (8, 8),
+            (4, 4),
+            8,
+        );
+        assert!(got.msgs.is_empty());
+        assert_eq!(got.local_sends, 64);
+        assert_eq!(got.locality_fraction(), 1.0);
+    }
+}

@@ -16,9 +16,14 @@
 //! * [`msgs`] — turning a virtual communication pattern into an aggregated
 //!   physical message set for the machine simulator.
 
+pub mod closed;
 pub mod msgs;
 
-pub use msgs::{elementary_pattern, general_pattern, locality_fraction, physical_messages, Msg};
+pub use closed::{fold_elementary, fold_general};
+pub use msgs::{
+    elementary_pattern, fold_pattern, general_pattern, locality_fraction, physical_messages,
+    FoldedPattern, Msg, VSend,
+};
 
 /// A one-dimensional virtual→physical folding scheme.
 ///
@@ -154,8 +159,16 @@ pub fn scheme_for_factors(factors: &[rescomm_intlin::IMat]) -> Dist2D {
         }
     }
     Dist2D {
-        rows: if row_k > 1 { Dist1D::Grouped(row_k) } else { Dist1D::Block },
-        cols: if col_k > 1 { Dist1D::Grouped(col_k) } else { Dist1D::Block },
+        rows: if row_k > 1 {
+            Dist1D::Grouped(row_k)
+        } else {
+            Dist1D::Block
+        },
+        cols: if col_k > 1 {
+            Dist1D::Grouped(col_k)
+        } else {
+            Dist1D::Block
+        },
     }
 }
 
@@ -279,7 +292,12 @@ mod tests {
 
     #[test]
     fn load_is_balanced_when_divisible() {
-        for d in [Dist1D::Block, Dist1D::Cyclic, Dist1D::CyclicBlock(2), Dist1D::Grouped(4)] {
+        for d in [
+            Dist1D::Block,
+            Dist1D::Cyclic,
+            Dist1D::CyclicBlock(2),
+            Dist1D::Grouped(4),
+        ] {
             let l = d.load(16, 4);
             assert_eq!(l, vec![4, 4, 4, 4], "{d:?}");
         }

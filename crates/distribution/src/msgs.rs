@@ -8,6 +8,9 @@
 use crate::Dist2D;
 use rescomm_intlin::IMat;
 
+/// One virtual send: `(source, destination)` virtual processor coords.
+pub type VSend = ((i64, i64), (i64, i64));
+
 /// An aggregated physical message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Msg {
@@ -22,7 +25,7 @@ pub struct Msg {
 /// The virtual pattern of a dataflow matrix `T`: every virtual processor
 /// `v` sends one element to `T·v mod vshape` (toroidal wrap keeps the
 /// pattern inside the grid, as the paper's row-length-12 example does).
-pub fn general_pattern(t: &IMat, vshape: (usize, usize)) -> Vec<((i64, i64), (i64, i64))> {
+pub fn general_pattern(t: &IMat, vshape: (usize, usize)) -> Vec<VSend> {
     assert_eq!(t.shape(), (2, 2));
     let (vr, vc) = (vshape.0 as i64, vshape.1 as i64);
     let mut out = Vec::with_capacity(vshape.0 * vshape.1);
@@ -37,7 +40,7 @@ pub fn general_pattern(t: &IMat, vshape: (usize, usize)) -> Vec<((i64, i64), (i6
 
 /// The virtual pattern of the elementary `U(k)` communication:
 /// `(i, j) → (i + k·j mod V, j)` — the paper's Figure 6 pattern.
-pub fn elementary_pattern(k: i64, vshape: (usize, usize)) -> Vec<((i64, i64), (i64, i64))> {
+pub fn elementary_pattern(k: i64, vshape: (usize, usize)) -> Vec<VSend> {
     let t = IMat::from_rows(&[&[1, k], &[0, 1]]);
     general_pattern(&t, vshape)
 }
@@ -48,14 +51,15 @@ pub fn elementary_pattern(k: i64, vshape: (usize, usize)) -> Vec<((i64, i64), (i
 /// on the same physical processor are local and dropped. The result is
 /// sorted and deterministic.
 pub fn physical_messages(
-    pattern: &[((i64, i64), (i64, i64))],
+    pattern: &[VSend],
     dist: Dist2D,
     vshape: (usize, usize),
     pshape: (usize, usize),
     elem_bytes: u64,
 ) -> Vec<Msg> {
     use std::collections::BTreeMap;
-    let mut agg: BTreeMap<((usize, usize), (usize, usize)), u64> = BTreeMap::new();
+    type PPair = ((usize, usize), (usize, usize));
+    let mut agg: BTreeMap<PPair, u64> = BTreeMap::new();
     for &(src_v, dst_v) in pattern {
         let s = dist.map(src_v, vshape, pshape);
         let d = dist.map(dst_v, vshape, pshape);
@@ -69,21 +73,80 @@ pub fn physical_messages(
         .collect()
 }
 
+/// A virtual pattern folded onto the physical grid: the aggregated
+/// message set **and** the locality statistics of the same fold, computed
+/// together so no endpoint is mapped twice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoldedPattern {
+    /// Aggregated non-local messages, sorted by `(src, dst)`.
+    pub msgs: Vec<Msg>,
+    /// Number of virtual sends whose endpoints share a physical processor.
+    pub local_sends: u64,
+    /// Total number of virtual sends folded.
+    pub total_sends: u64,
+}
+
+impl FoldedPattern {
+    /// Fraction of virtual sends that stay on their physical processor
+    /// (1.0 for an empty pattern, matching [`locality_fraction`]).
+    pub fn locality_fraction(&self) -> f64 {
+        if self.total_sends == 0 {
+            1.0
+        } else {
+            self.local_sends as f64 / self.total_sends as f64
+        }
+    }
+
+    /// Total bytes crossing the network.
+    pub fn total_bytes(&self) -> u64 {
+        self.msgs.iter().map(|m| m.bytes).sum()
+    }
+}
+
+/// Fold a virtual pattern in **one fused pass**: each endpoint is mapped
+/// exactly once, messages are aggregated in a flat per-processor-pair
+/// table (no tree maps), and locality is counted along the way.
+///
+/// The message set equals [`physical_messages`] exactly (same order, same
+/// aggregation); the locality equals [`locality_fraction`]. The old
+/// entry points survive as thin wrappers/oracles — benchmarks that need
+/// both quantities should call this once instead of each of them.
+pub fn fold_pattern(
+    pattern: &[VSend],
+    dist: Dist2D,
+    vshape: (usize, usize),
+    pshape: (usize, usize),
+    elem_bytes: u64,
+) -> FoldedPattern {
+    let np = pshape.0 * pshape.1;
+    let mut counts = vec![0u64; np * np];
+    let mut local = 0u64;
+    for &(src_v, dst_v) in pattern {
+        let (sp, sq) = dist.map(src_v, vshape, pshape);
+        let (dp, dq) = dist.map(dst_v, vshape, pshape);
+        let s = sp * pshape.1 + sq;
+        let d = dp * pshape.1 + dq;
+        if s == d {
+            local += 1;
+        } else {
+            counts[s * np + d] += 1;
+        }
+    }
+    FoldedPattern {
+        msgs: crate::closed::msgs_from_counts(&counts, pshape, elem_bytes),
+        local_sends: local,
+        total_sends: pattern.len() as u64,
+    }
+}
+
 /// Fraction of virtual sends that stay on their physical processor.
 pub fn locality_fraction(
-    pattern: &[((i64, i64), (i64, i64))],
+    pattern: &[VSend],
     dist: Dist2D,
     vshape: (usize, usize),
     pshape: (usize, usize),
 ) -> f64 {
-    if pattern.is_empty() {
-        return 1.0;
-    }
-    let local = pattern
-        .iter()
-        .filter(|&&(s, d)| dist.map(s, vshape, pshape) == dist.map(d, vshape, pshape))
-        .count();
-    local as f64 / pattern.len() as f64
+    fold_pattern(pattern, dist, vshape, pshape, 1).locality_fraction()
 }
 
 #[cfg(test)]
@@ -126,10 +189,7 @@ mod tests {
             let block = Dist2D::uniform(Dist1D::Block);
             let lg = locality_fraction(&pat, grouped, v, p);
             let lb = locality_fraction(&pat, block, v, p);
-            assert!(
-                lg > lb,
-                "k={k}: grouped locality {lg} not above block {lb}"
-            );
+            assert!(lg > lb, "k={k}: grouped locality {lg} not above block {lb}");
         }
     }
 

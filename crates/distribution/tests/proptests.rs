@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rescomm_distribution::{
-    elementary_pattern, general_pattern, grouped_rank, locality_fraction, physical_messages,
-    Dist1D, Dist2D,
+    elementary_pattern, fold_general, fold_pattern, general_pattern, grouped_rank,
+    locality_fraction, physical_messages, Dist1D, Dist2D,
 };
 use rescomm_intlin::IMat;
 
@@ -99,5 +99,74 @@ proptest! {
         let pat = general_pattern(&IMat::identity(2), (v, v));
         let dist = Dist2D::uniform(d);
         prop_assert_eq!(locality_fraction(&pat, dist, (v, v), (p, p)), 1.0);
+    }
+
+    /// The closed-form generator equals the enumeration oracle for random
+    /// dataflow matrices, grids and all four distributions — message set
+    /// (order included), locality and send counts.
+    #[test]
+    fn closed_form_matches_enumeration(
+        dr in any_dist(),
+        dc in any_dist(),
+        t00 in -4i64..5, t01 in -4i64..5, t10 in -4i64..5, t11 in -4i64..5,
+        vr in 1usize..28, vc in 1usize..28,
+        pr in 1usize..5, pc in 1usize..5,
+        bytes in 1u64..32,
+    ) {
+        let t = IMat::from_rows(&[&[t00, t01], &[t10, t11]]);
+        let dist = Dist2D { rows: dr, cols: dc };
+        let pat = general_pattern(&t, (vr, vc));
+        let want = physical_messages(&pat, dist, (vr, vc), (pr, pc), bytes);
+        let want_loc = locality_fraction(&pat, dist, (vr, vc), (pr, pc));
+        let got = fold_general(&t, dist, (vr, vc), (pr, pc), bytes);
+        prop_assert_eq!(&got.msgs, &want);
+        prop_assert!((got.locality_fraction() - want_loc).abs() < 1e-12);
+        prop_assert_eq!(got.total_sends, (vr * vc) as u64);
+    }
+
+    /// The elementary shapes the paper actually sweeps (U(k)/L(k),
+    /// including negative k) hit the closed-form fast path and still
+    /// agree with the oracle.
+    #[test]
+    fn closed_form_matches_on_elementary_family(
+        dr in any_dist(),
+        dc in any_dist(),
+        k in -8i64..9,
+        upper in proptest::arbitrary::any::<bool>(),
+        vr in 1usize..40, vc in 1usize..40,
+        pr in 1usize..5, pc in 1usize..5,
+    ) {
+        let t = if upper {
+            IMat::from_rows(&[&[1, k], &[0, 1]])
+        } else {
+            IMat::from_rows(&[&[1, 0], &[k, 1]])
+        };
+        let dist = Dist2D { rows: dr, cols: dc };
+        let pat = general_pattern(&t, (vr, vc));
+        let want = physical_messages(&pat, dist, (vr, vc), (pr, pc), 8);
+        prop_assert_eq!(fold_general(&t, dist, (vr, vc), (pr, pc), 8).msgs, want);
+    }
+
+    /// The fused explicit-pattern fold agrees with the two separate
+    /// passes it replaces.
+    #[test]
+    fn fused_fold_matches_separate_passes(
+        dr in any_dist(),
+        dc in any_dist(),
+        k in -5i64..6,
+        vr in 1usize..32, vc in 1usize..32,
+        pr in 1usize..5, pc in 1usize..5,
+        bytes in 1u64..32,
+    ) {
+        let dist = Dist2D { rows: dr, cols: dc };
+        let pat = elementary_pattern(k, (vr, vc));
+        let folded = fold_pattern(&pat, dist, (vr, vc), (pr, pc), bytes);
+        prop_assert_eq!(
+            &folded.msgs,
+            &physical_messages(&pat, dist, (vr, vc), (pr, pc), bytes)
+        );
+        prop_assert_eq!(folded.total_sends, pat.len() as u64);
+        let sep = locality_fraction(&pat, dist, (vr, vc), (pr, pc));
+        prop_assert!((folded.locality_fraction() - sep).abs() < 1e-12);
     }
 }

@@ -134,12 +134,19 @@ mod tests {
         assert_eq!(hf.rank, a.rank());
         // Echelon structure: rows past rank are zero.
         for i in hf.rank..a.rows() {
-            assert!(hf.h.row(i).iter().all(|&x| x == 0), "nonzero row below rank");
+            assert!(
+                hf.h.row(i).iter().all(|&x| x == 0),
+                "nonzero row below rank"
+            );
         }
         // Pivots positive, zeros below pivots, reduced above.
         let mut last_col = None;
         for i in 0..hf.rank {
-            let c = hf.h.row(i).iter().position(|&x| x != 0).expect("zero pivot row");
+            let c =
+                hf.h.row(i)
+                    .iter()
+                    .position(|&x| x != 0)
+                    .expect("zero pivot row");
             if let Some(lc) = last_col {
                 assert!(c > lc, "pivots not strictly staircase");
             }

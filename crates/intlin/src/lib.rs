@@ -43,8 +43,7 @@ pub mod unimodular;
 
 pub use hermite::{left_hermite, right_hermite, HermiteForm};
 pub use kernel::{
-    kernel_basis, kernel_dim, kernel_escapes, kernel_intersection, kernel_subset,
-    left_kernel_basis,
+    kernel_basis, kernel_dim, kernel_escapes, kernel_intersection, kernel_subset, left_kernel_basis,
 };
 pub use mat::{IMat, LinError};
 pub use pseudo::{left_inverse_int, pseudo_inverse, right_inverse_int, small_left_inverse};

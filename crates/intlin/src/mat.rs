@@ -512,7 +512,11 @@ impl Add for &IMat {
 impl Sub for &IMat {
     type Output = IMat;
     fn sub(self, rhs: &IMat) -> IMat {
-        assert_eq!(self.shape(), rhs.shape(), "matrix difference shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix difference shape mismatch"
+        );
         IMat::from_fn(self.rows, self.cols, |i, j| {
             narrow(self[(i, j)] as i128 - rhs[(i, j)] as i128)
         })
@@ -546,7 +550,12 @@ impl fmt::Debug for IMat {
 impl fmt::Display for IMat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let widths: Vec<usize> = (0..self.cols)
-            .map(|j| (0..self.rows).map(|i| format!("{}", self[(i, j)]).len()).max().unwrap_or(1))
+            .map(|j| {
+                (0..self.rows)
+                    .map(|i| format!("{}", self[(i, j)]).len())
+                    .max()
+                    .unwrap_or(1)
+            })
             .collect();
         for i in 0..self.rows {
             write!(f, "[")?;
@@ -627,7 +636,9 @@ mod tests {
         }
         let mut seed = 0x9e3779b97f4a7c15u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as i64 % 7) - 3
         };
         for _ in 0..50 {

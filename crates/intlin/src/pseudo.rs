@@ -59,10 +59,7 @@ pub fn right_inverse_int(f: &IMat) -> Result<IMat, LinError> {
         return Err(LinError::Incompatible);
     }
     let s = smith_normal_form(f);
-    let uinv = s
-        .u
-        .inverse_unimodular()
-        .expect("smith U not unimodular");
+    let uinv = s.u.inverse_unimodular().expect("smith U not unimodular");
     let mut y = IMat::zeros(v, u);
     for i in 0..u {
         let d = s.d[(i, i)];
@@ -77,10 +74,7 @@ pub fn right_inverse_int(f: &IMat) -> Result<IMat, LinError> {
             y[(i, j)] = num / d;
         }
     }
-    let vinv = s
-        .v
-        .inverse_unimodular()
-        .expect("smith V not unimodular");
+    let vinv = s.v.inverse_unimodular().expect("smith V not unimodular");
     Ok(&vinv * &y)
 }
 

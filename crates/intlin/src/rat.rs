@@ -48,7 +48,10 @@ impl Rational {
 
     /// The integer `n` as a rational.
     pub fn from_int(n: i64) -> Self {
-        Rational { num: n as i128, den: 1 }
+        Rational {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Zero.
@@ -141,6 +144,7 @@ impl Mul for Rational {
 
 impl Div for Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is exact here
     fn div(self, r: Rational) -> Rational {
         self * r.recip()
     }
@@ -216,7 +220,11 @@ impl RMat {
         RMat {
             rows: m.rows(),
             cols: m.cols(),
-            data: m.as_slice().iter().map(|&x| Rational::from_int(x)).collect(),
+            data: m
+                .as_slice()
+                .iter()
+                .map(|&x| Rational::from_int(x))
+                .collect(),
         }
     }
 
@@ -417,7 +425,10 @@ mod tests {
     #[test]
     fn rmat_singular() {
         let a = IMat::from_rows(&[&[1, 2], &[2, 4]]);
-        assert_eq!(RMat::from_int(&a).inverse().unwrap_err(), LinError::Singular);
+        assert_eq!(
+            RMat::from_int(&a).inverse().unwrap_err(),
+            LinError::Singular
+        );
     }
 
     #[test]

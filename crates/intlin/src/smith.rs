@@ -172,7 +172,10 @@ mod tests {
     #[test]
     fn smith_identity_and_zero() {
         check(&IMat::identity(3));
-        assert_eq!(smith_normal_form(&IMat::identity(3)).diagonal(), vec![1, 1, 1]);
+        assert_eq!(
+            smith_normal_form(&IMat::identity(3)).diagonal(),
+            vec![1, 1, 1]
+        );
         check(&IMat::zeros(2, 3));
         assert_eq!(smith_normal_form(&IMat::zeros(2, 3)).diagonal(), vec![0, 0]);
     }

@@ -77,7 +77,11 @@ pub fn solve_axb_int(a: &IMat, b: &[i64]) -> Result<Vec<i64>, LinError> {
 ///
 /// `F` is `a×d`, `S` is `m×d`; the solution `X` is `m×a`.
 pub fn solve_xf_eq_s(s: &IMat, f: &IMat) -> Result<SolutionFamily, LinError> {
-    assert_eq!(s.cols(), f.cols(), "solve_xf_eq_s: column mismatch (S m×d, F a×d)");
+    assert_eq!(
+        s.cols(),
+        f.cols(),
+        "solve_xf_eq_s: column mismatch (S m×d, F a×d)"
+    );
     let ft = f.transpose(); // d×a
     let m = s.rows();
     let a = f.rows();
@@ -104,11 +108,7 @@ pub fn solve_xf_eq_s(s: &IMat, f: &IMat) -> Result<SolutionFamily, LinError> {
 /// [`LinError::RankDeficient`] when no full-rank representative is found —
 /// this mirrors the paper's caveat that when `F_{p1} − F_{p2}` is
 /// rank-deficient "it can or not be possible" to find a suitable matrix.
-pub fn solve_xf_eq_s_fullrank(
-    s: &IMat,
-    f: &IMat,
-    want_rank: usize,
-) -> Result<IMat, LinError> {
+pub fn solve_xf_eq_s_fullrank(s: &IMat, f: &IMat, want_rank: usize) -> Result<IMat, LinError> {
     let fam = solve_xf_eq_s(s, f)?;
     if fam.particular.rank() >= want_rank {
         return Ok(fam.particular);
@@ -147,7 +147,9 @@ pub fn solve_xf_eq_s_fullrank(
     let mut seed = 0x2545f4914f6cdd1du64;
     for _ in 0..20_000 {
         let cm = IMat::from_fn(m, k, |_, _| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as i64 % 7) - 3
         });
         let cand = fam.instantiate(&cm);

@@ -142,10 +142,7 @@ mod tests {
 
     #[test]
     fn completion_non_primitive_fails() {
-        assert_eq!(
-            complete_to_unimodular(&[2, 4]),
-            Err(LinError::NotIntegral)
-        );
+        assert_eq!(complete_to_unimodular(&[2, 4]), Err(LinError::NotIntegral));
         assert_eq!(complete_to_unimodular(&[0, 0]), Err(LinError::Singular));
     }
 

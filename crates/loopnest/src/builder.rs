@@ -40,7 +40,11 @@ impl NestBuilder {
     /// schedule by default).
     pub fn statement(&mut self, name: &str, depth: usize, domain: Domain) -> StmtId {
         assert!(depth > 0, "statement {name} with depth 0");
-        assert_eq!(domain.dim(), depth, "statement {name}: domain/depth mismatch");
+        assert_eq!(
+            domain.dim(),
+            depth,
+            "statement {name}: domain/depth mismatch"
+        );
         self.statements.push(Statement {
             name: name.to_string(),
             depth,

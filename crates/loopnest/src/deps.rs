@@ -43,12 +43,7 @@ fn integrally_feasible(a1: &Access, a2: &Access) -> bool {
     let f1 = &a1.f;
     let f2 = &a2.f;
     let stacked = f1.hstack(&f2.scale(-1));
-    let rhs: Vec<i64> = a2
-        .c
-        .iter()
-        .zip(&a1.c)
-        .map(|(&x, &y)| x - y)
-        .collect();
+    let rhs: Vec<i64> = a2.c.iter().zip(&a1.c).map(|(&x, &y)| x - y).collect();
     match solve_axb_int(&stacked, &rhs) {
         Ok(_) => true,
         Err(LinError::Incompatible) | Err(LinError::NotIntegral) => false,
@@ -211,7 +206,10 @@ mod tests {
         let deps = find_dependences(&nest).unwrap();
         assert!(!deps.is_empty(), "gauss must have dependences");
         let violations = schedules_valid(&nest).unwrap();
-        assert!(violations.is_empty(), "k-sequential schedule must carry all: {violations:?}");
+        assert!(
+            violations.is_empty(),
+            "k-sequential schedule must carry all: {violations:?}"
+        );
     }
 
     #[test]

@@ -107,9 +107,9 @@ impl Domain {
     }
 
     fn satisfies_guards(&self, p: &[i64]) -> bool {
-        self.guards.iter().all(|(g, b)| {
-            g.iter().zip(p).map(|(&c, &x)| c * x).sum::<i64>() <= *b
-        })
+        self.guards
+            .iter()
+            .all(|(g, b)| g.iter().zip(p).map(|(&c, &x)| c * x).sum::<i64>() <= *b)
     }
 
     /// Iterate all points in lexicographic order (guards applied).
@@ -144,9 +144,7 @@ impl Iterator for DomainIter {
             k -= 1;
             if nxt[k] < self.dom.hi[k] {
                 nxt[k] += 1;
-                for j in k + 1..nxt.len() {
-                    nxt[j] = self.dom.lo[j];
-                }
+                nxt[k + 1..].copy_from_slice(&self.dom.lo[k + 1..]);
                 self.cur = Some(nxt);
                 break;
             }

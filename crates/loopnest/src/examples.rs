@@ -302,11 +302,7 @@ pub fn syrk(n: i64) -> LoopNest {
 pub fn stencil1d(n: i64, steps: i64) -> LoopNest {
     let mut bld = NestBuilder::new("stencil1d");
     let x = bld.array("X", 2); // indexed [t, i]
-    let s = bld.statement(
-        "S",
-        2,
-        Domain::rect(&[(0, steps - 1), (1, n - 2)]),
-    );
+    let s = bld.statement("S", 2, Domain::rect(&[(0, steps - 1), (1, n - 2)]));
     bld.schedule(s, Schedule::sequential_outer(2, 1));
     bld.write(s, x, IMat::identity(2), &[1, 0]);
     for di in [-1i64, 0, 1] {
@@ -415,10 +411,7 @@ mod tests {
     fn matmul_structure() {
         let nest = matmul(4);
         assert_eq!(nest.accesses.len(), 3);
-        assert!(nest
-            .accesses
-            .iter()
-            .any(|a| a.kind == AccessKind::Reduce));
+        assert!(nest.accesses.iter().any(|a| a.kind == AccessKind::Reduce));
         // All access matrices are flat 2×3 of rank 2.
         for a in &nest.accesses {
             assert_eq!(a.f.shape(), (2, 3));

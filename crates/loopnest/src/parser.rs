@@ -60,7 +60,10 @@ fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
 fn parse_matrix(line_no: usize, text: &str) -> Result<(IMat, &str), ParseError> {
     let text = text.trim_start();
     let Some(inner_start) = text.strip_prefix('[') else {
-        return err(line_no, format!("expected '[' to start a matrix, got {text:?}"));
+        return err(
+            line_no,
+            format!("expected '[' to start a matrix, got {text:?}"),
+        );
     };
     let Some(close) = inner_start.find(']') else {
         return err(line_no, "unterminated matrix: missing ']'");
@@ -144,12 +147,10 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                     return err(line_no, "stmt needs a name");
                 };
                 let depth = match (words.next(), words.next()) {
-                    (Some("depth"), Some(t)) => t
-                        .parse::<usize>()
-                        .map_err(|e| ParseError {
-                            line: line_no,
-                            msg: format!("bad depth: {e}"),
-                        })?,
+                    (Some("depth"), Some(t)) => t.parse::<usize>().map_err(|e| ParseError {
+                        line: line_no,
+                        msg: format!("bad depth: {e}"),
+                    })?,
                     _ => return err(line_no, "expected 'depth <d>'"),
                 };
                 match words.next() {
@@ -191,8 +192,7 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 let Some(sep) = toks.iter().position(|&t| t == "<=") else {
                     return err(line_no, "guard needs '<=': guard g1 … <= b");
                 };
-                let g: Result<Vec<i64>, _> =
-                    toks[..sep].iter().map(|t| t.parse::<i64>()).collect();
+                let g: Result<Vec<i64>, _> = toks[..sep].iter().map(|t| t.parse::<i64>()).collect();
                 let b = toks.get(sep + 1).and_then(|t| t.parse::<i64>().ok());
                 match (g, b, toks.len()) {
                     (Ok(g), Some(b), n) if n == sep + 2 && g.len() == cur_depth => {
@@ -215,8 +215,7 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 match words.next() {
                     Some("parallel") => { /* default */ }
                     Some("linear") => {
-                        let pi: Result<Vec<i64>, _> =
-                            words.map(|t| t.parse::<i64>()).collect();
+                        let pi: Result<Vec<i64>, _> = words.map(|t| t.parse::<i64>()).collect();
                         match pi {
                             Ok(v) if !v.is_empty() => {
                                 b.schedule(s, Schedule::linear(&v));
@@ -225,8 +224,7 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                         }
                     }
                     Some("seqouter") => {
-                        let Some(k) = words.next().and_then(|t| t.parse::<usize>().ok())
-                        else {
+                        let Some(k) = words.next().and_then(|t| t.parse::<usize>().ok()) else {
                             return err(line_no, "seqouter needs a count");
                         };
                         if k == 0 || k > cur_depth {
@@ -234,9 +232,7 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                         }
                         b.schedule(s, Schedule::sequential_outer(cur_depth, k));
                     }
-                    other => {
-                        return err(line_no, format!("unknown schedule {other:?}"))
-                    }
+                    other => return err(line_no, format!("unknown schedule {other:?}")),
                 }
             }
             "read" | "write" | "reduce" => {

@@ -111,8 +111,8 @@ mod tests {
 
     fn roundtrip_equal(nest: &LoopNest) {
         let text = to_text(nest);
-        let back = parse_nest(&text)
-            .unwrap_or_else(|e| panic!("serialized text must parse: {e}\n{text}"));
+        let back =
+            parse_nest(&text).unwrap_or_else(|e| panic!("serialized text must parse: {e}\n{text}"));
         assert_eq!(back.name, nest.name);
         assert_eq!(back.arrays, nest.arrays);
         assert_eq!(back.statements.len(), nest.statements.len());

@@ -103,11 +103,7 @@ impl FatTree {
         use std::collections::HashMap;
         // (level, group, up) -> per-lane free times.
         let mut free: HashMap<(usize, usize, bool), Vec<u64>> = HashMap::new();
-        let mut msgs: Vec<PMsg> = msgs
-            .iter()
-            .copied()
-            .filter(|m| m.src != m.dst)
-            .collect();
+        let mut msgs: Vec<PMsg> = msgs.iter().copied().filter(|m| m.src != m.dst).collect();
         msgs.sort();
         let mut makespan = 0;
         for m in &msgs {
@@ -200,8 +196,16 @@ mod tests {
     #[test]
     fn siblings_do_not_contend_with_distant_pairs() {
         let t = ft();
-        let a = PMsg { src: 0, dst: 1, bytes: 64 };
-        let b = PMsg { src: 8, dst: 9, bytes: 64 };
+        let a = PMsg {
+            src: 0,
+            dst: 1,
+            bytes: 64,
+        };
+        let b = PMsg {
+            src: 8,
+            dst: 9,
+            bytes: 64,
+        };
         let t2 = t.simulate_phase(&[a, b]);
         assert_eq!(t2, t.simulate_phase(&[a]));
     }
@@ -210,8 +214,16 @@ mod tests {
     fn shared_upward_edge_serializes() {
         let t = ft();
         // Both messages leave leaf group {0..3} upward from leaf 0.
-        let a = PMsg { src: 0, dst: 16, bytes: 64 };
-        let b = PMsg { src: 0, dst: 20, bytes: 64 };
+        let a = PMsg {
+            src: 0,
+            dst: 16,
+            bytes: 64,
+        };
+        let b = PMsg {
+            src: 0,
+            dst: 20,
+            bytes: 64,
+        };
         let both = t.simulate_phase(&[a, b]);
         let one = t.simulate_phase(&[a]);
         assert!(both > one, "same source must serialize on its up-edge");
@@ -222,7 +234,13 @@ mod tests {
         let t = ft();
         let hw = t.hw_broadcast(32, 8);
         // Software emulation: root sends to every leaf one by one.
-        let sw: Vec<PMsg> = (1..32).map(|d| PMsg { src: 0, dst: d, bytes: 8 }).collect();
+        let sw: Vec<PMsg> = (1..32)
+            .map(|d| PMsg {
+                src: 0,
+                dst: d,
+                bytes: 8,
+            })
+            .collect();
         let sw_time = t.simulate_phase(&sw);
         assert!(hw * 4 < sw_time, "hw {hw} vs sw {sw_time}");
     }
@@ -233,7 +251,11 @@ mod tests {
         let shift = t.translation(1, 256);
         // A bit-reversal-like pattern crosses the top of the tree a lot.
         let msgs: Vec<PMsg> = (0..32)
-            .map(|i| PMsg { src: i, dst: (i * 13 + 5) % 32, bytes: 256 })
+            .map(|i| PMsg {
+                src: i,
+                dst: (i * 13 + 5) % 32,
+                bytes: 256,
+            })
             .collect();
         let general = t.simulate_phase(&msgs);
         assert!(shift < general, "shift {shift} vs general {general}");
@@ -245,13 +267,21 @@ mod tests {
         let fat = FatTree::with_lanes(32, 4, CostModel::cm5(), &[1, 2, 4]);
         // A root-crossing all-to-one-half pattern that hammers the top.
         let msgs: Vec<PMsg> = (0..16)
-            .map(|i| PMsg { src: i, dst: 16 + i, bytes: 512 })
+            .map(|i| PMsg {
+                src: i,
+                dst: 16 + i,
+                bytes: 512,
+            })
             .collect();
         let t_thin = thin.simulate_phase(&msgs);
         let t_fat = fat.simulate_phase(&msgs);
         assert!(t_fat < t_thin, "fat {t_fat} vs thin {t_thin}");
         // And a single message costs the same on both.
-        let one = [PMsg { src: 0, dst: 31, bytes: 512 }];
+        let one = [PMsg {
+            src: 0,
+            dst: 31,
+            bytes: 512,
+        }];
         assert_eq!(thin.simulate_phase(&one), fat.simulate_phase(&one));
     }
 
@@ -272,7 +302,11 @@ mod tests {
         let bc = t.hw_broadcast(32, bytes.min(64));
         let tr = t.translation(1, bytes);
         let msgs: Vec<PMsg> = (0..32)
-            .map(|i| PMsg { src: i, dst: (i * 13 + 5) % 32, bytes })
+            .map(|i| PMsg {
+                src: i,
+                dst: (i * 13 + 5) % 32,
+                bytes,
+            })
             .collect();
         let gen = t.simulate_phase(&msgs);
         assert!(red <= bc, "red={red} bc={bc}");

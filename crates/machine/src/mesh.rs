@@ -44,6 +44,62 @@ impl LinkId {
     }
 }
 
+#[inline]
+fn h_link_id(px: usize, x: usize, y: usize, positive: bool) -> usize {
+    (y * (px - 1) + x) * 2 + usize::from(positive)
+}
+
+#[inline]
+fn v_link_id(px: usize, py: usize, x: usize, y: usize, positive: bool) -> usize {
+    2 * (px - 1) * py + (x * (py - 1) + y) * 2 + usize::from(positive)
+}
+
+/// Allocation-free iterator over the directed links of an XY route
+/// (see [`Mesh2D::route_links`]). Owns plain coordinates, so it borrows
+/// nothing and can be re-created cheaply for the two passes a greedy
+/// scheduler needs (reserve scan, then commit scan).
+#[derive(Debug, Clone)]
+pub struct RouteLinks {
+    px: usize,
+    py: usize,
+    x: usize,
+    y: usize,
+    tx: usize,
+    ty: usize,
+}
+
+impl Iterator for RouteLinks {
+    type Item = LinkId;
+
+    #[inline]
+    fn next(&mut self) -> Option<LinkId> {
+        if self.x < self.tx {
+            let l = h_link_id(self.px, self.x, self.y, true);
+            self.x += 1;
+            Some(LinkId(l))
+        } else if self.x > self.tx {
+            self.x -= 1;
+            Some(LinkId(h_link_id(self.px, self.x, self.y, false)))
+        } else if self.y < self.ty {
+            let l = v_link_id(self.px, self.py, self.x, self.y, true);
+            self.y += 1;
+            Some(LinkId(l))
+        } else if self.y > self.ty {
+            self.y -= 1;
+            Some(LinkId(v_link_id(self.px, self.py, self.x, self.y, false)))
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.x.abs_diff(self.tx) + self.y.abs_diff(self.ty);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteLinks {}
+
 impl Mesh2D {
     /// Build a mesh.
     pub fn new(px: usize, py: usize, cost: CostModel) -> Self {
@@ -69,46 +125,44 @@ impl Mesh2D {
     }
 
     /// Number of directed links (2 per adjacent pair).
-    fn link_count(&self) -> usize {
+    pub fn link_count(&self) -> usize {
         // Horizontal: (px−1)·py pairs; vertical: px·(py−1) pairs; ×2.
         2 * ((self.px - 1) * self.py + self.px * (self.py - 1))
     }
 
-    fn h_link(&self, x: usize, y: usize, positive: bool) -> LinkId {
-        // Link between (x,y) and (x+1,y).
-        debug_assert!(x + 1 < self.px + 1);
-        let base = (y * (self.px - 1) + x) * 2;
-        LinkId(base + usize::from(positive))
+    /// Directed link between `(x,y)` and `(x+1,y)` (`positive` = rightward).
+    pub fn h_link(&self, x: usize, y: usize, positive: bool) -> LinkId {
+        // Link between (x,y) and (x+1,y): the right endpoint must exist.
+        debug_assert!(x + 1 < self.px);
+        LinkId(h_link_id(self.px, x, y, positive))
     }
 
-    fn v_link(&self, x: usize, y: usize, positive: bool) -> LinkId {
-        let h = 2 * (self.px - 1) * self.py;
-        let base = h + (x * (self.py - 1) + y) * 2;
-        LinkId(base + usize::from(positive))
+    /// Directed link between `(x,y)` and `(x,y+1)` (`positive` = upward).
+    pub fn v_link(&self, x: usize, y: usize, positive: bool) -> LinkId {
+        // Link between (x,y) and (x,y+1): the upper endpoint must exist.
+        debug_assert!(y + 1 < self.py);
+        LinkId(v_link_id(self.px, self.py, x, y, positive))
     }
 
     /// XY route between two nodes: X first, then Y; returns directed links.
     pub fn route(&self, src: usize, dst: usize) -> Vec<LinkId> {
-        let (mut x, mut y) = self.coords(src);
+        self.route_links(src, dst).collect()
+    }
+
+    /// Allocation-free XY route: an iterator over the directed links
+    /// between two nodes (X first, then Y). This is the hot-path form
+    /// [`crate::PhaseSim`] uses; [`Mesh2D::route`] is its collected twin.
+    pub fn route_links(&self, src: usize, dst: usize) -> RouteLinks {
+        let (x, y) = self.coords(src);
         let (tx, ty) = self.coords(dst);
-        let mut links = Vec::with_capacity(x.abs_diff(tx) + y.abs_diff(ty));
-        while x < tx {
-            links.push(self.h_link(x, y, true));
-            x += 1;
+        RouteLinks {
+            px: self.px,
+            py: self.py,
+            x,
+            y,
+            tx,
+            ty,
         }
-        while x > tx {
-            links.push(self.h_link(x - 1, y, false));
-            x -= 1;
-        }
-        while y < ty {
-            links.push(self.v_link(x, y, true));
-            y += 1;
-        }
-        while y > ty {
-            links.push(self.v_link(x, y - 1, false));
-            y -= 1;
-        }
-        links
     }
 
     /// Hop count of the XY route.
@@ -123,21 +177,13 @@ impl Mesh2D {
     /// Returns the makespan in nanoseconds (0 for an empty phase).
     pub fn simulate_phase(&self, msgs: &[PMsg]) -> u64 {
         let mut link_free = vec![0u64; self.link_count()];
-        let mut msgs: Vec<PMsg> = msgs
-            .iter()
-            .copied()
-            .filter(|m| m.src != m.dst)
-            .collect();
+        let mut msgs: Vec<PMsg> = msgs.iter().copied().filter(|m| m.src != m.dst).collect();
         msgs.sort();
         let mut makespan = 0u64;
         for m in &msgs {
             let route = self.route(m.src, m.dst);
             let dur = self.cost.p2p(route.len(), m.bytes);
-            let start = route
-                .iter()
-                .map(|l| link_free[l.0])
-                .max()
-                .unwrap_or(0);
+            let start = route.iter().map(|l| link_free[l.0]).max().unwrap_or(0);
             let end = start + dur;
             for l in &route {
                 link_free[l.0] = end;
@@ -173,7 +219,39 @@ mod tests {
         // Reverse direction uses different (opposite) links.
         let r2 = m.route(b, a);
         assert_eq!(r2.len(), 5);
-        assert!(r.iter().all(|l| !r2.contains(l)), "directed links must differ");
+        assert!(
+            r.iter().all(|l| !r2.contains(l)),
+            "directed links must differ"
+        );
+    }
+
+    #[test]
+    fn route_links_iterator_matches_collected_route() {
+        let m = mesh(4, 3);
+        for src in 0..m.nodes() {
+            for dst in 0..m.nodes() {
+                let collected = m.route(src, dst);
+                let streamed: Vec<LinkId> = m.route_links(src, dst).collect();
+                assert_eq!(collected, streamed);
+                assert_eq!(m.route_links(src, dst).len(), m.hops(src, dst));
+            }
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic]
+    fn h_link_rejects_rightmost_column() {
+        // x = px − 1 has no rightward neighbour: the bounds check must
+        // fire instead of silently aliasing another link.
+        mesh(4, 4).h_link(3, 0, true);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic]
+    fn v_link_rejects_topmost_row() {
+        mesh(4, 4).v_link(0, 3, true);
     }
 
     #[test]
@@ -181,21 +259,40 @@ mod tests {
         assert_eq!(mesh(4, 4).simulate_phase(&[]), 0);
         // Local messages are free too.
         let m = mesh(4, 4);
-        assert_eq!(m.simulate_phase(&[PMsg { src: 5, dst: 5, bytes: 100 }]), 0);
+        assert_eq!(
+            m.simulate_phase(&[PMsg {
+                src: 5,
+                dst: 5,
+                bytes: 100
+            }]),
+            0
+        );
     }
 
     #[test]
     fn single_message_time_is_p2p() {
         let m = mesh(4, 4);
-        let t = m.simulate_phase(&[PMsg { src: 0, dst: 1, bytes: 64 }]);
+        let t = m.simulate_phase(&[PMsg {
+            src: 0,
+            dst: 1,
+            bytes: 64,
+        }]);
         assert_eq!(t, m.cost.p2p(1, 64));
     }
 
     #[test]
     fn disjoint_messages_run_in_parallel() {
         let m = mesh(4, 4);
-        let a = PMsg { src: m.node_id(0, 0), dst: m.node_id(1, 0), bytes: 64 };
-        let b = PMsg { src: m.node_id(0, 2), dst: m.node_id(1, 2), bytes: 64 };
+        let a = PMsg {
+            src: m.node_id(0, 0),
+            dst: m.node_id(1, 0),
+            bytes: 64,
+        };
+        let b = PMsg {
+            src: m.node_id(0, 2),
+            dst: m.node_id(1, 2),
+            bytes: 64,
+        };
         let t2 = m.simulate_phase(&[a, b]);
         let t1 = m.simulate_phase(&[a]);
         assert_eq!(t2, t1, "disjoint routes must not serialize");
@@ -205,8 +302,16 @@ mod tests {
     fn shared_link_serializes() {
         let m = mesh(4, 1);
         // Two messages crossing the same middle link.
-        let a = PMsg { src: 0, dst: 3, bytes: 64 };
-        let b = PMsg { src: 1, dst: 2, bytes: 64 };
+        let a = PMsg {
+            src: 0,
+            dst: 3,
+            bytes: 64,
+        };
+        let b = PMsg {
+            src: 1,
+            dst: 2,
+            bytes: 64,
+        };
         let t = m.simulate_phase(&[a, b]);
         let ta = m.simulate_phase(&[a]);
         let tb = m.simulate_phase(&[b]);
@@ -217,7 +322,11 @@ mod tests {
     fn makespan_monotone_in_bytes() {
         let m = mesh(4, 4);
         let small: Vec<PMsg> = (0..8)
-            .map(|i| PMsg { src: i, dst: 15 - i, bytes: 16 })
+            .map(|i| PMsg {
+                src: i,
+                dst: 15 - i,
+                bytes: 16,
+            })
             .collect();
         let big: Vec<PMsg> = small.iter().map(|m| PMsg { bytes: 1024, ..*m }).collect();
         assert!(m.simulate_phase(&big) > m.simulate_phase(&small));
@@ -227,7 +336,11 @@ mod tests {
     fn makespan_monotone_in_message_count() {
         let m = mesh(4, 4);
         let msgs: Vec<PMsg> = (0..12)
-            .map(|i| PMsg { src: i, dst: (i + 5) % 16, bytes: 128 })
+            .map(|i| PMsg {
+                src: i,
+                dst: (i + 5) % 16,
+                bytes: 128,
+            })
             .collect();
         let t_half = m.simulate_phase(&msgs[..6]);
         let t_full = m.simulate_phase(&msgs);
@@ -238,7 +351,11 @@ mod tests {
     fn contention_free_lower_bound() {
         let m = mesh(8, 8);
         let msgs: Vec<PMsg> = (0..32)
-            .map(|i| PMsg { src: i, dst: 63 - i, bytes: 256 })
+            .map(|i| PMsg {
+                src: i,
+                dst: 63 - i,
+                bytes: 256,
+            })
             .collect();
         let t = m.simulate_phase(&msgs);
         let lb = msgs
@@ -252,8 +369,16 @@ mod tests {
     #[test]
     fn phases_accumulate() {
         let m = mesh(4, 1);
-        let p1 = vec![PMsg { src: 0, dst: 1, bytes: 64 }];
-        let p2 = vec![PMsg { src: 2, dst: 3, bytes: 64 }];
+        let p1 = vec![PMsg {
+            src: 0,
+            dst: 1,
+            bytes: 64,
+        }];
+        let p2 = vec![PMsg {
+            src: 2,
+            dst: 3,
+            bytes: 64,
+        }];
         assert_eq!(
             m.simulate_phases(&[p1.clone(), p2.clone()]),
             m.simulate_phase(&p1) + m.simulate_phase(&p2)

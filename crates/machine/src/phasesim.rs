@@ -1,0 +1,321 @@
+//! A reusable, zero-allocation phase scheduler for the wormhole mesh.
+//!
+//! [`crate::Mesh2D::simulate_phase`] is correct but allocates on every
+//! call: a fresh link table, a sorted copy of the message set, and one
+//! route `Vec` per message. That is irrelevant for a handful of phases and
+//! ruinous for production-size sweeps (10⁴–10⁵ messages × thousands of
+//! configurations). [`PhaseSim`] keeps all scratch state alive across
+//! calls:
+//!
+//! * the link-reservation table persists and is *logically* cleared per
+//!   phase with an epoch stamp (no `memset` of the table, no rebuild);
+//! * routes are walked with the allocation-free
+//!   [`crate::mesh::RouteLinks`] iterator — twice per message, once to
+//!   find the start time and once to commit the reservation;
+//! * the sorted working copy of the phase lives in a reusable buffer.
+//!
+//! The schedule is **bit-for-bit identical** to
+//! [`crate::Mesh2D::simulate_phase`] (same filter, same sort order, same
+//! greedy whole-route reservation); the property tests in
+//! `tests/proptests.rs` pin that equivalence, and the original method is
+//! kept untouched as the oracle.
+//!
+//! For *repeated* simulation of one message set (payload sweeps, cost
+//! sweeps), [`CachedPhase`] precomputes the sorted order and the flattened
+//! route table once, so each replay is a linear scan with no routing
+//! arithmetic at all.
+
+use crate::mesh::Mesh2D;
+use crate::model::PMsg;
+
+/// Reusable scratch state for simulating mesh communication phases.
+#[derive(Debug, Clone)]
+pub struct PhaseSim {
+    mesh: Mesh2D,
+    /// Per-link time at which the link becomes free — valid only where
+    /// `stamp` equals the current epoch.
+    free: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    scratch: Vec<PMsg>,
+}
+
+impl PhaseSim {
+    /// Build a scratch engine for `mesh` (sizes the link table once).
+    pub fn new(mesh: Mesh2D) -> Self {
+        let links = mesh.link_count();
+        PhaseSim {
+            mesh,
+            free: vec![0; links],
+            stamp: vec![0; links],
+            epoch: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The simulated machine.
+    pub fn mesh(&self) -> &Mesh2D {
+        &self.mesh
+    }
+
+    /// Start a fresh phase: bump the epoch so every link reads as free.
+    fn begin_phase(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: physically clear the stamps once per 2³² phases.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn link_free_at(&self, link: usize) -> u64 {
+        if self.stamp[link] == self.epoch {
+            self.free[link]
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn reserve_link(&mut self, link: usize, until: u64) {
+        self.stamp[link] = self.epoch;
+        self.free[link] = until;
+    }
+
+    /// Simulate one phase; returns the same makespan as
+    /// [`Mesh2D::simulate_phase`] without any per-call allocation (after
+    /// the scratch buffer has warmed up).
+    pub fn simulate_phase(&mut self, msgs: &[PMsg]) -> u64 {
+        self.scratch.clear();
+        self.scratch
+            .extend(msgs.iter().copied().filter(|m| m.src != m.dst));
+        // `PMsg` has a total order, so unstable sorting is observationally
+        // identical to the oracle's stable sort.
+        self.scratch.sort_unstable();
+        self.begin_phase();
+        let mut makespan = 0u64;
+        for idx in 0..self.scratch.len() {
+            let m = self.scratch[idx];
+            let mut hops = 0usize;
+            let mut start = 0u64;
+            for l in self.mesh.route_links(m.src, m.dst) {
+                hops += 1;
+                start = start.max(self.link_free_at(l.index()));
+            }
+            let end = start + self.mesh.cost.p2p(hops, m.bytes);
+            for l in self.mesh.route_links(m.src, m.dst) {
+                self.reserve_link(l.index(), end);
+            }
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+
+    /// Simulate dependent phases back to back (each starts after the
+    /// previous completes); returns the total time.
+    pub fn simulate_phases(&mut self, phases: &[Vec<PMsg>]) -> u64 {
+        phases.iter().map(|p| self.simulate_phase(p)).sum()
+    }
+
+    /// Replay a precompiled phase (see [`CachedPhase`]).
+    pub fn run_cached(&mut self, phase: &CachedPhase) -> u64 {
+        self.run_cached_scaled(phase, 1)
+    }
+
+    /// Replay a precompiled phase with every payload multiplied by
+    /// `byte_scale` — the payload-sweep fast path. Scaling all payloads by
+    /// one factor preserves the oracle's sort order, so the result equals
+    /// `simulate_phase` on the scaled message set.
+    pub fn run_cached_scaled(&mut self, phase: &CachedPhase, byte_scale: u64) -> u64 {
+        self.begin_phase();
+        let mut makespan = 0u64;
+        for i in 0..phase.bytes.len() {
+            let (lo, hi) = (phase.offsets[i] as usize, phase.offsets[i + 1] as usize);
+            let mut start = 0u64;
+            for j in lo..hi {
+                start = start.max(self.link_free_at(phase.links[j] as usize));
+            }
+            let dur = self.mesh.cost.p2p(hi - lo, phase.bytes[i] * byte_scale);
+            let end = start + dur;
+            for j in lo..hi {
+                self.reserve_link(phase.links[j] as usize, end);
+            }
+            makespan = makespan.max(end);
+        }
+        makespan
+    }
+}
+
+/// A phase compiled for repeated replay: messages filtered and sorted
+/// exactly as the greedy scheduler wants them, with all routes flattened
+/// into one dense link table.
+#[derive(Debug, Clone)]
+pub struct CachedPhase {
+    /// Concatenated route link indices of every message, in schedule order.
+    links: Vec<u32>,
+    /// Prefix offsets into `links` (`len + 1` entries).
+    offsets: Vec<u32>,
+    /// Payload of each scheduled message.
+    bytes: Vec<u64>,
+}
+
+impl CachedPhase {
+    /// Compile `msgs` for `mesh`: filter self-messages, sort, and record
+    /// every route once.
+    pub fn new(mesh: &Mesh2D, msgs: &[PMsg]) -> Self {
+        let mut sorted: Vec<PMsg> = msgs.iter().copied().filter(|m| m.src != m.dst).collect();
+        sorted.sort_unstable();
+        let mut links = Vec::new();
+        let mut offsets = Vec::with_capacity(sorted.len() + 1);
+        let mut bytes = Vec::with_capacity(sorted.len());
+        offsets.push(0);
+        for m in &sorted {
+            links.extend(mesh.route_links(m.src, m.dst).map(|l| l.index() as u32));
+            offsets.push(links.len() as u32);
+            bytes.push(m.bytes);
+        }
+        CachedPhase {
+            links,
+            offsets,
+            bytes,
+        }
+    }
+
+    /// Number of scheduled (non-local) messages.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when no message crosses a link.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Fan a batch of *independent* phases out over worker threads, one
+/// [`PhaseSim`] per thread; returns each phase's makespan in input order.
+pub fn simulate_phases_batch(mesh: &Mesh2D, phases: &[Vec<PMsg>], threads: usize) -> Vec<u64> {
+    crate::sweep::par_sweep_with(
+        phases,
+        threads,
+        || PhaseSim::new(mesh.clone()),
+        |sim, phase| sim.simulate_phase(phase),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CostModel;
+
+    fn mesh(px: usize, py: usize) -> Mesh2D {
+        Mesh2D::new(px, py, CostModel::paragon())
+    }
+
+    fn mixed_phase(mesh: &Mesh2D, n: usize, seed: u64) -> Vec<PMsg> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+                PMsg {
+                    src: (h % mesh.nodes() as u64) as usize,
+                    dst: ((h >> 17) % mesh.nodes() as u64) as usize,
+                    bytes: 1 + (h >> 40) % 1000,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_across_reuses() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        for seed in 0..20 {
+            let msgs = mixed_phase(&m, 3 * seed as usize, seed);
+            assert_eq!(
+                sim.simulate_phase(&msgs),
+                m.simulate_phase(&msgs),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_degenerate_phases() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        assert_eq!(sim.simulate_phase(&[]), 0);
+        let local = [PMsg {
+            src: 3,
+            dst: 3,
+            bytes: 999,
+        }];
+        assert_eq!(sim.simulate_phase(&local), 0);
+        // A phase after an empty phase still schedules correctly.
+        let msgs = mixed_phase(&m, 12, 7);
+        assert_eq!(sim.simulate_phase(&msgs), m.simulate_phase(&msgs));
+    }
+
+    #[test]
+    fn phases_sum_like_mesh() {
+        let m = mesh(4, 2);
+        let phases: Vec<Vec<PMsg>> = (0..5).map(|s| mixed_phase(&m, 6, s)).collect();
+        let mut sim = PhaseSim::new(m.clone());
+        assert_eq!(sim.simulate_phases(&phases), m.simulate_phases(&phases));
+    }
+
+    #[test]
+    fn cached_phase_replays_identically() {
+        let m = mesh(8, 4);
+        let msgs = mixed_phase(&m, 40, 3);
+        let cached = CachedPhase::new(&m, &msgs);
+        let mut sim = PhaseSim::new(m.clone());
+        assert_eq!(sim.run_cached(&cached), m.simulate_phase(&msgs));
+        // Scaled replay equals simulating the scaled message set.
+        let scaled: Vec<PMsg> = msgs
+            .iter()
+            .map(|x| PMsg {
+                bytes: x.bytes * 16,
+                ..*x
+            })
+            .collect();
+        assert_eq!(
+            sim.run_cached_scaled(&cached, 16),
+            m.simulate_phase(&scaled)
+        );
+        assert_eq!(
+            cached.len(),
+            scaled.iter().filter(|x| x.src != x.dst).count()
+        );
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let m = mesh(8, 4);
+        let phases: Vec<Vec<PMsg>> = (0..9)
+            .map(|s| mixed_phase(&m, 10 + s as usize, s))
+            .collect();
+        let serial: Vec<u64> = phases.iter().map(|p| m.simulate_phase(p)).collect();
+        assert_eq!(simulate_phases_batch(&m, &phases, 4), serial);
+        assert_eq!(simulate_phases_batch(&m, &phases, 1), serial);
+    }
+
+    #[test]
+    fn epoch_reset_isolates_phases() {
+        // A heavy phase must not leak reservations into the next one.
+        let m = mesh(4, 1);
+        let mut sim = PhaseSim::new(m.clone());
+        let heavy = [PMsg {
+            src: 0,
+            dst: 3,
+            bytes: 1 << 20,
+        }];
+        let light = [PMsg {
+            src: 0,
+            dst: 1,
+            bytes: 1,
+        }];
+        sim.simulate_phase(&heavy);
+        assert_eq!(sim.simulate_phase(&light), m.simulate_phase(&light));
+    }
+}

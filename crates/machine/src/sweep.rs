@@ -1,17 +1,33 @@
-//! Parallel parameter sweeps with crossbeam scoped threads.
+//! Parallel parameter sweeps with std scoped threads.
 //!
 //! The benchmark harness evaluates many (machine, distribution, k, size)
 //! configurations; each simulation is independent, so we fan them out over
-//! the available cores with `crossbeam::scope` — no `'static` bounds, no
-//! locks, results returned in input order.
+//! the available cores with `std::thread::scope` — no `'static` bounds, no
+//! locks, results returned in input order. [`par_sweep_with`] additionally
+//! gives every worker a private scratch state (e.g. a
+//! [`crate::PhaseSim`]), so per-simulation allocations are paid once per
+//! thread instead of once per configuration.
 
 /// Run `f` over every config on `threads` worker threads (chunked
-//  statically), preserving input order in the output.
+/// statically), preserving input order in the output.
 pub fn par_sweep<C, R, F>(configs: &[C], threads: usize, f: F) -> Vec<R>
 where
     C: Sync,
     R: Send + Default + Clone,
     F: Fn(&C) -> R + Sync,
+{
+    par_sweep_with(configs, threads, || (), |(), c| f(c))
+}
+
+/// Like [`par_sweep`], but each worker thread first builds a private
+/// scratch state with `init` and threads it through its chunk — the
+/// pattern used to amortize simulator allocations across a sweep.
+pub fn par_sweep_with<C, R, S, I, F>(configs: &[C], threads: usize, init: I, f: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send + Default + Clone,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &C) -> R + Sync,
 {
     let n = configs.len();
     if n == 0 {
@@ -20,17 +36,18 @@ where
     let threads = threads.clamp(1, n);
     let mut results = vec![R::default(); n];
     let chunk = n.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, work) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
             let f = &f;
-            scope.spawn(move |_| {
+            let init = &init;
+            scope.spawn(move || {
+                let mut state = init();
                 for (out, cfg) in slot.iter_mut().zip(work) {
-                    *out = f(cfg);
+                    *out = f(&mut state, cfg);
                 }
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
 }
 
@@ -39,6 +56,7 @@ mod tests {
     use super::*;
     use crate::mesh::Mesh2D;
     use crate::model::{CostModel, PMsg};
+    use crate::phasesim::PhaseSim;
 
     #[test]
     fn preserves_order_and_values() {
@@ -75,5 +93,29 @@ mod tests {
     fn more_threads_than_work() {
         let configs = vec![1u64, 2];
         assert_eq!(par_sweep(&configs, 64, |&c| c + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn sweep_with_scratch_state_matches_plain() {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases: Vec<Vec<PMsg>> = (0..12)
+            .map(|k| {
+                (0..k + 1)
+                    .map(|i| PMsg {
+                        src: i % 32,
+                        dst: (i * 5 + k) % 32,
+                        bytes: 64 + k as u64,
+                    })
+                    .collect()
+            })
+            .collect();
+        let plain = par_sweep(&phases, 3, |p| mesh.simulate_phase(p));
+        let scratch = par_sweep_with(
+            &phases,
+            3,
+            || PhaseSim::new(mesh.clone()),
+            |sim, p| sim.simulate_phase(p),
+        );
+        assert_eq!(plain, scratch);
     }
 }

@@ -2,16 +2,18 @@
 //! must hold whatever the message set.
 
 use proptest::prelude::*;
-use rescomm_machine::{trace_phase, CostModel, FatTree, Mesh2D, PMsg};
+use rescomm_machine::{
+    simulate_phases_batch, trace_phase, CachedPhase, CostModel, FatTree, Mesh2D, PMsg, PhaseSim,
+};
 
 fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
-    proptest::collection::vec(
-        (0..n_nodes, 0..n_nodes, 1u64..512),
-        0..24,
-    )
-    .prop_map(|v| {
+    proptest::collection::vec((0..n_nodes, 0..n_nodes, 1u64..512), 0..24).prop_map(|v| {
         v.into_iter()
-            .map(|(s, d, b)| PMsg { src: s, dst: d, bytes: b })
+            .map(|(s, d, b)| PMsg {
+                src: s,
+                dst: d,
+                bytes: b,
+            })
             .collect()
     })
 }
@@ -89,5 +91,61 @@ proptest! {
         let mut rev = ms.clone();
         rev.reverse();
         prop_assert_eq!(mesh.simulate_phase(&ms), mesh.simulate_phase(&rev));
+    }
+
+    /// Permutation invariance under an arbitrary rotation (not just
+    /// reversal): the scheduler's internal sort erases input order.
+    #[test]
+    fn mesh_permutation_invariant(ms in msgs(32), rot in 0usize..24) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut perm = ms.clone();
+        if !perm.is_empty() {
+            let mid = rot % perm.len();
+            perm.rotate_left(mid);
+        }
+        prop_assert_eq!(mesh.simulate_phase(&ms), mesh.simulate_phase(&perm));
+    }
+
+    /// The zero-alloc scratch engine is bit-identical to the oracle, even
+    /// when reused across phases (stale reservations must never leak).
+    #[test]
+    fn phasesim_matches_oracle(a in msgs(32), b in msgs(32), c in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh.clone());
+        for ms in [&a, &b, &c] {
+            prop_assert_eq!(sim.simulate_phase(ms), mesh.simulate_phase(ms));
+        }
+        // And once more in reverse order over the same engine.
+        for ms in [&c, &a, &b] {
+            prop_assert_eq!(sim.simulate_phase(ms), mesh.simulate_phase(ms));
+        }
+    }
+
+    /// A precompiled phase replays to the oracle makespan, and uniform
+    /// payload scaling through the cache equals simulating scaled messages.
+    #[test]
+    fn cached_phase_matches_oracle(ms in msgs(32), scale in 1u64..64) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let cached = CachedPhase::new(&mesh, &ms);
+        let mut sim = PhaseSim::new(mesh.clone());
+        prop_assert_eq!(sim.run_cached(&cached), mesh.simulate_phase(&ms));
+        let scaled: Vec<PMsg> = ms
+            .iter()
+            .map(|m| PMsg { bytes: m.bytes * scale, ..*m })
+            .collect();
+        prop_assert_eq!(
+            sim.run_cached_scaled(&cached, scale),
+            mesh.simulate_phase(&scaled)
+        );
+    }
+
+    /// The batch API agrees with per-phase oracle simulation at any
+    /// thread count.
+    #[test]
+    fn batch_matches_oracle(a in msgs(32), b in msgs(32), threads in 1usize..6) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases = vec![a, b];
+        let want: Vec<u64> = phases.iter().map(|p| mesh.simulate_phase(p)).collect();
+        prop_assert_eq!(simulate_phases_batch(&mesh, &phases, threads), want);
     }
 }

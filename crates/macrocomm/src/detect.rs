@@ -348,8 +348,8 @@ mod tests {
     fn reduction_detected() {
         let theta = IMat::zeros(1, 2);
         let f = IMat::identity(2); // read b[i,j]
-        // 1-D grid: the computing processor repeats along j while the
-        // source owner of b[i,j] moves along j.
+                                   // 1-D grid: the computing processor repeats along j while the
+                                   // source owner of b[i,j] moves along j.
         let m_s = m(&[&[1, 0]]);
         let m_x = m(&[&[0, 1]]);
         let got = detect(MacroInput {

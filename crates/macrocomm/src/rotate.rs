@@ -28,10 +28,9 @@ pub fn is_axis_confined(d: &IMat) -> bool {
 /// component by `q_inv` makes the collective axis-parallel.
 pub fn axis_alignment_rotation(d: &IMat) -> (IMat, usize) {
     let hf = right_hermite(d);
-    let q_inv = hf
-        .q
-        .inverse_unimodular()
-        .expect("Hermite cofactor must be unimodular");
+    let q_inv =
+        hf.q.inverse_unimodular()
+            .expect("Hermite cofactor must be unimodular");
     (q_inv, hf.rank)
 }
 

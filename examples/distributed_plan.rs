@@ -7,9 +7,9 @@
 //! cargo run -p rescomm-bench --example distributed_plan
 //! ```
 
-use rescomm::{build_plan, map_nest, verify_execution, MappingOptions, PhaseKind};
 use rescomm::substrate::distribution::{Dist1D, Dist2D};
 use rescomm::substrate::machine::{CostModel, Mesh2D};
+use rescomm::{build_plan, map_nest, verify_execution, MappingOptions, PhaseKind};
 use rescomm_loopnest::examples::motivating_example;
 
 fn main() {
@@ -19,7 +19,11 @@ fn main() {
 
     // The plan: ordered message phases a runtime would execute.
     let plan = build_plan(&nest, &mapping);
-    println!("communication plan: {} phases, {} virtual messages", plan.phases.len(), plan.message_count());
+    println!(
+        "communication plan: {} phases, {} virtual messages",
+        plan.phases.len(),
+        plan.message_count()
+    );
     for phase in &plan.phases {
         let kind = match &phase.kind {
             PhaseKind::Translation => "translation".to_string(),
@@ -29,7 +33,11 @@ fn main() {
             PhaseKind::UnirowFactor => "unirow sweep".to_string(),
             PhaseKind::GeneralAffine => "general affine".to_string(),
         };
-        println!("  access {:?}: {kind} ({} msgs)", phase.access, phase.pattern.len());
+        println!(
+            "  access {:?}: {kind} ({} msgs)",
+            phase.access,
+            phase.pattern.len()
+        );
     }
 
     // Prove the plan correct: every element reaches its consumer.

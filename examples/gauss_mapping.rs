@@ -6,9 +6,9 @@
 //! cargo run -p rescomm-bench --example gauss_mapping
 //! ```
 
+use rescomm::substrate::macrocomm::vectorizable;
 use rescomm::{map_nest, MappingOptions};
 use rescomm_loopnest::examples::gauss_elim;
-use rescomm::substrate::macrocomm::vectorizable;
 
 fn main() {
     let nest = gauss_elim(16);

@@ -6,11 +6,11 @@
 //! cargo run -p rescomm-bench --example macro_zoo
 //! ```
 
+use rescomm::substrate::macrocomm::{detect, Extent, MacroInput};
 use rescomm::{map_nest, MappingOptions};
 use rescomm_intlin::IMat;
 use rescomm_loopnest::examples::{example2_broadcast, example3_gather, example4_reduction};
 use rescomm_loopnest::AccessKind;
-use rescomm::substrate::macrocomm::{detect, Extent, MacroInput};
 
 fn main() {
     for (name, nest) in [
@@ -29,9 +29,18 @@ fn main() {
     let f = IMat::from_rows(&[&[1, 0]]);
     let m_x = IMat::identity(1);
     for (label, m_s) in [
-        ("identity mapping (axis-parallel partial broadcast)", IMat::identity(2)),
-        ("skewed mapping (diagonal broadcast, needs rotation)", IMat::from_rows(&[&[1, 1], &[0, 1]])),
-        ("projection onto i (broadcast hidden)", IMat::from_rows(&[&[1, 0]])),
+        (
+            "identity mapping (axis-parallel partial broadcast)",
+            IMat::identity(2),
+        ),
+        (
+            "skewed mapping (diagonal broadcast, needs rotation)",
+            IMat::from_rows(&[&[1, 1], &[0, 1]]),
+        ),
+        (
+            "projection onto i (broadcast hidden)",
+            IMat::from_rows(&[&[1, 0]]),
+        ),
     ] {
         let got = detect(MacroInput {
             theta: &theta,

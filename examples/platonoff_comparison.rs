@@ -20,10 +20,7 @@ fn main() {
     let ours = map_nest(&nest, &MappingOptions::new(2));
     println!("--- locality-first (this paper) ---");
     println!("{}", ours.report(&nest));
-    println!(
-        "M_S = \n{}\n",
-        ours.alignment.stmt_alloc[ids.s.0].mat
-    );
+    println!("M_S = \n{}\n", ours.alignment.stmt_alloc[ids.s.0].mat);
 
     let theirs = platonoff_map(&nest, 2);
     println!("--- macro-first (Platonoff) ---");

@@ -25,8 +25,14 @@ fn main() {
 
     // The allocation matrices are ordinary integer matrices you can
     // inspect (and hand to a code generator).
-    println!("allocation of statement S1:\n{}", mapping.alignment.stmt_alloc[ids.s1.0].mat);
-    println!("allocation of array a:\n{}", mapping.alignment.array_alloc[ids.a.0].mat);
+    println!(
+        "allocation of statement S1:\n{}",
+        mapping.alignment.stmt_alloc[ids.s1.0].mat
+    );
+    println!(
+        "allocation of array a:\n{}",
+        mapping.alignment.array_alloc[ids.a.0].mat
+    );
 
     assert_eq!(report.n_local, 5);
     assert_eq!(report.n_broadcast, 2);

@@ -14,7 +14,20 @@ use rescomm_loopnest::{Domain, LoopNest, NestBuilder};
 fn small_nest() -> impl Strategy<Value = LoopNest> {
     let dims = proptest::collection::vec(1usize..=3, 1..=3);
     let depths = proptest::collection::vec(2usize..=3, 1..=2);
-    (dims, depths, proptest::collection::vec((0usize..100, 0usize..100, proptest::collection::vec(-2i64..=2, 9), proptest::collection::vec(-2i64..=2, 3), any::<bool>()), 2..=5))
+    (
+        dims,
+        depths,
+        proptest::collection::vec(
+            (
+                0usize..100,
+                0usize..100,
+                proptest::collection::vec(-2i64..=2, 9),
+                proptest::collection::vec(-2i64..=2, 3),
+                any::<bool>(),
+            ),
+            2..=5,
+        ),
+    )
         .prop_map(|(dims, depths, accs)| {
             let mut b = NestBuilder::new("random");
             let arrays: Vec<_> = dims

@@ -134,7 +134,9 @@ fn stress_many_statements_and_arrays() {
     use rescomm::substrate::intlin::IMat;
     use rescomm_loopnest::{Domain, NestBuilder};
     let mut b = NestBuilder::new("stress");
-    let arrays: Vec<_> = (0..6).map(|i| b.array(&format!("x{i}"), 2 + i % 2)).collect();
+    let arrays: Vec<_> = (0..6)
+        .map(|i| b.array(&format!("x{i}"), 2 + i % 2))
+        .collect();
     let stmts: Vec<_> = (0..8)
         .map(|i| b.statement(&format!("S{i}"), 2 + i % 2, Domain::cube(2 + i % 2, 4)))
         .collect();
@@ -159,7 +161,11 @@ fn stress_many_statements_and_arrays() {
     let nest = b.build().unwrap();
     let t0 = std::time::Instant::now();
     let mapping = map_nest(&nest, &MappingOptions::new(2));
-    assert!(t0.elapsed().as_secs() < 10, "pipeline too slow: {:?}", t0.elapsed());
+    assert!(
+        t0.elapsed().as_secs() < 10,
+        "pipeline too slow: {:?}",
+        t0.elapsed()
+    );
     assert_eq!(mapping.outcomes.len(), 24);
     // Soundness: every Local claim is real.
     for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
@@ -194,5 +200,8 @@ fn unit_weight_ablation_changes_nothing_or_something_sane() {
         r.n_local + r.n_translation + r.n_macro() + r.n_decomposed + r.n_general,
         8
     );
-    assert!(r.n_local >= 4, "unit weights still zero out most edges: {r}");
+    assert!(
+        r.n_local >= 4,
+        "unit weights still zero out most edges: {r}"
+    );
 }

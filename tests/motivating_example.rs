@@ -7,13 +7,16 @@ use rescomm::substrate::accessgraph::{
 use rescomm::substrate::alignment::{compute_alignment, residual_communications};
 use rescomm::{map_nest, CommOutcome, MappingOptions};
 use rescomm_bench::workload::{mapping_cost_on_mesh, paragon_mesh};
-use rescomm_loopnest::examples::motivating_example;
 use rescomm_loopnest::deps::is_doall;
+use rescomm_loopnest::examples::motivating_example;
 
 #[test]
 fn nest_is_doall_as_claimed() {
     let (nest, _) = motivating_example(4, 2);
-    assert!(is_doall(&nest).unwrap(), "§2: no data dependences in the nest");
+    assert!(
+        is_doall(&nest).unwrap(),
+        "§2: no data dependences in the nest"
+    );
 }
 
 #[test]

@@ -25,14 +25,22 @@ fn table1_stable_across_sizes() {
     for bytes in [64u64, 512, 4096, 32768] {
         let row = table1(bytes);
         let [red, bc, tr, gen] = row.times;
-        assert!(red <= bc && bc < tr && tr < gen, "bytes={bytes}: {:?}", row.times);
+        assert!(
+            red <= bc && bc < tr && tr < gen,
+            "bytes={bytes}: {:?}",
+            row.times
+        );
     }
 }
 
 #[test]
 fn table2_decomposition_wins_across_sizes() {
-    for (vshape, bytes) in [((32, 16), 128u64), ((32, 16), 512), ((64, 32), 512), ((64, 32), 2048)]
-    {
+    for (vshape, bytes) in [
+        ((32, 16), 128u64),
+        ((32, 16), 512),
+        ((64, 32), 512),
+        ((64, 32), 2048),
+    ] {
         let row = table2(vshape, bytes);
         assert!(
             row.lu_total < row.not_decomposed,
@@ -51,7 +59,11 @@ fn figure8_grouped_dominates_for_k_at_least_2() {
         for r in rows.iter().filter(|r| r.k >= 2) {
             assert!(r.block_ratio >= 1.0, "mesh {mesh:?} k={}: {r:?}", r.k);
             assert!(r.cyclic_ratio >= 1.0, "mesh {mesh:?} k={}: {r:?}", r.k);
-            assert!(r.cyclic_block_ratio >= 1.0, "mesh {mesh:?} k={}: {r:?}", r.k);
+            assert!(
+                r.cyclic_block_ratio >= 1.0,
+                "mesh {mesh:?} k={}: {r:?}",
+                r.k
+            );
         }
         assert!(
             rows.iter().any(|r| r.block_ratio > 3.0),
