@@ -53,6 +53,48 @@ pub struct Augmented {
     /// Per component-root accumulated constraint `M_root·K = 0`
     /// (`None` = unconstrained root).
     pub root_constraints: HashMap<Vertex, IMat>,
+    /// Edge id → index into `outcomes` (`u32::MAX` for branching edges,
+    /// which have no outcome entry), so updating one edge's outcome is O(1).
+    outcome_slot: Vec<u32>,
+}
+
+impl Augmented {
+    /// Build the edge-id → outcome index from the outcome list.
+    pub(crate) fn from_parts(
+        outcomes: Vec<(EdgeId, AugmentOutcome)>,
+        local_edges: Vec<EdgeId>,
+        residual_edges: Vec<EdgeId>,
+        root_constraints: HashMap<Vertex, IMat>,
+        n_edges: usize,
+    ) -> Self {
+        let mut outcome_slot = vec![u32::MAX; n_edges];
+        for (i, (eid, _)) in outcomes.iter().enumerate() {
+            outcome_slot[eid.0] = i as u32;
+        }
+        Augmented {
+            outcomes,
+            local_edges,
+            residual_edges,
+            root_constraints,
+            outcome_slot,
+        }
+    }
+
+    /// The recorded outcome for a non-branching edge (`None` for edges in
+    /// the branching, which have no outcome entry).
+    pub fn outcome_of(&self, eid: EdgeId) -> Option<&AugmentOutcome> {
+        match self.outcome_slot.get(eid.0) {
+            Some(&i) if i != u32::MAX => Some(&self.outcomes[i as usize].1),
+            _ => None,
+        }
+    }
+
+    /// O(1) outcome update through the edge-id index.
+    fn set_outcome(&mut self, eid: EdgeId, o: AugmentOutcome) {
+        let i = self.outcome_slot[eid.0];
+        debug_assert_ne!(i, u32::MAX, "edge {eid:?} has no outcome entry");
+        self.outcomes[i as usize].1 = o;
+    }
 }
 
 /// Run the augmentation pass.
@@ -73,11 +115,11 @@ pub fn augment(
         }
         v
     };
-    // Vertex -> component index.
-    let mut comp_of: HashMap<Vertex, usize> = HashMap::new();
+    // Vertex index -> component index (dense; vertex_index is O(1)).
+    let mut comp_of: Vec<usize> = vec![usize::MAX; graph.vertices.len()];
     for (ci, c) in components.iter().enumerate() {
         for &v in &c.members {
-            comp_of.insert(v, ci);
+            comp_of[graph.vertex_index(v)] = ci;
         }
     }
 
@@ -85,18 +127,15 @@ pub fn augment(
     let mut local_edges: Vec<EdgeId> = branching_edges.to_vec();
     let mut residual_edges = Vec::new();
     let mut root_constraints: HashMap<Vertex, IMat> = HashMap::new();
-    // Track which access ids are already local: the second direction of a
-    // square access is the same communication.
-    let mut local_access: Vec<bool> = vec![false; graph.edges.len().max(1)];
-    let mark_access = |local_access: &mut Vec<bool>, graph: &AccessGraph, eid: EdgeId| {
+    // Track which edge ids belong to an already-local access: the second
+    // direction of a square access is the same communication. Sized once by
+    // the edge count; marking walks only the access's own edges through the
+    // precomputed access → edges adjacency, so the pass is O(E) overall.
+    let mut local_access: Vec<bool> = vec![false; graph.edges.len()];
+    let mark_access = |local_access: &mut [bool], graph: &AccessGraph, eid: EdgeId| {
         let a = graph.edges[eid.0].access;
-        for e in &graph.edges {
-            if e.access == a {
-                if e.id.0 >= local_access.len() {
-                    local_access.resize(e.id.0 + 1, false);
-                }
-                local_access[e.id.0] = true;
-            }
+        for i in graph.access_edge_range(a) {
+            local_access[i] = true;
         }
     };
     for &eid in branching_edges {
@@ -106,28 +145,30 @@ pub fn augment(
     // Accesses already decided residual: both directions of a square access
     // express the same locality equation (the constraints differ by an
     // invertible factor), so the twin must not be re-counted.
-    let mut residual_access: std::collections::HashSet<rescomm_loopnest::AccessId> =
-        std::collections::HashSet::new();
+    let mut residual_access: Vec<bool> = vec![false; graph.n_accesses];
 
     for e in &graph.edges {
         if in_branching[e.id.0] {
             continue;
         }
-        if local_access.get(e.id.0).copied().unwrap_or(false) {
+        if local_access[e.id.0] {
             // Twin of an already-local square access: nothing to do, and it
             // is not a residual communication either.
             outcomes.push((e.id, AugmentOutcome::Free));
             continue;
         }
-        if residual_access.contains(&e.access) {
+        if residual_access[e.access.0] {
             outcomes.push((e.id, AugmentOutcome::Residual));
             continue;
         }
-        let (cu, cv) = (comp_of[&e.from], comp_of[&e.to]);
+        let (cu, cv) = (
+            comp_of[graph.vertex_index(e.from)],
+            comp_of[graph.vertex_index(e.to)],
+        );
         if cu != cv {
             outcomes.push((e.id, AugmentOutcome::CrossComponent));
             residual_edges.push(e.id);
-            residual_access.insert(e.access);
+            residual_access[e.access.0] = true;
             continue;
         }
         let comp = &components[cu];
@@ -160,16 +201,17 @@ pub fn augment(
         } else {
             outcomes.push((e.id, AugmentOutcome::Residual));
             residual_edges.push(e.id);
-            residual_access.insert(e.access);
+            residual_access[e.access.0] = true;
         }
     }
 
-    Augmented {
+    Augmented::from_parts(
         outcomes,
         local_edges,
         residual_edges,
         root_constraints,
-    }
+        graph.edges.len(),
+    )
 }
 
 /// Second pass over the `CrossComponent` residuals: try to *merge* the two
@@ -195,21 +237,30 @@ pub fn merge_cross_components(
     _m: usize,
 ) {
     use rescomm_intlin::solve_xf_eq_s;
-    let mut comp_of: HashMap<Vertex, usize> = HashMap::new();
+    // Dense vertex → initial component index; merges are tracked by the
+    // union-find on component indices instead of rewriting the map.
+    let mut comp_of: Vec<usize> = vec![usize::MAX; graph.vertices.len()];
     for (ci, c) in components.iter().enumerate() {
         for &v in &c.members {
-            comp_of.insert(v, ci);
+            comp_of[graph.vertex_index(v)] = ci;
         }
     }
+    let mut uf = UnionFind::new(components.len());
     let cross: Vec<EdgeId> = aug
         .outcomes
         .iter()
         .filter(|(_, o)| *o == AugmentOutcome::CrossComponent)
         .map(|(e, _)| *e)
         .collect();
+    // Edges absorbed by a merge; drained from `residual_edges` in one pass
+    // at the end instead of a `retain` per merged edge.
+    let mut merged_edge = vec![false; graph.edges.len()];
     for eid in cross {
         let e = &graph.edges[eid.0];
-        let (cu, cv) = (comp_of[&e.from], comp_of[&e.to]);
+        let (cu, cv) = (
+            uf.find(comp_of[graph.vertex_index(e.from)]),
+            uf.find(comp_of[graph.vertex_index(e.to)]),
+        );
         if cu == cv {
             continue; // already merged through an earlier edge
         }
@@ -232,8 +283,9 @@ pub fn merge_cross_components(
             });
         if let Some(z) = try_a {
             let (absorbed, grown) = (cv, cu);
-            apply_merge(components, &mut comp_of, absorbed, grown, &z, eid, graph);
-            mark_merged(aug, eid);
+            apply_merge(components, absorbed, grown, &z, eid);
+            uf.absorb(absorbed, grown);
+            mark_merged(aug, eid, &mut merged_edge);
             continue;
         }
         // Direction (b): rebase cu onto cv's root.
@@ -248,52 +300,70 @@ pub fn merge_cross_components(
             });
         if let Some(z) = try_b {
             let (absorbed, grown) = (cu, cv);
-            apply_merge(components, &mut comp_of, absorbed, grown, &z, eid, graph);
-            mark_merged(aug, eid);
+            apply_merge(components, absorbed, grown, &z, eid);
+            uf.absorb(absorbed, grown);
+            mark_merged(aug, eid, &mut merged_edge);
         }
+    }
+    if merged_edge.contains(&true) {
+        aug.residual_edges.retain(|e| !merged_edge[e.0]);
     }
     // Drop now-empty components (keep indices stable by filtering at the
     // end; comp_of was only internal).
     components.retain(|c| !c.members.is_empty());
 }
 
-fn apply_merge(
-    components: &mut [Component],
-    comp_of: &mut HashMap<Vertex, usize>,
-    absorbed: usize,
-    grown: usize,
-    z: &IMat,
-    eid: EdgeId,
-    _graph: &AccessGraph,
-) {
+/// Union-find over component indices with an explicitly directed union:
+/// the absorbed component's class is pointed at the grown component's, so
+/// lookups after any number of merges stay amortized O(α).
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Direct the class of `absorbed` into the class of `grown`.
+    fn absorb(&mut self, absorbed: usize, grown: usize) {
+        let (a, g) = (self.find(absorbed), self.find(grown));
+        self.parent[a] = g;
+    }
+}
+
+fn apply_merge(components: &mut [Component], absorbed: usize, grown: usize, z: &IMat, eid: EdgeId) {
     let moved: Vec<(Vertex, IMat)> = components[absorbed]
         .rel
         .iter()
         .map(|(&w, r)| (w, z * r))
         .collect();
-    let moved_members: Vec<Vertex> = components[absorbed].members.clone();
-    let moved_edges: Vec<EdgeId> = components[absorbed].edges.clone();
+    let moved_members: Vec<Vertex> = std::mem::take(&mut components[absorbed].members);
+    let moved_edges: Vec<EdgeId> = std::mem::take(&mut components[absorbed].edges);
     for (w, r) in moved {
         components[grown].rel.insert(w, r);
     }
-    for w in moved_members {
-        components[grown].members.push(w);
-        comp_of.insert(w, grown);
-    }
+    components[grown].members.extend(moved_members);
     components[grown].edges.extend(moved_edges);
     components[grown].edges.push(eid);
-    components[absorbed].members.clear();
     components[absorbed].rel.clear();
-    components[absorbed].edges.clear();
 }
 
-fn mark_merged(aug: &mut Augmented, eid: EdgeId) {
-    for (e, o) in aug.outcomes.iter_mut() {
-        if *e == eid {
-            *o = AugmentOutcome::Merged;
-        }
-    }
-    aug.residual_edges.retain(|e| *e != eid);
+/// O(1) per merged edge: the outcome index points straight at the entry,
+/// and residual removal is batched by the caller.
+fn mark_merged(aug: &mut Augmented, eid: EdgeId, merged_edge: &mut [bool]) {
+    aug.set_outcome(eid, AugmentOutcome::Merged);
+    merged_edge[eid.0] = true;
     aug.local_edges.push(eid);
 }
 

@@ -20,6 +20,7 @@
 
 use rescomm_intlin::{small_left_inverse, IMat};
 use rescomm_loopnest::{AccessId, ArrayId, LoopNest, StmtId};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A vertex of the access graph.
@@ -80,6 +81,115 @@ pub struct AccessGraph {
     pub edges: Vec<Edge>,
     /// Accesses that produced no edge, with the reason.
     pub excluded: Vec<(AccessId, Exclusion)>,
+    /// Number of array vertices; statement vertices follow them in
+    /// [`AccessGraph::vertices`], making [`AccessGraph::vertex_index`] O(1).
+    pub n_arrays: usize,
+    /// Number of accesses in the source nest (edge ids per access live in
+    /// `access_edge_span`).
+    pub n_accesses: usize,
+    /// Per access id, the half-open range of edge ids it produced (edges of
+    /// one access are pushed contiguously; excluded accesses get an empty
+    /// range). This is the access → edges adjacency used by `augment`.
+    access_edge_span: Vec<(u32, u32)>,
+}
+
+/// What one access contributes to the graph, as a pure function of
+/// `(F, m)` — classification (excluded or not, and why), edge directions,
+/// and weight matrices. Everything position-dependent (which statement,
+/// which array, edge ids) is applied at materialization time.
+#[derive(Debug, Clone)]
+enum CachedAccess {
+    /// The access produces no edge.
+    Excluded(Exclusion),
+    /// The access produces these directed edges.
+    Edges {
+        /// `min(q, d)` = `rank F` (full by construction): the by-rank
+        /// integer weight.
+        full: i64,
+        /// `true` iff the access is square (its edges are twins).
+        square: bool,
+        /// `(array_to_stmt, weight matrix)` per directed edge.
+        dirs: Vec<(bool, IMat)>,
+    },
+}
+
+/// Classify one access matrix: exclusion or edge set. The expensive parts
+/// (rank, the integer left-inverse search, unimodular inversion) all live
+/// here, and depend only on `(f, m)`.
+fn classify_access(f: &IMat, m: usize) -> CachedAccess {
+    let (q, d) = f.shape();
+    let full = q.min(d);
+    if f.rank() < full {
+        return CachedAccess::Excluded(Exclusion::RankDeficient);
+    }
+    if full < m {
+        return CachedAccess::Excluded(Exclusion::RankBelowTarget);
+    }
+    if q < d {
+        // Flat: array → statement with weight F.
+        CachedAccess::Edges {
+            full: full as i64,
+            square: false,
+            dirs: vec![(true, f.clone())],
+        }
+    } else if q > d {
+        // Narrow: statement → array with an integer G, G·F = Id.
+        match small_left_inverse(f, 2) {
+            Ok(g) => CachedAccess::Edges {
+                full: full as i64,
+                square: false,
+                dirs: vec![(false, g)],
+            },
+            Err(_) => CachedAccess::Excluded(Exclusion::NoIntegerInverse),
+        }
+    } else {
+        // Square: x → S always; S → x only if F is unimodular.
+        let mut dirs = vec![(true, f.clone())];
+        if matches!(f.det(), 1 | -1) {
+            let inv = f.inverse_unimodular().expect("unimodular inverse");
+            dirs.push((false, inv));
+        }
+        CachedAccess::Edges {
+            full: full as i64,
+            square: true,
+            dirs,
+        }
+    }
+}
+
+/// Memo for the per-access work of [`AccessGraph::build_weighted`].
+///
+/// Exclusion checks and edge-weight matrices are pure functions of the
+/// access matrix `F` and the target dimension `m` — in particular the
+/// integer left-inverse search for narrow accesses, which dominates build
+/// time on nests with store accesses. Repeated builds (batch serving,
+/// parameter sweeps, `map_nest_with` under a warm [`AnalysisCache`])
+/// replay them from here via [`AccessGraph::build_weighted_cached`].
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuildCache {
+    map: HashMap<(IMat, usize), CachedAccess>,
+}
+
+impl GraphBuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized `(F, m)` classifications.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop all memoized classifications.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
 }
 
 impl AccessGraph {
@@ -93,6 +203,27 @@ impl AccessGraph {
     /// paper's volume-prioritized weights, `false` gives unit weights
     /// (the ablation: a plain maximum-cardinality branching).
     pub fn build_weighted(nest: &LoopNest, m: usize, by_rank: bool) -> Self {
+        Self::build_impl(nest, m, by_rank, None)
+    }
+
+    /// [`AccessGraph::build_weighted`] with per-access memoization: the
+    /// classification and weight matrices of each distinct `(F, m)` pair
+    /// are computed once and replayed from `cache` thereafter.
+    pub fn build_weighted_cached(
+        nest: &LoopNest,
+        m: usize,
+        by_rank: bool,
+        cache: &mut GraphBuildCache,
+    ) -> Self {
+        Self::build_impl(nest, m, by_rank, Some(cache))
+    }
+
+    fn build_impl(
+        nest: &LoopNest,
+        m: usize,
+        by_rank: bool,
+        mut cache: Option<&mut GraphBuildCache>,
+    ) -> Self {
         assert!(m >= 1, "target dimension must be at least 1");
         let mut vertices = Vec::new();
         for i in 0..nest.arrays.len() {
@@ -104,65 +235,76 @@ impl AccessGraph {
 
         let mut edges: Vec<Edge> = Vec::new();
         let mut excluded = Vec::new();
+        let mut access_edge_span = Vec::with_capacity(nest.accesses.len());
         for acc in &nest.accesses {
-            let f = &acc.f;
-            let (q, d) = f.shape();
-            let full = q.min(d);
-            if f.rank() < full {
-                excluded.push((acc.id, Exclusion::RankDeficient));
-                continue;
-            }
-            if full < m {
-                excluded.push((acc.id, Exclusion::RankBelowTarget));
-                continue;
-            }
-            let x = Vertex::Array(acc.array);
-            let s = Vertex::Stmt(acc.stmt);
-            let w = if by_rank { full as i64 } else { 1 };
-            let push = |edges: &mut Vec<Edge>, from, to, weight, twin| {
-                let id = EdgeId(edges.len());
-                edges.push(Edge {
-                    id,
-                    access: acc.id,
-                    from,
-                    to,
-                    weight,
-                    int_weight: w,
-                    twin_of_square: twin,
-                });
+            let start = edges.len() as u32;
+            access_edge_span.push((start, start));
+            let fresh;
+            let class: &CachedAccess = match cache.as_deref_mut() {
+                Some(c) => c
+                    .map
+                    .entry((acc.f.clone(), m))
+                    .or_insert_with(|| classify_access(&acc.f, m)),
+                None => {
+                    fresh = classify_access(&acc.f, m);
+                    &fresh
+                }
             };
-            if q < d {
-                // Flat: array → statement with weight F.
-                push(&mut edges, x, s, f.clone(), false);
-            } else if q > d {
-                // Narrow: statement → array with an integer G, G·F = Id.
-                match small_left_inverse(f, 2) {
-                    Ok(g) => push(&mut edges, s, x, g, false),
-                    Err(_) => excluded.push((acc.id, Exclusion::NoIntegerInverse)),
-                }
-            } else {
-                // Square: x → S always; S → x only if F is unimodular.
-                push(&mut edges, x, s, f.clone(), true);
-                if matches!(f.det(), 1 | -1) {
-                    let inv = f.inverse_unimodular().expect("unimodular inverse");
-                    push(&mut edges, s, x, inv, true);
+            match class {
+                CachedAccess::Excluded(why) => excluded.push((acc.id, why.clone())),
+                CachedAccess::Edges { full, square, dirs } => {
+                    let x = Vertex::Array(acc.array);
+                    let s = Vertex::Stmt(acc.stmt);
+                    let w = if by_rank { *full } else { 1 };
+                    for (array_to_stmt, weight) in dirs {
+                        let (from, to) = if *array_to_stmt { (x, s) } else { (s, x) };
+                        let id = EdgeId(edges.len());
+                        edges.push(Edge {
+                            id,
+                            access: acc.id,
+                            from,
+                            to,
+                            weight: weight.clone(),
+                            int_weight: w,
+                            twin_of_square: *square,
+                        });
+                    }
                 }
             }
+            access_edge_span.last_mut().unwrap().1 = edges.len() as u32;
         }
         AccessGraph {
             m,
             vertices,
             edges,
             excluded,
+            n_arrays: nest.arrays.len(),
+            n_accesses: nest.accesses.len(),
+            access_edge_span,
         }
     }
 
     /// Index of a vertex in [`AccessGraph::vertices`].
+    ///
+    /// O(1): vertices are laid out arrays-first, statements-after, so the
+    /// index is a direct function of the vertex id.
+    #[inline]
     pub fn vertex_index(&self, v: Vertex) -> usize {
-        self.vertices
-            .iter()
-            .position(|&u| u == v)
-            .expect("vertex not in graph")
+        let idx = match v {
+            Vertex::Array(ArrayId(i)) => i,
+            Vertex::Stmt(StmtId(i)) => self.n_arrays + i,
+        };
+        debug_assert_eq!(self.vertices.get(idx), Some(&v), "vertex not in graph");
+        idx
+    }
+
+    /// The edge ids produced by access `a`, as a half-open range into
+    /// [`AccessGraph::edges`] (empty for excluded accesses). Edges of one
+    /// access are contiguous, so this is the full access → edges adjacency.
+    #[inline]
+    pub fn access_edge_range(&self, a: AccessId) -> std::ops::Range<usize> {
+        let (s, e) = self.access_edge_span[a.0];
+        s as usize..e as usize
     }
 
     /// Number of *accesses* represented in the graph (square accesses

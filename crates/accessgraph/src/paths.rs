@@ -47,19 +47,36 @@ pub fn component_structure(
     branching: &Branching,
     nest: &LoopNest,
 ) -> Vec<Component> {
-    // child -> (parent, edge)
-    let mut parent: HashMap<Vertex, (Vertex, EdgeId)> = HashMap::new();
-    let mut children: HashMap<Vertex, Vec<(Vertex, EdgeId)>> = HashMap::new();
+    let n = graph.vertices.len();
+    // Dense child/parent tables indexed by vertex index (O(1) via the
+    // arrays-then-statements layout), replacing per-vertex HashMaps.
+    let mut has_parent = vec![false; n];
+    let mut children: Vec<Vec<(Vertex, EdgeId)>> = vec![Vec::new(); n];
     for &eid in &branching.edges {
         let e = &graph.edges[eid.0];
-        let prev = parent.insert(e.to, (e.from, eid));
-        assert!(prev.is_none(), "branching has in-degree > 1 at {:?}", e.to);
-        children.entry(e.from).or_default().push((e.to, eid));
+        let ti = graph.vertex_index(e.to);
+        assert!(!has_parent[ti], "branching has in-degree > 1 at {:?}", e.to);
+        has_parent[ti] = true;
+        children[graph.vertex_index(e.from)].push((e.to, eid));
+    }
+    // Vertex dimension hint from the first incident edge (one pass over
+    // all edges instead of one scan per root): for `u → v`, `W` is
+    // `dim(u) × dim(v)`.
+    let mut dim_hint: Vec<Option<usize>> = vec![None; n];
+    for e in &graph.edges {
+        let fi = graph.vertex_index(e.from);
+        if dim_hint[fi].is_none() {
+            dim_hint[fi] = Some(e.weight.rows());
+        }
+        let ti = graph.vertex_index(e.to);
+        if dim_hint[ti].is_none() {
+            dim_hint[ti] = Some(e.weight.cols());
+        }
     }
 
     let mut comps = Vec::new();
     for &v in &graph.vertices {
-        if parent.contains_key(&v) {
+        if has_parent[graph.vertex_index(v)] {
             continue; // not a root
         }
         // BFS from the root.
@@ -68,22 +85,20 @@ pub fn component_structure(
         let mut rel: HashMap<Vertex, IMat> = HashMap::new();
         let mut edges = Vec::new();
         // R_root = identity of the root's dimension, derived from any
-        // incident weight matrix; fall back to the vertex dimension via
-        // the first edge or 0 columns for isolated vertices. We need the
-        // root dimension: take it from the weight shapes.
-        let root_dim = root_dimension(graph, root).unwrap_or_else(|| graph.vertex_dim(nest, root));
+        // incident weight matrix; fall back to the vertex dimension for
+        // isolated vertices.
+        let root_dim =
+            dim_hint[graph.vertex_index(root)].unwrap_or_else(|| graph.vertex_dim(nest, root));
         rel.insert(root, IMat::identity(root_dim));
         let mut queue = vec![root];
         while let Some(u) = queue.pop() {
-            if let Some(kids) = children.get(&u) {
-                for &(child, eid) in kids {
-                    let w = &graph.edges[eid.0].weight;
-                    let r = &rel[&u] * w;
-                    rel.insert(child, r);
-                    members.push(child);
-                    edges.push(eid);
-                    queue.push(child);
-                }
+            for &(child, eid) in &children[graph.vertex_index(u)] {
+                let w = &graph.edges[eid.0].weight;
+                let r = &rel[&u] * w;
+                rel.insert(child, r);
+                members.push(child);
+                edges.push(eid);
+                queue.push(child);
             }
         }
         comps.push(Component {
@@ -94,21 +109,6 @@ pub fn component_structure(
         });
     }
     comps
-}
-
-/// Dimension of a vertex as implied by the incident edge weight matrices:
-/// for an edge `u → v`, `W` is `dim(u) × dim(v)`. `None` for isolated
-/// vertices (the caller falls back to the nest's dimensions).
-fn root_dimension(graph: &AccessGraph, v: Vertex) -> Option<usize> {
-    for e in &graph.edges {
-        if e.from == v {
-            return Some(e.weight.rows());
-        }
-        if e.to == v {
-            return Some(e.weight.cols());
-        }
-    }
-    None
 }
 
 #[cfg(test)]

@@ -147,4 +147,43 @@ proptest! {
             prop_assert!(!locals.contains(e), "edge both local and residual");
         }
     }
+
+    /// The indexed branching is bit-for-bit identical to the seed
+    /// implementation (positional scans + per-start cycle rescans).
+    #[test]
+    fn branching_matches_reference(nest in random_nest()) {
+        let g = AccessGraph::build(&nest, 2);
+        let new = maximum_branching(&g);
+        let old = rescomm_accessgraph::reference::maximum_branching_reference(&g);
+        prop_assert_eq!(new, old);
+    }
+
+    /// The dense-index augment and union-find merge produce exactly the
+    /// seed implementation's outcomes, locals, residuals and constraints.
+    #[test]
+    fn augment_and_merge_match_reference(nest in random_nest(), m in 1usize..=2) {
+        use rescomm_accessgraph::reference;
+        let g = AccessGraph::build(&nest, 2);
+        let b = maximum_branching(&g);
+        let mut comps_new = component_structure(&g, &b, &nest);
+        let mut comps_old = comps_new.clone();
+        let mut aug_new = augment(&g, &b.edges, &comps_new, m);
+        let mut aug_old = reference::augment_reference(&g, &b.edges, &comps_old, m);
+        prop_assert_eq!(&aug_new.outcomes, &aug_old.outcomes);
+        prop_assert_eq!(&aug_new.local_edges, &aug_old.local_edges);
+        prop_assert_eq!(&aug_new.residual_edges, &aug_old.residual_edges);
+        prop_assert_eq!(&aug_new.root_constraints, &aug_old.root_constraints);
+        rescomm_accessgraph::merge_cross_components(&g, &mut comps_new, &mut aug_new, m);
+        reference::merge_cross_components_reference(&g, &mut comps_old, &mut aug_old, m);
+        prop_assert_eq!(&aug_new.outcomes, &aug_old.outcomes);
+        prop_assert_eq!(&aug_new.local_edges, &aug_old.local_edges);
+        prop_assert_eq!(&aug_new.residual_edges, &aug_old.residual_edges);
+        prop_assert_eq!(comps_new.len(), comps_old.len());
+        for (cn, co) in comps_new.iter().zip(&comps_old) {
+            prop_assert_eq!(cn.root, co.root);
+            prop_assert_eq!(&cn.members, &co.members);
+            prop_assert_eq!(&cn.rel, &co.rel);
+            prop_assert_eq!(&cn.edges, &co.edges);
+        }
+    }
 }

@@ -20,7 +20,8 @@
 use rescomm_accessgraph::{AccessGraph, Augmented, Component, Vertex};
 use rescomm_intlin::{left_kernel_basis, IMat};
 use rescomm_loopnest::{Access, AccessId, ArrayId, LoopNest, StmtId};
-use std::collections::HashMap;
+
+pub mod reference;
 
 /// Affine allocation `M·I + ρ` of one vertex.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,8 +67,10 @@ pub struct Alignment {
     pub stmt_alloc: Vec<Alloc>,
     /// Allocation per array (indexed by `ArrayId`).
     pub array_alloc: Vec<Alloc>,
-    /// Component index of each vertex.
-    pub component_of: HashMap<Vertex, usize>,
+    /// Component index per statement (dense; `None` = in no component).
+    pub comp_of_stmt: Vec<Option<u32>>,
+    /// Component index per array (dense; `None` = in no component).
+    pub comp_of_array: Vec<Option<u32>>,
     /// Number of components.
     pub n_components: usize,
 }
@@ -78,6 +81,14 @@ impl Alignment {
         match v {
             Vertex::Stmt(s) => &self.stmt_alloc[s.0],
             Vertex::Array(x) => &self.array_alloc[x.0],
+        }
+    }
+
+    /// Component index of a vertex, if it belongs to one.
+    pub fn component_of(&self, v: Vertex) -> Option<usize> {
+        match v {
+            Vertex::Stmt(s) => self.comp_of_stmt[s.0].map(|c| c as usize),
+            Vertex::Array(x) => self.comp_of_array[x.0].map(|c| c as usize),
         }
     }
 
@@ -124,20 +135,22 @@ impl Alignment {
             "rotation must be unimodular"
         );
         assert_eq!(v.rows(), self.m);
-        let comp = self.component_of.clone();
-        for (vert, &c) in &comp {
-            if c != ci {
-                continue;
-            }
-            let alloc = match vert {
-                Vertex::Stmt(s) => &mut self.stmt_alloc[s.0],
-                Vertex::Array(x) => &mut self.array_alloc[x.0],
-            };
+        let rotate = |alloc: &mut Alloc| {
             if alloc.mat.rows() != v.cols() {
-                continue; // degenerate (dim < m) vertex: cannot rotate
+                return; // degenerate (dim < m) vertex: cannot rotate
             }
             alloc.mat = v * &alloc.mat;
             alloc.rho = v.mul_vec(&alloc.rho);
+        };
+        for (alloc, &c) in self.stmt_alloc.iter_mut().zip(&self.comp_of_stmt) {
+            if c == Some(ci as u32) {
+                rotate(alloc);
+            }
+        }
+        for (alloc, &c) in self.array_alloc.iter_mut().zip(&self.comp_of_array) {
+            if c == Some(ci as u32) {
+                rotate(alloc);
+            }
         }
     }
 }
@@ -146,6 +159,12 @@ impl Alignment {
 ///
 /// `augmented` may carry root constraints from the deficient-rank pass;
 /// seeds then come from the constraint kernels.
+///
+/// Dense throughout: allocations and component indices live in
+/// `StmtId`/`ArrayId`-indexed tables and the offset fixpoint runs over
+/// precomputed `(x, S, M_x·c)` triples — the seed's `HashMap<Vertex, _>`
+/// bookkeeping (kept in [`reference`]) re-hashed every vertex on every
+/// sweep and recomputed `M_x·c` per edge *per sweep*.
 pub fn compute_alignment(
     nest: &LoopNest,
     graph: &AccessGraph,
@@ -153,8 +172,14 @@ pub fn compute_alignment(
     augmented: &Augmented,
 ) -> Alignment {
     let m = graph.m;
-    let mut allocs: HashMap<Vertex, Alloc> = HashMap::new();
-    let mut component_of: HashMap<Vertex, usize> = HashMap::new();
+    let mut stmt_alloc: Vec<Option<Alloc>> = vec![None; nest.statements.len()];
+    let mut array_alloc: Vec<Option<Alloc>> = vec![None; nest.arrays.len()];
+    let mut comp_of_stmt: Vec<Option<u32>> = vec![None; nest.statements.len()];
+    let mut comp_of_array: Vec<Option<u32>> = vec![None; nest.arrays.len()];
+    // Offset slots per graph vertex; components are vertex-disjoint, so
+    // one shared table serves every component's fixpoint.
+    let mut rho: Vec<Option<Vec<i64>>> = vec![None; graph.vertices.len()];
+    let mut edge_info: Vec<(usize, usize, Vec<i64>)> = Vec::new();
 
     for (ci, comp) in components.iter().enumerate() {
         // Seed the root.
@@ -172,61 +197,78 @@ pub fn compute_alignment(
             None => IMat::from_fn(m.min(root_dim), root_dim, |i, j| i64::from(i == j)),
         };
         for &v in &comp.members {
-            component_of.insert(v, ci);
+            match v {
+                Vertex::Stmt(s) => comp_of_stmt[s.0] = Some(ci as u32),
+                Vertex::Array(x) => comp_of_array[x.0] = Some(ci as u32),
+            }
         }
         // Matrices come straight from the relative matrices (valid for
         // plain branching trees AND merged components): M_w = seed·R_w.
         for (&w, r) in &comp.rel {
-            allocs.insert(
-                w,
-                Alloc {
-                    mat: &seed * r,
-                    rho: Vec::new(), // filled below
-                },
-            );
+            let alloc = Alloc {
+                mat: &seed * r,
+                rho: Vec::new(), // filled below
+            };
+            match w {
+                Vertex::Stmt(s) => stmt_alloc[s.0] = Some(alloc),
+                Vertex::Array(x) => array_alloc[x.0] = Some(alloc),
+            }
         }
         // Offsets: fixpoint propagation over the component's edges (each
         // edge determines one endpoint's offset from the other; merged
         // components are not parent-before-child ordered, so iterate).
-        let mut rho: HashMap<Vertex, Vec<i64>> = HashMap::new();
-        rho.insert(comp.root, vec![0; m.min(root_dim)]);
+        // Locality: alloc_S(I) = alloc_x(F·I + c), i.e. ρ_S = M_x·c + ρ_x
+        // with (x = array side, S = stmt side); M_x·c is constant across
+        // sweeps, so hoist it.
+        edge_info.clear();
+        for &eid in &comp.edges {
+            let e = &graph.edges[eid.0];
+            let acc = nest.access(e.access);
+            let (xv, sv) = match (e.from, e.to) {
+                (Vertex::Array(x), Vertex::Stmt(st)) => (x, st),
+                (Vertex::Stmt(st), Vertex::Array(x)) => (x, st),
+                _ => unreachable!("access graph is bipartite"),
+            };
+            let mx = array_alloc[xv.0]
+                .as_ref()
+                .expect("component endpoint has an allocation");
+            edge_info.push((
+                graph.vertex_index(Vertex::Array(xv)),
+                graph.vertex_index(Vertex::Stmt(sv)),
+                mx.mat.mul_vec(&acc.c),
+            ));
+        }
+        rho[graph.vertex_index(comp.root)] = Some(vec![0; m.min(root_dim)]);
         let mut progress = true;
         while progress {
             progress = false;
-            for &eid in &comp.edges {
-                let e = &graph.edges[eid.0];
-                let acc = nest.access(e.access);
-                // Locality: alloc_S(I) = alloc_x(F·I + c), i.e.
-                // ρ_S = M_x·c + ρ_x with (x = array side, S = stmt side).
-                let (xv, sv) = match (e.from, e.to) {
-                    (Vertex::Array(x), Vertex::Stmt(st)) => (Vertex::Array(x), Vertex::Stmt(st)),
-                    (Vertex::Stmt(st), Vertex::Array(x)) => (Vertex::Array(x), Vertex::Stmt(st)),
-                    _ => unreachable!("access graph is bipartite"),
-                };
-                let mx = allocs[&xv].mat.clone();
-                let mc = mx.mul_vec(&acc.c);
-                match (rho.contains_key(&xv), rho.contains_key(&sv)) {
+            for (xi, si, mc) in &edge_info {
+                match (rho[*xi].is_some(), rho[*si].is_some()) {
                     (true, false) => {
-                        let rx = &rho[&xv];
+                        let rx = rho[*xi].as_ref().expect("checked");
                         let rs: Vec<i64> = mc.iter().zip(rx).map(|(&a, &b)| a + b).collect();
-                        rho.insert(sv, rs);
+                        rho[*si] = Some(rs);
                         progress = true;
                     }
                     (false, true) => {
-                        let rs = &rho[&sv];
-                        let rx: Vec<i64> = rs.iter().zip(&mc).map(|(&a, &b)| a - b).collect();
-                        rho.insert(xv, rx);
+                        let rs = rho[*si].as_ref().expect("checked");
+                        let rx: Vec<i64> = rs.iter().zip(mc).map(|(&a, &b)| a - b).collect();
+                        rho[*xi] = Some(rx);
                         progress = true;
                     }
                     _ => {}
                 }
             }
         }
-        for (&w, alloc) in allocs.iter_mut() {
-            if comp.rel.contains_key(&w) && alloc.rho.is_empty() {
-                alloc.rho = rho
-                    .get(&w)
-                    .cloned()
+        for &w in comp.rel.keys() {
+            let alloc = match w {
+                Vertex::Stmt(s) => stmt_alloc[s.0].as_mut(),
+                Vertex::Array(x) => array_alloc[x.0].as_mut(),
+            }
+            .expect("rel vertex has an allocation");
+            if alloc.rho.is_empty() {
+                alloc.rho = rho[graph.vertex_index(w)]
+                    .clone()
                     .unwrap_or_else(|| vec![0; alloc.mat.rows()]);
             }
         }
@@ -234,35 +276,28 @@ pub fn compute_alignment(
 
     // Materialize dense tables (vertices outside every component keep a
     // canonical projection — untouched arrays/statements).
-    let stmt_alloc: Vec<Alloc> = (0..nest.statements.len())
-        .map(|i| {
-            let v = Vertex::Stmt(StmtId(i));
-            allocs
-                .get(&v)
-                .cloned()
-                .unwrap_or_else(|| canonical(m, nest.statements[i].depth))
-        })
+    let stmt_alloc: Vec<Alloc> = stmt_alloc
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| a.unwrap_or_else(|| canonical(m, nest.statements[i].depth)))
         .collect();
-    let array_alloc: Vec<Alloc> = (0..nest.arrays.len())
-        .map(|i| {
-            let v = Vertex::Array(ArrayId(i));
-            allocs
-                .get(&v)
-                .cloned()
-                .unwrap_or_else(|| canonical(m, nest.arrays[i].dim))
-        })
+    let array_alloc: Vec<Alloc> = array_alloc
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| a.unwrap_or_else(|| canonical(m, nest.arrays[i].dim)))
         .collect();
 
     Alignment {
         m,
         stmt_alloc,
         array_alloc,
-        component_of,
+        comp_of_stmt,
+        comp_of_array,
         n_components: components.len(),
     }
 }
 
-fn canonical(m: usize, dim: usize) -> Alloc {
+pub(crate) fn canonical(m: usize, dim: usize) -> Alloc {
     let rows = m.min(dim);
     Alloc {
         mat: IMat::from_fn(rows, dim, |i, j| i64::from(i == j)),
@@ -277,8 +312,8 @@ pub fn residual_communications(nest: &LoopNest, alignment: &Alignment) -> Vec<Re
         .iter()
         .filter(|a| !alignment.is_linear_local(nest, a))
         .map(|a| {
-            let cs = alignment.component_of.get(&Vertex::Stmt(a.stmt));
-            let cx = alignment.component_of.get(&Vertex::Array(a.array));
+            let cs = alignment.component_of(Vertex::Stmt(a.stmt));
+            let cx = alignment.component_of(Vertex::Array(a.array));
             ResidualComm {
                 access: a.id,
                 stmt: a.stmt,

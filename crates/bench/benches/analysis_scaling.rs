@@ -1,0 +1,67 @@
+//! Criterion bench for the compiler front-end at scale: the seed passes
+//! (`map_nest_reference`) vs the optimized pipeline (`map_nest`) on the
+//! synthetic nest families, and warm-cache repeated mapping of the paper
+//! kernels (the `map_nest_batch` serving setting).
+//!
+//! `cargo bench -p rescomm-bench --bench analysis_scaling`
+//!
+//! For machine-readable numbers and speedup ratios, run the
+//! `pipeline_baseline` binary instead (it writes `BENCH_pipeline.json`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm::{map_nest, map_nest_reference, map_nest_with, AnalysisCache, MappingOptions};
+use rescomm_bench::workload::{chained_stencil_nest, pipeline_nest};
+use rescomm_loopnest::{examples, LoopNest};
+use std::hint::black_box;
+
+/// A synthetic nest family: name + generator `(n_stmts, size)`.
+type Family = (&'static str, fn(usize, i64) -> LoopNest);
+
+fn bench_synthetic(c: &mut Criterion) {
+    let opts = MappingOptions::new(2);
+    let families: [Family; 2] = [
+        ("chained_stencil", chained_stencil_nest),
+        ("pipeline", pipeline_nest),
+    ];
+    let mut g = c.benchmark_group("map_nest_synthetic");
+    for (family, build) in families {
+        for n in [10usize, 50, 200] {
+            let nest = build(n, 8);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{family}/reference"), n),
+                &nest,
+                |b, nest| b.iter(|| black_box(map_nest_reference(nest, &opts))),
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("{family}/optimized"), n),
+                &nest,
+                |b, nest| b.iter(|| black_box(map_nest(nest, &opts))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let opts = MappingOptions::new(2);
+    let kernels: Vec<(&str, LoopNest)> = vec![
+        ("motivating", examples::motivating_example(8, 4).0),
+        ("matmul", examples::matmul(6)),
+        ("gauss", examples::gauss_elim(6)),
+        ("adi", examples::adi_sweep(8)),
+    ];
+    let mut g = c.benchmark_group("map_nest_kernels");
+    for (name, nest) in &kernels {
+        g.bench_with_input(BenchmarkId::new("reference", name), nest, |b, nest| {
+            b.iter(|| black_box(map_nest_reference(nest, &opts)))
+        });
+        let mut cache = AnalysisCache::new();
+        g.bench_with_input(BenchmarkId::new("warm_cache", name), nest, |b, nest| {
+            b.iter(|| black_box(map_nest_with(nest, &opts, &mut cache)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthetic, bench_kernels);
+criterion_main!(benches);

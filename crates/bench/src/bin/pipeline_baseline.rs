@@ -1,0 +1,232 @@
+//! Measure the compiler front-end (`map_nest`) old vs new and write a
+//! machine-readable baseline to `BENCH_pipeline.json` so later PRs can
+//! track the analysis-cost trajectory.
+//!
+//! Three sections, matching the three halves of the optimization:
+//!
+//! * **synthetic** — `map_nest_reference` (the seed passes: positional
+//!   vertex scans, per-start cycle rescans, O(E²) twin marking, no
+//!   memoization) vs `map_nest` on the chained-stencil and pipeline
+//!   families at 10–500 statements.
+//! * **kernels** — the paper's kernels mapped repeatedly, old vs new with
+//!   a warm shared [`rescomm::AnalysisCache`] (the batch-serving setting
+//!   `map_nest_batch` exists for).
+//! * **batch** — `map_nest_batch` over a fleet of nests, serial vs
+//!   multi-worker.
+//!
+//! ```text
+//! cargo run --release -p rescomm-bench --bin pipeline_baseline [--quick] [--out PATH]
+//! ```
+//!
+//! Every timed pair is first checked for identical mappings (outcomes,
+//! rotations, allocation matrices), so the numbers can't drift from a
+//! wrong answer going fast.
+
+use rescomm::{map_nest, map_nest_batch, map_nest_reference, map_nest_with, AnalysisCache};
+use rescomm::{Mapping, MappingOptions};
+use rescomm_bench::workload::{chained_stencil_nest, pipeline_nest};
+use rescomm_loopnest::{examples, LoopNest};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of `reps` timed runs of `f`, in nanoseconds.
+fn median_ns<R>(reps: usize, f: impl FnMut() -> R) -> u64 {
+    median_ns_inner(reps, 1, f)
+}
+
+/// [`median_ns`] with `inner` calls per timed sample (per-call median):
+/// microsecond-scale work needs batching to rise above timer jitter.
+fn median_ns_inner<R>(reps: usize, inner: u32, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f()); // warm up
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            black_box(f());
+        }
+        samples.push(t0.elapsed().as_nanos() as u64 / u64::from(inner));
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Panic unless the two mappings classify identically.
+fn assert_same_mapping(tag: &str, new: &Mapping, old: &Mapping) {
+    assert_eq!(new.outcomes, old.outcomes, "{tag}: outcomes diverged");
+    assert_eq!(new.rotations, old.rotations, "{tag}: rotations diverged");
+    for (a, b) in new
+        .alignment
+        .stmt_alloc
+        .iter()
+        .zip(&old.alignment.stmt_alloc)
+    {
+        assert_eq!(a.mat, b.mat, "{tag}: statement allocation diverged");
+    }
+    for (a, b) in new
+        .alignment
+        .array_alloc
+        .iter()
+        .zip(&old.alignment.array_alloc)
+    {
+        assert_eq!(a.mat, b.mat, "{tag}: array allocation diverged");
+    }
+}
+
+/// A synthetic nest family: name + generator `(n_stmts, size)`.
+type Family = (&'static str, fn(usize, i64) -> LoopNest);
+
+struct SynthRow {
+    family: &'static str,
+    n_stmts: usize,
+    accesses: usize,
+    old_ns: u64,
+    new_ns: u64,
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    old_ns: u64,
+    new_ns: u64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let opts = MappingOptions::new(2);
+
+    let sizes: &[usize] = if quick {
+        &[10, 50, 200]
+    } else {
+        &[10, 50, 200, 500]
+    };
+    let families: [Family; 2] = [
+        ("chained_stencil", chained_stencil_nest),
+        ("pipeline", pipeline_nest),
+    ];
+
+    eprintln!("synthetic: map_nest_reference (seed passes) vs map_nest");
+    let mut synth = Vec::new();
+    for (family, build) in families {
+        for &n in sizes {
+            let nest = build(n, 8);
+            // Correctness gate before timing.
+            let new = map_nest(&nest, &opts);
+            let old = map_nest_reference(&nest, &opts);
+            assert_same_mapping(&format!("{family} n={n}"), &new, &old);
+
+            let reps = if quick {
+                3
+            } else if n >= 200 {
+                5
+            } else {
+                9
+            };
+            let old_ns = median_ns(reps, || map_nest_reference(&nest, &opts));
+            let new_ns = median_ns(reps.max(9), || map_nest(&nest, &opts));
+            eprintln!(
+                "  {family:>15} n={n:>4}  old {old_ns:>12} ns   new {new_ns:>10} ns   ×{:.1}",
+                old_ns as f64 / new_ns.max(1) as f64
+            );
+            synth.push(SynthRow {
+                family,
+                n_stmts: n,
+                accesses: nest.accesses.len(),
+                old_ns,
+                new_ns,
+            });
+        }
+    }
+
+    eprintln!("kernels: repeated mapping, old vs new with a warm shared cache");
+    let kernels: Vec<(&'static str, LoopNest)> = vec![
+        ("motivating", examples::motivating_example(8, 4).0),
+        ("matmul", examples::matmul(6)),
+        ("gauss", examples::gauss_elim(6)),
+        ("adi", examples::adi_sweep(8)),
+    ];
+    let mut kern = Vec::new();
+    for (name, nest) in &kernels {
+        let new = map_nest(nest, &opts);
+        let old = map_nest_reference(nest, &opts);
+        assert_same_mapping(name, &new, &old);
+
+        let reps = if quick { 9 } else { 33 };
+        let old_ns = median_ns_inner(reps, 32, || map_nest_reference(nest, &opts));
+        let mut cache = AnalysisCache::new();
+        let new_ns = median_ns_inner(reps, 32, || map_nest_with(nest, &opts, &mut cache));
+        eprintln!(
+            "  {name:>12}  old {old_ns:>9} ns   new {new_ns:>9} ns   ×{:.1}",
+            old_ns as f64 / new_ns.max(1) as f64
+        );
+        kern.push(KernelRow {
+            kernel: name,
+            old_ns,
+            new_ns,
+        });
+    }
+
+    eprintln!("batch: map_nest_batch over a fleet of synthetic nests");
+    let fleet: Vec<LoopNest> = (0..if quick { 4 } else { 16 })
+        .map(|i| chained_stencil_nest(20 + 3 * i, 8))
+        .collect();
+    let serial = map_nest_batch(&fleet, &opts, 1);
+    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let par = map_nest_batch(&fleet, &opts, threads);
+    for (i, (s, p)) in serial.iter().zip(&par).enumerate() {
+        assert_same_mapping(&format!("batch nest {i}"), p, s);
+    }
+    let reps = if quick { 3 } else { 7 };
+    let serial_ns = median_ns(reps, || map_nest_batch(&fleet, &opts, 1));
+    let batch_ns = median_ns(reps, || map_nest_batch(&fleet, &opts, threads));
+    eprintln!(
+        "  {} nests  serial {serial_ns:>12} ns   {threads} workers {batch_ns:>12} ns   ×{:.1}",
+        fleet.len(),
+        serial_ns as f64 / batch_ns.max(1) as f64
+    );
+
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"pipeline\",\n  \"m\": 2,\n");
+    let _ = writeln!(j, "  \"quick\": {quick},");
+    j.push_str("  \"synthetic\": [\n");
+    for (i, r) in synth.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"family\": \"{f}\", \"statements\": {n}, \"accesses\": {a}, \"reference_ns\": {o}, \"optimized_ns\": {w}, \"speedup\": {s:.2}}}",
+            f = r.family,
+            n = r.n_stmts,
+            a = r.accesses,
+            o = r.old_ns,
+            w = r.new_ns,
+            s = r.old_ns as f64 / r.new_ns.max(1) as f64
+        );
+        j.push_str(if i + 1 < synth.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"kernels\": [\n");
+    for (i, r) in kern.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"kernel\": \"{k}\", \"reference_ns\": {o}, \"warm_cache_ns\": {w}, \"speedup\": {s:.2}}}",
+            k = r.kernel,
+            o = r.old_ns,
+            w = r.new_ns,
+            s = r.old_ns as f64 / r.new_ns.max(1) as f64
+        );
+        j.push_str(if i + 1 < kern.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"batch\": {{\"nests\": {n}, \"threads\": {threads}, \"serial_ns\": {s}, \"parallel_ns\": {p}, \"speedup\": {x:.2}}}",
+        n = fleet.len(),
+        s = serial_ns,
+        p = batch_ns,
+        x = serial_ns as f64 / batch_ns.max(1) as f64
+    );
+    j.push_str("}\n");
+    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

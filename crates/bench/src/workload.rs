@@ -4,7 +4,7 @@
 use rescomm::{CommOutcome, Mapping};
 use rescomm_distribution::{fold_general, Dist1D, Dist2D, Msg};
 use rescomm_intlin::IMat;
-use rescomm_loopnest::LoopNest;
+use rescomm_loopnest::{Domain, LoopNest, NestBuilder};
 use rescomm_machine::{broadcast_rows_time, shift_time, CostModel, Mesh2D, PMsg, PhaseSim};
 
 /// Flatten aggregated distribution messages onto mesh node ids.
@@ -62,8 +62,11 @@ pub fn mapping_cost_on_mesh(
     bytes: u64,
 ) -> u64 {
     let dist = Dist2D::uniform(Dist1D::Cyclic);
-    // One scratch engine for every simulated outcome of the mapping.
+    // One scratch engine for every simulated outcome of the mapping, and
+    // one memo so repeated general residuals solve their dataflow matrix
+    // once instead of per access.
     let mut sim = PhaseSim::new(mesh.clone());
+    let mut cache = rescomm::AnalysisCache::new();
     let mut total = 0u64;
     for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
         total += match out {
@@ -86,14 +89,85 @@ pub fn mapping_cost_on_mesh(
                 one * *n_factors as u64
             }
             CommOutcome::General => {
-                let t = rescomm::pipeline::dataflow_matrix(&mapping.alignment, nest, acc.id)
-                    .filter(|t| t.shape() == (2, 2))
-                    .unwrap_or_else(|| IMat::from_rows(&[&[1, 3], &[2, 7]]));
+                let t = rescomm::pipeline::dataflow_matrix_cached(
+                    &mut cache,
+                    &mapping.alignment,
+                    nest,
+                    acc.id,
+                )
+                .filter(|t| t.shape() == (2, 2))
+                .unwrap_or_else(|| IMat::from_rows(&[&[1, 3], &[2, 7]]));
                 simulate_dataflow_with(&mut sim, &t, dist, vshape, bytes)
             }
         };
     }
     total
+}
+
+/// Deterministic chained-stencil nest with `n_stmts` depth-2 statements:
+/// statement `S_i` writes its own array `a_i` (identity), reads the
+/// previous stage `a_{i-1}` through a unimodular transform, and reads a
+/// shared coefficient array `g` through a second one — the repeating
+/// producer/consumer chains of time-stepped stencil codes. Both
+/// transforms cycle through a 3-element family by statement index, so the
+/// analysis sees long chains of *repeated* `(F, M_S, M_x)` combinations,
+/// exactly the shape real unrolled pipelines hand the compiler. The
+/// family is signed permutations on purpose: relative alignment matrices
+/// along an `n`-statement chain are *products* of the access matrices,
+/// and a finite matrix group keeps those entries bounded at any depth
+/// (skews like `U(1)·L(1)·…` blow up Fibonacci-fast instead).
+pub fn chained_stencil_nest(n_stmts: usize, size: i64) -> LoopNest {
+    assert!(n_stmts >= 1);
+    let fam = [
+        IMat::identity(2),
+        IMat::from_rows(&[&[0, 1], &[1, 0]]),
+        IMat::from_rows(&[&[0, -1], &[1, 0]]),
+    ];
+    let mut b = NestBuilder::new("chained-stencil");
+    let g = b.array("g", 2);
+    let stages: Vec<_> = (0..=n_stmts)
+        .map(|i| b.array(&format!("a{i}"), 2))
+        .collect();
+    for i in 1..=n_stmts {
+        let s = b.statement(&format!("S{i}"), 2, Domain::cube(2, size));
+        b.write(s, stages[i], IMat::identity(2), &[0, 0]);
+        b.read(s, stages[i - 1], fam[i % 3].clone(), &[0, 0]);
+        b.read(s, g, fam[(i + 1) % 3].clone(), &[(i % 2) as i64, 0]);
+    }
+    b.build().expect("chained stencil nest valid")
+}
+
+/// Deterministic pipeline nest with `n_stmts` depth-3 statements mixing
+/// both edge orientations: `S_i` writes its stage array `b_i` (3-D,
+/// square unimodular), reads `b_{i-1}` through a cycling 3×3 permutation
+/// (bounded chain products, see [`chained_stencil_nest`]), and reads a
+/// shared 2-D table `c` through a cycling *flat* 2×3 access (array →
+/// statement edges). Exercises the rank/orientation logic the chained
+/// stencil family does not.
+pub fn pipeline_nest(n_stmts: usize, size: i64) -> LoopNest {
+    assert!(n_stmts >= 1);
+    let perms = [
+        IMat::identity(3),
+        IMat::from_rows(&[&[0, 1, 0], &[0, 0, 1], &[1, 0, 0]]),
+        IMat::from_rows(&[&[0, 1, 0], &[1, 0, 0], &[0, 0, 1]]),
+    ];
+    let flats = [
+        IMat::from_rows(&[&[1, 0, 0], &[0, 1, 0]]),
+        IMat::from_rows(&[&[0, 1, 0], &[0, 0, 1]]),
+        IMat::from_rows(&[&[1, 1, 0], &[0, 1, 1]]),
+    ];
+    let mut b = NestBuilder::new("pipeline");
+    let c = b.array("c", 2);
+    let stages: Vec<_> = (0..=n_stmts)
+        .map(|i| b.array(&format!("b{i}"), 3))
+        .collect();
+    for i in 1..=n_stmts {
+        let s = b.statement(&format!("P{i}"), 3, Domain::cube(3, size));
+        b.write(s, stages[i], IMat::identity(3), &[0, 0, 0]);
+        b.read(s, stages[i - 1], perms[i % 3].clone(), &[0, 0, 0]);
+        b.read(s, c, flats[(i + 1) % 3].clone(), &[0, 0]);
+    }
+    b.build().expect("pipeline nest valid")
 }
 
 #[cfg(test)]

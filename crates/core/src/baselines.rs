@@ -121,7 +121,8 @@ pub fn platonoff_map(nest: &LoopNest, m: usize) -> Mapping {
         m,
         stmt_alloc,
         array_alloc,
-        component_of: HashMap::new(),
+        comp_of_stmt: vec![None; nest.statements.len()],
+        comp_of_array: vec![None; nest.arrays.len()],
         n_components: 0,
     };
 

@@ -34,7 +34,10 @@ pub mod plan;
 pub mod report;
 
 pub use exec::{run_distributed, run_sequential, verify_execution, ExecStats};
-pub use pipeline::{map_nest, CommOutcome, Mapping, MappingOptions};
+pub use pipeline::{
+    dataflow_matrix, dataflow_matrix_cached, map_nest, map_nest_batch, map_nest_reference,
+    map_nest_with, par_map_nests, AnalysisCache, CommOutcome, Mapping, MappingOptions,
+};
 pub use plan::{build_plan, CommPhase, CommPlan, PhaseKind};
 pub use report::MappingReport;
 

@@ -11,7 +11,8 @@
 //!    rotation, or with unirow factors when `det ≠ ±1`.
 
 use rescomm_accessgraph::{
-    augment, component_structure, maximum_branching, merge_cross_components, AccessGraph, Vertex,
+    augment, component_structure, maximum_branching, merge_cross_components, reference,
+    AccessGraph, GraphBuildCache, Vertex,
 };
 use rescomm_alignment::{compute_alignment, residual_communications, Alignment};
 use rescomm_decompose::{
@@ -19,7 +20,10 @@ use rescomm_decompose::{
 };
 use rescomm_intlin::{solve_xf_eq_s, IMat};
 use rescomm_loopnest::{AccessId, AccessKind, LoopNest};
-use rescomm_macrocomm::{axis_alignment_rotation, detect, Extent, MacroInput, MacroKind};
+use rescomm_machine::sweep::par_sweep_with;
+use rescomm_macrocomm::{
+    axis_alignment_rotation, detect, Extent, MacroComm, MacroInput, MacroKind,
+};
 use std::collections::HashMap;
 
 /// Options controlling the pipeline (the `false` settings are the
@@ -123,18 +127,170 @@ fn stmt_is_reduction(nest: &LoopNest, s: rescomm_loopnest::StmtId) -> bool {
     nest.accesses_of(s).any(|a| a.kind == AccessKind::Reduce)
 }
 
+/// Memo key for [`detect`]: `(θ, F, M_S, M_x, access kind, reduction?)`.
+type DetectKey = (IMat, IMat, IMat, IMat, AccessKind, bool);
+
+/// Memo for the kernel-heavy computations of the pipeline: the per-access
+/// graph-build classification ([`GraphBuildCache`] — the integer
+/// left-inverse search dominates build time on nests with store
+/// accesses), [`detect`]'s collective classification, and the
+/// dataflow-matrix solve, keyed by the exact matrices involved. Chained
+/// stencil families repeat the same `(θ, F, M_S, M_x)` combinations
+/// across hundreds of statements, so one cache entry replaces many
+/// Hermite/kernel/adjugate computations.
+///
+/// The cache is **outcome-transparent**: every memoized function is pure,
+/// so a cached run classifies exactly like an uncached one. Reuse a cache
+/// across nests mapped with the same options ([`map_nest_batch`] gives
+/// each worker thread its own), or keep one per call as [`map_nest`] does.
+pub struct AnalysisCache {
+    enabled: bool,
+    detect: HashMap<DetectKey, Option<MacroComm>>,
+    dataflow: HashMap<(IMat, IMat, IMat, usize), Option<IMat>>,
+    graph: GraphBuildCache,
+}
+
+impl AnalysisCache {
+    /// An empty, active cache.
+    pub fn new() -> Self {
+        AnalysisCache {
+            enabled: true,
+            detect: HashMap::new(),
+            dataflow: HashMap::new(),
+            graph: GraphBuildCache::new(),
+        }
+    }
+
+    /// A cache that never stores or returns anything — the reference path
+    /// uses it to time the seed behaviour honestly.
+    pub fn disabled() -> Self {
+        AnalysisCache {
+            enabled: false,
+            detect: HashMap::new(),
+            dataflow: HashMap::new(),
+            graph: GraphBuildCache::new(),
+        }
+    }
+
+    /// Drop all memoized entries (the `enabled` flag is kept).
+    pub fn clear(&mut self) {
+        self.detect.clear();
+        self.dataflow.clear();
+        self.graph.clear();
+    }
+
+    /// Number of memoized entries across all tables.
+    pub fn len(&self) -> usize {
+        self.detect.len() + self.dataflow.len() + self.graph.len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.detect.is_empty() && self.dataflow.is_empty() && self.graph.is_empty()
+    }
+}
+
+impl Default for AnalysisCache {
+    fn default() -> Self {
+        AnalysisCache::new()
+    }
+}
+
+/// [`detect`] through the memo (pure, so cache hits are exact replays).
+fn detect_cached(cache: &mut AnalysisCache, input: MacroInput<'_>) -> Option<MacroComm> {
+    if !cache.enabled {
+        return detect(input);
+    }
+    let key = (
+        input.theta.clone(),
+        input.f.clone(),
+        input.m_s.clone(),
+        input.m_x.clone(),
+        input.kind,
+        input.stmt_is_reduction,
+    );
+    if let Some(hit) = cache.detect.get(&key) {
+        return hit.clone();
+    }
+    let out = detect(input);
+    cache.detect.insert(key, out.clone());
+    out
+}
+
 /// Run the complete heuristic on a nest.
 pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
+    map_nest_with(nest, opts, &mut AnalysisCache::new())
+}
+
+/// [`map_nest`] with a caller-provided [`AnalysisCache`], so repeated
+/// mappings (sweeps, experiment tables, batch serving) share kernel
+/// computations across nests.
+pub fn map_nest_with(nest: &LoopNest, opts: &MappingOptions, cache: &mut AnalysisCache) -> Mapping {
+    map_nest_impl(nest, opts, cache, false)
+}
+
+/// The seed implementation end to end: reference branching / augment /
+/// merge (see [`rescomm_accessgraph::reference`]) and no memoization.
+/// Kept as the proof-of-equivalence oracle and the `pipeline_baseline`
+/// "old" timing path.
+pub fn map_nest_reference(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
+    map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
+}
+
+/// Map every nest, fanning out over `threads` workers with one
+/// [`AnalysisCache`] per worker (the `par_sweep_with` scratch pattern).
+/// Results are in input order and identical to mapping each nest alone.
+pub fn map_nest_batch(nests: &[LoopNest], opts: &MappingOptions, threads: usize) -> Vec<Mapping> {
+    par_sweep_with(nests, threads, AnalysisCache::new, |cache, nest| {
+        Some(map_nest_with(nest, opts, cache))
+    })
+    .into_iter()
+    .map(|r| r.expect("map_nest_batch worker produced no mapping"))
+    .collect()
+}
+
+/// Alias for [`map_nest_batch`] with one worker per available core.
+pub fn par_map_nests(nests: &[LoopNest], opts: &MappingOptions) -> Vec<Mapping> {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    map_nest_batch(nests, opts, threads)
+}
+
+fn map_nest_impl(
+    nest: &LoopNest,
+    opts: &MappingOptions,
+    cache: &mut AnalysisCache,
+    use_reference: bool,
+) -> Mapping {
     let m = opts.m;
     // ---- Step 1: zero out what we can. ----
-    let graph = AccessGraph::build_weighted(nest, m, opts.weight_by_rank);
-    let branching = maximum_branching(&graph);
+    let graph = if cache.enabled {
+        AccessGraph::build_weighted_cached(nest, m, opts.weight_by_rank, &mut cache.graph)
+    } else {
+        AccessGraph::build_weighted(nest, m, opts.weight_by_rank)
+    };
+    let branching = if use_reference {
+        reference::maximum_branching_reference(&graph)
+    } else {
+        maximum_branching(&graph)
+    };
     let mut comps = component_structure(&graph, &branching, nest);
-    let mut aug = augment(&graph, &branching.edges, &comps, m);
+    let mut aug = if use_reference {
+        reference::augment_reference(&graph, &branching.edges, &comps, m)
+    } else {
+        augment(&graph, &branching.edges, &comps, m)
+    };
     if opts.enable_merging {
-        merge_cross_components(&graph, &mut comps, &mut aug, m);
+        if use_reference {
+            reference::merge_cross_components_reference(&graph, &mut comps, &mut aug, m);
+        } else {
+            merge_cross_components(&graph, &mut comps, &mut aug, m);
+        }
     }
-    let mut alignment = compute_alignment(nest, &graph, &comps, &aug);
+    let mut alignment = if use_reference {
+        rescomm_alignment::reference::compute_alignment_reference(nest, &graph, &comps, &aug)
+    } else {
+        compute_alignment(nest, &graph, &comps, &aug)
+    };
     let mut rotations: HashMap<usize, IMat> = HashMap::new();
 
     // ---- Step 2(a): macro-communications, rotating components. ----
@@ -145,18 +301,23 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
         for r in &residuals {
             let acc = nest.access(r.access);
             let st = nest.statement(r.stmt);
-            let mc = detect(MacroInput {
-                theta: st.schedule.theta(),
-                f: &acc.f,
-                m_s: &alignment.stmt_alloc[r.stmt.0].mat,
-                m_x: &alignment.array_alloc[r.array.0].mat,
-                kind: acc.kind,
-                stmt_is_reduction: stmt_is_reduction(nest, r.stmt),
-            });
+            let mc = detect_cached(
+                cache,
+                MacroInput {
+                    theta: st.schedule.theta(),
+                    f: &acc.f,
+                    m_s: &alignment.stmt_alloc[r.stmt.0].mat,
+                    m_x: &alignment.array_alloc[r.array.0].mat,
+                    kind: acc.kind,
+                    stmt_is_reduction: stmt_is_reduction(nest, r.stmt),
+                },
+            );
             let Some(mc) = mc else { continue };
             if let Extent::Partial { .. } = mc.extent {
                 if !mc.axis_parallel && r.same_component {
-                    let ci = alignment.component_of[&Vertex::Stmt(r.stmt)];
+                    let ci = alignment
+                        .component_of(Vertex::Stmt(r.stmt))
+                        .expect("same-component residual has a component");
                     if rotations.contains_key(&ci) {
                         continue; // one rotation per component
                     }
@@ -184,14 +345,17 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
         }
         // Macro-communication?
         if opts.enable_macro {
-            let mc = detect(MacroInput {
-                theta: st.schedule.theta(),
-                f: &acc.f,
-                m_s: &alignment.stmt_alloc[acc.stmt.0].mat,
-                m_x: &alignment.array_alloc[acc.array.0].mat,
-                kind: acc.kind,
-                stmt_is_reduction: stmt_is_reduction(nest, acc.stmt),
-            });
+            let mc = detect_cached(
+                cache,
+                MacroInput {
+                    theta: st.schedule.theta(),
+                    f: &acc.f,
+                    m_s: &alignment.stmt_alloc[acc.stmt.0].mat,
+                    m_x: &alignment.array_alloc[acc.array.0].mat,
+                    kind: acc.kind,
+                    stmt_is_reduction: stmt_is_reduction(nest, acc.stmt),
+                },
+            );
             if let Some(mc) = mc {
                 match mc.extent {
                     Extent::Total => {
@@ -203,7 +367,7 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
                         continue;
                     }
                     Extent::Partial { .. } if mc.axis_parallel => {
-                        let ci = alignment.component_of.get(&Vertex::Stmt(acc.stmt)).copied();
+                        let ci = alignment.component_of(Vertex::Stmt(acc.stmt));
                         outcomes.push(CommOutcome::Macro {
                             kind: mc.kind,
                             total: false,
@@ -217,7 +381,9 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
         }
         // Decomposition?
         if opts.enable_decompose {
-            if let Some(outcome) = try_decompose(nest, &mut alignment, &mut rotations, acc, opts) {
+            if let Some(outcome) =
+                try_decompose(nest, &mut alignment, &mut rotations, acc, opts, cache)
+            {
                 outcomes.push(outcome);
                 continue;
             }
@@ -235,11 +401,37 @@ pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
 /// Dataflow matrix of a residual communication: the `T` with
 /// `T·(M_x·F) = M_S`, when it exists.
 pub fn dataflow_matrix(alignment: &Alignment, nest: &LoopNest, access: AccessId) -> Option<IMat> {
+    dataflow_matrix_cached(&mut AnalysisCache::disabled(), alignment, nest, access)
+}
+
+/// [`dataflow_matrix`] through the memo, keyed on the exact
+/// `(M_S, M_x, F, m)` — the rank check and the linear solve both depend
+/// only on those, so hits are exact replays.
+pub fn dataflow_matrix_cached(
+    cache: &mut AnalysisCache,
+    alignment: &Alignment,
+    nest: &LoopNest,
+    access: AccessId,
+) -> Option<IMat> {
     let acc = nest.access(access);
     let m_s = &alignment.stmt_alloc[acc.stmt.0].mat;
     let m_x = &alignment.array_alloc[acc.array.0].mat;
-    let mxf = m_x * &acc.f;
-    if mxf.rank() < alignment.m.min(mxf.rows()) {
+    if cache.enabled {
+        let key = (m_s.clone(), m_x.clone(), acc.f.clone(), alignment.m);
+        if let Some(hit) = cache.dataflow.get(&key) {
+            return hit.clone();
+        }
+        let out = dataflow_solve(m_s, m_x, &acc.f, alignment.m);
+        cache.dataflow.insert(key, out.clone());
+        out
+    } else {
+        dataflow_solve(m_s, m_x, &acc.f, alignment.m)
+    }
+}
+
+fn dataflow_solve(m_s: &IMat, m_x: &IMat, f: &IMat, m: usize) -> Option<IMat> {
+    let mxf = m_x * f;
+    if mxf.rank() < m.min(mxf.rows()) {
         return None;
     }
     solve_xf_eq_s(m_s, &mxf).ok().map(|fam| fam.particular)
@@ -251,8 +443,9 @@ fn try_decompose(
     rotations: &mut HashMap<usize, IMat>,
     acc: &rescomm_loopnest::Access,
     opts: &MappingOptions,
+    cache: &mut AnalysisCache,
 ) -> Option<CommOutcome> {
-    let t = dataflow_matrix(alignment, nest, acc.id)?;
+    let t = dataflow_matrix_cached(cache, alignment, nest, acc.id)?;
     if !t.is_square() {
         return None;
     }
@@ -269,9 +462,9 @@ fn try_decompose(
                     }
                     // Long chain: try a similarity rotation first.
                     if opts.enable_similarity {
-                        let ci = alignment.component_of.get(&Vertex::Stmt(acc.stmt)).copied();
-                        let same_comp = ci.is_some()
-                            && alignment.component_of.get(&Vertex::Array(acc.array)) == ci.as_ref();
+                        let ci = alignment.component_of(Vertex::Stmt(acc.stmt));
+                        let same_comp =
+                            ci.is_some() && alignment.component_of(Vertex::Array(acc.array)) == ci;
                         if same_comp && !rotations.contains_key(&ci.unwrap()) {
                             if let Some(sim) = search_similarity(&t, 200) {
                                 let ci = ci.unwrap();

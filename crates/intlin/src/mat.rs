@@ -3,10 +3,15 @@
 //! Entries are `i64`; all products are computed through `i128` and checked
 //! on narrowing so that silent wrap-around is impossible. The matrices in
 //! this problem domain (access matrices of affine loop nests, allocation
-//! matrices for ≤ 4-dimensional processor grids) are tiny, so a simple
-//! row-major `Vec<i64>` layout is the right representation.
+//! matrices for ≤ 4-dimensional processor grids) are tiny — almost always
+//! 2×2 to 4×4 — so the storage is a small-matrix optimised enum: matrices
+//! with at most [`IMat::INLINE_CAP`] entries live in a fixed inline buffer
+//! (no heap allocation at all), larger ones fall back to a `Vec<i64>`.
+//! Equality and hashing see only the logical contents, never the storage
+//! variant, so an inline matrix and a heap-backed copy are interchangeable.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
 /// Errors produced by fallible exact linear-algebra operations.
@@ -38,6 +43,13 @@ impl fmt::Display for LinError {
 
 impl std::error::Error for LinError {}
 
+/// Backing storage: inline for small matrices, heap for the rest.
+#[derive(Clone)]
+enum Store {
+    Inline([i64; IMat::INLINE_CAP]),
+    Heap(Vec<i64>),
+}
+
 /// A dense integer matrix with `i64` entries, stored row-major.
 ///
 /// ```
@@ -48,11 +60,11 @@ impl std::error::Error for LinError {}
 /// let inv = f.inverse_unimodular().unwrap();
 /// assert!((&f * &inv).is_identity());
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct IMat {
     rows: usize,
     cols: usize,
-    data: Vec<i64>,
+    store: Store,
 }
 
 #[inline]
@@ -61,13 +73,34 @@ fn narrow(v: i128) -> i64 {
 }
 
 impl IMat {
+    /// Matrices with at most this many entries are stored inline
+    /// (no heap allocation).
+    pub const INLINE_CAP: usize = 16;
+
+    /// Zero-filled matrix of the given shape with canonical storage.
+    #[inline]
+    fn alloc(rows: usize, cols: usize) -> Self {
+        let len = rows * cols;
+        let store = if len <= Self::INLINE_CAP {
+            Store::Inline([0; Self::INLINE_CAP])
+        } else {
+            Store::Heap(vec![0; len])
+        };
+        IMat { rows, cols, store }
+    }
+
+    /// Build with canonical storage from a row-major slice.
+    #[inline]
+    fn from_slice_raw(rows: usize, cols: usize, data: &[i64]) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
+        let mut m = Self::alloc(rows, cols);
+        m.as_mut_slice().copy_from_slice(data);
+        m
+    }
+
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        IMat {
-            rows,
-            cols,
-            data: vec![0; rows * cols],
-        }
+        Self::alloc(rows, cols)
     }
 
     /// Identity matrix of order `n`.
@@ -81,13 +114,18 @@ impl IMat {
 
     /// Build from a closure over `(row, col)` positions.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> i64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for i in 0..rows {
-            for j in 0..cols {
-                data.push(f(i, j));
+        let mut m = Self::alloc(rows, cols);
+        {
+            let data = m.as_mut_slice();
+            let mut k = 0;
+            for i in 0..rows {
+                for j in 0..cols {
+                    data[k] = f(i, j);
+                    k += 1;
+                }
             }
         }
-        IMat { rows, cols, data }
+        m
     }
 
     /// Build from nested slices; every row must have the same length.
@@ -98,40 +136,39 @@ impl IMat {
         assert!(!rows.is_empty(), "from_rows: no rows");
         let cols = rows[0].len();
         assert!(cols > 0, "from_rows: empty rows");
-        let mut data = Vec::with_capacity(rows.len() * cols);
-        for r in rows {
-            assert_eq!(r.len(), cols, "from_rows: ragged rows");
-            data.extend_from_slice(r);
+        let mut m = Self::alloc(rows.len(), cols);
+        {
+            let data = m.as_mut_slice();
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(r.len(), cols, "from_rows: ragged rows");
+                data[i * cols..(i + 1) * cols].copy_from_slice(r);
+            }
         }
-        IMat {
-            rows: rows.len(),
-            cols,
-            data,
-        }
+        m
     }
 
     /// Build from a flat row-major vector.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<i64>) -> Self {
         assert_eq!(data.len(), rows * cols, "from_vec: shape mismatch");
-        IMat { rows, cols, data }
+        if data.len() <= Self::INLINE_CAP {
+            Self::from_slice_raw(rows, cols, &data)
+        } else {
+            IMat {
+                rows,
+                cols,
+                store: Store::Heap(data),
+            }
+        }
     }
 
     /// Column vector from a slice.
     pub fn col_vec(v: &[i64]) -> Self {
-        IMat {
-            rows: v.len(),
-            cols: 1,
-            data: v.to_vec(),
-        }
+        Self::from_slice_raw(v.len(), 1, v)
     }
 
     /// Row vector from a slice.
     pub fn row_vec(v: &[i64]) -> Self {
-        IMat {
-            rows: 1,
-            cols: v.len(),
-            data: v.to_vec(),
-        }
+        Self::from_slice_raw(1, v.len(), v)
     }
 
     /// Number of rows.
@@ -158,15 +195,45 @@ impl IMat {
         self.rows == self.cols
     }
 
+    /// `true` iff the entries live in the inline buffer (no heap block).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.store, Store::Inline(_))
+    }
+
+    /// Force the entries onto the heap, regardless of size.
+    ///
+    /// Exists so differential tests can exercise the heap code paths on
+    /// small matrices; behaviour is identical either way.
+    #[doc(hidden)]
+    pub fn force_heap(&mut self) {
+        if let Store::Inline(buf) = self.store {
+            self.store = Store::Heap(buf[..self.rows * self.cols].to_vec());
+        }
+    }
+
     /// Raw row-major data.
+    #[inline]
     pub fn as_slice(&self) -> &[i64] {
-        &self.data
+        match &self.store {
+            Store::Inline(buf) => &buf[..self.rows * self.cols],
+            Store::Heap(v) => v,
+        }
+    }
+
+    /// Raw row-major data, mutable.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [i64] {
+        match &mut self.store {
+            Store::Inline(buf) => &mut buf[..self.rows * self.cols],
+            Store::Heap(v) => v,
+        }
     }
 
     /// Row `i` as a slice.
     pub fn row(&self, i: usize) -> &[i64] {
         assert!(i < self.rows);
-        &self.data[i * self.cols..(i + 1) * self.cols]
+        &self.as_slice()[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Column `j` as an owned vector.
@@ -188,9 +255,10 @@ impl IMat {
         assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
         (0..self.rows)
             .map(|i| {
+                let row = self.row(i);
                 let mut acc: i128 = 0;
                 for j in 0..self.cols {
-                    acc += self[(i, j)] as i128 * v[j] as i128;
+                    acc += row[j] as i128 * v[j] as i128;
                 }
                 narrow(acc)
             })
@@ -212,7 +280,7 @@ impl IMat {
 
     /// `true` iff every entry is zero.
     pub fn is_zero(&self) -> bool {
-        self.data.iter().all(|&x| x == 0)
+        self.as_slice().iter().all(|&x| x == 0)
     }
 
     /// Horizontal concatenation `[self | other]`.
@@ -245,7 +313,61 @@ impl IMat {
         IMat::from_fn(r1 - r0, c1 - c0, |i, j| self[(r0 + i, c0 + j)])
     }
 
+    /// Matrix product into a caller-provided output matrix.
+    ///
+    /// `out` is reshaped to `self.rows × rhs.cols`; reusing one `out`
+    /// across many products keeps larger-than-inline results from
+    /// re-allocating. Results are identical to `&self * &rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or `i64` overflow.
+    pub fn mul_into(&self, rhs: &IMat, out: &mut IMat) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix product shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, n, k) = (self.rows, rhs.cols, self.cols);
+        out.reshape(m, n);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let c = out.as_mut_slice();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc: i128 = 0;
+                for p in 0..k {
+                    acc += a[i * k + p] as i128 * b[p * n + j] as i128;
+                }
+                c[i * n + j] = narrow(acc);
+            }
+        }
+    }
+
+    /// Reshape in place to `rows × cols`, zero-filling the entries and
+    /// keeping (or establishing) canonical storage for the new size.
+    fn reshape(&mut self, rows: usize, cols: usize) {
+        let len = rows * cols;
+        match &mut self.store {
+            Store::Heap(v) if len > Self::INLINE_CAP => {
+                v.clear();
+                v.resize(len, 0);
+            }
+            store => {
+                *store = if len <= Self::INLINE_CAP {
+                    Store::Inline([0; Self::INLINE_CAP])
+                } else {
+                    Store::Heap(vec![0; len])
+                };
+            }
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Determinant via the fraction-free Bareiss algorithm (exact).
+    ///
+    /// All intermediates are `i128`; matrices with at most
+    /// [`IMat::INLINE_CAP`] entries are eliminated in a stack buffer.
     ///
     /// # Panics
     /// Panics if the matrix is not square.
@@ -255,82 +377,48 @@ impl IMat {
         if n == 0 {
             return 1;
         }
-        let mut a: Vec<i128> = self.data.iter().map(|&x| x as i128).collect();
-        let at = |a: &[i128], i: usize, j: usize| a[i * n + j];
-        let mut sign: i128 = 1;
-        let mut prev: i128 = 1;
-        for k in 0..n - 1 {
-            if at(&a, k, k) == 0 {
-                // Find a pivot row below and swap.
-                match (k + 1..n).find(|&r| at(&a, r, k) != 0) {
-                    Some(r) => {
-                        for j in 0..n {
-                            a.swap(k * n + j, r * n + j);
-                        }
-                        sign = -sign;
-                    }
-                    None => return 0,
-                }
+        let len = n * n;
+        if len <= Self::INLINE_CAP {
+            let mut buf = [0i128; Self::INLINE_CAP];
+            for (d, &s) in buf[..len].iter_mut().zip(self.as_slice()) {
+                *d = s as i128;
             }
-            for i in k + 1..n {
-                for j in k + 1..n {
-                    let num = at(&a, i, j)
-                        .checked_mul(at(&a, k, k))
-                        .and_then(|x| x.checked_sub(at(&a, i, k).checked_mul(at(&a, k, j))?))
-                        .expect("det: i128 overflow");
-                    a[i * n + j] = num / prev;
-                }
-                a[i * n + k] = 0;
-            }
-            prev = at(&a, k, k);
+            det_impl(&mut buf[..len], n)
+        } else {
+            let mut a: Vec<i128> = self.as_slice().iter().map(|&x| x as i128).collect();
+            det_impl(&mut a, n)
         }
-        narrow(sign * at(&a, n - 1, n - 1))
     }
 
     /// Rank over ℚ (fraction-free Gaussian elimination).
+    ///
+    /// Matrices with at most [`IMat::INLINE_CAP`] entries are eliminated
+    /// in a stack buffer; larger ones can reuse a scratch buffer via
+    /// [`IMat::rank_with`].
     pub fn rank(&self) -> usize {
-        let (r, c) = (self.rows, self.cols);
-        let mut a: Vec<i128> = self.data.iter().map(|&x| x as i128).collect();
-        let mut rank = 0;
-        let mut row = 0;
-        for col in 0..c {
-            // Find pivot.
-            let piv = (row..r).find(|&i| a[i * c + col] != 0);
-            let Some(p) = piv else { continue };
-            if p != row {
-                for j in 0..c {
-                    a.swap(row * c + j, p * c + j);
-                }
+        let len = self.rows * self.cols;
+        if len <= Self::INLINE_CAP {
+            let mut buf = [0i128; Self::INLINE_CAP];
+            for (d, &s) in buf[..len].iter_mut().zip(self.as_slice()) {
+                *d = s as i128;
             }
-            let pv = a[row * c + col];
-            for i in row + 1..r {
-                let f = a[i * c + col];
-                if f == 0 {
-                    continue;
-                }
-                let g = gcd128(pv, f);
-                let (m1, m2) = (pv / g, f / g);
-                for j in 0..c {
-                    a[i * c + j] = a[i * c + j]
-                        .checked_mul(m1)
-                        .and_then(|x| x.checked_sub(a[row * c + j].checked_mul(m2)?))
-                        .expect("rank: i128 overflow");
-                }
-                // Keep entries small to avoid blow-up.
-                let rg = row_gcd(&a[i * c..(i + 1) * c]);
-                if rg > 1 {
-                    for j in 0..c {
-                        a[i * c + j] /= rg;
-                    }
-                }
-            }
-            row += 1;
-            rank += 1;
-            if row == r {
-                break;
-            }
+            rank_impl(&mut buf[..len], self.rows, self.cols)
+        } else {
+            let mut a: Vec<i128> = self.as_slice().iter().map(|&x| x as i128).collect();
+            rank_impl(&mut a, self.rows, self.cols)
         }
-        rank
+    }
+
+    /// [`IMat::rank`] with a caller-provided scratch buffer, so repeated
+    /// rank computations on larger-than-inline matrices do not allocate.
+    pub fn rank_with(&self, scratch: &mut Vec<i128>) -> usize {
+        let len = self.rows * self.cols;
+        if len <= Self::INLINE_CAP {
+            return self.rank();
+        }
+        scratch.clear();
+        scratch.extend(self.as_slice().iter().map(|&x| x as i128));
+        rank_impl(scratch, self.rows, self.cols)
     }
 
     /// `true` iff the matrix has full rank `min(rows, cols)`.
@@ -432,8 +520,104 @@ impl IMat {
 
     /// Maximum absolute value of any entry.
     pub fn max_abs(&self) -> i64 {
-        self.data.iter().map(|x| x.abs()).max().unwrap_or(0)
+        self.as_slice().iter().map(|x| x.abs()).max().unwrap_or(0)
     }
+}
+
+/// Equality sees only the logical contents, never the storage variant.
+impl PartialEq for IMat {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for IMat {}
+
+/// Hashing matches [`PartialEq`]: shape plus entries, storage-agnostic.
+impl Hash for IMat {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rows.hash(state);
+        self.cols.hash(state);
+        self.as_slice().hash(state);
+    }
+}
+
+/// Bareiss fraction-free determinant of the `n × n` matrix in `a`
+/// (row-major, destroyed).
+fn det_impl(a: &mut [i128], n: usize) -> i64 {
+    let mut sign: i128 = 1;
+    let mut prev: i128 = 1;
+    for k in 0..n - 1 {
+        if a[k * n + k] == 0 {
+            // Find a pivot row below and swap.
+            match (k + 1..n).find(|&r| a[r * n + k] != 0) {
+                Some(r) => {
+                    for j in 0..n {
+                        a.swap(k * n + j, r * n + j);
+                    }
+                    sign = -sign;
+                }
+                None => return 0,
+            }
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = a[i * n + j]
+                    .checked_mul(a[k * n + k])
+                    .and_then(|x| x.checked_sub(a[i * n + k].checked_mul(a[k * n + j])?))
+                    .expect("det: i128 overflow");
+                a[i * n + j] = num / prev;
+            }
+            a[i * n + k] = 0;
+        }
+        prev = a[k * n + k];
+    }
+    narrow(sign * a[n * n - 1])
+}
+
+/// Fraction-free Gaussian rank of the `r × c` matrix in `a`
+/// (row-major, destroyed).
+fn rank_impl(a: &mut [i128], r: usize, c: usize) -> usize {
+    let mut rank = 0;
+    let mut row = 0;
+    for col in 0..c {
+        // Find pivot.
+        let piv = (row..r).find(|&i| a[i * c + col] != 0);
+        let Some(p) = piv else { continue };
+        if p != row {
+            for j in 0..c {
+                a.swap(row * c + j, p * c + j);
+            }
+        }
+        let pv = a[row * c + col];
+        for i in row + 1..r {
+            let f = a[i * c + col];
+            if f == 0 {
+                continue;
+            }
+            let g = gcd128(pv, f);
+            let (m1, m2) = (pv / g, f / g);
+            for j in 0..c {
+                a[i * c + j] = a[i * c + j]
+                    .checked_mul(m1)
+                    .and_then(|x| x.checked_sub(a[row * c + j].checked_mul(m2)?))
+                    .expect("rank: i128 overflow");
+            }
+            // Keep entries small to avoid blow-up.
+            let rg = row_gcd(&a[i * c..(i + 1) * c]);
+            if rg > 1 {
+                for j in 0..c {
+                    a[i * c + j] /= rg;
+                }
+            }
+        }
+        row += 1;
+        rank += 1;
+        if row == r {
+            break;
+        }
+    }
+    rank
 }
 
 fn gcd128(a: i128, b: i128) -> i128 {
@@ -462,7 +646,8 @@ impl Index<(usize, usize)> for IMat {
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &i64 {
         assert!(i < self.rows && j < self.cols, "index out of bounds");
-        &self.data[i * self.cols + j]
+        let idx = i * self.cols + j;
+        &self.as_slice()[idx]
     }
 }
 
@@ -470,25 +655,17 @@ impl IndexMut<(usize, usize)> for IMat {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut i64 {
         assert!(i < self.rows && j < self.cols, "index out of bounds");
-        &mut self.data[i * self.cols + j]
+        let idx = i * self.cols + j;
+        &mut self.as_mut_slice()[idx]
     }
 }
 
 impl Mul for &IMat {
     type Output = IMat;
     fn mul(self, rhs: &IMat) -> IMat {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matrix product shape mismatch: {}x{} · {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        IMat::from_fn(self.rows, rhs.cols, |i, j| {
-            let mut acc: i128 = 0;
-            for k in 0..self.cols {
-                acc += self[(i, k)] as i128 * rhs[(k, j)] as i128;
-            }
-            narrow(acc)
-        })
+        let mut out = IMat::zeros(0, 0);
+        self.mul_into(rhs, &mut out);
+        out
     }
 }
 
@@ -725,5 +902,66 @@ mod tests {
         let a = m(&[&[1, -7], &[2, 3]]);
         assert_eq!(a.trace(), 4);
         assert_eq!(a.max_abs(), 7);
+    }
+
+    #[test]
+    fn inline_threshold_and_force_heap() {
+        // ≤ 16 entries stays inline through construction paths.
+        assert!(IMat::identity(4).is_inline());
+        assert!(IMat::zeros(2, 8).is_inline());
+        assert!(IMat::from_vec(4, 4, vec![1; 16]).is_inline());
+        assert!(!IMat::zeros(5, 5).is_inline());
+        assert!(!IMat::from_vec(1, 17, vec![1; 17]).is_inline());
+        // force_heap changes storage, not identity.
+        let a = m(&[&[1, 2], &[3, 4]]);
+        let mut b = a.clone();
+        b.force_heap();
+        assert!(!b.is_inline());
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |x: &IMat| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn heap_and_inline_ops_agree() {
+        let a = m(&[&[1, 2, -1], &[0, 3, 4], &[2, -2, 5]]);
+        let b = m(&[&[2, 0, 1], &[1, 1, 0], &[-1, 2, 3]]);
+        let (mut ah, mut bh) = (a.clone(), b.clone());
+        ah.force_heap();
+        bh.force_heap();
+        assert_eq!(&a * &b, &ah * &bh);
+        assert_eq!(a.det(), ah.det());
+        assert_eq!(a.rank(), ah.rank());
+        assert_eq!(a.transpose(), ah.transpose());
+        assert_eq!(a.hstack(&b), ah.hstack(&bh));
+        assert_eq!(&a + &b, &ah + &bh);
+    }
+
+    #[test]
+    fn mul_into_reuses_output() {
+        let a = m(&[&[1, 2], &[3, 4]]);
+        let b = m(&[&[0, 1], &[1, 0]]);
+        let mut out = IMat::zeros(0, 0);
+        a.mul_into(&b, &mut out);
+        assert_eq!(out, &a * &b);
+        // Reuse with a different shape.
+        let c = m(&[&[1], &[1]]);
+        a.mul_into(&c, &mut out);
+        assert_eq!(out, &a * &c);
+        assert_eq!(out.shape(), (2, 1));
+    }
+
+    #[test]
+    fn rank_with_scratch_matches_rank() {
+        let big = IMat::from_fn(5, 5, |i, j| ((i * 5 + j) as i64 % 7) - 3);
+        let mut scratch = Vec::new();
+        assert_eq!(big.rank_with(&mut scratch), big.rank());
+        let small = m(&[&[1, 2], &[2, 4]]);
+        assert_eq!(small.rank_with(&mut scratch), 1);
     }
 }

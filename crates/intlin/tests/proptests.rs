@@ -147,6 +147,45 @@ proptest! {
         prop_assert!(ab.rank() <= a.rank().min(b.rank()));
     }
 
+    /// Storage is invisible: every operation on a heap-forced copy must
+    /// agree exactly with the inline-stored original.
+    #[test]
+    fn heap_and_inline_storage_agree(a in any_shape_mat(), b in any_shape_mat()) {
+        let (mut ah, mut bh) = (a.clone(), b.clone());
+        ah.force_heap();
+        bh.force_heap();
+        prop_assert!(!ah.is_inline());
+        prop_assert_eq!(&a, &ah);
+        prop_assert_eq!(a.rank(), ah.rank());
+        prop_assert_eq!(a.transpose(), ah.transpose());
+        prop_assert_eq!(a.max_abs(), ah.max_abs());
+        if a.is_square() {
+            prop_assert_eq!(a.det(), ah.det());
+        }
+        if a.cols() == b.rows() {
+            prop_assert_eq!(&a * &b, &ah * &bh);
+        }
+        if a.rows() == b.rows() {
+            prop_assert_eq!(a.hstack(&b), ah.hstack(&bh));
+        }
+        if a.shape() == b.shape() {
+            prop_assert_eq!(&a + &b, &ah + &bh);
+            prop_assert_eq!(&a - &b, &ah - &bh);
+        }
+    }
+
+    /// Scratch-based variants produce the same results as the allocating ones.
+    #[test]
+    fn scratch_variants_agree(a in any_shape_mat(), b in any_shape_mat()) {
+        let mut scratch = Vec::new();
+        prop_assert_eq!(a.rank_with(&mut scratch), a.rank());
+        if a.cols() == b.rows() {
+            let mut out = IMat::zeros(0, 0);
+            a.mul_into(&b, &mut out);
+            prop_assert_eq!(out, &a * &b);
+        }
+    }
+
     #[test]
     fn gcd_divides(a in -100i64..100, b in -100i64..100) {
         let g = gcd(a, b);
