@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
 
     eprintln!("\n[Ablation] estimated communication cost, motivating example, 8×4 mesh, 256 B:");
     for (name, opts) in variants() {
-        let mapping = map_nest(&nest, &opts);
+        let mapping = map_nest(&nest, &opts).unwrap();
         let cost = mapping_cost_on_mesh(&nest, &mapping, &mesh, (32, 16), 256);
         let r = mapping.report(&nest);
         eprintln!(
@@ -49,7 +49,7 @@ fn bench(c: &mut Criterion) {
     for (name, opts) in variants() {
         g.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
             b.iter(|| {
-                let mapping = map_nest(black_box(&nest), opts);
+                let mapping = map_nest(black_box(&nest), opts).unwrap();
                 black_box(mapping_cost_on_mesh(&nest, &mapping, &mesh, (32, 16), 256))
             });
         });

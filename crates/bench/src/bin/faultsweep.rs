@@ -1,0 +1,223 @@
+//! Fault-injection sweep over the mesh scheduler and the fat-tree
+//! collectives; writes `BENCH_faults.json` with delivered-fraction and
+//! makespan-inflation curves.
+//!
+//! Three sections:
+//!
+//! * **drop sweep** — drop probabilities × retry on/off on an 8×4 mesh
+//!   with link and node outage windows in force. With retries enabled the
+//!   delivery-guarantee invariant (exactly-once, 100% delivered) is
+//!   asserted at every point; without them the delivered fraction decays
+//!   and the lost messages are accounted for.
+//! * **zero-fault gate** — a zero-fault plan must be bit-identical in
+//!   makespan to the unfaulted scheduler.
+//! * **fat-tree degraded mode** — hardware control-network collectives vs
+//!   the software binomial fallback used when `ctrl_outage` is set.
+//!
+//! ```text
+//! cargo run --release -p rescomm-bench --bin faultsweep [--quick] [--out PATH]
+//! ```
+//!
+//! Every report is produced twice and compared, so a nondeterministic
+//! fault schedule fails the run instead of polluting the curves. `--quick`
+//! shrinks the workload for the CI smoke job; the invariants checked are
+//! identical.
+
+use rescomm_machine::{
+    CostModel, FatTree, FaultPlan, LinkOutage, Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
+    XorShift64,
+};
+use std::fmt::Write as _;
+
+/// Deterministic synthetic phase set on `nodes` processors.
+fn synth_phases(nodes: usize, n_phases: usize, per_phase: usize, seed: u64) -> Vec<Vec<PMsg>> {
+    let mut rng = XorShift64::new(seed);
+    (0..n_phases)
+        .map(|_| {
+            (0..per_phase)
+                .map(|_| PMsg {
+                    src: rng.below(nodes as u64) as usize,
+                    dst: rng.below(nodes as u64) as usize,
+                    bytes: 1 + rng.below(2048),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct DropRow {
+    drop_pct: u32,
+    retry: bool,
+    delivered_fraction: f64,
+    makespan: u64,
+    inflation: f64,
+    retries: u64,
+    reroutes: u64,
+    escalations: u64,
+}
+
+struct DegradedRow {
+    bytes: u64,
+    hw_ns: u64,
+    sw_ns: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .skip_while(|a| *a != "--out")
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_faults.json".into());
+
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let mut sim = PhaseSim::new(mesh.clone());
+    let (n_phases, per_phase) = if quick { (4, 24) } else { (8, 48) };
+    let phases = synth_phases(mesh.nodes(), n_phases, per_phase, 0xfa17);
+    let healthy = mesh.simulate_phases(&phases);
+
+    // Outage windows held fixed across the sweep: two dead links early in
+    // each phase's clock and one node out for the first stretch.
+    let link_outages = vec![
+        LinkOutage {
+            link: mesh.h_link(2, 3, true).index(),
+            from: 0,
+            until: 400_000,
+        },
+        LinkOutage {
+            link: mesh.v_link(5, 1, false).index(),
+            from: 100_000,
+            until: 600_000,
+        },
+    ];
+    let node_outages = vec![NodeOutage {
+        node: 13,
+        from: 0,
+        until: 250_000,
+    }];
+
+    eprintln!("drop sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs, outages in force");
+    let mut rows = Vec::new();
+    for drop_pct in [0u32, 5, 10, 20, 40, 80] {
+        for retry in [true, false] {
+            let plan = FaultPlan {
+                seed: 42,
+                drop_prob: f64::from(drop_pct) / 100.0,
+                dup_prob: 0.02,
+                link_outages: link_outages.clone(),
+                node_outages: node_outages.clone(),
+                ctrl_outage: false,
+                retry: if retry {
+                    RetryPolicy::default()
+                } else {
+                    RetryPolicy::disabled()
+                },
+            };
+            let rep = sim.simulate_phases_faulty(&phases, &plan);
+            // Determinism gate: the identical plan must replay bit-for-bit.
+            assert_eq!(
+                rep,
+                sim.simulate_phases_faulty(&phases, &plan),
+                "fault schedule not deterministic at drop={drop_pct}% retry={retry}"
+            );
+            if retry {
+                // The delivery-guarantee invariant, at every sweep point.
+                assert_eq!(
+                    rep.delivered, rep.messages,
+                    "delivery guarantee violated at drop={drop_pct}%"
+                );
+                assert_eq!(rep.lost, 0);
+            } else {
+                assert_eq!(rep.delivered + rep.lost, rep.messages);
+            }
+            let inflation = rep.makespan as f64 / healthy.max(1) as f64;
+            eprintln!(
+                "  drop {drop_pct:>2}%  retry {}  delivered {:>6.1}%  makespan {:>12} ns  x{inflation:.2}",
+                if retry { "on " } else { "off" },
+                rep.delivered_fraction() * 100.0,
+                rep.makespan
+            );
+            rows.push(DropRow {
+                drop_pct,
+                retry,
+                delivered_fraction: rep.delivered_fraction(),
+                makespan: rep.makespan,
+                inflation,
+                retries: rep.retries,
+                reroutes: rep.reroutes,
+                escalations: rep.escalations,
+            });
+        }
+    }
+
+    // Zero-fault gate: no faults → bit-identical to the unfaulted engine.
+    let zero = sim.simulate_phases_faulty(&phases, &FaultPlan::none());
+    assert_eq!(zero.makespan, healthy, "zero-fault plan must be identical");
+    assert_eq!(zero.delivered, zero.messages);
+    eprintln!("zero-fault gate: makespan {} ns == healthy", zero.makespan);
+
+    eprintln!("fat-tree degraded mode: hw collectives vs software binomial fallback");
+    let ft = FatTree::new(32, 4, CostModel::cm5());
+    let degraded_plan = FaultPlan {
+        ctrl_outage: true,
+        ..FaultPlan::none()
+    };
+    let mut degraded = Vec::new();
+    for bytes in [64u64, 1024, 16384] {
+        let hw_ns = ft.broadcast_time(32, bytes, &FaultPlan::none());
+        let sw_ns = ft.broadcast_time(32, bytes, &degraded_plan);
+        assert!(
+            sw_ns >= hw_ns,
+            "software fallback cannot beat the control network"
+        );
+        eprintln!(
+            "  {bytes:>5} B  hw {hw_ns:>10} ns   sw {sw_ns:>10} ns   x{:.1}",
+            sw_ns as f64 / hw_ns.max(1) as f64
+        );
+        degraded.push(DegradedRow {
+            bytes,
+            hw_ns,
+            sw_ns,
+        });
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"faults\",\n  \"mesh\": [8, 4],\n");
+    let _ = writeln!(
+        j,
+        "  \"phases\": {n_phases},\n  \"msgs_per_phase\": {per_phase},\n  \"healthy_makespan_ns\": {healthy},\n  \"dup_prob\": 0.02,"
+    );
+    j.push_str("  \"drop_sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"drop_pct\": {}, \"retry\": {}, \"delivered_fraction\": {:.4}, \"makespan_ns\": {}, \"inflation\": {:.3}, \"retries\": {}, \"reroutes\": {}, \"escalations\": {}}}",
+            r.drop_pct,
+            r.retry,
+            r.delivered_fraction,
+            r.makespan,
+            r.inflation,
+            r.retries,
+            r.reroutes,
+            r.escalations
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"fattree_degraded\": [\n");
+    for (i, r) in degraded.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"bytes\": {}, \"hw_broadcast_ns\": {}, \"sw_broadcast_ns\": {}, \"slowdown\": {:.2}}}",
+            r.bytes,
+            r.hw_ns,
+            r.sw_ns,
+            r.sw_ns as f64 / r.hw_ns.max(1) as f64
+        );
+        j.push_str(if i + 1 < degraded.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

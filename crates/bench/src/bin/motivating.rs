@@ -29,7 +29,7 @@ fn main() {
     }
     println!();
 
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     println!("{}", mapping.report(&nest));
 
     println!("strategy comparison (estimated communication time, 8×4 mesh, 256 B):");

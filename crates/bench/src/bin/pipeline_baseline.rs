@@ -114,7 +114,7 @@ fn main() {
         for &n in sizes {
             let nest = build(n, 8);
             // Correctness gate before timing.
-            let new = map_nest(&nest, &opts);
+            let new = map_nest(&nest, &opts).unwrap();
             let old = map_nest_reference(&nest, &opts);
             assert_same_mapping(&format!("{family} n={n}"), &new, &old);
 
@@ -150,7 +150,7 @@ fn main() {
     ];
     let mut kern = Vec::new();
     for (name, nest) in &kernels {
-        let new = map_nest(nest, &opts);
+        let new = map_nest(nest, &opts).unwrap();
         let old = map_nest_reference(nest, &opts);
         assert_same_mapping(name, &new, &old);
 
@@ -173,9 +173,9 @@ fn main() {
     let fleet: Vec<LoopNest> = (0..if quick { 4 } else { 16 })
         .map(|i| chained_stencil_nest(20 + 3 * i, 8))
         .collect();
-    let serial = map_nest_batch(&fleet, &opts, 1);
+    let serial = map_nest_batch(&fleet, &opts, 1).unwrap();
     let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
-    let par = map_nest_batch(&fleet, &opts, threads);
+    let par = map_nest_batch(&fleet, &opts, threads).unwrap();
     for (i, (s, p)) in serial.iter().zip(&par).enumerate() {
         assert_same_mapping(&format!("batch nest {i}"), p, s);
     }

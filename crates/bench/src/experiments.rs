@@ -288,7 +288,7 @@ pub struct Example5Row {
 /// Reproduce the §7.2 discussion.
 pub fn example5(n: i64) -> Example5Row {
     let (nest, _) = examples::example5_platonoff(n);
-    let ours = map_nest(&nest, &MappingOptions::new(2));
+    let ours = map_nest(&nest, &MappingOptions::new(2)).expect("example 5 maps");
     let theirs = platonoff_map(&nest, 2);
     let nonlocal = |m: &rescomm::Mapping| {
         m.outcomes
@@ -386,9 +386,12 @@ pub fn motivating(bytes: u64) -> Vec<MotivatingRow> {
     };
     push(
         "two-step heuristic",
-        map_nest(&nest, &MappingOptions::new(2)),
+        map_nest(&nest, &MappingOptions::new(2)).expect("motivating example maps"),
     );
-    push("step 1 only (greedy zeroing)", feautrier_map(&nest, 2));
+    push(
+        "step 1 only (greedy zeroing)",
+        feautrier_map(&nest, 2).expect("motivating example maps"),
+    );
     push("Platonoff (macro-first)", platonoff_map(&nest, 2));
     rows
 }

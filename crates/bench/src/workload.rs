@@ -233,8 +233,8 @@ mod tests {
         use rescomm_loopnest::examples;
         let (nest, _) = examples::motivating_example(8, 4);
         let mesh = paragon_mesh();
-        let ours = map_nest(&nest, &MappingOptions::new(2));
-        let base = rescomm::baselines::feautrier_map(&nest, 2);
+        let ours = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let base = rescomm::baselines::feautrier_map(&nest, 2).unwrap();
         let c_ours = mapping_cost_on_mesh(&nest, &ours, &mesh, (32, 16), 256);
         let c_base = mapping_cost_on_mesh(&nest, &base, &mesh, (32, 16), 256);
         assert!(

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 
 /// Feautrier-style baseline: the paper's step 1 with no step 2. Residual
 /// communications remain general.
-pub fn feautrier_map(nest: &LoopNest, m: usize) -> Mapping {
+pub fn feautrier_map(nest: &LoopNest, m: usize) -> Result<Mapping, crate::error::RescommError> {
     crate::pipeline::map_nest(nest, &MappingOptions::step1_only(m))
 }
 
@@ -173,6 +173,7 @@ pub fn platonoff_map(nest: &LoopNest, m: usize) -> Mapping {
         alignment,
         outcomes,
         rotations: HashMap::new(),
+        incidents: Vec::new(),
     }
 }
 
@@ -189,7 +190,7 @@ mod tests {
     fn example5_platonoff_vs_ours() {
         let (nest, ids) = examples::example5_platonoff(4);
 
-        let ours = map_nest(&nest, &MappingOptions::new(2));
+        let ours = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert!(ours
             .outcomes
             .iter()
@@ -219,9 +220,9 @@ mod tests {
     #[test]
     fn feautrier_is_step1_only() {
         let (nest, ids) = examples::motivating_example(8, 4);
-        let base = feautrier_map(&nest, 2);
+        let base = feautrier_map(&nest, 2).unwrap();
         assert!(matches!(base.outcomes[ids.f6.0], CommOutcome::General));
-        let ours = map_nest(&nest, &MappingOptions::new(2));
+        let ours = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert!(matches!(ours.outcomes[ids.f6.0], CommOutcome::Macro { .. }));
     }
 

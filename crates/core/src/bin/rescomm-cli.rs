@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! rescomm-cli <nest-file> [--m N] [--no-macro] [--no-decompose]
-//!             [--unit-weights] [--dot] [--compare]
+//!             [--unit-weights] [--dot] [--compare] [--self-check]
 //! ```
 //!
 //! * `--m N`           target virtual-grid dimension (default 2)
@@ -13,6 +13,11 @@
 //! * `--dot`           print the access graph (with the branching in
 //!   bold) as Graphviz DOT instead of the report
 //! * `--compare`       also run the Platonoff and step-1-only baselines
+//! * `--self-check`    replay through the reference oracle and flag any
+//!   disagreement as an incident in the report
+//!
+//! Malformed nests and arithmetic overflow exit with a diagnostic
+//! (line/column for parse errors) instead of a panic.
 //!
 //! The nest format is documented in `rescomm_loopnest::parser`.
 
@@ -30,6 +35,7 @@ struct Args {
     unit_weights: bool,
     dot: bool,
     compare: bool,
+    self_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
         unit_weights: false,
         dot: false,
         compare: false,
+        self_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,9 +63,11 @@ fn parse_args() -> Result<Args, String> {
             "--unit-weights" => args.unit_weights = true,
             "--dot" => args.dot = true,
             "--compare" => args.compare = true,
+            "--self-check" => args.self_check = true,
             "--help" | "-h" => {
                 return Err("usage: rescomm-cli <nest-file> [--m N] [--no-macro] \
-                            [--no-decompose] [--unit-weights] [--dot] [--compare]"
+                            [--no-decompose] [--unit-weights] [--dot] [--compare] \
+                            [--self-check]"
                     .to_string())
             }
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
@@ -105,14 +114,24 @@ fn main() -> ExitCode {
     opts.enable_macro = !args.no_macro;
     opts.enable_decompose = !args.no_decompose;
     opts.weight_by_rank = !args.unit_weights;
+    opts.self_check = args.self_check;
 
     println!("{nest}");
-    let mapping = map_nest(&nest, &opts);
+    let mapping = match map_nest(&nest, &opts) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
     println!("{}", mapping.report(&nest));
 
     if args.compare {
         println!("--- baseline: step 1 only (greedy zeroing) ---");
-        println!("{}", feautrier_map(&nest, args.m).report(&nest));
+        match feautrier_map(&nest, args.m) {
+            Ok(m) => println!("{}", m.report(&nest)),
+            Err(e) => eprintln!("{}: {e}", args.file),
+        }
         println!("--- baseline: Platonoff (macro-first) ---");
         println!("{}", platonoff_map(&nest, args.m).report(&nest));
     }

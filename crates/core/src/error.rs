@@ -1,0 +1,144 @@
+//! The typed error taxonomy of the public pipeline API.
+//!
+//! The pipeline must stay well-defined on adversarial instances, not just
+//! the paper's kernels: malformed nest sources, accesses whose exact
+//! integer arithmetic overflows `i64`, analysis stages that hit an
+//! internal inconsistency. Instead of panicking, the public entry points
+//! ([`crate::map_nest`], [`rescomm_loopnest::parse_nest`]) surface a
+//! [`RescommError`], and the fast path is additionally *guarded*: an
+//! internal panic is caught, the mapping transparently falls back to the
+//! reference oracle ([`crate::map_nest_reference`]), and the event is
+//! recorded as an [`Incident`] in the mapping (surfaced by the run
+//! report).
+
+use rescomm_intlin::LinError;
+use rescomm_loopnest::ParseError;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Any error the public pipeline API can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RescommError {
+    /// The nest source was malformed (line/column in the payload).
+    Parse(ParseError),
+    /// Exact integer linear algebra failed (overflow, singularity, …).
+    Lin(LinError),
+    /// An analysis stage failed internally — raised only when both the
+    /// fast path *and* the reference fallback died on the instance.
+    Analysis {
+        /// The pipeline stage that failed.
+        stage: &'static str,
+        /// What happened.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RescommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RescommError::Parse(e) => write!(f, "parse error: {e}"),
+            RescommError::Lin(e) => write!(f, "linear algebra error: {e}"),
+            RescommError::Analysis { stage, detail } => {
+                write!(f, "analysis error in {stage}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RescommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RescommError::Parse(e) => Some(e),
+            RescommError::Lin(e) => Some(e),
+            RescommError::Analysis { .. } => None,
+        }
+    }
+}
+
+impl From<ParseError> for RescommError {
+    fn from(e: ParseError) -> Self {
+        RescommError::Parse(e)
+    }
+}
+
+impl From<LinError> for RescommError {
+    fn from(e: LinError) -> Self {
+        RescommError::Lin(e)
+    }
+}
+
+/// A recoverable fast-path failure: the guarded pipeline caught it, fell
+/// back to the reference oracle, and kept going. Incidents ride along on
+/// the [`crate::Mapping`] and are counted by the run report, so silent
+/// degradation is impossible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// The stage that failed (e.g. `"map_nest_fast"`).
+    pub stage: &'static str,
+    /// The captured panic message or disagreement description.
+    pub detail: String,
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+/// Run `f`, converting an internal panic into an [`Incident`] instead of
+/// unwinding through the public API. The closure is treated as unwind-safe
+/// because every guarded stage either owns its state or mutates only
+/// memo caches whose partial contents remain valid (pure keyed entries).
+pub fn guarded<T>(stage: &'static str, f: impl FnOnce() -> T) -> Result<T, Incident> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Incident { stage, detail }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarded_passes_values_through() {
+        assert_eq!(guarded("ok", || 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn guarded_captures_panic_messages() {
+        let inc = guarded("boom", || panic!("exact integer overflow")).unwrap_err();
+        assert_eq!(inc.stage, "boom");
+        assert!(inc.detail.contains("overflow"));
+        let inc = guarded("fmt", || panic!("value was {}", 7)).unwrap_err();
+        assert!(inc.detail.contains("value was 7"));
+        assert!(format!("{inc}").contains("[fmt]"));
+    }
+
+    #[test]
+    fn error_conversions_and_display() {
+        let lin: RescommError = LinError::Overflow.into();
+        assert!(format!("{lin}").contains("overflow"));
+        let parse: RescommError = ParseError {
+            line: 3,
+            col: 8,
+            msg: "unknown array x".into(),
+        }
+        .into();
+        assert!(format!("{parse}").contains("line 3, col 8"));
+        let analysis = RescommError::Analysis {
+            stage: "map_nest",
+            detail: "both paths failed".into(),
+        };
+        assert!(format!("{analysis}").contains("map_nest"));
+        use std::error::Error;
+        assert!(lin.source().is_some());
+        assert!(analysis.source().is_none());
+    }
+}

@@ -247,7 +247,7 @@ mod tests {
             examples::example4_reduction(5),
             examples::example5_platonoff(3).0,
         ] {
-            let mapping = map_nest(&nest, &MappingOptions::new(2));
+            let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
             let stats =
                 verify_execution(&nest, &mapping).unwrap_or_else(|e| panic!("{}: {e}", nest.name));
             assert!(stats.instances > 0);
@@ -258,7 +258,7 @@ mod tests {
     fn locality_stats_reflect_the_mapping() {
         // Example 5 is communication-free: every read local.
         let (nest, _) = examples::example5_platonoff(3);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let (_, stats) = run_distributed(&nest, &mapping);
         assert_eq!(stats.remote_reads, 0, "{stats:?}");
         assert_eq!(stats.remote_writes, 0);
@@ -271,7 +271,7 @@ mod tests {
         // F6/F8 reads are remote; with the deep loops dominating the
         // instance count the overall locality lands low but nonzero.
         let (nest, _) = examples::motivating_example(4, 2);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let (_, stats) = run_distributed(&nest, &mapping);
         assert!(stats.remote_reads > 0);
         assert!(stats.local_reads > 0);
@@ -279,7 +279,7 @@ mod tests {
         assert!(f > 0.05 && f < 0.5, "locality fraction {f}");
         // The step-1-only baseline has identical locality (step 2 only
         // restructures the remote traffic, it does not create locality).
-        let base = crate::baselines::feautrier_map(&nest, 2);
+        let base = crate::baselines::feautrier_map(&nest, 2).unwrap();
         let (_, bstats) = run_distributed(&nest, &base);
         assert_eq!(stats.local_reads, bstats.local_reads);
     }
@@ -289,14 +289,14 @@ mod tests {
         // The sequential fold and the (conceptually parallel) distributed
         // fold must agree — wrapping add commutes.
         let nest = examples::example4_reduction(6);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         verify_execution(&nest, &mapping).unwrap();
     }
 
     #[test]
     fn stencil_timesteps_counted() {
         let nest = examples::stencil1d(8, 5);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let (_, stats) = run_distributed(&nest, &mapping);
         assert_eq!(stats.timesteps, 5, "one timestep per t iteration");
     }
@@ -310,12 +310,12 @@ mod tests {
         // element, just remotely) — so the check must still PASS: the
         // functional semantics of a mapping never depends on placement.
         let (nest, _) = examples::motivating_example(4, 2);
-        let mut mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mut mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         mapping.alignment.array_alloc[0].rho = vec![7, -3];
         verify_execution(&nest, &mapping).expect("placement cannot change values");
         // What placement DOES change is the locality statistics.
         let (_, bad) = run_distributed(&nest, &mapping);
-        let good_mapping = map_nest(&nest, &MappingOptions::new(2));
+        let good_mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let (_, good) = run_distributed(&nest, &good_mapping);
         assert!(bad.remote_reads > good.remote_reads);
     }

@@ -16,7 +16,7 @@
 //! use rescomm_loopnest::examples::motivating_example;
 //!
 //! let (nest, _) = motivating_example(8, 4);
-//! let mapping = map_nest(&nest, &MappingOptions::new(2));
+//! let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
 //! let report = mapping.report(&nest);
 //! println!("{report}");
 //! assert_eq!(report.n_local, 5);
@@ -28,11 +28,13 @@
 //! [`substrate`] so downstream users need a single dependency.
 
 pub mod baselines;
+pub mod error;
 pub mod exec;
 pub mod pipeline;
 pub mod plan;
 pub mod report;
 
+pub use error::{guarded, Incident, RescommError};
 pub use exec::{run_distributed, run_sequential, verify_execution, ExecStats};
 pub use pipeline::{
     dataflow_matrix, dataflow_matrix_cached, map_nest, map_nest_batch, map_nest_reference,

@@ -10,6 +10,7 @@
 //!    axis-parallel factors — directly, after a unimodular similarity
 //!    rotation, or with unirow factors when `det ≠ ±1`.
 
+use crate::error::{guarded, Incident, RescommError};
 use rescomm_accessgraph::{
     augment, component_structure, maximum_branching, merge_cross_components, reference,
     AccessGraph, GraphBuildCache, Vertex,
@@ -44,6 +45,11 @@ pub struct MappingOptions {
     /// Step 1(c) extension: merge compatible cross-component edges so
     /// their communications become local too.
     pub enable_merging: bool,
+    /// Self-checking mode: after the fast path succeeds, replay the nest
+    /// through [`map_nest_reference`] and compare outcomes. A disagreement
+    /// makes the reference result win and is recorded as an
+    /// [`Incident`] on the mapping.
+    pub self_check: bool,
 }
 
 impl MappingOptions {
@@ -56,6 +62,7 @@ impl MappingOptions {
             enable_similarity: true,
             weight_by_rank: true,
             enable_merging: true,
+            self_check: false,
         }
     }
 
@@ -69,7 +76,14 @@ impl MappingOptions {
             enable_similarity: false,
             weight_by_rank: true,
             enable_merging: true,
+            self_check: false,
         }
+    }
+
+    /// Builder-style toggle for the self-checking mode.
+    pub fn with_self_check(mut self) -> Self {
+        self.self_check = true;
+        self
     }
 }
 
@@ -114,6 +128,10 @@ pub struct Mapping {
     pub outcomes: Vec<CommOutcome>,
     /// Unimodular rotations applied per component (composed).
     pub rotations: HashMap<usize, IMat>,
+    /// Recoverable fast-path failures: each entry records one guarded
+    /// stage that died (or disagreed under self-check) and was replaced
+    /// by the reference oracle. Empty on a clean run.
+    pub incidents: Vec<Incident>,
 }
 
 impl Mapping {
@@ -218,29 +236,96 @@ fn detect_cached(cache: &mut AnalysisCache, input: MacroInput<'_>) -> Option<Mac
 }
 
 /// Run the complete heuristic on a nest.
-pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
+///
+/// The fast path is *guarded*: an internal panic (overflow in exact
+/// arithmetic, a violated invariant) is caught, the nest is replayed
+/// through the reference oracle, and the event is recorded as an
+/// [`Incident`] on the returned mapping. `Err` is returned only when the
+/// reference path fails on the instance too.
+pub fn map_nest(nest: &LoopNest, opts: &MappingOptions) -> Result<Mapping, RescommError> {
     map_nest_with(nest, opts, &mut AnalysisCache::new())
 }
 
 /// [`map_nest`] with a caller-provided [`AnalysisCache`], so repeated
 /// mappings (sweeps, experiment tables, batch serving) share kernel
 /// computations across nests.
-pub fn map_nest_with(nest: &LoopNest, opts: &MappingOptions, cache: &mut AnalysisCache) -> Mapping {
-    map_nest_impl(nest, opts, cache, false)
+pub fn map_nest_with(
+    nest: &LoopNest,
+    opts: &MappingOptions,
+    cache: &mut AnalysisCache,
+) -> Result<Mapping, RescommError> {
+    match guarded("map_nest_fast", || map_nest_impl(nest, opts, cache, false)) {
+        Ok(mut mapping) => {
+            if opts.self_check {
+                match guarded("map_nest_reference", || {
+                    map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
+                }) {
+                    Ok(reference) if reference.outcomes != mapping.outcomes => {
+                        // The oracle wins; keep the evidence.
+                        let mut m = reference;
+                        m.incidents.push(Incident {
+                            stage: "self_check",
+                            detail: format!(
+                                "fast path disagreed with the reference oracle on {}: \
+                                 fell back to the reference mapping",
+                                nest.name
+                            ),
+                        });
+                        Ok(m)
+                    }
+                    Ok(_) => Ok(mapping),
+                    Err(inc) => {
+                        // The fast result stands, but the failed check is
+                        // on the record.
+                        mapping.incidents.push(Incident {
+                            stage: "self_check",
+                            detail: format!("reference oracle failed: {}", inc.detail),
+                        });
+                        Ok(mapping)
+                    }
+                }
+            } else {
+                Ok(mapping)
+            }
+        }
+        Err(incident) => {
+            match guarded("map_nest_reference", || {
+                map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
+            }) {
+                Ok(mut m) => {
+                    m.incidents.push(incident);
+                    Ok(m)
+                }
+                Err(ref_inc) => Err(RescommError::Analysis {
+                    stage: "map_nest",
+                    detail: format!(
+                        "fast path: {}; reference fallback: {}",
+                        incident.detail, ref_inc.detail
+                    ),
+                }),
+            }
+        }
+    }
 }
 
 /// The seed implementation end to end: reference branching / augment /
 /// merge (see [`rescomm_accessgraph::reference`]) and no memoization.
-/// Kept as the proof-of-equivalence oracle and the `pipeline_baseline`
-/// "old" timing path.
+/// Kept as the proof-of-equivalence oracle, the fallback target of the
+/// guarded [`map_nest`], and the `pipeline_baseline` "old" timing path.
+/// Unlike [`map_nest`] it is unguarded — it panics where the seed did.
 pub fn map_nest_reference(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
     map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
 }
 
 /// Map every nest, fanning out over `threads` workers with one
 /// [`AnalysisCache`] per worker (the `par_sweep_with` scratch pattern).
-/// Results are in input order and identical to mapping each nest alone.
-pub fn map_nest_batch(nests: &[LoopNest], opts: &MappingOptions, threads: usize) -> Vec<Mapping> {
+/// Results are in input order and identical to mapping each nest alone;
+/// the first failing nest's error is returned.
+pub fn map_nest_batch(
+    nests: &[LoopNest],
+    opts: &MappingOptions,
+    threads: usize,
+) -> Result<Vec<Mapping>, RescommError> {
     par_sweep_with(nests, threads, AnalysisCache::new, |cache, nest| {
         Some(map_nest_with(nest, opts, cache))
     })
@@ -250,7 +335,10 @@ pub fn map_nest_batch(nests: &[LoopNest], opts: &MappingOptions, threads: usize)
 }
 
 /// Alias for [`map_nest_batch`] with one worker per available core.
-pub fn par_map_nests(nests: &[LoopNest], opts: &MappingOptions) -> Vec<Mapping> {
+pub fn par_map_nests(
+    nests: &[LoopNest],
+    opts: &MappingOptions,
+) -> Result<Vec<Mapping>, RescommError> {
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     map_nest_batch(nests, opts, threads)
 }
@@ -395,6 +483,7 @@ fn map_nest_impl(
         alignment,
         outcomes,
         rotations,
+        incidents: Vec::new(),
     }
 }
 
@@ -449,10 +538,14 @@ fn try_decompose(
     if !t.is_square() {
         return None;
     }
+    // A dataflow matrix whose determinant overflows even i128-checked
+    // arithmetic is not decomposable by any strategy here: report the
+    // access as general instead of panicking.
+    let det = t.try_det().ok()?;
     if t.rows() == 2 {
-        if matches!(t.det(), 1 | -1) {
+        if matches!(det, 1 | -1) {
             // det −1 is handled through the general (unirow) path below.
-            if t.det() == 1 {
+            if det == 1 {
                 if let Some(factors) = decompose_direct(&t) {
                     if factors.len() <= 4 {
                         return Some(CommOutcome::Decomposed {
@@ -485,7 +578,7 @@ fn try_decompose(
             }
         }
         // det ≠ 1: unirow decomposition.
-        if t.det() != 0 {
+        if det != 0 {
             if let Ok(f) = decompose_general(&t) {
                 return Some(CommOutcome::DecomposedGeneral { n_factors: f.len() });
             }
@@ -494,12 +587,12 @@ fn try_decompose(
     }
     // Higher-dimensional grids: elementary shears for det = 1 (§4.1's
     // n-dimensional extension), unirow factors otherwise.
-    if t.det() == 1 {
+    if det == 1 {
         if let Some(f) = shear_decompose(&t) {
             return Some(CommOutcome::DecomposedGeneral { n_factors: f.len() });
         }
     }
-    if t.det() != 0 {
+    if det != 0 {
         if let Ok(f) = decompose_general(&t) {
             let n = f
                 .iter()
@@ -529,7 +622,7 @@ mod tests {
         // and one residual communication decomposed into two elementary
         // communications" (plus the footnoted F8 bonus broadcast).
         let (nest, ids) = examples::motivating_example(8, 4);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let out = |id: rescomm_loopnest::AccessId| &mapping.outcomes[id.0];
         for fid in [ids.f1, ids.f2, ids.f4, ids.f5, ids.f7] {
             assert_eq!(*out(fid), CommOutcome::Local, "{fid:?} must be local");
@@ -568,7 +661,7 @@ mod tests {
         // det 1, trace 3, and a direct 2-factor decomposition (the exact
         // entries depend on which axis the Hermite rotation picks).
         let (nest, ids) = examples::motivating_example(8, 4);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let t = dataflow_matrix(&mapping.alignment, &nest, ids.f3).unwrap();
         assert_eq!(t.det(), 1);
         assert_eq!(t.trace(), 3);
@@ -579,7 +672,7 @@ mod tests {
         // paper's [[1,1],[1,2]].
         let v = IMat::from_rows(&[&[1, 1], &[0, 1]]);
         let vinv = v.inverse_unimodular().unwrap();
-        let base = map_nest(&nest, &MappingOptions::step1_only(2));
+        let base = map_nest(&nest, &MappingOptions::step1_only(2)).unwrap();
         let t0 = dataflow_matrix(&base.alignment, &nest, ids.f3).unwrap();
         assert_eq!(&(&v * &t0) * &vinv, IMat::from_rows(&[&[1, 1], &[1, 2]]));
     }
@@ -587,7 +680,7 @@ mod tests {
     #[test]
     fn rotation_preserves_step1_locality() {
         let (nest, _) = examples::motivating_example(8, 4);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert_eq!(mapping.rotations.len(), 1, "exactly one component rotation");
         let n_local = mapping
             .outcomes
@@ -600,7 +693,7 @@ mod tests {
     #[test]
     fn step1_only_leaves_generals() {
         let (nest, ids) = examples::motivating_example(8, 4);
-        let mapping = map_nest(&nest, &MappingOptions::step1_only(2));
+        let mapping = map_nest(&nest, &MappingOptions::step1_only(2)).unwrap();
         assert!(matches!(mapping.outcomes[ids.f3.0], CommOutcome::General));
         assert!(matches!(mapping.outcomes[ids.f6.0], CommOutcome::General));
         assert!(mapping.rotations.is_empty());
@@ -609,7 +702,7 @@ mod tests {
     #[test]
     fn example5_communication_free() {
         let (nest, _) = examples::example5_platonoff(4);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert!(
             mapping
                 .outcomes
@@ -623,7 +716,7 @@ mod tests {
     #[test]
     fn matmul_keeps_reduction_structure() {
         let nest = examples::matmul(6);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         // One access local; the others cross components → macro or general
         // (never panic); at least the C access should be recognized.
         assert!(mapping
@@ -636,7 +729,7 @@ mod tests {
     #[test]
     fn example2_broadcast_detected_end_to_end() {
         let nest = examples::example2_broadcast(8);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert!(
             mapping.outcomes.iter().any(|o| matches!(
                 o,
@@ -653,7 +746,7 @@ mod tests {
     #[test]
     fn gauss_maps_without_panic_and_mostly_local() {
         let nest = examples::gauss_elim(6);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let n_local = mapping
             .outcomes
             .iter()
@@ -677,7 +770,7 @@ mod tests {
         bld.read(s, b2, IMat::from_rows(&[&[0, 1, 0], &[1, 0, 0]]), &[0, 0]);
         let nest = bld.build().unwrap();
 
-        let with = map_nest(&nest, &MappingOptions::new(2));
+        let with = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let locals = with
             .outcomes
             .iter()
@@ -687,7 +780,7 @@ mod tests {
 
         let mut opts = MappingOptions::new(2);
         opts.enable_merging = false;
-        let without = map_nest(&nest, &opts);
+        let without = map_nest(&nest, &opts).unwrap();
         let locals0 = without
             .outcomes
             .iter()
@@ -725,7 +818,7 @@ mod tests {
         gadget(&mut b, 1, IMat::from_rows(&[&[1, 1, 0], &[0, 1, 1]])); // ker (1,−1,1)
         gadget(&mut b, 2, IMat::from_rows(&[&[1, 2, 0], &[0, 1, 1]])); // ker (2,−1,1)
         let nest = b.build().unwrap();
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert_eq!(mapping.rotations.len(), 2, "one rotation per gadget");
         let broadcasts = mapping
             .outcomes
@@ -756,7 +849,7 @@ mod tests {
         // statements keep full-rank 3×3 allocations and any residual
         // dataflow decomposes into n-dimensional shears.
         let (nest, _) = examples::motivating_example(6, 2);
-        let mapping = map_nest(&nest, &MappingOptions::new(3));
+        let mapping = map_nest(&nest, &MappingOptions::new(3)).unwrap();
         assert_eq!(mapping.outcomes.len(), 8);
         // Depth-3 statements get rank-3 allocations.
         for (si, st) in nest.statements.iter().enumerate() {
@@ -774,7 +867,7 @@ mod tests {
     #[test]
     fn one_dimensional_target_grid() {
         let nest = examples::matmul(4);
-        let mapping = map_nest(&nest, &MappingOptions::new(1));
+        let mapping = map_nest(&nest, &MappingOptions::new(1)).unwrap();
         assert_eq!(mapping.outcomes.len(), 3);
         for a in &mapping.alignment.stmt_alloc {
             assert_eq!(a.mat.rows(), 1);
@@ -794,7 +887,7 @@ mod tests {
         let twist = IMat::from_rows(&[&[1, 1, 0], &[0, 1, 1], &[0, 0, 1]]);
         b.read(st, x, twist, &[0, 0, 0]);
         let nest = b.build().unwrap();
-        let mapping = map_nest(&nest, &MappingOptions::new(3));
+        let mapping = map_nest(&nest, &MappingOptions::new(3)).unwrap();
         assert!(
             mapping.outcomes.iter().any(
                 |o| matches!(o, CommOutcome::DecomposedGeneral { n_factors } if *n_factors >= 1)
@@ -805,9 +898,63 @@ mod tests {
     }
 
     #[test]
+    fn clean_runs_record_no_incidents() {
+        let (nest, _) = examples::motivating_example(8, 4);
+        let plain = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        assert!(plain.incidents.is_empty());
+        // Self-checking mode replays through the oracle, agrees, and adds
+        // nothing to the record.
+        let checked = map_nest(&nest, &MappingOptions::new(2).with_self_check()).unwrap();
+        assert_eq!(plain.outcomes, checked.outcomes);
+        assert!(checked.incidents.is_empty());
+    }
+
+    #[test]
+    fn huge_coefficients_error_instead_of_panicking() {
+        use rescomm_loopnest::{Domain, NestBuilder};
+        // Access coefficients near i64::MAX force the exact arithmetic
+        // into its overflow paths. The guarded pipeline must return — a
+        // mapping (possibly via the oracle fallback, with the incident on
+        // record) or a typed error — never unwind.
+        let big = i64::MAX / 2;
+        let mut b = NestBuilder::new("huge");
+        let x = b.array("x", 2);
+        let s = b.statement("S", 2, Domain::cube(2, 4));
+        b.write(s, x, IMat::identity(2), &[0, 0]);
+        b.read(s, x, IMat::from_rows(&[&[big, big], &[1, big]]), &[0, 0]);
+        let nest = b.build().unwrap();
+        match map_nest(&nest, &MappingOptions::new(2)) {
+            Ok(m) => {
+                assert_eq!(m.outcomes.len(), 2);
+                for inc in &m.incidents {
+                    assert!(!inc.stage.is_empty());
+                }
+            }
+            Err(e) => assert!(!format!("{e}").is_empty()),
+        }
+    }
+
+    #[test]
+    fn batch_results_match_singles_and_propagate_ok() {
+        let nests = vec![
+            examples::matmul(4),
+            examples::gauss_elim(4),
+            examples::adi_sweep(4),
+        ];
+        let opts = MappingOptions::new(2);
+        let batch = map_nest_batch(&nests, &opts, 2).unwrap();
+        assert_eq!(batch.len(), 3);
+        for (nest, got) in nests.iter().zip(&batch) {
+            let solo = map_nest(nest, &opts).unwrap();
+            assert_eq!(solo.outcomes, got.outcomes);
+            assert!(got.incidents.is_empty());
+        }
+    }
+
+    #[test]
     fn adi_sweep_maps() {
         let nest = examples::adi_sweep(8);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert_eq!(mapping.outcomes.len(), 4);
         // The two statements want transposed layouts; at least two accesses
         // become local/translation.

@@ -299,7 +299,7 @@ mod tests {
     #[test]
     fn local_accesses_produce_no_phase() {
         let (nest, _) = examples::example5_platonoff(4);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &mapping);
         assert!(plan.phases.is_empty(), "communication-free nest");
         assert_eq!(plan.message_count(), 0);
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn motivating_example_plan_structure() {
         let (nest, ids) = examples::motivating_example(6, 2);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &mapping);
         // The decomposed access contributes one phase per factor plus
         // (possibly) the final shift.
@@ -343,7 +343,7 @@ mod tests {
             examples::gauss_elim(4),
             examples::adi_sweep(6),
         ] {
-            let mapping = map_nest(&nest, &MappingOptions::new(2));
+            let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
             let plan = build_plan(&nest, &mapping);
             plan.verify_availability(&nest, &mapping)
                 .unwrap_or_else(|e| panic!("{}: {e}", nest.name));
@@ -353,7 +353,7 @@ mod tests {
     #[test]
     fn jacobi_plan_is_pure_translations() {
         let nest = examples::jacobi2d(8);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &mapping);
         assert!(plan.phases.iter().all(|p| p.kind == PhaseKind::Translation));
         assert!(!plan.phases.is_empty());
@@ -364,7 +364,7 @@ mod tests {
         let (nest, _) = examples::motivating_example(6, 2);
         let mesh = Mesh2D::new(4, 4, CostModel::paragon());
         let dist = Dist2D::uniform(Dist1D::Cyclic);
-        let full = map_nest(&nest, &MappingOptions::new(2));
+        let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let t = build_plan(&nest, &full).simulate_on_mesh(&mesh, dist, (24, 24), 64);
         assert!(t > 0);
     }
@@ -372,7 +372,7 @@ mod tests {
     #[test]
     fn patterns_are_deduplicated() {
         let nest = examples::example2_broadcast(8);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &mapping);
         for phase in &plan.phases {
             let mut sorted = phase.pattern.clone();

@@ -28,8 +28,13 @@ pub struct MappingReport {
     pub n_factors: usize,
     /// Residual general communications.
     pub n_general: usize,
+    /// Guarded fast-path failures that fell back to the reference oracle
+    /// (see [`crate::error::Incident`]); 0 on a clean run.
+    pub n_incidents: usize,
     /// One line per access: `(array, statement, outcome)`.
     pub lines: Vec<(String, String, String)>,
+    /// Human-readable incident descriptions, parallel to `n_incidents`.
+    pub incident_lines: Vec<String>,
 }
 
 impl MappingReport {
@@ -46,7 +51,9 @@ impl MappingReport {
             n_decomposed: 0,
             n_factors: 0,
             n_general: 0,
+            n_incidents: mapping.incidents.len(),
             lines: Vec::new(),
+            incident_lines: mapping.incidents.iter().map(|i| i.to_string()).collect(),
         };
         for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
             let desc = match out {
@@ -153,6 +160,16 @@ impl fmt::Display for MappingReport {
         for (arr, stmt, desc) in &self.lines {
             writeln!(f, "    {arr} in {stmt}: {desc}")?;
         }
+        if self.n_incidents > 0 {
+            writeln!(
+                f,
+                "  {} fast-path incident(s), recovered via the reference oracle:",
+                self.n_incidents
+            )?;
+            for line in &self.incident_lines {
+                writeln!(f, "  ! {line}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -165,7 +182,7 @@ mod tests {
     #[test]
     fn report_counts_consistent() {
         let (nest, _) = examples::motivating_example(8, 4);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let r = mapping.report(&nest);
         assert_eq!(r.n_accesses(), 8);
         assert_eq!(
@@ -180,9 +197,25 @@ mod tests {
     }
 
     #[test]
+    fn incidents_surface_in_the_report() {
+        let (nest, _) = examples::motivating_example(4, 2);
+        let mut mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        assert_eq!(mapping.report(&nest).n_incidents, 0);
+        mapping.incidents.push(crate::error::Incident {
+            stage: "map_nest_fast",
+            detail: "synthetic overflow for the report test".into(),
+        });
+        let r = mapping.report(&nest);
+        assert_eq!(r.n_incidents, 1);
+        let text = format!("{r}");
+        assert!(text.contains("1 fast-path incident"));
+        assert!(text.contains("[map_nest_fast]"));
+    }
+
+    #[test]
     fn display_mentions_every_access() {
         let (nest, _) = examples::motivating_example(4, 2);
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let text = format!("{}", mapping.report(&nest));
         assert!(text.contains("broadcast"));
         assert!(text.contains("decomposed"));

@@ -68,8 +68,13 @@ pub struct IMat {
 }
 
 #[inline]
+fn try_narrow(v: i128) -> Result<i64, LinError> {
+    i64::try_from(v).map_err(|_| LinError::Overflow)
+}
+
+#[inline]
 fn narrow(v: i128) -> i64 {
-    i64::try_from(v).expect("i64 overflow in exact integer matrix arithmetic")
+    try_narrow(v).expect("i64 overflow in exact integer matrix arithmetic")
 }
 
 impl IMat {
@@ -252,6 +257,17 @@ impl IMat {
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[i64]) -> Vec<i64> {
+        self.try_mul_vec(v)
+            .expect("i64 overflow in exact integer matrix arithmetic")
+    }
+
+    /// Fallible matrix–vector product: [`LinError::Overflow`] instead of a
+    /// panic when a component leaves `i64` (products are accumulated in
+    /// `i128`, so only the final narrowing can fail).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn try_mul_vec(&self, v: &[i64]) -> Result<Vec<i64>, LinError> {
         assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
         (0..self.rows)
             .map(|i| {
@@ -260,7 +276,7 @@ impl IMat {
                 for j in 0..self.cols {
                     acc += row[j] as i128 * v[j] as i128;
                 }
-                narrow(acc)
+                try_narrow(acc)
             })
             .collect()
     }
@@ -322,6 +338,18 @@ impl IMat {
     /// # Panics
     /// Panics on shape mismatch or `i64` overflow.
     pub fn mul_into(&self, rhs: &IMat, out: &mut IMat) {
+        self.try_mul_into(rhs, out)
+            .expect("i64 overflow in exact integer matrix arithmetic")
+    }
+
+    /// Fallible [`IMat::mul_into`]: [`LinError::Overflow`] instead of a
+    /// panic when an entry of the product leaves `i64` (products are
+    /// computed through `i128` and only narrowing can fail). On error,
+    /// `out` holds a partial result and must not be read.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn try_mul_into(&self, rhs: &IMat, out: &mut IMat) -> Result<(), LinError> {
         assert_eq!(
             self.cols, rhs.rows,
             "matrix product shape mismatch: {}x{} · {}x{}",
@@ -338,9 +366,17 @@ impl IMat {
                 for p in 0..k {
                     acc += a[i * k + p] as i128 * b[p * n + j] as i128;
                 }
-                c[i * n + j] = narrow(acc);
+                c[i * n + j] = try_narrow(acc)?;
             }
         }
+        Ok(())
+    }
+
+    /// Fallible matrix product (see [`IMat::try_mul_into`]).
+    pub fn try_mul(&self, rhs: &IMat) -> Result<IMat, LinError> {
+        let mut out = IMat::zeros(0, 0);
+        self.try_mul_into(rhs, &mut out)?;
+        Ok(out)
     }
 
     /// Reshape in place to `rows × cols`, zero-filling the entries and
@@ -372,10 +408,20 @@ impl IMat {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn det(&self) -> i64 {
+        self.try_det().expect("det: integer overflow")
+    }
+
+    /// Fallible determinant: [`LinError::Overflow`] when a Bareiss
+    /// intermediate leaves `i128` or the result leaves `i64`, instead of
+    /// the panic [`IMat::det`] raises.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn try_det(&self) -> Result<i64, LinError> {
         assert!(self.is_square(), "det: non-square matrix");
         let n = self.rows;
         if n == 0 {
-            return 1;
+            return Ok(1);
         }
         let len = n * n;
         if len <= Self::INLINE_CAP {
@@ -543,8 +589,10 @@ impl Hash for IMat {
 }
 
 /// Bareiss fraction-free determinant of the `n × n` matrix in `a`
-/// (row-major, destroyed).
-fn det_impl(a: &mut [i128], n: usize) -> i64 {
+/// (row-major, destroyed). Intermediates are checked `i128`; the paper's
+/// matrices are tiny, so escalation to `i128` almost always suffices and
+/// [`LinError::Overflow`] marks the genuinely pathological instances.
+fn det_impl(a: &mut [i128], n: usize) -> Result<i64, LinError> {
     let mut sign: i128 = 1;
     let mut prev: i128 = 1;
     for k in 0..n - 1 {
@@ -557,7 +605,7 @@ fn det_impl(a: &mut [i128], n: usize) -> i64 {
                     }
                     sign = -sign;
                 }
-                None => return 0,
+                None => return Ok(0),
             }
         }
         for i in k + 1..n {
@@ -565,14 +613,14 @@ fn det_impl(a: &mut [i128], n: usize) -> i64 {
                 let num = a[i * n + j]
                     .checked_mul(a[k * n + k])
                     .and_then(|x| x.checked_sub(a[i * n + k].checked_mul(a[k * n + j])?))
-                    .expect("det: i128 overflow");
+                    .ok_or(LinError::Overflow)?;
                 a[i * n + j] = num / prev;
             }
             a[i * n + k] = 0;
         }
         prev = a[k * n + k];
     }
-    narrow(sign * a[n * n - 1])
+    try_narrow(sign * a[n * n - 1])
 }
 
 /// Fraction-free Gaussian rank of the `r × c` matrix in `a`
@@ -895,6 +943,32 @@ mod tests {
         // i64 panics with a clear message instead.
         let big = IMat::from_rows(&[&[i64::MAX / 2, i64::MAX / 2], &[1, 1]]);
         let _ = &big * &big;
+    }
+
+    #[test]
+    fn try_paths_error_instead_of_panicking() {
+        let big = IMat::from_rows(&[&[i64::MAX / 2, i64::MAX / 2], &[1, 1]]);
+        assert_eq!(big.try_mul(&big), Err(LinError::Overflow));
+        assert_eq!(
+            big.try_mul_vec(&[i64::MAX / 2, i64::MAX / 2]),
+            Err(LinError::Overflow)
+        );
+        // A determinant that fits i128 intermediates but not i64.
+        let d = IMat::from_rows(&[&[i64::MAX / 2, 0], &[0, 4]]);
+        assert_eq!(d.try_det(), Err(LinError::Overflow));
+        // And the happy path agrees with the panicking operators.
+        let a = m(&[&[1, 2], &[3, 4]]);
+        let b = m(&[&[0, 1], &[1, 0]]);
+        assert_eq!(a.try_mul(&b).unwrap(), &a * &b);
+        assert_eq!(a.try_det().unwrap(), a.det());
+        assert_eq!(a.try_mul_vec(&[1, 1]).unwrap(), a.mul_vec(&[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn det_overflow_panics_cleanly() {
+        let d = IMat::from_rows(&[&[i64::MAX / 2, 0], &[0, 4]]);
+        let _ = d.det();
     }
 
     #[test]

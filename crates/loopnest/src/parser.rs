@@ -31,18 +31,25 @@ use crate::schedule::Schedule;
 use rescomm_intlin::IMat;
 use std::collections::HashMap;
 
-/// Parse error with a 1-based line number.
+/// Parse error with a 1-based line number and (when the offending token
+/// is known) a 1-based column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Line the error was detected on.
     pub line: usize,
+    /// Column of the offending token (1-based; 0 when unknown).
+    pub col: usize,
     /// Human-readable message.
     pub msg: String,
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.msg)
+        if self.col > 0 {
+            write!(f, "line {}, col {}: {}", self.line, self.col, self.msg)
+        } else {
+            write!(f, "line {}: {}", self.line, self.msg)
+        }
     }
 }
 
@@ -51,6 +58,15 @@ impl std::error::Error for ParseError {}
 fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
         line,
+        col: 0,
+        msg: msg.into(),
+    })
+}
+
+fn err_at<T>(line: usize, raw: &str, tok: &str, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        col: raw.find(tok).map_or(0, |i| i + 1),
         msg: msg.into(),
     })
 }
@@ -101,14 +117,6 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
     let mut cur_stmt: Option<StmtId> = None;
     let mut cur_depth = 0usize;
 
-    // Two passes would be simpler but one pass with a lazy builder keeps
-    // line numbers exact; the builder is created on the first directive.
-    let get = |b: &mut Option<NestBuilder>, nm: &str| {
-        if b.is_none() {
-            *b = Some(NestBuilder::new(nm));
-        }
-    };
-
     for (idx, raw) in src.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -116,7 +124,8 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
             continue;
         }
         let mut words = line.split_whitespace();
-        let head = words.next().unwrap();
+        // A trimmed non-empty line always has a first token.
+        let Some(head) = words.next() else { continue };
         match head {
             "nest" => {
                 let Some(n) = words.next() else {
@@ -128,7 +137,6 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 }
             }
             "array" => {
-                get(&mut builder, &name);
                 let Some(n) = words.next() else {
                     return err(line_no, "array needs a name");
                 };
@@ -136,19 +144,21 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                     return err(line_no, "array needs a dimension");
                 };
                 if arrays.contains_key(n) {
-                    return err(line_no, format!("duplicate array {n}"));
+                    return err_at(line_no, raw, n, format!("duplicate array {n}"));
                 }
-                let id = builder.as_mut().unwrap().array(n, d);
+                let id = builder
+                    .get_or_insert_with(|| NestBuilder::new(&name))
+                    .array(n, d);
                 arrays.insert(n.to_string(), id);
             }
             "stmt" => {
-                get(&mut builder, &name);
                 let Some(n) = words.next() else {
                     return err(line_no, "stmt needs a name");
                 };
                 let depth = match (words.next(), words.next()) {
                     (Some("depth"), Some(t)) => t.parse::<usize>().map_err(|e| ParseError {
                         line: line_no,
+                        col: 0,
                         msg: format!("bad depth: {e}"),
                     })?,
                     _ => return err(line_no, "expected 'depth <d>'"),
@@ -160,14 +170,26 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 let mut bounds = Vec::new();
                 for tok in words {
                     let Some((lo, hi)) = tok.split_once("..") else {
-                        return err(line_no, format!("bad range {tok:?}, want lo..hi"));
+                        return err_at(
+                            line_no,
+                            raw,
+                            tok,
+                            format!("bad range {tok:?}, want lo..hi"),
+                        );
                     };
                     let (lo, hi) = match (lo.parse::<i64>(), hi.parse::<i64>()) {
                         (Ok(l), Ok(h)) => (l, h),
-                        _ => return err(line_no, format!("bad range bounds in {tok:?}")),
+                        _ => {
+                            return err_at(
+                                line_no,
+                                raw,
+                                tok,
+                                format!("bad range bounds in {tok:?}"),
+                            )
+                        }
                     };
                     if lo > hi {
-                        return err(line_no, format!("empty range {tok:?}"));
+                        return err_at(line_no, raw, tok, format!("empty range {tok:?}"));
                     }
                     bounds.push((lo, hi));
                 }
@@ -178,8 +200,7 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                     );
                 }
                 let id = builder
-                    .as_mut()
-                    .unwrap()
+                    .get_or_insert_with(|| NestBuilder::new(&name))
                     .statement(n, depth, Domain::rect(&bounds));
                 cur_stmt = Some(id);
                 cur_depth = depth;
@@ -194,9 +215,14 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 };
                 let g: Result<Vec<i64>, _> = toks[..sep].iter().map(|t| t.parse::<i64>()).collect();
                 let b = toks.get(sep + 1).and_then(|t| t.parse::<i64>().ok());
+                // A current stmt implies the builder exists; stay
+                // defensive rather than unwrapping.
+                let Some(bldr) = builder.as_mut() else {
+                    return err(line_no, "guard before any stmt");
+                };
                 match (g, b, toks.len()) {
                     (Ok(g), Some(b), n) if n == sep + 2 && g.len() == cur_depth => {
-                        builder.as_mut().unwrap().add_guard(s, &g, b);
+                        bldr.add_guard(s, &g, b);
                     }
                     (Ok(g), _, _) if g.len() != cur_depth => {
                         return err(
@@ -211,7 +237,9 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 let Some(s) = cur_stmt else {
                     return err(line_no, "schedule outside a stmt");
                 };
-                let b = builder.as_mut().unwrap();
+                let Some(b) = builder.as_mut() else {
+                    return err(line_no, "schedule before any stmt");
+                };
                 match words.next() {
                     Some("parallel") => { /* default */ }
                     Some("linear") => {
@@ -243,7 +271,7 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                     return err(line_no, format!("{head} needs an array name"));
                 };
                 let Some(&arr) = arrays.get(arr_name) else {
-                    return err(line_no, format!("unknown array {arr_name}"));
+                    return err_at(line_no, raw, arr_name, format!("unknown array {arr_name}"));
                 };
                 let rest: String = words.collect::<Vec<_>>().join(" ");
                 let (f, after) = parse_matrix(line_no, &rest)?;
@@ -259,21 +287,27 @@ pub fn parse_nest(src: &str) -> Result<LoopNest, ParseError> {
                 } else {
                     return err(line_no, format!("trailing junk after access: {after:?}"));
                 };
-                let b = builder.as_mut().unwrap();
+                let Some(b) = builder.as_mut() else {
+                    return err(line_no, format!("{head} before any stmt"));
+                };
                 match head {
                     "read" => b.read(s, arr, f, &c),
                     "write" => b.write(s, arr, f, &c),
                     _ => b.reduce(s, arr, f, &c),
                 };
             }
-            other => return err(line_no, format!("unknown directive {other:?}")),
+            other => return err_at(line_no, raw, other, format!("unknown directive {other:?}")),
         }
     }
 
     let Some(b) = builder else {
         return err(0, "empty nest description");
     };
-    b.build().map_err(|msg| ParseError { line: 0, msg })
+    b.build().map_err(|msg| ParseError {
+        line: 0,
+        col: 0,
+        msg,
+    })
 }
 
 #[cfg(test)]
@@ -320,7 +354,22 @@ stmt S2 depth 3 domain 0..7 0..7 0..11
         let src = "nest t\nstmt S depth 1 domain 0..3\n  read x [1]\n";
         let e = parse_nest(src).unwrap_err();
         assert_eq!(e.line, 3);
+        assert_eq!(e.col, 8, "column of the unknown array token");
         assert!(e.msg.contains("unknown array"));
+        assert!(format!("{e}").contains("line 3, col 8"));
+    }
+
+    #[test]
+    fn reports_column_of_bad_tokens() {
+        let e = parse_nest("nest t\nstmt S depth 1 domain 0..x\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 23));
+        let e = parse_nest("nest t\nfrobnicate\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 1));
+        assert!(e.msg.contains("unknown directive"));
+        // Errors without a token keep col = 0 and the short format.
+        let e = parse_nest("").unwrap_err();
+        assert_eq!(e.col, 0);
+        assert!(!format!("{e}").contains("col"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! communications expensive relative to the hardware collectives — the
 //! phenomenon behind Table 1 of the paper.
 
+use crate::fault::FaultPlan;
 use crate::model::{CostModel, PMsg};
 
 /// The fat-tree machine.
@@ -153,6 +154,67 @@ impl FatTree {
             + participants as u64 * bytes_each * self.cost.per_byte
     }
 
+    /// Software broadcast over the *data* network: a binomial recursive-
+    /// halving tree among leaves `0..participants` (the same schedule the
+    /// mesh collectives use — each holder forwards to the middle of its
+    /// segment, so one round's messages take disjoint subtrees). This is
+    /// the degraded-mode fallback when the control network is down.
+    pub fn sw_broadcast(&self, participants: usize, bytes: u64) -> u64 {
+        let p = participants.min(self.nprocs);
+        if p <= 1 {
+            return 0;
+        }
+        let mut total = 0u64;
+        let mut stride = 1usize;
+        while stride * 2 < p {
+            stride *= 2;
+        }
+        while stride >= 1 {
+            let mut phase = Vec::new();
+            let mut x = 0;
+            while x + stride < p {
+                phase.push(PMsg {
+                    src: x,
+                    dst: x + stride,
+                    bytes,
+                });
+                x += 2 * stride;
+            }
+            total += self.simulate_phase(&phase);
+            if stride == 1 {
+                break;
+            }
+            stride /= 2;
+        }
+        total
+    }
+
+    /// Software reduction over the data network (mirror of
+    /// [`FatTree::sw_broadcast`] — identical cost in this model).
+    pub fn sw_reduce(&self, participants: usize, bytes: u64) -> u64 {
+        self.sw_broadcast(participants, bytes)
+    }
+
+    /// Broadcast under a fault plan: the hardware control network when
+    /// available, the software binomial tree when
+    /// [`FaultPlan::ctrl_outage`] marks it down (the CM-5 degraded mode).
+    pub fn broadcast_time(&self, participants: usize, bytes: u64, plan: &FaultPlan) -> u64 {
+        if plan.ctrl_outage {
+            self.sw_broadcast(participants, bytes)
+        } else {
+            self.hw_broadcast(participants, bytes)
+        }
+    }
+
+    /// Reduction under a fault plan (see [`FatTree::broadcast_time`]).
+    pub fn reduce_time(&self, participants: usize, bytes: u64, plan: &FaultPlan) -> u64 {
+        if plan.ctrl_outage {
+            self.sw_reduce(participants, bytes)
+        } else {
+            self.hw_reduce(participants, bytes)
+        }
+    }
+
     /// A translation (uniform shift by `delta` leaves, toroidal): each
     /// processor sends one message to `(i + delta) mod nprocs`.
     pub fn translation(&self, delta: usize, bytes: u64) -> u64 {
@@ -290,6 +352,43 @@ mod tests {
         let t = FatTree::new(32, 4, CostModel::cm5());
         assert!(t.lanes.iter().all(|&l| l == 1));
         assert_eq!(t.lanes.len(), t.levels());
+    }
+
+    #[test]
+    fn sw_broadcast_is_logarithmic_and_dearer_than_hw() {
+        let t = ft();
+        let sw = t.sw_broadcast(32, 64);
+        let hw = t.hw_broadcast(32, 64);
+        assert!(sw > hw, "sw {sw} must cost more than hw {hw}");
+        // But far cheaper than the naive one-by-one emulation.
+        let naive: Vec<PMsg> = (1..32)
+            .map(|d| PMsg {
+                src: 0,
+                dst: d,
+                bytes: 64,
+            })
+            .collect();
+        assert!(sw < t.simulate_phase(&naive));
+        // Degenerate participant counts are free.
+        assert_eq!(t.sw_broadcast(0, 64), 0);
+        assert_eq!(t.sw_broadcast(1, 64), 0);
+        assert_eq!(t.sw_reduce(32, 64), sw);
+    }
+
+    #[test]
+    fn ctrl_outage_selects_software_collectives() {
+        let t = ft();
+        let healthy = FaultPlan::none();
+        let degraded = FaultPlan {
+            ctrl_outage: true,
+            ..FaultPlan::none()
+        };
+        assert_eq!(t.broadcast_time(32, 64, &healthy), t.hw_broadcast(32, 64));
+        assert_eq!(t.broadcast_time(32, 64, &degraded), t.sw_broadcast(32, 64));
+        assert_eq!(t.reduce_time(32, 64, &healthy), t.hw_reduce(32, 64));
+        assert_eq!(t.reduce_time(32, 64, &degraded), t.sw_reduce(32, 64));
+        // Degradation is measurable: the fallback costs strictly more.
+        assert!(t.broadcast_time(32, 64, &degraded) > t.broadcast_time(32, 64, &healthy));
     }
 
     #[test]

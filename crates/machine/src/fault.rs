@@ -1,0 +1,344 @@
+//! Fault injection: the failure model the resilient schedulers simulate.
+//!
+//! The paper's numbers come from real CM-5 / Paragon runs, where links
+//! stall, messages get lost on the wire, and the CM-5's control network
+//! can be unavailable to a partition. A [`FaultPlan`] describes such an
+//! adversarial environment deterministically:
+//!
+//! * **link outages** — absolute-time windows during which a directed
+//!   mesh link is dead (the router around it must be avoided or waited
+//!   out);
+//! * **node outages** — windows during which a node can neither send nor
+//!   receive (messages defer to the end of the window);
+//! * **message drop / duplication probabilities** — sampled from the
+//!   in-workspace [`crate::rng::XorShift64`] seeded by the plan, so every
+//!   run of the same plan observes the same fault sequence;
+//! * **control-network outage** — the CM-5 degraded mode in which
+//!   hardware collectives are unavailable and [`crate::FatTree`] falls
+//!   back to software binomial trees over the data network;
+//! * a **retry policy** — timeout plus exponential backoff, with a hard
+//!   attempt cap after which the transport escalates to a reliable
+//!   channel (the attempt is forced through), so delivery is guaranteed
+//!   whenever retries are enabled, whatever the drop probability.
+//!
+//! [`crate::PhaseSim::simulate_phase_faulty`] consumes the plan and
+//! returns a [`FaultReport`] with full makespan accounting, so the cost
+//! of degradation is measurable (see the `faultsweep` bench bin).
+
+/// A window `[from, until)` of simulated time during which a directed
+/// link is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// Dense link index (see [`crate::mesh::LinkId::index`]).
+    pub link: usize,
+    /// Start of the outage (inclusive), in ns.
+    pub from: u64,
+    /// End of the outage (exclusive), in ns.
+    pub until: u64,
+}
+
+/// A window `[from, until)` during which a node can neither send nor
+/// receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOutage {
+    /// Flattened node id.
+    pub node: usize,
+    /// Start of the outage (inclusive), in ns.
+    pub from: u64,
+    /// End of the outage (exclusive), in ns.
+    pub until: u64,
+}
+
+/// Retransmission policy: timeout, exponential backoff, and a hard
+/// attempt cap that guarantees progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Whether lost messages are retransmitted at all. With retries off,
+    /// a dropped message is lost for good (delivered fraction < 1).
+    pub enabled: bool,
+    /// Base retransmission timeout added after a lost attempt, in ns.
+    pub timeout: u64,
+    /// Backoff multiplier applied per failed attempt (`timeout`,
+    /// `timeout·b`, `timeout·b²`, …).
+    pub backoff: u32,
+    /// Hard cap on attempts per message. The final attempt is escalated
+    /// to a reliable channel and always succeeds, so the delivery
+    /// guarantee holds even at drop probability 1. Clamped to ≥ 1.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            enabled: true,
+            timeout: 50_000, // ≈ one Paragon message start-up
+            backoff: 2,
+            max_attempts: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retransmission: one attempt, losses are final.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            enabled: false,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Delay inserted before attempt `attempt + 1` after `attempt`
+    /// failed attempts (1-based), saturating.
+    pub fn backoff_delay(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        self.timeout
+            .saturating_mul((self.backoff.max(1) as u64).saturating_pow(exp))
+    }
+}
+
+/// A deterministic fault scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// PRNG seed: the same plan always observes the same fault sequence.
+    pub seed: u64,
+    /// Probability that one transmission attempt is lost on the wire
+    /// (the attempt still occupies its links — bandwidth is wasted).
+    pub drop_prob: f64,
+    /// Probability that a delivered message is retransmitted once more
+    /// (a lost acknowledgement); the receiver deduplicates, so this
+    /// wastes bandwidth without double-delivering.
+    pub dup_prob: f64,
+    /// Dead-link windows.
+    pub link_outages: Vec<LinkOutage>,
+    /// Dead-node windows.
+    pub node_outages: Vec<NodeOutage>,
+    /// CM-5 degraded mode: the control network is unavailable and
+    /// hardware collectives fall back to software binomial trees.
+    pub ctrl_outage: bool,
+    /// Retransmission policy.
+    pub retry: RetryPolicy,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: bit-identical schedules to the unfaulted
+    /// simulator.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            link_outages: Vec::new(),
+            node_outages: Vec::new(),
+            ctrl_outage: false,
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// A plan that only drops messages, with the default retry policy.
+    pub fn with_drop(seed: u64, drop_prob: f64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// `true` when the plan cannot perturb a schedule at all.
+    pub fn is_zero_fault(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.dup_prob <= 0.0
+            && self.link_outages.is_empty()
+            && self.node_outages.is_empty()
+    }
+
+    /// Is `link` dead at time `t`?
+    #[inline]
+    pub fn link_dead_at(&self, link: usize, t: u64) -> bool {
+        self.link_outages
+            .iter()
+            .any(|o| o.link == link && o.from <= t && t < o.until)
+    }
+
+    /// If `link` is inside an outage window at time `t`, the earliest
+    /// `until` among the active windows (the next time worth re-checking).
+    pub fn link_outage_until(&self, link: usize, t: u64) -> Option<u64> {
+        self.link_outages
+            .iter()
+            .filter(|o| o.link == link && o.from <= t && t < o.until)
+            .map(|o| o.until)
+            .min()
+    }
+
+    /// Is `node` dead at time `t`?
+    #[inline]
+    pub fn node_dead_at(&self, node: usize, t: u64) -> bool {
+        self.node_outages
+            .iter()
+            .any(|o| o.node == node && o.from <= t && t < o.until)
+    }
+
+    /// Earliest time ≥ `t` at which `node` is alive (nested / overlapping
+    /// windows are chased to a fixed point).
+    pub fn node_alive_after(&self, node: usize, mut t: u64) -> u64 {
+        loop {
+            let Some(o) = self
+                .node_outages
+                .iter()
+                .find(|o| o.node == node && o.from <= t && t < o.until)
+            else {
+                return t;
+            };
+            t = o.until;
+        }
+    }
+}
+
+/// Outcome accounting of one fault-injected phase (or a sequence of
+/// phases, summed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Phase makespan in ns (including time wasted on lost attempts,
+    /// retries, reroutes and duplicates).
+    pub makespan: u64,
+    /// Non-local messages the scheduler attempted to deliver.
+    pub messages: usize,
+    /// Messages delivered exactly once (receiver-side deduplication
+    /// collapses duplicates).
+    pub delivered: usize,
+    /// Messages permanently lost (only possible with retries disabled).
+    pub lost: usize,
+    /// Total transmissions, including retries and duplicates.
+    pub attempts: u64,
+    /// Retransmissions after a loss.
+    pub retries: u64,
+    /// Duplicate transmissions suppressed at the receiver.
+    pub duplicates: u64,
+    /// Messages that abandoned the XY route for the YX route around a
+    /// dead link.
+    pub reroutes: u64,
+    /// Waits for a link/node outage window to end.
+    pub deferrals: u64,
+    /// Attempts forced through the reliable channel at the attempt cap.
+    pub escalations: u64,
+}
+
+impl FaultReport {
+    /// Fraction of messages delivered (1.0 for an empty phase).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.messages == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.messages as f64
+        }
+    }
+
+    /// Fold another phase's report into this one (makespans add —
+    /// dependent phases run back to back).
+    pub fn absorb(&mut self, other: &FaultReport) {
+        self.makespan += other.makespan;
+        self.messages += other.messages;
+        self.delivered += other.delivered;
+        self.lost += other.lost;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.duplicates += other.duplicates;
+        self.reroutes += other.reroutes;
+        self.deferrals += other.deferrals;
+        self.escalations += other.escalations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fault_detection() {
+        assert!(FaultPlan::none().is_zero_fault());
+        assert!(!FaultPlan::with_drop(1, 0.1).is_zero_fault());
+        let mut p = FaultPlan::none();
+        p.link_outages.push(LinkOutage {
+            link: 0,
+            from: 0,
+            until: 10,
+        });
+        assert!(!p.is_zero_fault());
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let mut p = FaultPlan::none();
+        p.link_outages.push(LinkOutage {
+            link: 3,
+            from: 100,
+            until: 200,
+        });
+        assert!(!p.link_dead_at(3, 99));
+        assert!(p.link_dead_at(3, 100));
+        assert!(p.link_dead_at(3, 199));
+        assert!(!p.link_dead_at(3, 200));
+        assert!(!p.link_dead_at(4, 150));
+    }
+
+    #[test]
+    fn node_alive_after_chases_overlapping_windows() {
+        let mut p = FaultPlan::none();
+        p.node_outages.push(NodeOutage {
+            node: 5,
+            from: 0,
+            until: 100,
+        });
+        p.node_outages.push(NodeOutage {
+            node: 5,
+            from: 80,
+            until: 250,
+        });
+        assert_eq!(p.node_alive_after(5, 10), 250);
+        assert_eq!(p.node_alive_after(5, 250), 250);
+        assert_eq!(p.node_alive_after(6, 10), 10);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturating() {
+        let r = RetryPolicy {
+            enabled: true,
+            timeout: 100,
+            backoff: 2,
+            max_attempts: 8,
+        };
+        assert_eq!(r.backoff_delay(1), 100);
+        assert_eq!(r.backoff_delay(2), 200);
+        assert_eq!(r.backoff_delay(4), 800);
+        // Deep attempt counts must not overflow.
+        let big = RetryPolicy {
+            timeout: u64::MAX / 2,
+            ..r
+        };
+        assert_eq!(big.backoff_delay(40), u64::MAX);
+    }
+
+    #[test]
+    fn report_absorb_sums_everything() {
+        let mut a = FaultReport {
+            makespan: 10,
+            messages: 2,
+            delivered: 2,
+            ..FaultReport::default()
+        };
+        let b = FaultReport {
+            makespan: 5,
+            messages: 1,
+            delivered: 0,
+            lost: 1,
+            attempts: 1,
+            ..FaultReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.makespan, 15);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.delivered, 2);
+        assert_eq!(a.lost, 1);
+        assert!((a.delivered_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(FaultReport::default().delivered_fraction(), 1.0);
+    }
+}

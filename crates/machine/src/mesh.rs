@@ -54,10 +54,11 @@ fn v_link_id(px: usize, py: usize, x: usize, y: usize, positive: bool) -> usize 
     2 * (px - 1) * py + (x * (py - 1) + y) * 2 + usize::from(positive)
 }
 
-/// Allocation-free iterator over the directed links of an XY route
-/// (see [`Mesh2D::route_links`]). Owns plain coordinates, so it borrows
-/// nothing and can be re-created cheaply for the two passes a greedy
-/// scheduler needs (reserve scan, then commit scan).
+/// Allocation-free iterator over the directed links of a dimension-order
+/// route (see [`Mesh2D::route_links`] and [`Mesh2D::route_links_yx`]).
+/// Owns plain coordinates, so it borrows nothing and can be re-created
+/// cheaply for the two passes a greedy scheduler needs (reserve scan,
+/// then commit scan).
 #[derive(Debug, Clone)]
 pub struct RouteLinks {
     px: usize,
@@ -66,6 +67,34 @@ pub struct RouteLinks {
     y: usize,
     tx: usize,
     ty: usize,
+    /// Route Y before X (the fault-avoidance alternative to XY).
+    yx: bool,
+}
+
+impl RouteLinks {
+    #[inline]
+    fn step_x(&mut self) -> LinkId {
+        if self.x < self.tx {
+            let l = h_link_id(self.px, self.x, self.y, true);
+            self.x += 1;
+            LinkId(l)
+        } else {
+            self.x -= 1;
+            LinkId(h_link_id(self.px, self.x, self.y, false))
+        }
+    }
+
+    #[inline]
+    fn step_y(&mut self) -> LinkId {
+        if self.y < self.ty {
+            let l = v_link_id(self.px, self.py, self.x, self.y, true);
+            self.y += 1;
+            LinkId(l)
+        } else {
+            self.y -= 1;
+            LinkId(v_link_id(self.px, self.py, self.x, self.y, false))
+        }
+    }
 }
 
 impl Iterator for RouteLinks {
@@ -73,20 +102,18 @@ impl Iterator for RouteLinks {
 
     #[inline]
     fn next(&mut self) -> Option<LinkId> {
-        if self.x < self.tx {
-            let l = h_link_id(self.px, self.x, self.y, true);
-            self.x += 1;
-            Some(LinkId(l))
-        } else if self.x > self.tx {
-            self.x -= 1;
-            Some(LinkId(h_link_id(self.px, self.x, self.y, false)))
-        } else if self.y < self.ty {
-            let l = v_link_id(self.px, self.py, self.x, self.y, true);
-            self.y += 1;
-            Some(LinkId(l))
-        } else if self.y > self.ty {
-            self.y -= 1;
-            Some(LinkId(v_link_id(self.px, self.py, self.x, self.y, false)))
+        if self.yx {
+            if self.y != self.ty {
+                Some(self.step_y())
+            } else if self.x != self.tx {
+                Some(self.step_x())
+            } else {
+                None
+            }
+        } else if self.x != self.tx {
+            Some(self.step_x())
+        } else if self.y != self.ty {
+            Some(self.step_y())
         } else {
             None
         }
@@ -162,7 +189,18 @@ impl Mesh2D {
             y,
             tx,
             ty,
+            yx: false,
         }
+    }
+
+    /// The YX alternative to [`Mesh2D::route_links`]: Y first, then X.
+    /// Same hop count, but (for src/dst differing in both dimensions) a
+    /// disjoint set of intermediate links — the fault scheduler uses it
+    /// to route around a dead link on the XY path.
+    pub fn route_links_yx(&self, src: usize, dst: usize) -> RouteLinks {
+        let mut r = self.route_links(src, dst);
+        r.yx = true;
+        r
     }
 
     /// Hop count of the XY route.
@@ -235,6 +273,32 @@ mod tests {
                 assert_eq!(collected, streamed);
                 assert_eq!(m.route_links(src, dst).len(), m.hops(src, dst));
             }
+        }
+    }
+
+    #[test]
+    fn yx_route_same_hops_disjoint_interior() {
+        let m = mesh(4, 4);
+        let a = m.node_id(0, 0);
+        let b = m.node_id(3, 2);
+        let xy: Vec<LinkId> = m.route_links(a, b).collect();
+        let yx: Vec<LinkId> = m.route_links_yx(a, b).collect();
+        assert_eq!(xy.len(), yx.len());
+        assert_eq!(m.route_links_yx(a, b).len(), m.hops(a, b));
+        // XY goes right along y=0; YX goes up along x=0: no shared links.
+        assert!(xy.iter().all(|l| !yx.contains(l)));
+        // YX starts with a vertical link, XY with a horizontal one.
+        assert_eq!(yx[0], m.v_link(0, 0, true));
+        assert_eq!(xy[0], m.h_link(0, 0, true));
+    }
+
+    #[test]
+    fn yx_route_degenerates_to_xy_on_straight_lines() {
+        let m = mesh(4, 4);
+        for (a, b) in [(0, 3), (0, 12), (5, 5)] {
+            let xy: Vec<LinkId> = m.route_links(a, b).collect();
+            let yx: Vec<LinkId> = m.route_links_yx(a, b).collect();
+            assert_eq!(xy, yx, "single-dimension routes must coincide");
         }
     }
 

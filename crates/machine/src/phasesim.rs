@@ -25,8 +25,10 @@
 //! route table once, so each replay is a linear scan with no routing
 //! arithmetic at all.
 
-use crate::mesh::Mesh2D;
+use crate::fault::{FaultPlan, FaultReport};
+use crate::mesh::{Mesh2D, RouteLinks};
 use crate::model::PMsg;
+use crate::rng::XorShift64;
 
 /// Reusable scratch state for simulating mesh communication phases.
 #[derive(Debug, Clone)]
@@ -116,6 +118,181 @@ impl PhaseSim {
     /// previous completes); returns the total time.
     pub fn simulate_phases(&mut self, phases: &[Vec<PMsg>]) -> u64 {
         phases.iter().map(|p| self.simulate_phase(p)).sum()
+    }
+
+    /// Scan a candidate route: earliest start ≥ `not_before` given current
+    /// link reservations, the hop count, and — if any link of the route is
+    /// inside an outage window at that start — the earliest time one of the
+    /// dead links comes back (the time worth deferring to).
+    fn scan_route(
+        &self,
+        route: RouteLinks,
+        not_before: u64,
+        plan: &FaultPlan,
+    ) -> (u64, usize, Option<u64>) {
+        let mut start = not_before;
+        let mut hops = 0usize;
+        for l in route.clone() {
+            hops += 1;
+            start = start.max(self.link_free_at(l.index()));
+        }
+        let mut dead_until: Option<u64> = None;
+        for l in route {
+            if let Some(u) = plan.link_outage_until(l.index(), start) {
+                dead_until = Some(dead_until.map_or(u, |d: u64| d.min(u)));
+            }
+        }
+        (start, hops, dead_until)
+    }
+
+    /// Transmit once over `route`, reserving every link `[start, end)`.
+    fn transmit(&mut self, route: RouteLinks, start: u64, hops: usize, bytes: u64) -> u64 {
+        let end = start.saturating_add(self.mesh.cost.p2p(hops, bytes));
+        for l in route {
+            self.reserve_link(l.index(), end);
+        }
+        end
+    }
+
+    /// Simulate one phase under a [`FaultPlan`]: same deterministic greedy
+    /// whole-route schedule as [`PhaseSim::simulate_phase`], but each
+    /// message runs the resilient transport:
+    ///
+    /// * **node outages** defer the send until both endpoints are alive;
+    /// * **link outages** trigger adaptive rerouting — a message whose XY
+    ///   route crosses a dead link falls back to the YX route, and defers
+    ///   to the end of the outage window only if both routes are dead;
+    /// * each transmission attempt is **lost** with `drop_prob` (the lost
+    ///   attempt still occupies its links — wasted bandwidth is modelled);
+    /// * losses are retransmitted after timeout × exponential backoff up
+    ///   to `max_attempts`, at which point the transport escalates to a
+    ///   reliable channel, so with retries enabled **every message is
+    ///   delivered exactly once** whatever the drop probability;
+    /// * a delivered message is **duplicated** with `dup_prob` (a lost
+    ///   acknowledgement); the receiver deduplicates, so the duplicate
+    ///   wastes bandwidth without double-delivering.
+    ///
+    /// A [`FaultPlan::is_zero_fault`] plan takes none of these branches
+    /// and produces a makespan **bit-identical** to
+    /// [`PhaseSim::simulate_phase`] (pinned by property tests).
+    pub fn simulate_phase_faulty(&mut self, msgs: &[PMsg], plan: &FaultPlan) -> FaultReport {
+        self.simulate_phase_faulty_seeded(msgs, plan, plan.seed)
+    }
+
+    fn simulate_phase_faulty_seeded(
+        &mut self,
+        msgs: &[PMsg],
+        plan: &FaultPlan,
+        seed: u64,
+    ) -> FaultReport {
+        self.scratch.clear();
+        self.scratch
+            .extend(msgs.iter().copied().filter(|m| m.src != m.dst));
+        self.scratch.sort_unstable();
+        self.begin_phase();
+        let mut rng = XorShift64::new(seed);
+        let mut rep = FaultReport {
+            messages: self.scratch.len(),
+            ..FaultReport::default()
+        };
+        let max_attempts = if plan.retry.enabled {
+            plan.retry.max_attempts.max(1)
+        } else {
+            1
+        };
+        for idx in 0..self.scratch.len() {
+            let m = self.scratch[idx];
+            let mut next_send = 0u64;
+            let mut attempt = 0u32;
+            loop {
+                // Defer while an endpoint is inside an outage window.
+                let alive = plan
+                    .node_alive_after(m.src, next_send)
+                    .max(plan.node_alive_after(m.dst, next_send));
+                if alive > next_send {
+                    rep.deferrals += 1;
+                    next_send = alive;
+                    continue;
+                }
+                // Route selection: XY unless dead, then YX, else wait out
+                // the outage. Each deferral jumps to a strictly later
+                // outage boundary, so this loop is bounded.
+                let (start, hops, xy_dead) =
+                    self.scan_route(self.mesh.route_links(m.src, m.dst), next_send, plan);
+                let (use_yx, start, hops) = if xy_dead.is_none() {
+                    (false, start, hops)
+                } else {
+                    let (start_yx, hops_yx, yx_dead) =
+                        self.scan_route(self.mesh.route_links_yx(m.src, m.dst), next_send, plan);
+                    if let Some(yx_until) = yx_dead {
+                        rep.deferrals += 1;
+                        next_send = xy_dead
+                            .unwrap_or(u64::MAX)
+                            .min(yx_until)
+                            .max(next_send.saturating_add(1));
+                        continue;
+                    }
+                    rep.reroutes += 1;
+                    (true, start_yx, hops_yx)
+                };
+                let route = |mesh: &Mesh2D| {
+                    if use_yx {
+                        mesh.route_links_yx(m.src, m.dst)
+                    } else {
+                        mesh.route_links(m.src, m.dst)
+                    }
+                };
+                // Transmit (a lost attempt still occupies its links).
+                attempt += 1;
+                rep.attempts += 1;
+                let end = self.transmit(route(&self.mesh), start, hops, m.bytes);
+                rep.makespan = rep.makespan.max(end);
+                let escalated = plan.retry.enabled && attempt >= max_attempts;
+                let unlucky = rng.chance(plan.drop_prob);
+                if unlucky && !escalated {
+                    if !plan.retry.enabled {
+                        rep.lost += 1;
+                        break;
+                    }
+                    rep.retries += 1;
+                    next_send = end.saturating_add(plan.retry.backoff_delay(attempt));
+                    continue;
+                }
+                if unlucky && escalated {
+                    rep.escalations += 1;
+                }
+                rep.delivered += 1;
+                // Lost-acknowledgement duplicate, suppressed at the
+                // receiver: pure wasted bandwidth.
+                if rng.chance(plan.dup_prob) {
+                    rep.duplicates += 1;
+                    rep.attempts += 1;
+                    let (s2, h2, _) = self.scan_route(route(&self.mesh), end, plan);
+                    let end2 = self.transmit(route(&self.mesh), s2, h2, m.bytes);
+                    rep.makespan = rep.makespan.max(end2);
+                }
+                break;
+            }
+        }
+        rep
+    }
+
+    /// Simulate dependent phases back to back under a fault plan. Each
+    /// phase restarts the clock at 0 (outage windows are per-phase) and
+    /// draws from its own PRNG stream (`seed + phase index`), so inserting
+    /// or removing a phase does not shift the fault sequence of the
+    /// others. Reports are summed via [`FaultReport::absorb`].
+    pub fn simulate_phases_faulty(
+        &mut self,
+        phases: &[Vec<PMsg>],
+        plan: &FaultPlan,
+    ) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (i, p) in phases.iter().enumerate() {
+            let rep = self.simulate_phase_faulty_seeded(p, plan, plan.seed.wrapping_add(i as u64));
+            total.absorb(&rep);
+        }
+        total
     }
 
     /// Replay a precompiled phase (see [`CachedPhase`]).
@@ -298,6 +475,174 @@ mod tests {
         let serial: Vec<u64> = phases.iter().map(|p| m.simulate_phase(p)).collect();
         assert_eq!(simulate_phases_batch(&m, &phases, 4), serial);
         assert_eq!(simulate_phases_batch(&m, &phases, 1), serial);
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_fast_path_bit_for_bit() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let plan = crate::FaultPlan::none();
+        for seed in 0..10 {
+            let msgs = mixed_phase(&m, 4 * seed as usize, seed);
+            let rep = sim.simulate_phase_faulty(&msgs, &plan);
+            assert_eq!(rep.makespan, m.simulate_phase(&msgs), "seed {seed}");
+            assert_eq!(rep.delivered, rep.messages);
+            assert_eq!(rep.lost, 0);
+            assert_eq!(
+                rep.retries + rep.duplicates + rep.reroutes + rep.deferrals,
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn total_drop_with_retry_still_delivers_everything() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let plan = crate::FaultPlan::with_drop(7, 1.0);
+        let msgs = mixed_phase(&m, 20, 3);
+        let rep = sim.simulate_phase_faulty(&msgs, &plan);
+        assert_eq!(rep.delivered, rep.messages);
+        assert_eq!(rep.lost, 0);
+        assert_eq!(rep.escalations as usize, rep.messages);
+        assert!(rep.retries > 0);
+        assert!(rep.makespan >= m.simulate_phase(&msgs));
+    }
+
+    #[test]
+    fn total_drop_without_retry_loses_everything() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let plan = crate::FaultPlan {
+            retry: crate::RetryPolicy::disabled(),
+            ..crate::FaultPlan::with_drop(7, 1.0)
+        };
+        let msgs = mixed_phase(&m, 20, 3);
+        let rep = sim.simulate_phase_faulty(&msgs, &plan);
+        assert_eq!(rep.delivered, 0);
+        assert_eq!(rep.lost, rep.messages);
+        assert_eq!(rep.delivered_fraction(), 0.0);
+        assert_eq!(rep.attempts as usize, rep.messages);
+    }
+
+    #[test]
+    fn faulty_schedule_is_deterministic_per_seed() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let plan = crate::FaultPlan {
+            dup_prob: 0.2,
+            ..crate::FaultPlan::with_drop(99, 0.3)
+        };
+        let msgs = mixed_phase(&m, 30, 5);
+        let a = sim.simulate_phase_faulty(&msgs, &plan);
+        let b = sim.simulate_phase_faulty(&msgs, &plan);
+        assert_eq!(a, b, "same plan must replay identically");
+        let other = crate::FaultPlan {
+            seed: 100,
+            ..plan.clone()
+        };
+        let c = sim.simulate_phase_faulty(&msgs, &other);
+        assert!(
+            a != c || a.attempts == a.messages as u64,
+            "different seeds should draw different fault sequences"
+        );
+    }
+
+    #[test]
+    fn dead_link_triggers_yx_reroute() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let msg = [PMsg {
+            src: m.node_id(0, 0),
+            dst: m.node_id(3, 2),
+            bytes: 64,
+        }];
+        // Kill the first XY link (rightward out of (0,0)) forever-ish.
+        let mut plan = crate::FaultPlan::none();
+        plan.link_outages.push(crate::LinkOutage {
+            link: m.h_link(0, 0, true).index(),
+            from: 0,
+            until: u64::MAX / 2,
+        });
+        let rep = sim.simulate_phase_faulty(&msg, &plan);
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(rep.reroutes, 1);
+        assert_eq!(rep.deferrals, 0);
+        // Same hop count on the YX route: same cost as the healthy run.
+        assert_eq!(rep.makespan, m.simulate_phase(&msg));
+    }
+
+    #[test]
+    fn dead_link_on_both_routes_defers_to_window_end() {
+        let m = mesh(4, 1); // 1-D mesh: no YX escape route.
+        let mut sim = PhaseSim::new(m.clone());
+        let msg = [PMsg {
+            src: 0,
+            dst: 3,
+            bytes: 64,
+        }];
+        let mut plan = crate::FaultPlan::none();
+        plan.link_outages.push(crate::LinkOutage {
+            link: m.h_link(1, 0, true).index(),
+            from: 0,
+            until: 5_000_000,
+        });
+        let rep = sim.simulate_phase_faulty(&msg, &plan);
+        assert_eq!(rep.delivered, 1);
+        assert!(rep.deferrals > 0);
+        assert_eq!(rep.makespan, 5_000_000 + m.simulate_phase(&msg));
+    }
+
+    #[test]
+    fn dead_node_defers_the_send() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let msg = [PMsg {
+            src: 0,
+            dst: 5,
+            bytes: 64,
+        }];
+        let mut plan = crate::FaultPlan::none();
+        plan.node_outages.push(crate::NodeOutage {
+            node: 0,
+            from: 0,
+            until: 1_000_000,
+        });
+        let rep = sim.simulate_phase_faulty(&msg, &plan);
+        assert_eq!(rep.delivered, 1);
+        assert!(rep.deferrals > 0);
+        assert_eq!(rep.makespan, 1_000_000 + m.simulate_phase(&msg));
+    }
+
+    #[test]
+    fn certain_duplication_doubles_attempts_not_deliveries() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let plan = crate::FaultPlan {
+            dup_prob: 1.0,
+            ..crate::FaultPlan::none()
+        };
+        let msgs = mixed_phase(&m, 20, 11);
+        let rep = sim.simulate_phase_faulty(&msgs, &plan);
+        assert_eq!(rep.delivered, rep.messages);
+        assert_eq!(rep.duplicates as usize, rep.messages);
+        assert_eq!(rep.attempts as usize, 2 * rep.messages);
+        assert!(rep.makespan >= m.simulate_phase(&msgs));
+    }
+
+    #[test]
+    fn multi_phase_faulty_reports_sum_and_replay() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..4).map(|s| mixed_phase(&m, 10, s)).collect();
+        let plan = crate::FaultPlan::with_drop(5, 0.4);
+        let a = sim.simulate_phases_faulty(&phases, &plan);
+        let b = sim.simulate_phases_faulty(&phases, &plan);
+        assert_eq!(a, b);
+        assert_eq!(a.delivered, a.messages, "retry must deliver everything");
+        // Zero-fault multi-phase equals the unfaulted total.
+        let rep = sim.simulate_phases_faulty(&phases, &crate::FaultPlan::none());
+        assert_eq!(rep.makespan, m.simulate_phases(&phases));
     }
 
     #[test]

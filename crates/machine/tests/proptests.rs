@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use rescomm_machine::{
-    simulate_phases_batch, trace_phase, CachedPhase, CostModel, FatTree, Mesh2D, PMsg, PhaseSim,
+    simulate_phases_batch, trace_phase, CachedPhase, CostModel, FatTree, FaultPlan, LinkOutage,
+    Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
 };
 
 fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
@@ -16,6 +17,48 @@ fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
             })
             .collect()
     })
+}
+
+/// Arbitrary fault plans for an 8×4 mesh (104 directed links, 32 nodes).
+/// The shim has no float strategies, so probabilities are drawn as
+/// integer percentages.
+fn plans() -> impl Strategy<Value = FaultPlan> {
+    (
+        (0u64..1_000_000, 0u32..101, 0u32..101),
+        proptest::collection::vec((0usize..104, 0u64..200_000, 1u64..400_000), 0..4),
+        proptest::collection::vec((0usize..32, 0u64..200_000, 1u64..400_000), 0..3),
+        (1u64..100_000, 1u32..4, 1u32..8),
+    )
+        .prop_map(
+            |((seed, drop, dup), links, nodes, (timeout, backoff, max_attempts))| FaultPlan {
+                seed,
+                drop_prob: f64::from(drop) / 100.0,
+                dup_prob: f64::from(dup) / 100.0,
+                link_outages: links
+                    .into_iter()
+                    .map(|(link, from, dur)| LinkOutage {
+                        link,
+                        from,
+                        until: from + dur,
+                    })
+                    .collect(),
+                node_outages: nodes
+                    .into_iter()
+                    .map(|(node, from, dur)| NodeOutage {
+                        node,
+                        from,
+                        until: from + dur,
+                    })
+                    .collect(),
+                ctrl_outage: false,
+                retry: RetryPolicy {
+                    enabled: true,
+                    timeout,
+                    backoff,
+                    max_attempts,
+                },
+            },
+        )
 }
 
 proptest! {
@@ -147,5 +190,56 @@ proptest! {
         let phases = vec![a, b];
         let want: Vec<u64> = phases.iter().map(|p| mesh.simulate_phase(p)).collect();
         prop_assert_eq!(simulate_phases_batch(&mesh, &phases, threads), want);
+    }
+
+    /// With retries enabled, *any* fault plan delivers every message
+    /// exactly once (the attempt cap escalates to a reliable channel), the
+    /// schedule never beats the fault-free one, and the same plan replays
+    /// bit-identically.
+    #[test]
+    fn faulty_delivery_guarantee(ms in msgs(32), plan in plans()) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh.clone());
+        let rep = sim.simulate_phase_faulty(&ms, &plan);
+        prop_assert_eq!(rep.delivered, rep.messages, "exactly-once delivery");
+        prop_assert_eq!(rep.lost, 0);
+        prop_assert!(rep.delivered_fraction() == 1.0);
+        prop_assert!(rep.attempts >= rep.messages as u64);
+        prop_assert!(rep.makespan >= mesh.simulate_phase(&ms), "faults cannot speed up a phase");
+        // Determinism: replaying the identical plan reproduces the report.
+        prop_assert_eq!(rep, sim.simulate_phase_faulty(&ms, &plan));
+    }
+
+    /// A zero-fault plan is bit-identical in makespan to the unfaulted
+    /// scheduler (and hence to the `Mesh2D` oracle) on random phase sets.
+    #[test]
+    fn zero_fault_plan_bit_identical(a in msgs(32), b in msgs(32), seed in 0u64..1000) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh.clone());
+        let plan = FaultPlan { seed, ..FaultPlan::none() };
+        prop_assert!(plan.is_zero_fault());
+        for ms in [&a, &b] {
+            let rep = sim.simulate_phase_faulty(ms, &plan);
+            prop_assert_eq!(rep.makespan, sim.simulate_phase(ms));
+            prop_assert_eq!(rep.makespan, mesh.simulate_phase(ms));
+            prop_assert_eq!(rep.retries + rep.duplicates + rep.reroutes + rep.deferrals, 0);
+        }
+        // Multi-phase: sums match too.
+        let phases = vec![a.clone(), b.clone()];
+        let rep = sim.simulate_phases_faulty(&phases, &plan);
+        prop_assert_eq!(rep.makespan, mesh.simulate_phases(&phases));
+    }
+
+    /// Without retries, every message is either delivered or counted lost —
+    /// nothing vanishes from the accounting.
+    #[test]
+    fn no_retry_accounting_is_total(ms in msgs(32), plan in plans()) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh.clone());
+        let plan = FaultPlan { retry: RetryPolicy::disabled(), ..plan };
+        let rep = sim.simulate_phase_faulty(&ms, &plan);
+        prop_assert_eq!(rep.delivered + rep.lost, rep.messages);
+        prop_assert_eq!(rep.escalations, 0);
+        prop_assert_eq!(rep.retries, 0);
     }
 }

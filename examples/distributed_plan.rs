@@ -14,7 +14,7 @@ use rescomm_loopnest::examples::motivating_example;
 
 fn main() {
     let (nest, _) = motivating_example(6, 2);
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     println!("{}", mapping.report(&nest));
 
     // The plan: ordered message phases a runtime would execute.

@@ -14,7 +14,7 @@ fn main() {
     let nest = gauss_elim(16);
     println!("{nest}");
 
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     println!("{}", mapping.report(&nest));
 
     // §3.5: which of the remaining communications can be hoisted out of

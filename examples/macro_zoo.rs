@@ -19,7 +19,7 @@ fn main() {
         ("Example 4 (reduction)", example4_reduction(8)),
     ] {
         println!("=== {name} ===");
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         println!("{}", mapping.report(&nest));
     }
 

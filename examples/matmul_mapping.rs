@@ -15,7 +15,7 @@ fn main() {
     println!("{nest}");
 
     for m in [1usize, 2] {
-        let mapping = map_nest(&nest, &MappingOptions::new(m));
+        let mapping = map_nest(&nest, &MappingOptions::new(m)).unwrap();
         println!("--- target grid dimension m = {m} ---");
         println!("{}", mapping.report(&nest));
         let n_general = mapping
@@ -31,7 +31,7 @@ fn main() {
 
     // The paper's point: residual communications are unavoidable for this
     // kernel; the question is only whether they are *structured*.
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     assert!(
         mapping
             .outcomes

@@ -30,7 +30,7 @@ fn main() {
     let nest = parse_nest(SOURCE).expect("the demo source must parse");
     println!("{nest}");
 
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     println!("{}", mapping.report(&nest));
 
     // The transpose closes a non-identity cycle: exactly one access stays

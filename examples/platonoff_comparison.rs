@@ -17,7 +17,7 @@ fn main() {
     println!("{nest}");
     println!("schedule: outer t sequential, i/j/k parallel; target m = 2\n");
 
-    let ours = map_nest(&nest, &MappingOptions::new(2));
+    let ours = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     println!("--- locality-first (this paper) ---");
     println!("{}", ours.report(&nest));
     println!("M_S = \n{}\n", ours.alignment.stmt_alloc[ids.s.0].mat);

@@ -14,7 +14,7 @@ fn main() {
     println!("{nest}");
 
     // Run the complete two-step heuristic for a 2-D virtual grid.
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
 
     // The report tells the §2 story: 5 local communications, two partial
     // broadcasts (one needed a unimodular rotation to become axis-parallel,

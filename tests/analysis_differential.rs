@@ -108,7 +108,7 @@ proptest! {
     #[test]
     fn optimized_matches_reference(nest in small_nest()) {
         let opts = MappingOptions::new(2);
-        assert_identical("m=2", &map_nest(&nest, &opts), &map_nest_reference(&nest, &opts));
+        assert_identical("m=2", &map_nest(&nest, &opts).unwrap(), &map_nest_reference(&nest, &opts));
     }
 
     /// Same, with the ablation options (unit weights, no merging) that
@@ -118,7 +118,11 @@ proptest! {
         let mut opts = MappingOptions::new(2);
         opts.weight_by_rank = false;
         opts.enable_merging = false;
-        assert_identical("ablation", &map_nest(&nest, &opts), &map_nest_reference(&nest, &opts));
+        assert_identical(
+            "ablation",
+            &map_nest(&nest, &opts).unwrap(),
+            &map_nest_reference(&nest, &opts),
+        );
     }
 
     /// A warm shared cache is outcome-transparent: mapping the same nest
@@ -126,10 +130,10 @@ proptest! {
     #[test]
     fn warm_cache_is_outcome_transparent(nest in small_nest()) {
         let opts = MappingOptions::new(2);
-        let cold = map_nest(&nest, &opts);
+        let cold = map_nest(&nest, &opts).unwrap();
         let mut cache = AnalysisCache::new();
-        let first = map_nest_with(&nest, &opts, &mut cache);
-        let warm = map_nest_with(&nest, &opts, &mut cache);
+        let first = map_nest_with(&nest, &opts, &mut cache).unwrap();
+        let warm = map_nest_with(&nest, &opts, &mut cache).unwrap();
         assert_identical("first", &first, &cold);
         assert_identical("warm", &warm, &cold);
     }
@@ -142,7 +146,7 @@ proptest! {
 fn golden_chained_stencil_200() {
     let nest = chained_stencil_nest(200, 8);
     let opts = MappingOptions::new(2);
-    let new = map_nest(&nest, &opts);
+    let new = map_nest(&nest, &opts).unwrap();
     let old = map_nest_reference(&nest, &opts);
     assert_identical("chained_stencil n=200", &new, &old);
 
@@ -168,7 +172,7 @@ fn golden_chained_stencil_200() {
 fn golden_pipeline_200() {
     let nest = pipeline_nest(200, 8);
     let opts = MappingOptions::new(2);
-    let new = map_nest(&nest, &opts);
+    let new = map_nest(&nest, &opts).unwrap();
     let old = map_nest_reference(&nest, &opts);
     assert_identical("pipeline n=200", &new, &old);
 }

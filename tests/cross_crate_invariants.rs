@@ -65,7 +65,7 @@ proptest! {
     /// constant one.
     #[test]
     fn reported_locality_is_real(nest in small_nest()) {
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
             let dom = &nest.statement(acc.stmt).domain;
             match out {
@@ -95,7 +95,7 @@ proptest! {
     /// matrix of the (post-rotation) alignment.
     #[test]
     fn reported_decompositions_verify(nest in small_nest()) {
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
             if let CommOutcome::Decomposed { factors, .. } = out {
                 let t = dataflow_matrix(&mapping.alignment, &nest, acc.id)
@@ -110,7 +110,7 @@ proptest! {
     /// outcome vector covers every access exactly once.
     #[test]
     fn pipeline_bookkeeping(nest in small_nest()) {
-        let mapping = map_nest(&nest, &MappingOptions::new(2));
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         prop_assert_eq!(mapping.outcomes.len(), nest.accesses.len());
         for v in mapping.rotations.values() {
             prop_assert!(rescomm::substrate::intlin::is_unimodular(v));
@@ -128,8 +128,8 @@ proptest! {
     /// must not destroy locality).
     #[test]
     fn step2_never_loses_locality(nest in small_nest()) {
-        let full = map_nest(&nest, &MappingOptions::new(2));
-        let step1 = map_nest(&nest, &MappingOptions::step1_only(2));
+        let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let step1 = map_nest(&nest, &MappingOptions::step1_only(2)).unwrap();
         for (i, o) in step1.outcomes.iter().enumerate() {
             if matches!(o, CommOutcome::Local) {
                 prop_assert!(

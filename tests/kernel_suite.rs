@@ -5,7 +5,7 @@ use rescomm::{map_nest, CommOutcome, MappingOptions};
 use rescomm_loopnest::examples;
 
 fn outcome_counts(nest: &rescomm_loopnest::LoopNest) -> (usize, usize, usize, usize, usize) {
-    let mapping = map_nest(nest, &MappingOptions::new(2));
+    let mapping = map_nest(nest, &MappingOptions::new(2)).unwrap();
     let mut loc = 0;
     let mut tra = 0;
     let mut mac = 0;
@@ -43,7 +43,7 @@ fn stencil1d_translations_not_vectorizable() {
     assert_eq!(loc + tra, 4);
     // §3.5: the moving window reads different data every timestep, so the
     // communication must NOT be vectorizable.
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     for acc in &nest.accesses {
         let m_s = &mapping.alignment.stmt_alloc[acc.stmt.0].mat;
         let m_x = &mapping.alignment.array_alloc[acc.array.0].mat;
@@ -98,7 +98,7 @@ fn gauss_pivot_broadcasts() {
     // The A[k,k] and A[k,c] / A[r,k] accesses read pivot data used by a
     // whole row/column of processors at fixed k: broadcast candidates.
     let nest = examples::gauss_elim(8);
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     let n_macro = mapping
         .outcomes
         .iter()
@@ -119,8 +119,8 @@ fn every_kernel_maps_deterministically() {
         examples::gauss_elim(4),
         examples::adi_sweep(6),
     ] {
-        let a = map_nest(&nest, &MappingOptions::new(2));
-        let b = map_nest(&nest, &MappingOptions::new(2));
+        let a = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let b = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert_eq!(a.outcomes, b.outcomes, "nondeterminism on {}", nest.name);
         assert_eq!(a.alignment.stmt_alloc, b.alignment.stmt_alloc);
         assert_eq!(a.alignment.array_alloc, b.alignment.array_alloc);
@@ -160,7 +160,7 @@ fn stress_many_statements_and_arrays() {
     }
     let nest = b.build().unwrap();
     let t0 = std::time::Instant::now();
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     assert!(
         t0.elapsed().as_secs() < 10,
         "pipeline too slow: {:?}",
@@ -194,7 +194,7 @@ fn unit_weight_ablation_changes_nothing_or_something_sane() {
     let (nest, _) = examples::motivating_example(8, 4);
     let mut opts = MappingOptions::new(2);
     opts.weight_by_rank = false;
-    let mapping = map_nest(&nest, &opts);
+    let mapping = map_nest(&nest, &opts).unwrap();
     let r = mapping.report(&nest);
     assert_eq!(
         r.n_local + r.n_translation + r.n_macro() + r.n_decomposed + r.n_general,

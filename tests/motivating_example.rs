@@ -92,7 +92,7 @@ fn section2_final_tally() {
     // residual communication that can be decomposed into two elementary
     // communications" — plus the footnoted F8 broadcast.
     let (nest, ids) = motivating_example(8, 4);
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     let r = mapping.report(&nest);
     assert_eq!(r.n_local, 5);
     assert_eq!(r.n_broadcast, 2);
@@ -116,7 +116,7 @@ fn locality_survives_everything() {
     // After branching, augmentation, rotation: the five local accesses
     // have exactly zero communication distance at every iteration point.
     let (nest, ids) = motivating_example(4, 2);
-    let mapping = map_nest(&nest, &MappingOptions::new(2));
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
     for fid in [ids.f1, ids.f2, ids.f4, ids.f5, ids.f7] {
         let acc = nest.access(fid);
         let dom = &nest.statement(acc.stmt).domain;
@@ -131,8 +131,8 @@ fn locality_survives_everything() {
 fn two_step_beats_step1_on_simulated_mesh() {
     let (nest, _) = motivating_example(8, 4);
     let mesh = paragon_mesh();
-    let ours = map_nest(&nest, &MappingOptions::new(2));
-    let step1 = rescomm::baselines::feautrier_map(&nest, 2);
+    let ours = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+    let step1 = rescomm::baselines::feautrier_map(&nest, 2).unwrap();
     let c_ours = mapping_cost_on_mesh(&nest, &ours, &mesh, (32, 16), 256);
     let c_step1 = mapping_cost_on_mesh(&nest, &step1, &mesh, (32, 16), 256);
     assert!(
