@@ -108,12 +108,12 @@ fn main() {
                 dup_prob: 0.02,
                 link_outages: link_outages.clone(),
                 node_outages: node_outages.clone(),
-                ctrl_outage: false,
                 retry: if retry {
                     RetryPolicy::default()
                 } else {
                     RetryPolicy::disabled()
                 },
+                ..FaultPlan::none()
             };
             let rep = sim.simulate_phases_faulty(&phases, &plan);
             // Determinism gate: the identical plan must replay bit-for-bit.

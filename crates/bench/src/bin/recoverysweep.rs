@@ -1,0 +1,221 @@
+//! Checkpoint/restart sweep over the mesh scheduler with permanent node
+//! deaths; writes `BENCH_recovery.json` with wall-clock-inflation and
+//! lost-work curves.
+//!
+//! Three sections:
+//!
+//! * **MTTF sweep** — node deaths injected at a fixed mean-time-to-failure
+//!   (as a fraction of the healthy makespan), recovered via rollback to
+//!   the newest usable checkpoint and survivor folding. At every point the
+//!   run asserts exactly-once recovery (`detected == deaths`, every
+//!   message delivered, zero black holes) and bit-exact determinism.
+//! * **checkpoint-interval sweep** — a fixed death plan under intervals
+//!   from every-phase to almost-never: more checkpoints mean more
+//!   overhead but strictly less lost work on rollback.
+//! * **zero-death gate** — a death-free plan through the recovering
+//!   driver must be bit-identical to the unfaulted scheduler: no
+//!   rollbacks, no folds, same makespan.
+//!
+//! ```text
+//! cargo run --release -p rescomm-bench --bin recoverysweep [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` (alias `--smoke`) shrinks the workload for the CI smoke job;
+//! the invariants checked are identical.
+
+use rescomm_machine::{
+    mttf_death_schedule, CheckpointPolicy, CostModel, FaultPlan, Mesh2D, PMsg, PhaseSim, XorShift64,
+};
+use std::fmt::Write as _;
+
+/// Deterministic synthetic phase set on `nodes` processors.
+fn synth_phases(nodes: usize, n_phases: usize, per_phase: usize, seed: u64) -> Vec<Vec<PMsg>> {
+    let mut rng = XorShift64::new(seed);
+    (0..n_phases)
+        .map(|_| {
+            (0..per_phase)
+                .map(|_| PMsg {
+                    src: rng.below(nodes as u64) as usize,
+                    dst: rng.below(nodes as u64) as usize,
+                    bytes: 1 + rng.below(2048),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct MttfRow {
+    mttf_pct: u32,
+    deaths: usize,
+    wall_clock_ns: u64,
+    inflation: f64,
+    lost_work_ns: u64,
+    lost_work_fraction: f64,
+    rollbacks: usize,
+    replayed_phases: usize,
+    checkpoint_overhead_ns: u64,
+}
+
+struct IntervalRow {
+    interval: usize,
+    checkpoints: usize,
+    checkpoint_overhead_ns: u64,
+    lost_work_ns: u64,
+    wall_clock_ns: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
+    let out = args
+        .iter()
+        .skip_while(|a| *a != "--out")
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_recovery.json".into());
+
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let mut sim = PhaseSim::new(mesh.clone());
+    let (n_phases, per_phase) = if quick { (8, 24) } else { (24, 48) };
+    let phases = synth_phases(mesh.nodes(), n_phases, per_phase, 0x4ec0);
+    let healthy = mesh.simulate_phases(&phases);
+    let policy = CheckpointPolicy::default();
+
+    // Zero-death gate first: the recovering driver on a death-free plan
+    // must match the unfaulted scheduler bit for bit.
+    let zero = sim.simulate_phases_recovering(&phases, &FaultPlan::none(), &policy);
+    assert_eq!(zero.makespan, healthy, "zero-death run must be identical");
+    assert_eq!(zero.delivered, zero.messages);
+    assert_eq!(zero.recovery.rollbacks, 0);
+    assert_eq!(zero.recovery.folded_nodes, 0);
+    eprintln!("zero-death gate: makespan {} ns == healthy", zero.makespan);
+
+    eprintln!("mttf sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs");
+    let mut mttf_rows = Vec::new();
+    for mttf_pct in [10u32, 20, 40, 80] {
+        let mttf_ns = healthy * u64::from(mttf_pct) / 100;
+        let plan = FaultPlan {
+            seed: 42,
+            node_deaths: mttf_death_schedule(mesh.nodes(), mttf_ns, healthy, 0xdead),
+            detection_latency: 5_000,
+            ..FaultPlan::none()
+        };
+        let rep = sim.simulate_phases_recovering(&phases, &plan, &policy);
+        // Determinism gate: the identical plan must replay bit-for-bit.
+        assert_eq!(
+            rep,
+            sim.simulate_phases_recovering(&phases, &plan, &policy),
+            "recovery schedule not deterministic at mttf={mttf_pct}%"
+        );
+        // Exactly-once gate: every death detected and recovered exactly
+        // once, every message delivered to a live node, nothing lost.
+        assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        assert!(
+            rep.recovery.deaths >= 1,
+            "mttf={mttf_pct}%: no death struck"
+        );
+        assert_eq!(rep.recovery.folded_nodes, rep.recovery.detected);
+        assert_eq!(rep.delivered, rep.messages, "mttf={mttf_pct}%");
+        assert_eq!(rep.black_holes, 0);
+        let wall = rep.wall_clock_ns();
+        let inflation = wall as f64 / healthy.max(1) as f64;
+        let lost_frac = rep.recovery.lost_work_ns as f64 / wall.max(1) as f64;
+        eprintln!(
+            "  mttf {mttf_pct:>3}%  deaths {}  wall {wall:>12} ns  x{inflation:.2}  lost {:>5.1}%  rollbacks {}",
+            rep.recovery.deaths,
+            lost_frac * 100.0,
+            rep.recovery.rollbacks
+        );
+        mttf_rows.push(MttfRow {
+            mttf_pct,
+            deaths: rep.recovery.deaths,
+            wall_clock_ns: wall,
+            inflation,
+            lost_work_ns: rep.recovery.lost_work_ns,
+            lost_work_fraction: lost_frac,
+            rollbacks: rep.recovery.rollbacks,
+            replayed_phases: rep.recovery.replayed_phases,
+            checkpoint_overhead_ns: rep.recovery.checkpoint_overhead_ns,
+        });
+    }
+
+    eprintln!("checkpoint-interval sweep: fixed death plan");
+    let fixed_plan = FaultPlan {
+        seed: 42,
+        node_deaths: mttf_death_schedule(mesh.nodes(), healthy / 4, healthy, 0xdead),
+        detection_latency: 5_000,
+        ..FaultPlan::none()
+    };
+    let mut interval_rows = Vec::new();
+    for interval in [1usize, 2, 4, 8, 16] {
+        let p = CheckpointPolicy {
+            interval,
+            ring: 32,
+            ..CheckpointPolicy::default()
+        };
+        let rep = sim.simulate_phases_recovering(&phases, &fixed_plan, &p);
+        assert!(rep.recovery.all_recovered(), "interval={interval}");
+        assert_eq!(rep.delivered, rep.messages);
+        eprintln!(
+            "  interval {interval:>2}  checkpoints {:>3}  overhead {:>9} ns  lost {:>10} ns",
+            rep.recovery.checkpoints,
+            rep.recovery.checkpoint_overhead_ns,
+            rep.recovery.lost_work_ns
+        );
+        interval_rows.push(IntervalRow {
+            interval,
+            checkpoints: rep.recovery.checkpoints,
+            checkpoint_overhead_ns: rep.recovery.checkpoint_overhead_ns,
+            lost_work_ns: rep.recovery.lost_work_ns,
+            wall_clock_ns: rep.wall_clock_ns(),
+        });
+    }
+    // Tighter checkpointing must not lose more work than sparser.
+    for w in interval_rows.windows(2) {
+        assert!(
+            w[0].lost_work_ns <= w[1].lost_work_ns,
+            "lost work must grow with the checkpoint interval"
+        );
+        assert!(w[0].checkpoints >= w[1].checkpoints);
+    }
+
+    let mut j = String::new();
+    j.push_str("{\n  \"bench\": \"recovery\",\n  \"mesh\": [8, 4],\n");
+    let _ = writeln!(
+        j,
+        "  \"phases\": {n_phases},\n  \"msgs_per_phase\": {per_phase},\n  \"healthy_makespan_ns\": {healthy},\n  \"detection_latency_ns\": 5000,"
+    );
+    j.push_str("  \"mttf_sweep\": [\n");
+    for (i, r) in mttf_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"mttf_pct\": {}, \"deaths\": {}, \"wall_clock_ns\": {}, \"inflation\": {:.3}, \"lost_work_ns\": {}, \"lost_work_fraction\": {:.4}, \"rollbacks\": {}, \"replayed_phases\": {}, \"checkpoint_overhead_ns\": {}}}",
+            r.mttf_pct,
+            r.deaths,
+            r.wall_clock_ns,
+            r.inflation,
+            r.lost_work_ns,
+            r.lost_work_fraction,
+            r.rollbacks,
+            r.replayed_phases,
+            r.checkpoint_overhead_ns
+        );
+        j.push_str(if i + 1 < mttf_rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n  \"interval_sweep\": [\n");
+    for (i, r) in interval_rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"interval\": {}, \"checkpoints\": {}, \"checkpoint_overhead_ns\": {}, \"lost_work_ns\": {}, \"wall_clock_ns\": {}}}",
+            r.interval, r.checkpoints, r.checkpoint_overhead_ns, r.lost_work_ns, r.wall_clock_ns
+        );
+        j.push_str(if i + 1 < interval_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -4,6 +4,7 @@
 //! ```text
 //! rescomm-cli <nest-file> [--m N] [--no-macro] [--no-decompose]
 //!             [--unit-weights] [--dot] [--compare] [--self-check]
+//!             [--recover N,N,...] [--grid WxH]
 //! ```
 //!
 //! * `--m N`           target virtual-grid dimension (default 2)
@@ -15,6 +16,10 @@
 //! * `--compare`       also run the Platonoff and step-1-only baselines
 //! * `--self-check`    replay through the reference oracle and flag any
 //!   disagreement as an incident in the report
+//! * `--recover N,...` treat the listed physical nodes as permanently
+//!   dead: remap the mapping onto the survivors and verify the degraded
+//!   execution end-to-end
+//! * `--grid WxH`      physical grid shape for `--recover` (default 4x4)
 //!
 //! Malformed nests and arithmetic overflow exit with a diagnostic
 //! (line/column for parse errors) instead of a panic.
@@ -23,7 +28,7 @@
 
 use rescomm::baselines::{feautrier_map, platonoff_map};
 use rescomm::substrate::accessgraph::{maximum_branching, to_dot, AccessGraph};
-use rescomm::{map_nest, MappingOptions};
+use rescomm::{map_nest, remap_for_survivors, verify_execution_on, DegradedGrid, MappingOptions};
 use rescomm_loopnest::parser::parse_nest;
 use std::process::ExitCode;
 
@@ -36,6 +41,8 @@ struct Args {
     dot: bool,
     compare: bool,
     self_check: bool,
+    recover: Vec<usize>,
+    grid: (usize, usize),
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +55,8 @@ fn parse_args() -> Result<Args, String> {
         dot: false,
         compare: false,
         self_check: false,
+        recover: Vec::new(),
+        grid: (4, 4),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -64,10 +73,28 @@ fn parse_args() -> Result<Args, String> {
             "--dot" => args.dot = true,
             "--compare" => args.compare = true,
             "--self-check" => args.self_check = true,
+            "--recover" => {
+                let list = it.next().ok_or("--recover needs a node list")?;
+                for part in list.split(',') {
+                    args.recover.push(
+                        part.trim()
+                            .parse()
+                            .map_err(|_| format!("--recover: bad node id {part:?}"))?,
+                    );
+                }
+            }
+            "--grid" => {
+                let spec = it.next().ok_or("--grid needs WxH")?;
+                let (w, h) = spec.split_once('x').ok_or("--grid needs WxH, e.g. 4x4")?;
+                args.grid = (
+                    w.parse().map_err(|_| format!("--grid: bad width {w:?}"))?,
+                    h.parse().map_err(|_| format!("--grid: bad height {h:?}"))?,
+                );
+            }
             "--help" | "-h" => {
                 return Err("usage: rescomm-cli <nest-file> [--m N] [--no-macro] \
                             [--no-decompose] [--unit-weights] [--dot] [--compare] \
-                            [--self-check]"
+                            [--self-check] [--recover N,N,...] [--grid WxH]"
                     .to_string())
             }
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
@@ -125,6 +152,43 @@ fn main() -> ExitCode {
         }
     };
     println!("{}", mapping.report(&nest));
+
+    if !args.recover.is_empty() {
+        let (w, h) = args.grid;
+        println!(
+            "--- recovery: remapping around dead node(s) {:?} on a {w}x{h} grid ---",
+            args.recover
+        );
+        let remapped = match remap_for_survivors(&nest, &mapping, &opts, &args.recover, args.grid) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("{}: recovery failed: {e}", args.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{}", remapped.report(&nest));
+        let grid = match DegradedGrid::new(w, h, &args.recover) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{}: {e}", args.file);
+                return ExitCode::FAILURE;
+            }
+        };
+        match verify_execution_on(&nest, &remapped, Some(&grid)) {
+            Ok(stats) => println!(
+                "degraded run verified: {} instances on {} survivors, \
+                 {} displaced, read locality {:.3}",
+                stats.instances,
+                grid.survivors(),
+                stats.remapped_placements,
+                stats.read_locality()
+            ),
+            Err(e) => {
+                eprintln!("{}: degraded verification failed: {e}", args.file);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.compare {
         println!("--- baseline: step 1 only (greedy zeroing) ---");

@@ -31,6 +31,13 @@ pub enum RescommError {
         /// What happened.
         detail: String,
     },
+    /// Distributed execution failed: the functional check disagreed with
+    /// the sequential reference, or a degraded-grid constraint was
+    /// violated (work placed on a dead node, no survivors to remap onto).
+    Exec {
+        /// What happened.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RescommError {
@@ -41,6 +48,7 @@ impl fmt::Display for RescommError {
             RescommError::Analysis { stage, detail } => {
                 write!(f, "analysis error in {stage}: {detail}")
             }
+            RescommError::Exec { detail } => write!(f, "execution error: {detail}"),
         }
     }
 }
@@ -50,7 +58,7 @@ impl std::error::Error for RescommError {
         match self {
             RescommError::Parse(e) => Some(e),
             RescommError::Lin(e) => Some(e),
-            RescommError::Analysis { .. } => None,
+            RescommError::Analysis { .. } | RescommError::Exec { .. } => None,
         }
     }
 }
@@ -67,16 +75,52 @@ impl From<LinError> for RescommError {
     }
 }
 
-/// A recoverable fast-path failure: the guarded pipeline caught it, fell
-/// back to the reference oracle, and kept going. Incidents ride along on
+/// What kind of recoverable event an [`Incident`] records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IncidentKind {
+    /// A guarded fast-path stage failed and the reference oracle took
+    /// over (or a self-check replay disagreed).
+    #[default]
+    Fallback,
+    /// A permanent node loss forced a degraded-grid remap of the mapping
+    /// (see [`crate::recover::remap_for_survivors`]).
+    NodeLoss,
+}
+
+/// A recoverable event on a mapping: a guarded fast-path failure the
+/// pipeline absorbed by falling back to the reference oracle, or a node
+/// loss the recovery path survived by remapping. Incidents ride along on
 /// the [`crate::Mapping`] and are counted by the run report, so silent
 /// degradation is impossible.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Incident {
+    /// What happened, categorically.
+    pub kind: IncidentKind,
     /// The stage that failed (e.g. `"map_nest_fast"`).
     pub stage: &'static str,
-    /// The captured panic message or disagreement description.
+    /// The captured panic message, disagreement description, or the list
+    /// of lost nodes.
     pub detail: String,
+}
+
+impl Incident {
+    /// A fallback incident (the default kind).
+    pub fn fallback(stage: &'static str, detail: String) -> Self {
+        Incident {
+            kind: IncidentKind::Fallback,
+            stage,
+            detail,
+        }
+    }
+
+    /// A node-loss incident recorded by the recovery path.
+    pub fn node_loss(dead: &[usize]) -> Self {
+        Incident {
+            kind: IncidentKind::NodeLoss,
+            stage: "recover",
+            detail: format!("remapped around dead node(s) {dead:?}"),
+        }
+    }
 }
 
 impl fmt::Display for Incident {
@@ -98,7 +142,7 @@ pub fn guarded<T>(stage: &'static str, f: impl FnOnce() -> T) -> Result<T, Incid
         } else {
             "non-string panic payload".to_string()
         };
-        Incident { stage, detail }
+        Incident::fallback(stage, detail)
     })
 }
 

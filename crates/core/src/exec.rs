@@ -11,7 +11,9 @@
 //! independent of contribution order — the property that licenses the
 //! paper's reduction macro-communication in the first place.
 
+use crate::error::RescommError;
 use crate::pipeline::Mapping;
+use crate::recover::DegradedGrid;
 use rescomm_loopnest::{AccessKind, ArrayId, LoopNest};
 use std::collections::{BTreeMap, HashMap};
 
@@ -31,6 +33,9 @@ pub struct ExecStats {
     pub remote_writes: usize,
     /// Distinct timesteps.
     pub timesteps: usize,
+    /// Statement instances whose physical node differs from the healthy
+    /// grid's (folded onto a survivor); always 0 without a degraded grid.
+    pub remapped_placements: usize,
 }
 
 impl ExecStats {
@@ -150,6 +155,21 @@ fn apply_writes(state: &mut ArrayState, writes: Vec<(ArrayId, Vec<i64>, u64, boo
 /// allocation), every instance runs on its virtual processor (the
 /// statement allocation); remote reads/writes are counted.
 pub fn run_distributed(nest: &LoopNest, mapping: &Mapping) -> (ArrayState, ExecStats) {
+    run_distributed_on(nest, mapping, None)
+}
+
+/// Distributed execution, optionally on a degraded grid. Without a grid
+/// this is [`run_distributed`]: locality is judged on *virtual* processor
+/// coordinates. With a grid, coordinates are first folded onto the
+/// physical survivor nodes ([`DegradedGrid::place`]), so an access is
+/// local exactly when producer and consumer land on the same live node —
+/// folding can only *create* locality, never destroy it, and instances
+/// displaced off their healthy-grid home are counted.
+pub fn run_distributed_on(
+    nest: &LoopNest,
+    mapping: &Mapping,
+    grid: Option<&DegradedGrid>,
+) -> (ArrayState, ExecStats) {
     // One global element store, but tagged with owners so we can classify
     // each access as local or remote — the memory is distributed, the
     // bookkeeping central.
@@ -160,6 +180,7 @@ pub fn run_distributed(nest: &LoopNest, mapping: &Mapping) -> (ArrayState, ExecS
         remote_reads: 0,
         remote_writes: 0,
         timesteps: 0,
+        remapped_placements: 0,
     };
     for (_, instances) in instances_by_time(nest) {
         stats.timesteps += 1;
@@ -167,10 +188,20 @@ pub fn run_distributed(nest: &LoopNest, mapping: &Mapping) -> (ArrayState, ExecS
         let mut writes = Vec::new();
         for (si, p) in instances {
             stats.instances += 1;
-            let here = mapping.alignment.stmt_alloc[si].apply(&p);
+            let here_v = mapping.alignment.stmt_alloc[si].apply(&p);
+            let here_node = grid.map(|g| g.place(&here_v));
+            if let Some(g) = grid {
+                if g.displaced(&here_v) {
+                    stats.remapped_placements += 1;
+                }
+            }
+            let colocated = |owner_v: &[i64]| match (grid, here_node) {
+                (Some(g), Some(n)) => g.place(owner_v) == n,
+                _ => owner_v == here_v.as_slice(),
+            };
             let mut read = |x: ArrayId, e: &[i64]| {
                 let owner = mapping.alignment.array_alloc[x.0].apply(e);
-                if owner == here {
+                if colocated(&owner) {
                     stats.local_reads += 1;
                 } else {
                     stats.remote_reads += 1;
@@ -183,7 +214,7 @@ pub fn run_distributed(nest: &LoopNest, mapping: &Mapping) -> (ArrayState, ExecS
             let ws = execute_instance(nest, si, &p, &mut read);
             for (x, e, _v, _r) in &ws {
                 let owner = mapping.alignment.array_alloc[x.0].apply(e);
-                if owner != here {
+                if !colocated(&owner) {
                     stats.remote_writes += 1;
                 }
             }
@@ -195,26 +226,56 @@ pub fn run_distributed(nest: &LoopNest, mapping: &Mapping) -> (ArrayState, ExecS
 }
 
 /// Run both executions and compare the final array states.
-pub fn verify_execution(nest: &LoopNest, mapping: &Mapping) -> Result<ExecStats, String> {
+pub fn verify_execution(nest: &LoopNest, mapping: &Mapping) -> Result<ExecStats, RescommError> {
+    verify_execution_on(nest, mapping, None)
+}
+
+/// [`verify_execution`] on an optionally degraded grid. With a grid, the
+/// functional check additionally asserts that no statement instance is
+/// physically placed on a dead node — the end-to-end guarantee that the
+/// recovery remap actually routed all work onto survivors.
+pub fn verify_execution_on(
+    nest: &LoopNest,
+    mapping: &Mapping,
+    grid: Option<&DegradedGrid>,
+) -> Result<ExecStats, RescommError> {
+    let exec_err = |detail: String| RescommError::Exec { detail };
     let reference = run_sequential(nest);
-    let (distributed, stats) = run_distributed(nest, mapping);
+    let (distributed, stats) = run_distributed_on(nest, mapping, grid);
     if reference.len() != distributed.len() {
-        return Err(format!(
+        return Err(exec_err(format!(
             "state size mismatch: sequential {} vs distributed {}",
             reference.len(),
             distributed.len()
-        ));
+        )));
     }
     for (key, &v) in &reference {
         match distributed.get(key) {
             Some(&w) if w == v => {}
             Some(&w) => {
-                return Err(format!(
+                return Err(exec_err(format!(
                     "value mismatch at {:?}: sequential {v:#x} vs distributed {w:#x}",
                     key
-                ))
+                )))
             }
-            None => return Err(format!("element {key:?} missing from distributed state")),
+            None => {
+                return Err(exec_err(format!(
+                    "element {key:?} missing from distributed state"
+                )))
+            }
+        }
+    }
+    if let Some(g) = grid {
+        for (si, st) in nest.statements.iter().enumerate() {
+            for p in st.domain.points() {
+                let node = g.place(&mapping.alignment.stmt_alloc[si].apply(&p));
+                if g.is_dead(node) {
+                    return Err(exec_err(format!(
+                        "instance {p:?} of `{}` placed on dead node {node}",
+                        st.name
+                    )));
+                }
+            }
         }
     }
     Ok(stats)

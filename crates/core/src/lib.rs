@@ -32,15 +32,20 @@ pub mod error;
 pub mod exec;
 pub mod pipeline;
 pub mod plan;
+pub mod recover;
 pub mod report;
 
-pub use error::{guarded, Incident, RescommError};
-pub use exec::{run_distributed, run_sequential, verify_execution, ExecStats};
+pub use error::{guarded, Incident, IncidentKind, RescommError};
+pub use exec::{
+    run_distributed, run_distributed_on, run_sequential, verify_execution, verify_execution_on,
+    ExecStats,
+};
 pub use pipeline::{
     dataflow_matrix, dataflow_matrix_cached, map_nest, map_nest_batch, map_nest_reference,
     map_nest_with, par_map_nests, AnalysisCache, CommOutcome, Mapping, MappingOptions,
 };
 pub use plan::{build_plan, CommPhase, CommPlan, PhaseKind};
+pub use recover::{remap_for_survivors, DegradedGrid};
 pub use report::MappingReport;
 
 /// Re-exports of the substrate crates.

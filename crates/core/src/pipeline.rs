@@ -263,24 +263,24 @@ pub fn map_nest_with(
                     Ok(reference) if reference.outcomes != mapping.outcomes => {
                         // The oracle wins; keep the evidence.
                         let mut m = reference;
-                        m.incidents.push(Incident {
-                            stage: "self_check",
-                            detail: format!(
+                        m.incidents.push(Incident::fallback(
+                            "self_check",
+                            format!(
                                 "fast path disagreed with the reference oracle on {}: \
                                  fell back to the reference mapping",
                                 nest.name
                             ),
-                        });
+                        ));
                         Ok(m)
                     }
                     Ok(_) => Ok(mapping),
                     Err(inc) => {
                         // The fast result stands, but the failed check is
                         // on the record.
-                        mapping.incidents.push(Incident {
-                            stage: "self_check",
-                            detail: format!("reference oracle failed: {}", inc.detail),
-                        });
+                        mapping.incidents.push(Incident::fallback(
+                            "self_check",
+                            format!("reference oracle failed: {}", inc.detail),
+                        ));
                         Ok(mapping)
                     }
                 }
@@ -420,6 +420,28 @@ fn map_nest_impl(
 
     // ---- Classify every access under the (possibly rotated) alignment,
     //      decomposing leftover general communications. ----
+    let outcomes = classify_outcomes(nest, &mut alignment, &mut rotations, opts, cache);
+
+    Mapping {
+        alignment,
+        outcomes,
+        rotations,
+        incidents: Vec::new(),
+    }
+}
+
+/// Classify every access under `alignment`, decomposing leftover general
+/// communications (and possibly applying similarity rotations). Shared
+/// between [`map_nest`] and the degraded-grid remapper
+/// ([`crate::recover::remap_for_survivors`]), which re-derives outcomes
+/// after a node-loss fold rotation.
+pub(crate) fn classify_outcomes(
+    nest: &LoopNest,
+    alignment: &mut Alignment,
+    rotations: &mut HashMap<usize, IMat>,
+    opts: &MappingOptions,
+    cache: &mut AnalysisCache,
+) -> Vec<CommOutcome> {
     let mut outcomes: Vec<CommOutcome> = Vec::with_capacity(nest.accesses.len());
     for acc in &nest.accesses {
         let st = nest.statement(acc.stmt);
@@ -469,22 +491,14 @@ fn map_nest_impl(
         }
         // Decomposition?
         if opts.enable_decompose {
-            if let Some(outcome) =
-                try_decompose(nest, &mut alignment, &mut rotations, acc, opts, cache)
-            {
+            if let Some(outcome) = try_decompose(nest, alignment, rotations, acc, opts, cache) {
                 outcomes.push(outcome);
                 continue;
             }
         }
         outcomes.push(CommOutcome::General);
     }
-
-    Mapping {
-        alignment,
-        outcomes,
-        rotations,
-        incidents: Vec::new(),
-    }
+    outcomes
 }
 
 /// Dataflow matrix of a residual communication: the `T` with
@@ -553,14 +567,19 @@ fn try_decompose(
                             rotated: false,
                         });
                     }
-                    // Long chain: try a similarity rotation first.
+                    // Long chain: try a similarity rotation first — only
+                    // when statement and array share an unrotated
+                    // component.
                     if opts.enable_similarity {
-                        let ci = alignment.component_of(Vertex::Stmt(acc.stmt));
-                        let same_comp =
-                            ci.is_some() && alignment.component_of(Vertex::Array(acc.array)) == ci;
-                        if same_comp && !rotations.contains_key(&ci.unwrap()) {
+                        if let Some(ci) =
+                            alignment
+                                .component_of(Vertex::Stmt(acc.stmt))
+                                .filter(|&ci| {
+                                    alignment.component_of(Vertex::Array(acc.array)) == Some(ci)
+                                        && !rotations.contains_key(&ci)
+                                })
+                        {
                             if let Some(sim) = search_similarity(&t, 200) {
-                                let ci = ci.unwrap();
                                 alignment.rotate_component(ci, &sim.m);
                                 rotations.insert(ci, sim.m.clone());
                                 return Some(CommOutcome::Decomposed {

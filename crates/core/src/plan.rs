@@ -19,7 +19,7 @@ use crate::pipeline::{CommOutcome, Mapping};
 use rescomm_decompose::Elementary;
 use rescomm_distribution::{fold_pattern, Dist2D};
 use rescomm_loopnest::{AccessId, LoopNest};
-use rescomm_machine::{Mesh2D, PMsg, PhaseSim};
+use rescomm_machine::{CheckpointPolicy, FaultPlan, FaultReport, Mesh2D, PMsg, PhaseSim};
 use std::collections::BTreeSet;
 
 /// What a phase implements (for reporting; the pattern is authoritative).
@@ -117,6 +117,45 @@ impl CommPlan {
             total += sim.simulate_phase(&pms);
         }
         total
+    }
+
+    /// Fold onto a mesh like [`CommPlan::simulate_on_mesh`], but drive
+    /// the phases through the checkpoint/rollback engine
+    /// ([`PhaseSim::simulate_phases_recovering`]) so the plan survives
+    /// the fault plan's permanent node deaths. On a death-free plan the
+    /// committed makespan equals [`CommPlan::simulate_on_mesh`] exactly.
+    pub fn simulate_on_mesh_recovering(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+        plan: &FaultPlan,
+        policy: &CheckpointPolicy,
+    ) -> FaultReport {
+        let phases: Vec<Vec<PMsg>> = self
+            .phases
+            .iter()
+            .map(|phase| {
+                let wrapped: Vec<((i64, i64), (i64, i64))> = phase
+                    .pattern
+                    .iter()
+                    .map(|&(s, d)| (wrap2(s, vshape), wrap2(d, vshape)))
+                    .filter(|(s, d)| s != d)
+                    .collect();
+                let folded = fold_pattern(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes);
+                folded
+                    .msgs
+                    .iter()
+                    .map(|m| PMsg {
+                        src: mesh.node_id(m.src.0, m.src.1),
+                        dst: mesh.node_id(m.dst.0, m.dst.1),
+                        bytes: m.bytes,
+                    })
+                    .collect()
+            })
+            .collect();
+        PhaseSim::new(mesh.clone()).simulate_phases_recovering(&phases, plan, policy)
     }
 
     /// Verify the plan delivers data correctly: for every non-local access
@@ -367,6 +406,43 @@ mod tests {
         let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let t = build_plan(&nest, &full).simulate_on_mesh(&mesh, dist, (24, 24), 64);
         assert!(t > 0);
+    }
+
+    #[test]
+    fn recovering_plan_simulation_matches_plain_without_deaths() {
+        let (nest, _) = examples::motivating_example(6, 2);
+        let mesh = Mesh2D::new(4, 4, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let plan = build_plan(&nest, &full);
+        let t = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        let rep = plan.simulate_on_mesh_recovering(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &FaultPlan::none(),
+            &CheckpointPolicy::default(),
+        );
+        assert_eq!(rep.makespan, t, "zero-death recovery is bit-identical");
+        assert_eq!(rep.recovery.rollbacks, 0);
+
+        // And with a mid-run death the plan still completes, exactly once.
+        let faulty = FaultPlan {
+            node_deaths: vec![rescomm_machine::NodeDeath { node: 6, t: t / 2 }],
+            ..FaultPlan::none()
+        };
+        let rep = plan.simulate_on_mesh_recovering(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &faulty,
+            &CheckpointPolicy::default(),
+        );
+        assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        assert_eq!(rep.delivered, rep.messages);
+        assert_eq!(rep.black_holes, 0);
     }
 
     #[test]

@@ -28,9 +28,11 @@ pub struct MappingReport {
     pub n_factors: usize,
     /// Residual general communications.
     pub n_general: usize,
-    /// Guarded fast-path failures that fell back to the reference oracle
-    /// (see [`crate::error::Incident`]); 0 on a clean run.
+    /// Recoverable events on the mapping (see [`crate::error::Incident`]):
+    /// guarded fast-path failures plus node-loss remaps; 0 on a clean run.
     pub n_incidents: usize,
+    /// How many of the incidents are node-loss remaps.
+    pub n_node_loss: usize,
     /// One line per access: `(array, statement, outcome)`.
     pub lines: Vec<(String, String, String)>,
     /// Human-readable incident descriptions, parallel to `n_incidents`.
@@ -52,6 +54,11 @@ impl MappingReport {
             n_factors: 0,
             n_general: 0,
             n_incidents: mapping.incidents.len(),
+            n_node_loss: mapping
+                .incidents
+                .iter()
+                .filter(|i| i.kind == crate::error::IncidentKind::NodeLoss)
+                .count(),
             lines: Vec::new(),
             incident_lines: mapping.incidents.iter().map(|i| i.to_string()).collect(),
         };
@@ -161,11 +168,16 @@ impl fmt::Display for MappingReport {
             writeln!(f, "    {arr} in {stmt}: {desc}")?;
         }
         if self.n_incidents > 0 {
-            writeln!(
-                f,
-                "  {} fast-path incident(s), recovered via the reference oracle:",
-                self.n_incidents
-            )?;
+            if self.n_node_loss > 0 {
+                writeln!(f, "  {} node-loss remap(s) survived:", self.n_node_loss)?;
+            }
+            if self.n_incidents > self.n_node_loss {
+                writeln!(
+                    f,
+                    "  {} fast-path incident(s), recovered via the reference oracle:",
+                    self.n_incidents - self.n_node_loss
+                )?;
+            }
             for line in &self.incident_lines {
                 writeln!(f, "  ! {line}")?;
             }
@@ -201,10 +213,10 @@ mod tests {
         let (nest, _) = examples::motivating_example(4, 2);
         let mut mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         assert_eq!(mapping.report(&nest).n_incidents, 0);
-        mapping.incidents.push(crate::error::Incident {
-            stage: "map_nest_fast",
-            detail: "synthetic overflow for the report test".into(),
-        });
+        mapping.incidents.push(crate::error::Incident::fallback(
+            "map_nest_fast",
+            "synthetic overflow for the report test".into(),
+        ));
         let r = mapping.report(&nest);
         assert_eq!(r.n_incidents, 1);
         let text = format!("{r}");

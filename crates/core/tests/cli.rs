@@ -110,3 +110,43 @@ fn m_flag_changes_target_dimension() {
     let out = cli().arg(f.as_str()).args(["--m", "1"]).output().unwrap();
     assert!(out.status.success());
 }
+
+#[test]
+fn recover_remaps_and_verifies_on_survivors() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--recover", "5", "--grid", "4x4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("remapping around dead node(s) [5]"), "{text}");
+    assert!(text.contains("node-loss remap(s) survived"), "{text}");
+    assert!(text.contains("degraded run verified"), "{text}");
+    assert!(text.contains("15 survivors"), "{text}");
+}
+
+#[test]
+fn recover_rejects_killing_every_node() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--recover", "0,1,2,3", "--grid", "2x2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("recovery failed"), "stderr: {err}");
+}
+
+#[test]
+fn recover_rejects_malformed_grid_spec() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--recover", "1", "--grid", "banana"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

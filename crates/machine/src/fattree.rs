@@ -195,23 +195,52 @@ impl FatTree {
         self.sw_broadcast(participants, bytes)
     }
 
+    /// Leaves of `0..participants` still alive at time `t` under the
+    /// plan's permanent deaths ([`FaultPlan::death_time`]).
+    pub fn live_participants(&self, participants: usize, plan: &FaultPlan, t: u64) -> usize {
+        (0..participants.min(self.nprocs))
+            .filter(|&p| plan.death_time(p).is_none_or(|d| t < d))
+            .count()
+    }
+
     /// Broadcast under a fault plan: the hardware control network when
     /// available, the software binomial tree when
     /// [`FaultPlan::ctrl_outage`] marks it down (the CM-5 degraded mode).
     pub fn broadcast_time(&self, participants: usize, bytes: u64, plan: &FaultPlan) -> u64 {
+        self.broadcast_time_at(participants, bytes, plan, 0)
+    }
+
+    /// [`FatTree::broadcast_time`] evaluated at time `t`: permanently
+    /// dead leaves have been folded out of the collective by the recovery
+    /// layer, so only the live participants pay.
+    pub fn broadcast_time_at(
+        &self,
+        participants: usize,
+        bytes: u64,
+        plan: &FaultPlan,
+        t: u64,
+    ) -> u64 {
+        let live = self.live_participants(participants, plan, t);
         if plan.ctrl_outage {
-            self.sw_broadcast(participants, bytes)
+            self.sw_broadcast(live, bytes)
         } else {
-            self.hw_broadcast(participants, bytes)
+            self.hw_broadcast(live, bytes)
         }
     }
 
     /// Reduction under a fault plan (see [`FatTree::broadcast_time`]).
     pub fn reduce_time(&self, participants: usize, bytes: u64, plan: &FaultPlan) -> u64 {
+        self.reduce_time_at(participants, bytes, plan, 0)
+    }
+
+    /// [`FatTree::reduce_time`] evaluated at time `t` (dead leaves folded
+    /// out, like [`FatTree::broadcast_time_at`]).
+    pub fn reduce_time_at(&self, participants: usize, bytes: u64, plan: &FaultPlan, t: u64) -> u64 {
+        let live = self.live_participants(participants, plan, t);
         if plan.ctrl_outage {
-            self.sw_reduce(participants, bytes)
+            self.sw_reduce(live, bytes)
         } else {
-            self.hw_reduce(participants, bytes)
+            self.hw_reduce(live, bytes)
         }
     }
 
@@ -389,6 +418,33 @@ mod tests {
         assert_eq!(t.reduce_time(32, 64, &degraded), t.sw_reduce(32, 64));
         // Degradation is measurable: the fallback costs strictly more.
         assert!(t.broadcast_time(32, 64, &degraded) > t.broadcast_time(32, 64, &healthy));
+    }
+
+    #[test]
+    fn dead_leaves_fold_out_of_collectives() {
+        let t = ft();
+        let plan = FaultPlan {
+            node_deaths: vec![
+                crate::NodeDeath { node: 3, t: 1_000 },
+                crate::NodeDeath { node: 7, t: 5_000 },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_eq!(t.live_participants(32, &plan, 0), 32);
+        assert_eq!(
+            t.live_participants(32, &plan, 1_000),
+            31,
+            "death at t strikes at t"
+        );
+        assert_eq!(t.live_participants(32, &plan, 10_000), 30);
+        // Before any death the timed collective equals the plain one…
+        assert_eq!(
+            t.broadcast_time_at(32, 64, &plan, 0),
+            t.broadcast_time(32, 64, &plan)
+        );
+        // …after the deaths the collective shrinks, so it cannot cost more.
+        assert!(t.broadcast_time_at(32, 64, &plan, 10_000) <= t.broadcast_time(32, 64, &plan));
+        assert_eq!(t.reduce_time_at(32, 64, &plan, 10_000), t.hw_reduce(30, 64));
     }
 
     #[test]

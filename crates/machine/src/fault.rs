@@ -16,6 +16,11 @@
 //! * **control-network outage** — the CM-5 degraded mode in which
 //!   hardware collectives are unavailable and [`crate::FatTree`] falls
 //!   back to software binomial trees over the data network;
+//! * **permanent node deaths** — a [`NodeDeath`] kills a node for good at
+//!   an absolute time; a failure detector with configurable
+//!   [`FaultPlan::detection_latency`] notices the death and triggers the
+//!   checkpoint/rollback recovery path
+//!   ([`crate::PhaseSim::simulate_phases_recovering`]);
 //! * a **retry policy** — timeout plus exponential backoff, with a hard
 //!   attempt cap after which the transport escalates to a reliable
 //!   channel (the attempt is forced through), so delivery is guaranteed
@@ -23,7 +28,9 @@
 //!
 //! [`crate::PhaseSim::simulate_phase_faulty`] consumes the plan and
 //! returns a [`FaultReport`] with full makespan accounting, so the cost
-//! of degradation is measurable (see the `faultsweep` bench bin).
+//! of degradation is measurable (see the `faultsweep` and `recoverysweep`
+//! bench bins). Recovery outcomes (rollbacks, replayed phases, lost work)
+//! land in the embedded [`RecoveryReport`].
 
 /// A window `[from, until)` of simulated time during which a directed
 /// link is dead.
@@ -47,6 +54,19 @@ pub struct NodeOutage {
     pub from: u64,
     /// End of the outage (exclusive), in ns.
     pub until: u64,
+}
+
+/// A permanent node failure: from time `t` on, the node never sends or
+/// receives again. Unlike a [`NodeOutage`] window, a death is only
+/// survivable by rolling back to a checkpoint and folding the dead
+/// node's work onto survivors
+/// ([`crate::PhaseSim::simulate_phases_recovering`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDeath {
+    /// Flattened node id.
+    pub node: usize,
+    /// Time of death (inclusive), in ns.
+    pub t: u64,
 }
 
 /// Retransmission policy: timeout, exponential backoff, and a hard
@@ -112,6 +132,12 @@ pub struct FaultPlan {
     pub link_outages: Vec<LinkOutage>,
     /// Dead-node windows.
     pub node_outages: Vec<NodeOutage>,
+    /// Permanent node deaths (recoverable only via checkpoint/rollback).
+    pub node_deaths: Vec<NodeDeath>,
+    /// Failure-detector latency in ns: a death at `t` is *detected* at
+    /// `t + detection_latency`; until then the scheduler keeps sending
+    /// into the dead node and that work is lost on rollback.
+    pub detection_latency: u64,
     /// CM-5 degraded mode: the control network is unavailable and
     /// hardware collectives fall back to software binomial trees.
     pub ctrl_outage: bool,
@@ -129,6 +155,8 @@ impl FaultPlan {
             dup_prob: 0.0,
             link_outages: Vec::new(),
             node_outages: Vec::new(),
+            node_deaths: Vec::new(),
+            detection_latency: 0,
             ctrl_outage: false,
             retry: RetryPolicy::default(),
         }
@@ -149,6 +177,7 @@ impl FaultPlan {
             && self.dup_prob <= 0.0
             && self.link_outages.is_empty()
             && self.node_outages.is_empty()
+            && self.node_deaths.is_empty()
     }
 
     /// Is `link` dead at time `t`?
@@ -169,18 +198,25 @@ impl FaultPlan {
             .min()
     }
 
-    /// Is `node` dead at time `t`?
+    /// Is `node` dead at time `t` — inside an outage window *or* past a
+    /// permanent death?
     #[inline]
     pub fn node_dead_at(&self, node: usize, t: u64) -> bool {
         self.node_outages
             .iter()
             .any(|o| o.node == node && o.from <= t && t < o.until)
+            || self.node_deaths.iter().any(|d| d.node == node && t >= d.t)
     }
 
     /// Earliest time ≥ `t` at which `node` is alive (nested / overlapping
-    /// windows are chased to a fixed point).
+    /// windows are chased to a fixed point). A node past a permanent
+    /// death never comes back: the result is `u64::MAX`, consistent with
+    /// [`FaultPlan::node_dead_at`] returning `true` forever.
     pub fn node_alive_after(&self, node: usize, mut t: u64) -> u64 {
         loop {
+            if self.node_deaths.iter().any(|d| d.node == node && t >= d.t) {
+                return u64::MAX;
+            }
             let Some(o) = self
                 .node_outages
                 .iter()
@@ -190,6 +226,92 @@ impl FaultPlan {
             };
             t = o.until;
         }
+    }
+
+    /// Time of `node`'s permanent death, if the plan kills it (earliest,
+    /// should the plan list several).
+    pub fn death_time(&self, node: usize) -> Option<u64> {
+        self.node_deaths
+            .iter()
+            .filter(|d| d.node == node)
+            .map(|d| d.t)
+            .min()
+    }
+
+    /// Time at which the failure detector notices a death at `t`
+    /// (saturating).
+    #[inline]
+    pub fn detection_time(&self, t: u64) -> u64 {
+        t.saturating_add(self.detection_latency)
+    }
+}
+
+/// Deterministic fold target for a dead node on a `px × py` mesh: the
+/// live node (not in `dead`) nearest in Manhattan distance, ties broken
+/// by the smaller node id. This is the rule both the simulator's message
+/// folding and the core remapper's degraded-grid placement share, so the
+/// two sides agree on where a dead node's work lands. Returns `None`
+/// only when every node is dead.
+pub fn fold_target(px: usize, py: usize, node: usize, dead: &[usize]) -> Option<usize> {
+    let (nx, ny) = ((node % px) as i64, (node / px) as i64);
+    let mut best: Option<(i64, usize)> = None;
+    for id in 0..px * py {
+        if dead.contains(&id) {
+            continue;
+        }
+        let (x, y) = ((id % px) as i64, (id / px) as i64);
+        let d = (x - nx).abs() + (y - ny).abs();
+        if best.is_none_or(|(bd, bid)| (d, id) < (bd, bid)) {
+            best = Some((d, id));
+        }
+    }
+    best.map(|(_, id)| id)
+}
+
+/// Accounting of the checkpoint/rollback recovery path
+/// ([`crate::PhaseSim::simulate_phases_recovering`]). Absorbed into
+/// [`FaultReport`] so one report covers both transport-level faults and
+/// node-loss recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Permanent deaths that struck the run (a planned death scheduled
+    /// past the committed end never happened to this run).
+    pub deaths: usize,
+    /// Deaths the failure detector noticed (every death inside the run).
+    pub detected: usize,
+    /// Rollbacks to a checkpoint.
+    pub rollbacks: usize,
+    /// Phases re-executed after a rollback.
+    pub replayed_phases: usize,
+    /// Committed-then-undone simulated time, in ns (work between the
+    /// restored checkpoint and the detection point).
+    pub lost_work_ns: u64,
+    /// Checkpoints taken.
+    pub checkpoints: usize,
+    /// Time spent writing checkpoints, in ns (kept out of `makespan` so
+    /// zero-death runs stay bit-identical to the unfaulted scheduler).
+    pub checkpoint_overhead_ns: u64,
+    /// Dead nodes whose traffic was folded onto survivors.
+    pub folded_nodes: usize,
+}
+
+impl RecoveryReport {
+    /// `true` when every injected death was detected and survived via a
+    /// rollback (vacuously true for a death-free run).
+    pub fn all_recovered(&self) -> bool {
+        self.detected == self.deaths && self.rollbacks >= self.detected
+    }
+
+    /// Sum another recovery report into this one.
+    pub fn absorb(&mut self, other: &RecoveryReport) {
+        self.deaths += other.deaths;
+        self.detected += other.detected;
+        self.rollbacks += other.rollbacks;
+        self.replayed_phases += other.replayed_phases;
+        self.lost_work_ns += other.lost_work_ns;
+        self.checkpoints += other.checkpoints;
+        self.checkpoint_overhead_ns += other.checkpoint_overhead_ns;
+        self.folded_nodes += other.folded_nodes;
     }
 }
 
@@ -220,6 +342,12 @@ pub struct FaultReport {
     pub deferrals: u64,
     /// Attempts forced through the reliable channel at the attempt cap.
     pub escalations: u64,
+    /// Messages sent into a permanently dead endpoint before the failure
+    /// detector fired (black-holed: counted under `lost`).
+    pub black_holes: u64,
+    /// Checkpoint/rollback accounting (all-zero outside the recovery
+    /// path).
+    pub recovery: RecoveryReport,
 }
 
 impl FaultReport {
@@ -230,6 +358,13 @@ impl FaultReport {
         } else {
             self.delivered as f64 / self.messages as f64
         }
+    }
+
+    /// Committed makespan plus the recovery costs that don't show up in
+    /// it: undone work and checkpoint writes. This is what a wall clock
+    /// would measure across the whole run, rollbacks included.
+    pub fn wall_clock_ns(&self) -> u64 {
+        self.makespan + self.recovery.lost_work_ns + self.recovery.checkpoint_overhead_ns
     }
 
     /// Fold another phase's report into this one (makespans add —
@@ -245,6 +380,8 @@ impl FaultReport {
         self.reroutes += other.reroutes;
         self.deferrals += other.deferrals;
         self.escalations += other.escalations;
+        self.black_holes += other.black_holes;
+        self.recovery.absorb(&other.recovery);
     }
 }
 
@@ -299,6 +436,85 @@ mod tests {
     }
 
     #[test]
+    fn permanent_death_is_forever() {
+        let mut p = FaultPlan::none();
+        p.node_deaths.push(NodeDeath { node: 7, t: 1_000 });
+        assert!(!p.is_zero_fault());
+        assert!(!p.node_dead_at(7, 999));
+        assert!(p.node_dead_at(7, 1_000));
+        assert!(p.node_dead_at(7, u64::MAX));
+        assert!(!p.node_dead_at(8, 1_000));
+        assert_eq!(p.node_alive_after(7, 999), 999);
+        assert_eq!(p.node_alive_after(7, 1_000), u64::MAX);
+        assert_eq!(p.death_time(7), Some(1_000));
+        assert_eq!(p.death_time(8), None);
+    }
+
+    #[test]
+    fn death_at_outage_window_boundary() {
+        // A death exactly at `until` of an outage window: the window
+        // chase lands on `until`, which is the instant the node dies —
+        // it must never be reported alive again.
+        let mut p = FaultPlan::none();
+        p.node_outages.push(NodeOutage {
+            node: 3,
+            from: 100,
+            until: 200,
+        });
+        p.node_deaths.push(NodeDeath { node: 3, t: 200 });
+        assert!(p.node_dead_at(3, 150));
+        assert!(p.node_dead_at(3, 200));
+        assert_eq!(p.node_alive_after(3, 150), u64::MAX);
+        // Death *inside* the window: same answer — dead_at stays true
+        // across the `until` boundary where the window alone would end.
+        let mut q = FaultPlan::none();
+        q.node_outages.push(NodeOutage {
+            node: 3,
+            from: 100,
+            until: 200,
+        });
+        q.node_deaths.push(NodeDeath { node: 3, t: 150 });
+        assert!(q.node_dead_at(3, 199));
+        assert!(q.node_dead_at(3, 200));
+        assert_eq!(q.node_alive_after(3, 120), u64::MAX);
+        assert_eq!(q.node_alive_after(3, 99), 99);
+        // Death strictly after the window: the chase exits the window
+        // first, then sees the node still alive until `t`.
+        let mut r = FaultPlan::none();
+        r.node_outages.push(NodeOutage {
+            node: 3,
+            from: 100,
+            until: 200,
+        });
+        r.node_deaths.push(NodeDeath { node: 3, t: 300 });
+        assert_eq!(r.node_alive_after(3, 150), 200);
+        assert!(!r.node_dead_at(3, 250));
+        assert!(r.node_dead_at(3, 300));
+    }
+
+    #[test]
+    fn detection_time_saturates() {
+        let mut p = FaultPlan::none();
+        p.detection_latency = 500;
+        assert_eq!(p.detection_time(1_000), 1_500);
+        assert_eq!(p.detection_time(u64::MAX - 10), u64::MAX);
+    }
+
+    #[test]
+    fn fold_target_nearest_survivor() {
+        // 4×4 mesh, node 5 = (1, 1) dies: nearest live neighbours are
+        // 1, 4, 6, 9 at distance 1 — smallest id wins.
+        assert_eq!(fold_target(4, 4, 5, &[5]), Some(1));
+        // With 1 and 4 also dead, 6 is the nearest survivor.
+        assert_eq!(fold_target(4, 4, 5, &[5, 1, 4]), Some(6));
+        // A live node folds onto itself (distance 0).
+        assert_eq!(fold_target(4, 4, 5, &[2]), Some(5));
+        // Everyone dead → no target.
+        let all: Vec<usize> = (0..4).collect();
+        assert_eq!(fold_target(2, 2, 0, &all), None);
+    }
+
+    #[test]
     fn backoff_is_exponential_and_saturating() {
         let r = RetryPolicy {
             enabled: true,
@@ -340,5 +556,41 @@ mod tests {
         assert_eq!(a.lost, 1);
         assert!((a.delivered_fraction() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(FaultReport::default().delivered_fraction(), 1.0);
+    }
+
+    #[test]
+    fn recovery_absorb_and_wall_clock() {
+        let mut a = FaultReport {
+            makespan: 100,
+            recovery: RecoveryReport {
+                deaths: 1,
+                detected: 1,
+                rollbacks: 1,
+                replayed_phases: 2,
+                lost_work_ns: 40,
+                checkpoints: 3,
+                checkpoint_overhead_ns: 9,
+                folded_nodes: 1,
+            },
+            ..FaultReport::default()
+        };
+        assert!(a.recovery.all_recovered());
+        assert_eq!(a.wall_clock_ns(), 149);
+        let b = FaultReport {
+            makespan: 50,
+            recovery: RecoveryReport {
+                deaths: 1,
+                detected: 0,
+                ..RecoveryReport::default()
+            },
+            ..FaultReport::default()
+        };
+        assert!(!b.recovery.all_recovered());
+        a.absorb(&b);
+        assert_eq!(a.makespan, 150);
+        assert_eq!(a.recovery.deaths, 2);
+        assert_eq!(a.recovery.detected, 1);
+        assert_eq!(a.recovery.lost_work_ns, 40);
+        assert!(RecoveryReport::default().all_recovered());
     }
 }

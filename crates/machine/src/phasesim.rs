@@ -25,10 +25,11 @@
 //! route table once, so each replay is a linear scan with no routing
 //! arithmetic at all.
 
-use crate::fault::{FaultPlan, FaultReport};
+use crate::fault::{fold_target, FaultPlan, FaultReport};
 use crate::mesh::{Mesh2D, RouteLinks};
 use crate::model::PMsg;
 use crate::rng::XorShift64;
+use std::collections::VecDeque;
 
 /// Reusable scratch state for simulating mesh communication phases.
 #[derive(Debug, Clone)]
@@ -170,7 +171,11 @@ impl PhaseSim {
     ///   delivered exactly once** whatever the drop probability;
     /// * a delivered message is **duplicated** with `dup_prob` (a lost
     ///   acknowledgement); the receiver deduplicates, so the duplicate
-    ///   wastes bandwidth without double-delivering.
+    ///   wastes bandwidth without double-delivering;
+    /// * a message whose endpoint is **permanently dead** at send time
+    ///   ([`crate::NodeDeath`]) is black-holed: counted under `lost` and
+    ///   `black_holes`. Surviving a permanent death needs the rollback
+    ///   path, [`PhaseSim::simulate_phases_recovering`].
     ///
     /// A [`FaultPlan::is_zero_fault`] plan takes none of these branches
     /// and produces a makespan **bit-identical** to
@@ -209,6 +214,15 @@ impl PhaseSim {
                 let alive = plan
                     .node_alive_after(m.src, next_send)
                     .max(plan.node_alive_after(m.dst, next_send));
+                if alive == u64::MAX {
+                    // A permanently dead endpoint never comes back: the
+                    // message is black-holed (counted lost), not deferred
+                    // forever. Recovering from this requires the
+                    // checkpoint/rollback path.
+                    rep.lost += 1;
+                    rep.black_holes += 1;
+                    break;
+                }
                 if alive > next_send {
                     rep.deferrals += 1;
                     next_send = alive;
@@ -295,6 +309,192 @@ impl PhaseSim {
         total
     }
 
+    /// Take a phase-boundary snapshot of the engine and the committed
+    /// run so far.
+    fn checkpoint(&self, phase: usize, elapsed: u64, report: FaultReport) -> Checkpoint {
+        Checkpoint {
+            phase,
+            elapsed,
+            report,
+            free: self.free.clone(),
+            stamp: self.stamp.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Restore the engine's link-clock state from a snapshot.
+    fn restore(&mut self, c: &Checkpoint) {
+        self.free.copy_from_slice(&c.free);
+        self.stamp.copy_from_slice(&c.stamp);
+        self.epoch = c.epoch;
+    }
+
+    /// Simulate dependent phases under a [`FaultPlan`] that may contain
+    /// **permanent node deaths**, surviving them end-to-end via
+    /// checkpoint/rollback:
+    ///
+    /// * at every `policy.interval`-th phase boundary the engine takes a
+    ///   [`Checkpoint`] (committed clock, committed report, link-clock
+    ///   scratch), keeping a bounded ring of the `policy.ring` most
+    ///   recent ones;
+    /// * a death at `t` becomes visible to the failure detector at
+    ///   `t + detection_latency` ([`FaultPlan::detection_time`]). When
+    ///   detection falls inside the simulated span, the run **rolls
+    ///   back** to the newest checkpoint taken at-or-before the death
+    ///   (hence the ring — the detection point may be several intervals
+    ///   past the death), folds the dead node's traffic onto its nearest
+    ///   survivor ([`fold_target`]) and resumes from there;
+    /// * the final report describes the **committed** run only — the
+    ///   exactly-once delivery guarantee and the zero-death bit-identity
+    ///   with [`PhaseSim::simulate_phases`] hold — while undone work,
+    ///   rollback counts, replayed phases and checkpoint overhead are
+    ///   accounted separately in [`crate::RecoveryReport`]
+    ///   (`report.recovery`; see [`FaultReport::wall_clock_ns`]).
+    ///
+    /// Recovery is phase-granular: a phase in flight when a death is
+    /// detected is discarded wholesale and its makespan counted as lost
+    /// work. Replayed phases reuse the per-phase seed (`seed + i`), so
+    /// the whole run — rollbacks included — is deterministic.
+    pub fn simulate_phases_recovering(
+        &mut self,
+        phases: &[Vec<PMsg>],
+        plan: &FaultPlan,
+        policy: &CheckpointPolicy,
+    ) -> FaultReport {
+        let interval = policy.interval.max(1);
+        let ring_cap = policy.ring.max(1);
+        let (px, py) = (self.mesh.px, self.mesh.py);
+        // Deaths are handled at this level: the per-phase transport must
+        // not black-hole traffic to a not-yet-detected dead node (that
+        // work is lost on rollback instead).
+        let inner = FaultPlan {
+            node_deaths: Vec::new(),
+            ..plan.clone()
+        };
+        let mut total = FaultReport::default();
+        let mut handled = vec![false; plan.node_deaths.len()];
+        let mut dead: Vec<usize> = Vec::new();
+        let mut ring: VecDeque<Checkpoint> = VecDeque::new();
+        let mut now = 0u64;
+        // Highest phase index committed so far (exclusive): commits below
+        // it are re-executions after a rollback.
+        let mut frontier = 0usize;
+        let mut i = 0usize;
+        loop {
+            let mut phase_end = now;
+            let mut phase_rep: Option<(FaultReport, usize)> = None;
+            if i < phases.len() {
+                // Checkpoint at the boundary (unless the rollback we just
+                // took restored exactly this point — its snapshot is
+                // already the ring's newest entry).
+                if i % interval == 0 && ring.back().is_none_or(|c| c.phase != i || c.elapsed != now)
+                {
+                    if ring.len() == ring_cap {
+                        ring.pop_front();
+                    }
+                    ring.push_back(self.checkpoint(i, now, total));
+                    total.recovery.checkpoints += 1;
+                    total.recovery.checkpoint_overhead_ns += policy.cost_ns;
+                }
+                // Fold traffic of already-detected dead nodes onto their
+                // nearest survivors; a message with no possible target
+                // (all nodes dead) is black-holed.
+                let mut folded = Vec::new();
+                let mut dropped = 0usize;
+                let msgs: &[PMsg] = if dead.is_empty() {
+                    &phases[i]
+                } else {
+                    for m in &phases[i] {
+                        let src = if dead.contains(&m.src) {
+                            fold_target(px, py, m.src, &dead)
+                        } else {
+                            Some(m.src)
+                        };
+                        let dst = if dead.contains(&m.dst) {
+                            fold_target(px, py, m.dst, &dead)
+                        } else {
+                            Some(m.dst)
+                        };
+                        match (src, dst) {
+                            (Some(src), Some(dst)) => folded.push(PMsg { src, dst, ..*m }),
+                            _ => dropped += 1,
+                        }
+                    }
+                    &folded
+                };
+                let rep = self.simulate_phase_faulty_seeded(
+                    msgs,
+                    &inner,
+                    plan.seed.wrapping_add(i as u64),
+                );
+                phase_end = now + rep.makespan;
+                phase_rep = Some((rep, dropped));
+            }
+            // Earliest unhandled death the detector can see: inside the
+            // span this phase would commit, or — once all phases are done
+            // — anywhere inside the committed run (a death near the end
+            // whose detection latency reaches past it still recovers).
+            let visible = plan
+                .node_deaths
+                .iter()
+                .enumerate()
+                .filter(|(k, d)| {
+                    !handled[*k]
+                        && if phase_rep.is_some() {
+                            plan.detection_time(d.t) <= phase_end
+                        } else {
+                            d.t < now
+                        }
+                })
+                .min_by_key(|(_, d)| (d.t, d.node));
+            if let Some((k, d)) = visible {
+                handled[k] = true;
+                total.recovery.detected += 1;
+                if !dead.contains(&d.node) {
+                    dead.push(d.node);
+                    total.recovery.folded_nodes += 1;
+                }
+                // Roll back to the newest checkpoint at-or-before the
+                // death; if the ring already evicted it, the oldest
+                // surviving snapshot is the best we can do.
+                let pos = ring.iter().rposition(|c| c.elapsed <= d.t).unwrap_or(0);
+                ring.truncate(pos + 1);
+                let c = ring.back().expect("phase 0 is always checkpointed");
+                total.recovery.lost_work_ns += phase_end - c.elapsed;
+                let recovery = total.recovery;
+                total = c.report;
+                total.recovery = recovery;
+                total.recovery.rollbacks += 1;
+                now = c.elapsed;
+                i = c.phase;
+                self.restore(c);
+                continue;
+            }
+            let Some((rep, dropped)) = phase_rep else {
+                break;
+            };
+            // Commit the phase.
+            total.absorb(&rep);
+            total.messages += dropped;
+            total.lost += dropped;
+            total.black_holes += dropped as u64;
+            now = phase_end;
+            if i < frontier {
+                total.recovery.replayed_phases += 1;
+            } else {
+                frontier = i + 1;
+            }
+            i += 1;
+        }
+        // Only deaths that struck the run count: one scheduled past the
+        // committed end never happened to this run. Struck ≡ handled —
+        // any death inside the committed span is caught by the final
+        // sweep, and a handled one caused a real rollback even if folding
+        // then shortened the schedule past its timestamp.
+        total.recovery.deaths = handled.iter().filter(|&&h| h).count();
+        total
+    }
+
     /// Replay a precompiled phase (see [`CachedPhase`]).
     pub fn run_cached(&mut self, phase: &CachedPhase) -> u64 {
         self.run_cached_scaled(phase, 1)
@@ -321,6 +521,62 @@ impl PhaseSim {
             makespan = makespan.max(end);
         }
         makespan
+    }
+}
+
+/// When and how often [`PhaseSim::simulate_phases_recovering`] takes
+/// checkpoints, and how many it keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint every `interval` phases (clamped to ≥ 1). Small
+    /// intervals bound lost work; large ones bound overhead.
+    pub interval: usize,
+    /// Number of recent checkpoints retained (clamped to ≥ 1). The ring
+    /// must reach back past the failure detector's latency, or a rollback
+    /// falls back to the oldest surviving snapshot and loses more work.
+    pub ring: usize,
+    /// Simulated cost of writing one checkpoint, in ns. Accounted in
+    /// [`crate::RecoveryReport::checkpoint_overhead_ns`], *not* in the
+    /// makespan — zero-death runs stay bit-identical to the unfaulted
+    /// scheduler.
+    pub cost_ns: u64,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            interval: 4,
+            ring: 8,
+            cost_ns: 25_000, // ≈ one message start-up per snapshot
+        }
+    }
+}
+
+/// A phase-boundary snapshot of the committed run: enough to roll the
+/// engine and the accounting back and replay from here.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Next phase to execute when restored.
+    phase: usize,
+    /// Committed simulated time at the boundary, in ns.
+    elapsed: u64,
+    /// Committed fault accounting at the boundary.
+    report: FaultReport,
+    /// Link-clock scratch state (valid where `stamp` matches `epoch`).
+    free: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Checkpoint {
+    /// The phase this snapshot resumes at.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Committed simulated time at the snapshot, in ns.
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
     }
 }
 
@@ -643,6 +899,192 @@ mod tests {
         // Zero-fault multi-phase equals the unfaulted total.
         let rep = sim.simulate_phases_faulty(&phases, &crate::FaultPlan::none());
         assert_eq!(rep.makespan, m.simulate_phases(&phases));
+    }
+
+    #[test]
+    fn dead_endpoint_black_holes_without_recovery() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let mut plan = crate::FaultPlan::none();
+        plan.node_deaths.push(crate::NodeDeath { node: 5, t: 0 });
+        let msgs = [
+            PMsg {
+                src: 0,
+                dst: 5,
+                bytes: 64,
+            },
+            PMsg {
+                src: 2,
+                dst: 3,
+                bytes: 64,
+            },
+        ];
+        let rep = sim.simulate_phase_faulty(&msgs, &plan);
+        assert_eq!(rep.messages, 2);
+        assert_eq!(rep.delivered, 1);
+        assert_eq!(rep.lost, 1);
+        assert_eq!(rep.black_holes, 1);
+    }
+
+    #[test]
+    fn zero_death_recovery_bit_identical() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..10).map(|s| mixed_phase(&m, 12, s)).collect();
+        let policy = CheckpointPolicy::default();
+        let rep = sim.simulate_phases_recovering(&phases, &crate::FaultPlan::none(), &policy);
+        assert_eq!(rep.makespan, m.simulate_phases(&phases));
+        assert_eq!(rep.recovery.rollbacks, 0);
+        assert_eq!(rep.recovery.lost_work_ns, 0);
+        assert!(rep.recovery.checkpoints > 0);
+        assert!(rep.wall_clock_ns() > rep.makespan, "overhead is accounted");
+        // Transport faults without deaths: same as simulate_phases_faulty.
+        let plan = crate::FaultPlan::with_drop(3, 0.2);
+        let a = sim.simulate_phases_recovering(&phases, &plan, &policy);
+        let b = sim.simulate_phases_faulty(&phases, &plan);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.delivered, b.delivered);
+    }
+
+    #[test]
+    fn death_mid_run_is_recovered() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..12).map(|s| mixed_phase(&m, 10, s)).collect();
+        let healthy = m.simulate_phases(&phases);
+        let mut plan = crate::FaultPlan::none();
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 5,
+            t: healthy / 2,
+        });
+        plan.detection_latency = 10_000;
+        let rep = sim.simulate_phases_recovering(&phases, &plan, &CheckpointPolicy::default());
+        assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        assert_eq!(rep.recovery.deaths, 1);
+        assert_eq!(rep.recovery.rollbacks, 1);
+        assert_eq!(rep.recovery.folded_nodes, 1);
+        assert!(rep.recovery.lost_work_ns > 0);
+        assert!(rep.recovery.replayed_phases > 0);
+        // Exactly-once on the committed run, with no black holes: every
+        // message was folded onto a survivor before the replay.
+        assert_eq!(rep.delivered, rep.messages);
+        assert_eq!(rep.lost, 0);
+        assert_eq!(rep.black_holes, 0);
+        // Determinism: the identical plan replays bit-for-bit.
+        let again = sim.simulate_phases_recovering(&phases, &plan, &CheckpointPolicy::default());
+        assert_eq!(rep, again);
+    }
+
+    #[test]
+    fn death_near_end_detected_by_final_sweep() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..6).map(|s| mixed_phase(&m, 10, s)).collect();
+        let healthy = m.simulate_phases(&phases);
+        // Death just before the end, detection latency far past it: only
+        // the end-of-run sweep can catch this one.
+        let mut plan = crate::FaultPlan::none();
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 9,
+            t: healthy.saturating_sub(1),
+        });
+        plan.detection_latency = u64::MAX / 2;
+        let rep = sim.simulate_phases_recovering(&phases, &plan, &CheckpointPolicy::default());
+        assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        assert_eq!(rep.delivered, rep.messages);
+    }
+
+    #[test]
+    fn tiny_ring_still_recovers_with_more_lost_work() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..16).map(|s| mixed_phase(&m, 10, s)).collect();
+        let healthy = m.simulate_phases(&phases);
+        let mut plan = crate::FaultPlan::none();
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 2,
+            t: healthy / 4,
+        });
+        // Detection long after the death: a deep ring can roll back to
+        // just before the death; a 1-deep ring must fall back to its only
+        // (more recent... or evicted-to-oldest) snapshot.
+        plan.detection_latency = healthy / 2;
+        let deep = CheckpointPolicy {
+            interval: 1,
+            ring: 64,
+            cost_ns: 0,
+        };
+        let shallow = CheckpointPolicy {
+            interval: 1,
+            ring: 1,
+            cost_ns: 0,
+        };
+        let a = sim.simulate_phases_recovering(&phases, &plan, &deep);
+        let b = sim.simulate_phases_recovering(&phases, &plan, &shallow);
+        assert!(a.recovery.all_recovered());
+        assert!(b.recovery.all_recovered());
+        // With ring=1 the only snapshot is the most recent boundary,
+        // which is *after* the death — the replay restarts there anyway
+        // (best effort) and both runs still deliver everything.
+        assert_eq!(a.delivered, a.messages);
+        assert_eq!(b.delivered, b.messages);
+    }
+
+    #[test]
+    fn checkpoint_interval_trades_overhead_for_lost_work() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..24).map(|s| mixed_phase(&m, 10, s)).collect();
+        let healthy = m.simulate_phases(&phases);
+        let mut plan = crate::FaultPlan::none();
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 6,
+            t: healthy / 2,
+        });
+        let fine = CheckpointPolicy {
+            interval: 1,
+            ring: 64,
+            cost_ns: 25_000,
+        };
+        let coarse = CheckpointPolicy {
+            interval: 12,
+            ring: 64,
+            cost_ns: 25_000,
+        };
+        let a = sim.simulate_phases_recovering(&phases, &plan, &fine);
+        let b = sim.simulate_phases_recovering(&phases, &plan, &coarse);
+        assert!(a.recovery.checkpoints > b.recovery.checkpoints);
+        assert!(a.recovery.checkpoint_overhead_ns > b.recovery.checkpoint_overhead_ns);
+        assert!(
+            a.recovery.lost_work_ns <= b.recovery.lost_work_ns,
+            "finer checkpoints cannot lose more work: {} vs {}",
+            a.recovery.lost_work_ns,
+            b.recovery.lost_work_ns
+        );
+    }
+
+    #[test]
+    fn two_deaths_fold_onto_survivors() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..12).map(|s| mixed_phase(&m, 12, s)).collect();
+        let healthy = m.simulate_phases(&phases);
+        let mut plan = crate::FaultPlan::none();
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 5,
+            t: healthy / 4,
+        });
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 10,
+            t: healthy / 2,
+        });
+        let rep = sim.simulate_phases_recovering(&phases, &plan, &CheckpointPolicy::default());
+        assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        assert_eq!(rep.recovery.deaths, 2);
+        assert_eq!(rep.recovery.folded_nodes, 2);
+        assert!(rep.recovery.rollbacks >= 2);
+        assert_eq!(rep.delivered, rep.messages);
+        assert_eq!(rep.black_holes, 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Parallel parameter sweeps with std scoped threads.
+//! Parallel parameter sweeps with std scoped threads, plus the
+//! deterministic fault-schedule generators the sweeps share.
 //!
 //! The benchmark harness evaluates many (machine, distribution, k, size)
 //! configurations; each simulation is independent, so we fan them out over
@@ -7,6 +8,37 @@
 //! gives every worker a private scratch state (e.g. a
 //! [`crate::PhaseSim`]), so per-simulation allocations are paid once per
 //! thread instead of once per configuration.
+
+use crate::fault::NodeDeath;
+use crate::rng::XorShift64;
+
+/// A deterministic mean-time-to-failure death schedule: one death every
+/// `mttf_ns` until `horizon_ns`, striking nodes in a seeded random
+/// permutation (so repeated deaths never hit the same node), capped at
+/// half the machine so a fold target always survives.
+pub fn mttf_death_schedule(
+    nodes: usize,
+    mttf_ns: u64,
+    horizon_ns: u64,
+    seed: u64,
+) -> Vec<NodeDeath> {
+    let mut rng = XorShift64::new(seed);
+    let mut order: Vec<usize> = (0..nodes).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let mttf_ns = mttf_ns.max(1);
+    let mut deaths = Vec::new();
+    let mut t = mttf_ns;
+    while t < horizon_ns && deaths.len() < nodes / 2 {
+        deaths.push(NodeDeath {
+            node: order[deaths.len()],
+            t,
+        });
+        t = t.saturating_add(mttf_ns);
+    }
+    deaths
+}
 
 /// Run `f` over every config on `threads` worker threads (chunked
 /// statically), preserving input order in the output.
@@ -93,6 +125,27 @@ mod tests {
     fn more_threads_than_work() {
         let configs = vec![1u64, 2];
         assert_eq!(par_sweep(&configs, 64, |&c| c + 1), vec![2, 3]);
+    }
+
+    #[test]
+    fn mttf_schedule_is_deterministic_and_bounded() {
+        let a = mttf_death_schedule(32, 10_000, 200_000, 0xfeed);
+        let b = mttf_death_schedule(32, 10_000, 200_000, 0xfeed);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty());
+        assert!(a.len() <= 16, "never kills more than half the machine");
+        // Distinct nodes, strictly increasing strike times.
+        for w in a.windows(2) {
+            assert!(w[0].t < w[1].t);
+        }
+        let mut nodes: Vec<usize> = a.iter().map(|d| d.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), a.len());
+        // A horizon shorter than the MTTF schedules nothing.
+        assert!(mttf_death_schedule(32, 300_000, 200_000, 1).is_empty());
+        // A zero MTTF is clamped instead of looping forever.
+        assert_eq!(mttf_death_schedule(4, 0, 10, 1).len(), 2);
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rescomm_machine::{
-    simulate_phases_batch, trace_phase, CachedPhase, CostModel, FatTree, FaultPlan, LinkOutage,
-    Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
+    simulate_phases_batch, trace_phase, CachedPhase, CheckpointPolicy, CostModel, FatTree,
+    FaultPlan, LinkOutage, Mesh2D, NodeDeath, NodeOutage, PMsg, PhaseSim, RetryPolicy,
 };
 
 fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
@@ -50,13 +50,13 @@ fn plans() -> impl Strategy<Value = FaultPlan> {
                         until: from + dur,
                     })
                     .collect(),
-                ctrl_outage: false,
                 retry: RetryPolicy {
                     enabled: true,
                     timeout,
                     backoff,
                     max_attempts,
                 },
+                ..FaultPlan::none()
             },
         )
 }
@@ -241,5 +241,61 @@ proptest! {
         prop_assert_eq!(rep.delivered + rep.lost, rep.messages);
         prop_assert_eq!(rep.escalations, 0);
         prop_assert_eq!(rep.retries, 0);
+    }
+
+    /// Checkpoint/restart under random deaths, transport faults and
+    /// checkpoint policies: every death is detected and recovered exactly
+    /// once, every message delivered to a live endpoint, and the whole
+    /// run replays bit-identically.
+    #[test]
+    fn recovery_is_deterministic_and_exactly_once(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        plan in plans(),
+        deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 1..3),
+        latency in 0u64..50_000,
+        policy_raw in (1usize..6, 1usize..6),
+    ) {
+        let (interval, ring) = policy_raw;
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh);
+        let mut plan = FaultPlan { detection_latency: latency, ..plan };
+        for (node, t) in deaths {
+            if !plan.node_deaths.iter().any(|d| d.node == node) {
+                plan.node_deaths.push(NodeDeath { node, t });
+            }
+        }
+        let phases = vec![a, b, c];
+        let policy = CheckpointPolicy { interval, ring, ..CheckpointPolicy::default() };
+        let rep = sim.simulate_phases_recovering(&phases, &plan, &policy);
+        prop_assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        prop_assert!(rep.recovery.deaths <= plan.node_deaths.len());
+        prop_assert_eq!(rep.delivered, rep.messages, "exactly-once delivery");
+        prop_assert_eq!(rep.black_holes, 0, "folding leaves no black holes");
+        prop_assert!(rep.wall_clock_ns() >= rep.makespan);
+        prop_assert_eq!(rep, sim.simulate_phases_recovering(&phases, &plan, &policy));
+    }
+
+    /// With no deaths in the plan, the recovering driver is bit-identical
+    /// to the plain faulty simulator — checkpointing costs nothing but
+    /// the bookkeeping it reports.
+    #[test]
+    fn zero_death_recovery_bit_identity(
+        a in msgs(32), b in msgs(32),
+        plan in plans(),
+        policy_raw in (1usize..6, 1usize..6),
+    ) {
+        let (interval, ring) = policy_raw;
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh);
+        let phases = vec![a, b];
+        let policy = CheckpointPolicy { interval, ring, ..CheckpointPolicy::default() };
+        let rec = sim.simulate_phases_recovering(&phases, &plan, &policy);
+        let base = sim.simulate_phases_faulty(&phases, &plan);
+        prop_assert_eq!(rec.makespan, base.makespan);
+        prop_assert_eq!(rec.delivered, base.delivered);
+        prop_assert_eq!(rec.lost, base.lost);
+        prop_assert_eq!(rec.recovery.rollbacks, 0);
+        prop_assert_eq!(rec.recovery.lost_work_ns, 0);
+        prop_assert!(rec.recovery.checkpoints > 0);
     }
 }
