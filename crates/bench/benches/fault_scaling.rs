@@ -1,0 +1,160 @@
+//! Criterion bench for the fault/recovery simulator: per-call oracle
+//! (`simulate_phases_faulty` / `simulate_phases_recovering`, one plan
+//! scan + route walk per call) vs the compiled batch engine
+//! ([`FaultSim`]: plan compiled to sorted interval buckets, phases
+//! compiled once to flat route slices), across replication counts and
+//! outage-schedule densities.
+//!
+//! `cargo bench -p rescomm-bench --bench fault_scaling`
+//!
+//! For machine-readable numbers, speedup ratios and the committed
+//! artifact, run the `fault_baseline` binary instead (it writes
+//! `BENCH_faultperf.json` and asserts bit-identity before timing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rescomm_machine::{
+    replication_seed, CheckpointPolicy, CostModel, FaultPlan, FaultSim, LinkOutage, Mesh2D,
+    NodeDeath, PMsg, PhaseSim, XorShift64,
+};
+use std::hint::black_box;
+
+/// Deterministic synthetic phase set on `nodes` processors.
+fn synth_phases(nodes: usize, n_phases: usize, per_phase: usize, seed: u64) -> Vec<Vec<PMsg>> {
+    let mut rng = XorShift64::new(seed);
+    (0..n_phases)
+        .map(|_| {
+            (0..per_phase)
+                .map(|_| PMsg {
+                    src: rng.below(nodes as u64) as usize,
+                    dst: rng.below(nodes as u64) as usize,
+                    bytes: 1 + rng.below(2048),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A fault plan with `outages` seeded link-outage windows, 20% drop and
+/// 2% duplication — the workload the plan compiler is built for.
+fn dense_plan(mesh: &Mesh2D, outages: usize) -> FaultPlan {
+    let mut rng = XorShift64::new(0xfa17_babe);
+    let link_outages = (0..outages)
+        .map(|_| {
+            let from = rng.below(600_000);
+            LinkOutage {
+                link: rng.below(mesh.link_count() as u64) as usize,
+                from,
+                until: from + 50_000 + rng.below(200_000),
+            }
+        })
+        .collect();
+    FaultPlan {
+        seed: 42,
+        drop_prob: 0.2,
+        dup_prob: 0.02,
+        link_outages,
+        ..FaultPlan::none()
+    }
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let phases = synth_phases(mesh.nodes(), 5, 56, 0xfa17);
+    let plan = dense_plan(&mesh, 48);
+    let mut g = c.benchmark_group("fault_replay");
+    for n in [4usize, 16, 64] {
+        let seeds: Vec<u64> = (0..n)
+            .map(|r| replication_seed(plan.seed, r as u64))
+            .collect();
+        let mut oracle = PhaseSim::new(mesh.clone());
+        g.bench_with_input(BenchmarkId::new("oracle", n), &seeds, |b, seeds| {
+            b.iter(|| {
+                for &seed in seeds {
+                    black_box(oracle.simulate_phases_faulty(
+                        &phases,
+                        &FaultPlan {
+                            seed,
+                            ..plan.clone()
+                        },
+                    ));
+                }
+            })
+        });
+        let mut engine = FaultSim::new(&mesh, &phases, &plan);
+        g.bench_with_input(BenchmarkId::new("compiled", n), &seeds, |b, seeds| {
+            b.iter(|| black_box(engine.replay_faulty(seeds)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_outage_density(c: &mut Criterion) {
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let phases = synth_phases(mesh.nodes(), 5, 56, 0xfa17);
+    let mut g = c.benchmark_group("outage_density");
+    for outages in [4usize, 16, 64] {
+        let plan = dense_plan(&mesh, outages);
+        let mut oracle = PhaseSim::new(mesh.clone());
+        g.bench_with_input(BenchmarkId::new("oracle", outages), &plan, |b, plan| {
+            b.iter(|| black_box(oracle.simulate_phases_faulty(&phases, plan)))
+        });
+        let mut engine = FaultSim::new(&mesh, &phases, &plan);
+        g.bench_with_input(BenchmarkId::new("compiled", outages), &plan, |b, plan| {
+            b.iter(|| black_box(engine.run_faulty(plan.seed)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_recovering(c: &mut Criterion) {
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let phases = synth_phases(mesh.nodes(), 12, 48, 0x4ec0);
+    let healthy = mesh.simulate_phases(&phases);
+    let plan = FaultPlan {
+        node_deaths: vec![
+            NodeDeath {
+                node: 5,
+                t: healthy / 3,
+            },
+            NodeDeath {
+                node: 19,
+                t: 2 * healthy / 3,
+            },
+        ],
+        detection_latency: 5_000,
+        ..dense_plan(&mesh, 16)
+    };
+    let policy = CheckpointPolicy::default();
+    let seeds: Vec<u64> = (0..16)
+        .map(|r| replication_seed(plan.seed, r as u64))
+        .collect();
+    let mut g = c.benchmark_group("recovering_replay");
+    let mut oracle = PhaseSim::new(mesh.clone());
+    g.bench_with_input(BenchmarkId::new("oracle", 16), &seeds, |b, seeds| {
+        b.iter(|| {
+            for &seed in seeds {
+                black_box(oracle.simulate_phases_recovering(
+                    &phases,
+                    &FaultPlan {
+                        seed,
+                        ..plan.clone()
+                    },
+                    &policy,
+                ));
+            }
+        })
+    });
+    let mut engine = FaultSim::new(&mesh, &phases, &plan);
+    g.bench_with_input(BenchmarkId::new("compiled", 16), &seeds, |b, seeds| {
+        b.iter(|| black_box(engine.replay_recovering(&policy, seeds)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_replay,
+    bench_outage_density,
+    bench_recovering
+);
+criterion_main!(benches);

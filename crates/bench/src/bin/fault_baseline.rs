@@ -1,0 +1,313 @@
+//! Measure the compiled fault engine against the per-call oracles and
+//! write a machine-readable baseline to `BENCH_faultperf.json` so later
+//! PRs can track the perf trajectory.
+//!
+//! Workload: the paper's motivating example mapped by the full pipeline,
+//! folded onto an 8×4 Paragon mesh (the same plan the CLI and the paper
+//! tables use), under a fault plan with two link-outage windows, one
+//! node outage, 20% message drop, 2% duplication and the default retry
+//! policy — every fault mechanism the transport has is in force.
+//!
+//! Three sections:
+//!
+//! * **replay** — multi-seed faulty Monte Carlo: the per-call oracle
+//!   loop (`simulate_phases_faulty` once per seed, linear outage scans,
+//!   per-call filter+sort+route walks) vs the compiled batch engine
+//!   ([`FaultSim::replay_faulty`]: plan compiled to sorted interval
+//!   buckets, phases compiled once to flat route slices). Full-mode
+//!   rows at ≥64 replications assert the compiled engine is ≥5×.
+//! * **recovering** — the same comparison through the
+//!   checkpoint/rollback path with permanent node deaths.
+//! * **parallel** — [`par_fault_sweep`] wall-clock at 1..8 threads over
+//!   a bank of plans; reports speedup over one thread and per-thread
+//!   efficiency.
+//!
+//! ```text
+//! cargo run --release -p rescomm-bench --bin fault_baseline [--smoke] [--out PATH]
+//! ```
+//!
+//! Every timed pair is first checked for **bit-identity** (full
+//! [`rescomm_machine::FaultReport`] per seed) and the parallel sweep for
+//! thread-count independence, so the numbers can't drift from a wrong
+//! answer going fast. `--smoke` shrinks the replication counts for the
+//! CI job and skips the wall-clock-dependent speedup floors (CI boxes
+//! are noisy); the identity gates are unchanged.
+
+use rescomm::{build_plan, map_nest, MappingOptions};
+use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
+use rescomm_distribution::{Dist1D, Dist2D};
+use rescomm_loopnest::examples;
+use rescomm_machine::{
+    mttf_death_schedule, par_fault_sweep, replication_seed, CheckpointPolicy, CostModel, FaultPlan,
+    FaultReport, FaultSim, LinkOutage, Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
+};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of `reps` timed runs of `f`, in nanoseconds.
+fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f()); // warm up
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct ReplayRow {
+    replications: usize,
+    oracle_ns: u64,
+    compiled_ns: u64,
+}
+
+struct ParRow {
+    threads: usize,
+    wall_ns: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--quick");
+    let out = args
+        .iter()
+        .skip_while(|a| *a != "--out")
+        .nth(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_faultperf.json".into());
+
+    // The paper plan: motivating example through the full mapping
+    // pipeline, folded onto the 8×4 Paragon mesh.
+    let (nest, _) = examples::motivating_example(6, 2);
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let dist = Dist2D::uniform(Dist1D::Cyclic);
+    let phases: Vec<Vec<PMsg>> =
+        build_plan(&nest, &mapping).phases_on_mesh(&mesh, dist, (24, 24), 64);
+    let messages: usize = phases.iter().map(Vec::len).sum();
+    let healthy = mesh.simulate_phases(&phases);
+
+    // Every fault mechanism in force: a dense outage schedule (48 link
+    // windows and 6 node windows — the per-call oracle scans the whole
+    // list per link per attempt, the compiled plan binary-searches its
+    // per-link buckets), drop, duplication and retries. The first two
+    // link windows and the node-13 window are the faultsweep harness's
+    // fixed outages; the rest are seeded.
+    let mut fault_rng = rescomm_machine::XorShift64::new(0xfa17_babe);
+    let mut link_outages = vec![
+        LinkOutage {
+            link: mesh.h_link(2, 3, true).index(),
+            from: 0,
+            until: 400_000,
+        },
+        LinkOutage {
+            link: mesh.v_link(5, 1, false).index(),
+            from: 100_000,
+            until: 600_000,
+        },
+    ];
+    for _ in 0..46 {
+        let from = fault_rng.below(600_000);
+        link_outages.push(LinkOutage {
+            link: fault_rng.below(mesh.link_count() as u64) as usize,
+            from,
+            until: from + 50_000 + fault_rng.below(200_000),
+        });
+    }
+    let mut node_outages = vec![NodeOutage {
+        node: 13,
+        from: 0,
+        until: 250_000,
+    }];
+    for _ in 0..5 {
+        let from = fault_rng.below(400_000);
+        node_outages.push(NodeOutage {
+            node: fault_rng.below(mesh.nodes() as u64) as usize,
+            from,
+            until: from + 30_000 + fault_rng.below(100_000),
+        });
+    }
+    let plan = FaultPlan {
+        seed: 42,
+        drop_prob: 0.2,
+        dup_prob: 0.02,
+        link_outages,
+        node_outages,
+        retry: RetryPolicy::default(),
+        ..FaultPlan::none()
+    };
+
+    let rep_counts: &[usize] = if smoke { &[4, 8] } else { &[16, 64, 256] };
+    let timing_reps = if smoke { 3 } else { 7 };
+
+    eprintln!(
+        "replay: paper plan on 8x4 mesh, {} phases, {messages} messages, drop 0.20 dup 0.02",
+        phases.len()
+    );
+    let mut engine = FaultSim::new(&mesh, &phases, &plan);
+    let mut oracle = PhaseSim::new(mesh.clone());
+    let oracle_run = |sim: &mut PhaseSim, seeds: &[u64]| -> Vec<FaultReport> {
+        seeds
+            .iter()
+            .map(|&seed| {
+                sim.simulate_phases_faulty(
+                    &phases,
+                    &FaultPlan {
+                        seed,
+                        ..plan.clone()
+                    },
+                )
+            })
+            .collect()
+    };
+    let mut replay_rows = Vec::new();
+    for &n in rep_counts {
+        let seeds: Vec<u64> = (0..n)
+            .map(|r| replication_seed(plan.seed, r as u64))
+            .collect();
+        // Bit-identity gate before any timing: every compiled replay must
+        // reproduce the oracle's full report, seed for seed.
+        assert_eq!(
+            engine.replay_faulty(&seeds),
+            oracle_run(&mut oracle, &seeds),
+            "compiled replay diverged from the oracle at {n} replications"
+        );
+        let oracle_ns = median_ns(timing_reps, || oracle_run(&mut oracle, &seeds));
+        let compiled_ns = median_ns(timing_reps, || engine.replay_faulty(&seeds));
+        let speedup = oracle_ns as f64 / compiled_ns.max(1) as f64;
+        assert!(speedup > 0.0);
+        if !smoke && n >= 64 {
+            assert!(
+                speedup >= 5.0,
+                "compiled replay must be >=5x the oracle at {n} replications, got {speedup:.2}x"
+            );
+        }
+        eprintln!(
+            "  {n:>4} replications  oracle {oracle_ns:>12} ns   compiled {compiled_ns:>10} ns   x{speedup:.1}"
+        );
+        replay_rows.push(ReplayRow {
+            replications: n,
+            oracle_ns,
+            compiled_ns,
+        });
+    }
+
+    // Checkpoint/rollback path with permanent deaths on top of the lossy
+    // transport.
+    let policy = CheckpointPolicy::default();
+    let recover_plan = FaultPlan {
+        node_deaths: mttf_death_schedule(mesh.nodes(), healthy / 3, healthy, 0xdead),
+        detection_latency: 5_000,
+        ..plan.clone()
+    };
+    let n = if smoke { 8usize } else { 64 };
+    let seeds: Vec<u64> = (0..n)
+        .map(|r| replication_seed(plan.seed, r as u64))
+        .collect();
+    engine.set_plan(&recover_plan);
+    let oracle_recover = |sim: &mut PhaseSim, seeds: &[u64]| -> Vec<FaultReport> {
+        seeds
+            .iter()
+            .map(|&seed| {
+                sim.simulate_phases_recovering(
+                    &phases,
+                    &FaultPlan {
+                        seed,
+                        ..recover_plan.clone()
+                    },
+                    &policy,
+                )
+            })
+            .collect()
+    };
+    assert_eq!(
+        engine.replay_recovering(&policy, &seeds),
+        oracle_recover(&mut oracle, &seeds),
+        "compiled recovering replay diverged from the oracle"
+    );
+    let rec_oracle_ns = median_ns(timing_reps, || oracle_recover(&mut oracle, &seeds));
+    let rec_compiled_ns = median_ns(timing_reps, || engine.replay_recovering(&policy, &seeds));
+    eprintln!(
+        "recovering: {n} replications  oracle {rec_oracle_ns} ns   compiled {rec_compiled_ns} ns   x{:.1}",
+        rec_oracle_ns as f64 / rec_compiled_ns.max(1) as f64
+    );
+
+    // Parallel efficiency of the Monte Carlo sweep driver: a bank of
+    // plans (distinct seeds, same faults), replications per plan.
+    let bank: Vec<FaultPlan> = (0..8)
+        .map(|i| FaultPlan {
+            seed: 42 + i,
+            ..plan.clone()
+        })
+        .collect();
+    let par_reps = if smoke { 4 } else { 32 };
+    let serial = par_fault_sweep(&mesh, &phases, &bank, par_reps, 1);
+    let mut par_rows = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        // Thread-count-independence gate before timing.
+        assert_eq!(
+            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads),
+            serial,
+            "parallel sweep diverged from serial at {threads} threads"
+        );
+        let wall_ns = median_ns(timing_reps, || {
+            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads)
+        });
+        let speedup = par_rows
+            .first()
+            .map_or(1.0, |r: &ParRow| r.wall_ns as f64 / wall_ns.max(1) as f64);
+        eprintln!(
+            "  {threads} threads  wall {wall_ns:>12} ns   x{speedup:.2}   efficiency {:.2}",
+            speedup / threads as f64
+        );
+        par_rows.push(ParRow { threads, wall_ns });
+    }
+
+    let t1 = par_rows[0].wall_ns;
+    let mut doc = JsonDoc::new();
+    doc.field("bench", "faultperf")
+        .field("mesh", raw("[8, 4]"))
+        .field("phases", phases.len())
+        .field("messages", messages)
+        .field("healthy_makespan_ns", healthy)
+        .field("drop_prob", fixed(0.2, 2))
+        .field("dup_prob", fixed(0.02, 2))
+        .field(
+            "host_threads",
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+        )
+        .field("smoke", smoke);
+    doc.rows("replay", &replay_rows, |r| {
+        vec![
+            ("replications", Val::from(r.replications)),
+            ("oracle_ns", Val::from(r.oracle_ns)),
+            ("compiled_ns", Val::from(r.compiled_ns)),
+            (
+                "speedup",
+                fixed(r.oracle_ns as f64 / r.compiled_ns.max(1) as f64, 2),
+            ),
+        ]
+    });
+    doc.rows("recovering", &[(n, rec_oracle_ns, rec_compiled_ns)], |r| {
+        vec![
+            ("replications", Val::from(r.0)),
+            ("oracle_ns", Val::from(r.1)),
+            ("compiled_ns", Val::from(r.2)),
+            ("speedup", fixed(r.1 as f64 / r.2.max(1) as f64, 2)),
+        ]
+    });
+    doc.rows("parallel", &par_rows, |r| {
+        let speedup = t1 as f64 / r.wall_ns.max(1) as f64;
+        vec![
+            ("threads", Val::from(r.threads)),
+            ("plans", Val::from(bank.len())),
+            ("replications", Val::from(par_reps)),
+            ("wall_ns", Val::from(r.wall_ns)),
+            ("speedup_vs_1", fixed(speedup, 2)),
+            ("efficiency", fixed(speedup / r.threads as f64, 2)),
+        ]
+    });
+    doc.write(&out);
+}

@@ -18,16 +18,23 @@
 //! cargo run --release -p rescomm-bench --bin faultsweep [--quick] [--out PATH]
 //! ```
 //!
-//! Every report is produced twice and compared, so a nondeterministic
-//! fault schedule fails the run instead of polluting the curves. `--quick`
-//! shrinks the workload for the CI smoke job; the invariants checked are
-//! identical.
+//! Every sweep point is evaluated twice — once through the per-call
+//! oracle and once through the compiled batch engine
+//! ([`rescomm_machine::FaultSim`]) — and the two must agree bit for bit,
+//! so a nondeterministic fault schedule or a compiled-plan divergence
+//! fails the run instead of polluting the curves. On top of the classic
+//! single-seed columns, every sweep point carries Monte Carlo statistics
+//! over [`rescomm_machine::replication_seed`]-derived replications
+//! (replication 0 **is** the classic run), computed with
+//! [`rescomm_machine::par_fault_sweep`] and asserted bit-identical to a
+//! serial evaluation. `--quick` shrinks the workload for the CI smoke
+//! job; the invariants checked are identical.
 
+use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
 use rescomm_machine::{
-    CostModel, FatTree, FaultPlan, LinkOutage, Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
-    XorShift64,
+    par_fault_sweep, CostModel, FatTree, FaultPlan, FaultSim, LinkOutage, Mesh2D, NodeOutage, PMsg,
+    PhaseSim, RetryPolicy, XorShift64,
 };
-use std::fmt::Write as _;
 
 /// Deterministic synthetic phase set on `nodes` processors.
 fn synth_phases(nodes: usize, n_phases: usize, per_phase: usize, seed: u64) -> Vec<Vec<PMsg>> {
@@ -54,6 +61,14 @@ struct DropRow {
     retries: u64,
     reroutes: u64,
     escalations: u64,
+    // Monte Carlo statistics over the replications (appended after the
+    // classic single-seed columns so the artifact stays diffable).
+    mc_makespan_mean: f64,
+    mc_makespan_std: f64,
+    mc_makespan_min: u64,
+    mc_makespan_max: u64,
+    mc_inflation: f64,
+    mc_delivered_mean: f64,
 }
 
 struct DegradedRow {
@@ -98,58 +113,96 @@ fn main() {
         until: 250_000,
     }];
 
-    eprintln!("drop sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs, outages in force");
-    let mut rows = Vec::new();
-    for drop_pct in [0u32, 5, 10, 20, 40, 80] {
-        for retry in [true, false] {
-            let plan = FaultPlan {
-                seed: 42,
-                drop_prob: f64::from(drop_pct) / 100.0,
-                dup_prob: 0.02,
-                link_outages: link_outages.clone(),
-                node_outages: node_outages.clone(),
-                retry: if retry {
-                    RetryPolicy::default()
-                } else {
-                    RetryPolicy::disabled()
-                },
-                ..FaultPlan::none()
-            };
-            let rep = sim.simulate_phases_faulty(&phases, &plan);
-            // Determinism gate: the identical plan must replay bit-for-bit.
-            assert_eq!(
-                rep,
-                sim.simulate_phases_faulty(&phases, &plan),
-                "fault schedule not deterministic at drop={drop_pct}% retry={retry}"
-            );
-            if retry {
-                // The delivery-guarantee invariant, at every sweep point.
-                assert_eq!(
-                    rep.delivered, rep.messages,
-                    "delivery guarantee violated at drop={drop_pct}%"
-                );
-                assert_eq!(rep.lost, 0);
+    let replications = if quick { 8usize } else { 32 };
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    eprintln!(
+        "drop sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs, outages in force, \
+         {replications} replications"
+    );
+    let points: Vec<(u32, bool)> = [0u32, 5, 10, 20, 40, 80]
+        .iter()
+        .flat_map(|&d| [(d, true), (d, false)])
+        .collect();
+    let plans: Vec<FaultPlan> = points
+        .iter()
+        .map(|&(drop_pct, retry)| FaultPlan {
+            seed: 42,
+            drop_prob: f64::from(drop_pct) / 100.0,
+            dup_prob: 0.02,
+            link_outages: link_outages.clone(),
+            node_outages: node_outages.clone(),
+            retry: if retry {
+                RetryPolicy::default()
             } else {
-                assert_eq!(rep.delivered + rep.lost, rep.messages);
-            }
-            let inflation = rep.makespan as f64 / healthy.max(1) as f64;
-            eprintln!(
-                "  drop {drop_pct:>2}%  retry {}  delivered {:>6.1}%  makespan {:>12} ns  x{inflation:.2}",
-                if retry { "on " } else { "off" },
-                rep.delivered_fraction() * 100.0,
-                rep.makespan
+                RetryPolicy::disabled()
+            },
+            ..FaultPlan::none()
+        })
+        .collect();
+    let stats = par_fault_sweep(&mesh, &phases, &plans, replications, threads);
+    // Parallel-determinism gate: the sweep must not depend on the
+    // thread count.
+    assert_eq!(
+        stats,
+        par_fault_sweep(&mesh, &phases, &plans, replications, 1),
+        "parallel fault sweep diverged from serial"
+    );
+
+    let mut engine = FaultSim::new(&mesh, &phases, &plans[0]);
+    let mut rows = Vec::new();
+    for ((&(drop_pct, retry), plan), st) in points.iter().zip(&plans).zip(&stats) {
+        // The classic single-seed run through the per-call oracle …
+        let rep = sim.simulate_phases_faulty(&phases, plan);
+        // … must be reproduced bit for bit by the compiled engine
+        // (replication 0's seed is the plan's own seed).
+        engine.set_plan(plan);
+        assert_eq!(
+            engine.run_faulty(plan.seed),
+            rep,
+            "compiled engine diverged from the oracle at drop={drop_pct}% retry={retry}"
+        );
+        assert!(
+            st.makespan.min() <= rep.makespan as f64 && rep.makespan as f64 <= st.makespan.max(),
+            "replication 0 outside the Monte Carlo envelope at drop={drop_pct}%"
+        );
+        if retry {
+            // The delivery-guarantee invariant, at every sweep point and
+            // every replication.
+            assert_eq!(
+                rep.delivered, rep.messages,
+                "delivery guarantee violated at drop={drop_pct}%"
             );
-            rows.push(DropRow {
-                drop_pct,
-                retry,
-                delivered_fraction: rep.delivered_fraction(),
-                makespan: rep.makespan,
-                inflation,
-                retries: rep.retries,
-                reroutes: rep.reroutes,
-                escalations: rep.escalations,
-            });
+            assert_eq!(rep.lost, 0);
+            assert_eq!(st.total.delivered, st.total.messages);
+            assert_eq!(st.total.lost, 0);
+        } else {
+            assert_eq!(rep.delivered + rep.lost, rep.messages);
+            assert_eq!(st.total.delivered + st.total.lost, st.total.messages);
         }
+        let inflation = rep.makespan as f64 / healthy.max(1) as f64;
+        eprintln!(
+            "  drop {drop_pct:>2}%  retry {}  delivered {:>6.1}%  makespan {:>12} ns  x{inflation:.2}  mc x{:.2}",
+            if retry { "on " } else { "off" },
+            rep.delivered_fraction() * 100.0,
+            rep.makespan,
+            st.inflation(healthy)
+        );
+        rows.push(DropRow {
+            drop_pct,
+            retry,
+            delivered_fraction: rep.delivered_fraction(),
+            makespan: rep.makespan,
+            inflation,
+            retries: rep.retries,
+            reroutes: rep.reroutes,
+            escalations: rep.escalations,
+            mc_makespan_mean: st.makespan.mean(),
+            mc_makespan_std: st.makespan.std_dev(),
+            mc_makespan_min: st.makespan.min() as u64,
+            mc_makespan_max: st.makespan.max() as u64,
+            mc_inflation: st.inflation(healthy),
+            mc_delivered_mean: st.delivered.mean(),
+        });
     }
 
     // Zero-fault gate: no faults → bit-identical to the unfaulted engine.
@@ -183,41 +236,39 @@ fn main() {
         });
     }
 
-    let mut j = String::new();
-    j.push_str("{\n  \"bench\": \"faults\",\n  \"mesh\": [8, 4],\n");
-    let _ = writeln!(
-        j,
-        "  \"phases\": {n_phases},\n  \"msgs_per_phase\": {per_phase},\n  \"healthy_makespan_ns\": {healthy},\n  \"dup_prob\": 0.02,"
-    );
-    j.push_str("  \"drop_sweep\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            j,
-            "    {{\"drop_pct\": {}, \"retry\": {}, \"delivered_fraction\": {:.4}, \"makespan_ns\": {}, \"inflation\": {:.3}, \"retries\": {}, \"reroutes\": {}, \"escalations\": {}}}",
-            r.drop_pct,
-            r.retry,
-            r.delivered_fraction,
-            r.makespan,
-            r.inflation,
-            r.retries,
-            r.reroutes,
-            r.escalations
-        );
-        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ],\n  \"fattree_degraded\": [\n");
-    for (i, r) in degraded.iter().enumerate() {
-        let _ = write!(
-            j,
-            "    {{\"bytes\": {}, \"hw_broadcast_ns\": {}, \"sw_broadcast_ns\": {}, \"slowdown\": {:.2}}}",
-            r.bytes,
-            r.hw_ns,
-            r.sw_ns,
-            r.sw_ns as f64 / r.hw_ns.max(1) as f64
-        );
-        j.push_str(if i + 1 < degraded.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ]\n}\n");
-    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    eprintln!("wrote {out}");
+    let mut doc = JsonDoc::new();
+    doc.field("bench", "faults")
+        .field("mesh", raw("[8, 4]"))
+        .field("phases", n_phases)
+        .field("msgs_per_phase", per_phase)
+        .field("healthy_makespan_ns", healthy)
+        .field("dup_prob", fixed(0.02, 2))
+        .field("replications", replications);
+    doc.rows("drop_sweep", &rows, |r| {
+        vec![
+            ("drop_pct", Val::from(r.drop_pct)),
+            ("retry", Val::from(r.retry)),
+            ("delivered_fraction", fixed(r.delivered_fraction, 4)),
+            ("makespan_ns", Val::from(r.makespan)),
+            ("inflation", fixed(r.inflation, 3)),
+            ("retries", Val::from(r.retries)),
+            ("reroutes", Val::from(r.reroutes)),
+            ("escalations", Val::from(r.escalations)),
+            ("mc_makespan_mean_ns", fixed(r.mc_makespan_mean, 0)),
+            ("mc_makespan_std_ns", fixed(r.mc_makespan_std, 0)),
+            ("mc_makespan_min_ns", Val::from(r.mc_makespan_min)),
+            ("mc_makespan_max_ns", Val::from(r.mc_makespan_max)),
+            ("mc_inflation", fixed(r.mc_inflation, 3)),
+            ("mc_delivered_mean", fixed(r.mc_delivered_mean, 4)),
+        ]
+    });
+    doc.rows("fattree_degraded", &degraded, |r| {
+        vec![
+            ("bytes", Val::from(r.bytes)),
+            ("hw_broadcast_ns", Val::from(r.hw_ns)),
+            ("sw_broadcast_ns", Val::from(r.sw_ns)),
+            ("slowdown", fixed(r.sw_ns as f64 / r.hw_ns.max(1) as f64, 2)),
+        ]
+    });
+    doc.write(&out);
 }

@@ -20,13 +20,22 @@
 //! cargo run --release -p rescomm-bench --bin recoverysweep [--quick] [--out PATH]
 //! ```
 //!
+//! Every MTTF point is evaluated through both the per-call oracle and
+//! the compiled batch engine ([`rescomm_machine::FaultSim`]), which must
+//! agree bit for bit, and carries Monte Carlo statistics over
+//! [`rescomm_machine::replication_seed`]-derived replications computed
+//! with [`rescomm_machine::par_recovery_sweep`] (replication 0 **is**
+//! the classic run; the parallel sweep is asserted bit-identical to a
+//! serial one).
+//!
 //! `--quick` (alias `--smoke`) shrinks the workload for the CI smoke job;
 //! the invariants checked are identical.
 
+use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
 use rescomm_machine::{
-    mttf_death_schedule, CheckpointPolicy, CostModel, FaultPlan, Mesh2D, PMsg, PhaseSim, XorShift64,
+    mttf_death_schedule, par_recovery_sweep, CheckpointPolicy, CostModel, FaultPlan, FaultSim,
+    Mesh2D, PMsg, PhaseSim, XorShift64,
 };
-use std::fmt::Write as _;
 
 /// Deterministic synthetic phase set on `nodes` processors.
 fn synth_phases(nodes: usize, n_phases: usize, per_phase: usize, seed: u64) -> Vec<Vec<PMsg>> {
@@ -54,6 +63,12 @@ struct MttfRow {
     rollbacks: usize,
     replayed_phases: usize,
     checkpoint_overhead_ns: u64,
+    // Monte Carlo statistics over the replications (appended after the
+    // classic single-seed columns so the artifact stays diffable).
+    mc_wall_clock_mean: f64,
+    mc_wall_clock_std: f64,
+    mc_inflation: f64,
+    mc_rollbacks_total: u64,
 }
 
 struct IntervalRow {
@@ -90,25 +105,49 @@ fn main() {
     assert_eq!(zero.recovery.folded_nodes, 0);
     eprintln!("zero-death gate: makespan {} ns == healthy", zero.makespan);
 
-    eprintln!("mttf sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs");
+    let replications = if quick { 8usize } else { 32 };
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    eprintln!(
+        "mttf sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs, {replications} replications"
+    );
+    let points = [10u32, 20, 40, 80];
+    let plans: Vec<FaultPlan> = points
+        .iter()
+        .map(|&mttf_pct| {
+            let mttf_ns = healthy * u64::from(mttf_pct) / 100;
+            FaultPlan {
+                seed: 42,
+                node_deaths: mttf_death_schedule(mesh.nodes(), mttf_ns, healthy, 0xdead),
+                detection_latency: 5_000,
+                ..FaultPlan::none()
+            }
+        })
+        .collect();
+    let stats = par_recovery_sweep(&mesh, &phases, &plans, &policy, replications, threads);
+    // Parallel-determinism gate: the sweep must not depend on the
+    // thread count.
+    assert_eq!(
+        stats,
+        par_recovery_sweep(&mesh, &phases, &plans, &policy, replications, 1),
+        "parallel recovery sweep diverged from serial"
+    );
+
+    let mut engine = FaultSim::new(&mesh, &phases, &plans[0]);
     let mut mttf_rows = Vec::new();
-    for mttf_pct in [10u32, 20, 40, 80] {
-        let mttf_ns = healthy * u64::from(mttf_pct) / 100;
-        let plan = FaultPlan {
-            seed: 42,
-            node_deaths: mttf_death_schedule(mesh.nodes(), mttf_ns, healthy, 0xdead),
-            detection_latency: 5_000,
-            ..FaultPlan::none()
-        };
-        let rep = sim.simulate_phases_recovering(&phases, &plan, &policy);
-        // Determinism gate: the identical plan must replay bit-for-bit.
+    for ((&mttf_pct, plan), st) in points.iter().zip(&plans).zip(&stats) {
+        // The classic single-seed run through the per-call oracle …
+        let rep = sim.simulate_phases_recovering(&phases, plan, &policy);
+        // … must be reproduced bit for bit by the compiled engine
+        // (replication 0's seed is the plan's own seed).
+        engine.set_plan(plan);
         assert_eq!(
+            engine.run_recovering(&policy, plan.seed),
             rep,
-            sim.simulate_phases_recovering(&phases, &plan, &policy),
-            "recovery schedule not deterministic at mttf={mttf_pct}%"
+            "compiled engine diverged from the oracle at mttf={mttf_pct}%"
         );
         // Exactly-once gate: every death detected and recovered exactly
-        // once, every message delivered to a live node, nothing lost.
+        // once, every message delivered to a live node, nothing lost —
+        // across every replication, not just the classic seed.
         assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
         assert!(
             rep.recovery.deaths >= 1,
@@ -117,14 +156,18 @@ fn main() {
         assert_eq!(rep.recovery.folded_nodes, rep.recovery.detected);
         assert_eq!(rep.delivered, rep.messages, "mttf={mttf_pct}%");
         assert_eq!(rep.black_holes, 0);
+        assert_eq!(st.total.delivered, st.total.messages, "mttf={mttf_pct}%");
+        assert_eq!(st.total.black_holes, 0);
+        assert_eq!(st.total.recovery.folded_nodes, st.total.recovery.detected);
         let wall = rep.wall_clock_ns();
         let inflation = wall as f64 / healthy.max(1) as f64;
         let lost_frac = rep.recovery.lost_work_ns as f64 / wall.max(1) as f64;
         eprintln!(
-            "  mttf {mttf_pct:>3}%  deaths {}  wall {wall:>12} ns  x{inflation:.2}  lost {:>5.1}%  rollbacks {}",
+            "  mttf {mttf_pct:>3}%  deaths {}  wall {wall:>12} ns  x{inflation:.2}  lost {:>5.1}%  rollbacks {}  mc x{:.2}",
             rep.recovery.deaths,
             lost_frac * 100.0,
-            rep.recovery.rollbacks
+            rep.recovery.rollbacks,
+            st.wall_clock.mean() / healthy.max(1) as f64
         );
         mttf_rows.push(MttfRow {
             mttf_pct,
@@ -136,6 +179,10 @@ fn main() {
             rollbacks: rep.recovery.rollbacks,
             replayed_phases: rep.recovery.replayed_phases,
             checkpoint_overhead_ns: rep.recovery.checkpoint_overhead_ns,
+            mc_wall_clock_mean: st.wall_clock.mean(),
+            mc_wall_clock_std: st.wall_clock.std_dev(),
+            mc_inflation: st.wall_clock.mean() / healthy.max(1) as f64,
+            mc_rollbacks_total: st.total.recovery.rollbacks as u64,
         });
     }
 
@@ -179,43 +226,45 @@ fn main() {
         assert!(w[0].checkpoints >= w[1].checkpoints);
     }
 
-    let mut j = String::new();
-    j.push_str("{\n  \"bench\": \"recovery\",\n  \"mesh\": [8, 4],\n");
-    let _ = writeln!(
-        j,
-        "  \"phases\": {n_phases},\n  \"msgs_per_phase\": {per_phase},\n  \"healthy_makespan_ns\": {healthy},\n  \"detection_latency_ns\": 5000,"
-    );
-    j.push_str("  \"mttf_sweep\": [\n");
-    for (i, r) in mttf_rows.iter().enumerate() {
-        let _ = write!(
-            j,
-            "    {{\"mttf_pct\": {}, \"deaths\": {}, \"wall_clock_ns\": {}, \"inflation\": {:.3}, \"lost_work_ns\": {}, \"lost_work_fraction\": {:.4}, \"rollbacks\": {}, \"replayed_phases\": {}, \"checkpoint_overhead_ns\": {}}}",
-            r.mttf_pct,
-            r.deaths,
-            r.wall_clock_ns,
-            r.inflation,
-            r.lost_work_ns,
-            r.lost_work_fraction,
-            r.rollbacks,
-            r.replayed_phases,
-            r.checkpoint_overhead_ns
-        );
-        j.push_str(if i + 1 < mttf_rows.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ],\n  \"interval_sweep\": [\n");
-    for (i, r) in interval_rows.iter().enumerate() {
-        let _ = write!(
-            j,
-            "    {{\"interval\": {}, \"checkpoints\": {}, \"checkpoint_overhead_ns\": {}, \"lost_work_ns\": {}, \"wall_clock_ns\": {}}}",
-            r.interval, r.checkpoints, r.checkpoint_overhead_ns, r.lost_work_ns, r.wall_clock_ns
-        );
-        j.push_str(if i + 1 < interval_rows.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    j.push_str("  ]\n}\n");
-    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    eprintln!("wrote {out}");
+    let mut doc = JsonDoc::new();
+    doc.field("bench", "recovery")
+        .field("mesh", raw("[8, 4]"))
+        .field("phases", n_phases)
+        .field("msgs_per_phase", per_phase)
+        .field("healthy_makespan_ns", healthy)
+        .field("detection_latency_ns", 5000u64)
+        .field("replications", replications);
+    doc.rows("mttf_sweep", &mttf_rows, |r| {
+        vec![
+            ("mttf_pct", Val::from(r.mttf_pct)),
+            ("deaths", Val::from(r.deaths)),
+            ("wall_clock_ns", Val::from(r.wall_clock_ns)),
+            ("inflation", fixed(r.inflation, 3)),
+            ("lost_work_ns", Val::from(r.lost_work_ns)),
+            ("lost_work_fraction", fixed(r.lost_work_fraction, 4)),
+            ("rollbacks", Val::from(r.rollbacks)),
+            ("replayed_phases", Val::from(r.replayed_phases)),
+            (
+                "checkpoint_overhead_ns",
+                Val::from(r.checkpoint_overhead_ns),
+            ),
+            ("mc_wall_clock_mean_ns", fixed(r.mc_wall_clock_mean, 0)),
+            ("mc_wall_clock_std_ns", fixed(r.mc_wall_clock_std, 0)),
+            ("mc_inflation", fixed(r.mc_inflation, 3)),
+            ("mc_rollbacks_total", Val::from(r.mc_rollbacks_total)),
+        ]
+    });
+    doc.rows("interval_sweep", &interval_rows, |r| {
+        vec![
+            ("interval", Val::from(r.interval)),
+            ("checkpoints", Val::from(r.checkpoints)),
+            (
+                "checkpoint_overhead_ns",
+                Val::from(r.checkpoint_overhead_ns),
+            ),
+            ("lost_work_ns", Val::from(r.lost_work_ns)),
+            ("wall_clock_ns", Val::from(r.wall_clock_ns)),
+        ]
+    });
+    doc.write(&out);
 }

@@ -17,6 +17,7 @@
 //! | §3.5 message vectorization                     | [`vectorization`] |
 
 pub mod experiments;
+pub mod json;
 pub mod workload;
 
 pub use experiments::{

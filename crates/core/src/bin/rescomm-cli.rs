@@ -4,7 +4,8 @@
 //! ```text
 //! rescomm-cli <nest-file> [--m N] [--no-macro] [--no-decompose]
 //!             [--unit-weights] [--dot] [--compare] [--self-check]
-//!             [--recover N,N,...] [--grid WxH]
+//!             [--recover N,N,...] [--grid WxH] [--replications N]
+//!             [--drop P]
 //! ```
 //!
 //! * `--m N`           target virtual-grid dimension (default 2)
@@ -19,7 +20,14 @@
 //! * `--recover N,...` treat the listed physical nodes as permanently
 //!   dead: remap the mapping onto the survivors and verify the degraded
 //!   execution end-to-end
-//! * `--grid WxH`      physical grid shape for `--recover` (default 4x4)
+//! * `--grid WxH`      physical grid shape for `--recover` and
+//!   `--replications` (default 4x4)
+//! * `--replications N` Monte Carlo: build the communication plan,
+//!   compile it into the batch fault engine, replay it under a lossy
+//!   transport with `N` independent seeds and print makespan/delivery
+//!   statistics (replication 0 is the classic single-seed run)
+//! * `--drop P`        per-message drop probability for
+//!   `--replications` (default 0.1)
 //!
 //! Malformed nests and arithmetic overflow exit with a diagnostic
 //! (line/column for parse errors) instead of a panic.
@@ -43,6 +51,8 @@ struct Args {
     self_check: bool,
     recover: Vec<usize>,
     grid: (usize, usize),
+    replications: usize,
+    drop_prob: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         self_check: false,
         recover: Vec::new(),
         grid: (4, 4),
+        replications: 0,
+        drop_prob: 0.1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -91,10 +103,24 @@ fn parse_args() -> Result<Args, String> {
                     h.parse().map_err(|_| format!("--grid: bad height {h:?}"))?,
                 );
             }
+            "--replications" => {
+                args.replications = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--replications needs an integer")?;
+            }
+            "--drop" => {
+                args.drop_prob = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or("--drop needs a probability in [0, 1]")?;
+            }
             "--help" | "-h" => {
                 return Err("usage: rescomm-cli <nest-file> [--m N] [--no-macro] \
                             [--no-decompose] [--unit-weights] [--dot] [--compare] \
-                            [--self-check] [--recover N,N,...] [--grid WxH]"
+                            [--self-check] [--recover N,N,...] [--grid WxH] \
+                            [--replications N] [--drop P]"
                     .to_string())
             }
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
@@ -188,6 +214,62 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if args.replications > 0 {
+        use rescomm::build_plan;
+        use rescomm::substrate::distribution::{Dist1D, Dist2D};
+        use rescomm::substrate::machine::{CostModel, FaultPlan, Mesh2D, OnlineStats};
+        let (w, h) = args.grid;
+        let mesh = Mesh2D::new(w, h, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let plan = build_plan(&nest, &mapping);
+        let healthy = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        let fplan = FaultPlan {
+            seed: 42,
+            drop_prob: args.drop_prob,
+            ..FaultPlan::none()
+        };
+        let reports = plan.simulate_on_mesh_faulty_replicated(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &fplan,
+            args.replications,
+        );
+        let mut makespan = OnlineStats::default();
+        let mut delivered = OnlineStats::default();
+        let mut total_msgs = 0u64;
+        for r in &reports {
+            makespan.push(r.makespan as f64);
+            delivered.push(r.delivered as f64);
+            total_msgs = r.messages as u64;
+        }
+        println!(
+            "--- monte carlo: {} replications on a {w}x{h} mesh, drop {:.2} ---",
+            args.replications, args.drop_prob
+        );
+        println!("healthy makespan: {healthy} ns");
+        println!(
+            "faulty makespan:  mean {:.0} ns, std {:.0}, min {}, max {} (inflation {:.3}x)",
+            makespan.mean(),
+            makespan.std_dev(),
+            makespan.min() as u64,
+            makespan.max() as u64,
+            if healthy > 0 {
+                makespan.mean() / healthy as f64
+            } else {
+                1.0
+            }
+        );
+        println!(
+            "delivered:        mean {:.1} of {} messages (min {}, max {})",
+            delivered.mean(),
+            total_msgs,
+            delivered.min() as u64,
+            delivered.max() as u64
+        );
     }
 
     if args.compare {

@@ -19,7 +19,9 @@ use crate::pipeline::{CommOutcome, Mapping};
 use rescomm_decompose::Elementary;
 use rescomm_distribution::{fold_pattern, Dist2D};
 use rescomm_loopnest::{AccessId, LoopNest};
-use rescomm_machine::{CheckpointPolicy, FaultPlan, FaultReport, Mesh2D, PMsg, PhaseSim};
+use rescomm_machine::{
+    replication_seed, CheckpointPolicy, FaultPlan, FaultReport, FaultSim, Mesh2D, PMsg, PhaseSim,
+};
 use std::collections::BTreeSet;
 
 /// What a phase implements (for reporting; the pattern is authoritative).
@@ -83,58 +85,19 @@ impl CommPlan {
         self.phases.iter().map(|p| p.pattern.len()).sum()
     }
 
-    /// Fold onto a mesh with a distribution (toroidal wrap into `vshape`)
-    /// and simulate the phases sequentially; returns total time.
-    pub fn simulate_on_mesh(
+    /// Fold every phase onto physical mesh coordinates: toroidal wrap
+    /// into `vshape`, distribution fold, node-id flattening. This is the
+    /// single lowering step shared by all the mesh simulation entry
+    /// points below — the phases it returns feed [`PhaseSim`] and
+    /// [`FaultSim`] directly.
+    pub fn phases_on_mesh(
         &self,
         mesh: &Mesh2D,
         dist: Dist2D,
         vshape: (usize, usize),
         bytes: u64,
-    ) -> u64 {
-        // One fused fold per phase and one reused scratch engine for the
-        // whole plan — the pattern never touches a tree map or a
-        // per-phase link table.
-        let mut sim = PhaseSim::new(mesh.clone());
-        let mut total = 0u64;
-        for phase in &self.phases {
-            let wrapped: Vec<((i64, i64), (i64, i64))> = phase
-                .pattern
-                .iter()
-                .map(|&(s, d)| (wrap2(s, vshape), wrap2(d, vshape)))
-                .filter(|(s, d)| s != d)
-                .collect();
-            let folded = fold_pattern(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes);
-            let pms: Vec<PMsg> = folded
-                .msgs
-                .iter()
-                .map(|m| PMsg {
-                    src: mesh.node_id(m.src.0, m.src.1),
-                    dst: mesh.node_id(m.dst.0, m.dst.1),
-                    bytes: m.bytes,
-                })
-                .collect();
-            total += sim.simulate_phase(&pms);
-        }
-        total
-    }
-
-    /// Fold onto a mesh like [`CommPlan::simulate_on_mesh`], but drive
-    /// the phases through the checkpoint/rollback engine
-    /// ([`PhaseSim::simulate_phases_recovering`]) so the plan survives
-    /// the fault plan's permanent node deaths. On a death-free plan the
-    /// committed makespan equals [`CommPlan::simulate_on_mesh`] exactly.
-    pub fn simulate_on_mesh_recovering(
-        &self,
-        mesh: &Mesh2D,
-        dist: Dist2D,
-        vshape: (usize, usize),
-        bytes: u64,
-        plan: &FaultPlan,
-        policy: &CheckpointPolicy,
-    ) -> FaultReport {
-        let phases: Vec<Vec<PMsg>> = self
-            .phases
+    ) -> Vec<Vec<PMsg>> {
+        self.phases
             .iter()
             .map(|phase| {
                 let wrapped: Vec<((i64, i64), (i64, i64))> = phase
@@ -154,7 +117,100 @@ impl CommPlan {
                     })
                     .collect()
             })
+            .collect()
+    }
+
+    /// Fold onto a mesh with a distribution (toroidal wrap into `vshape`)
+    /// and simulate the phases sequentially; returns total time.
+    pub fn simulate_on_mesh(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+    ) -> u64 {
+        // One reused scratch engine for the whole plan — the pattern
+        // never touches a tree map or a per-phase link table.
+        let mut sim = PhaseSim::new(mesh.clone());
+        self.phases_on_mesh(mesh, dist, vshape, bytes)
+            .iter()
+            .map(|pms| sim.simulate_phase(pms))
+            .sum()
+    }
+
+    /// Compile the plan into a reusable multi-seed fault replay engine:
+    /// the folded phases and the fault plan are compiled once, then
+    /// [`FaultSim::replay_faulty`] / [`FaultSim::replay_recovering`]
+    /// replay any number of seeds at cached-phase speed, bit-identical
+    /// to the per-call simulators.
+    pub fn fault_engine(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+        plan: &FaultPlan,
+    ) -> FaultSim {
+        FaultSim::new(mesh, &self.phases_on_mesh(mesh, dist, vshape, bytes), plan)
+    }
+
+    /// Monte Carlo replication of the faulty simulation: run the plan
+    /// under `plan` with `replications` independent seeds derived from
+    /// `plan.seed` via [`replication_seed`] (replication 0 reproduces
+    /// the classic single-seed run exactly). Returns one full
+    /// [`FaultReport`] per replication.
+    pub fn simulate_on_mesh_faulty_replicated(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+        plan: &FaultPlan,
+        replications: usize,
+    ) -> Vec<FaultReport> {
+        let seeds: Vec<u64> = (0..replications)
+            .map(|r| replication_seed(plan.seed, r as u64))
             .collect();
+        self.fault_engine(mesh, dist, vshape, bytes, plan)
+            .replay_faulty(&seeds)
+    }
+
+    /// Monte Carlo replication of the recovering simulation (checkpoint
+    /// and rollback under permanent node deaths); seed derivation as in
+    /// [`CommPlan::simulate_on_mesh_faulty_replicated`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn simulate_on_mesh_recovering_replicated(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+        plan: &FaultPlan,
+        policy: &CheckpointPolicy,
+        replications: usize,
+    ) -> Vec<FaultReport> {
+        let seeds: Vec<u64> = (0..replications)
+            .map(|r| replication_seed(plan.seed, r as u64))
+            .collect();
+        self.fault_engine(mesh, dist, vshape, bytes, plan)
+            .replay_recovering(policy, &seeds)
+    }
+
+    /// Fold onto a mesh like [`CommPlan::simulate_on_mesh`], but drive
+    /// the phases through the checkpoint/rollback engine
+    /// ([`PhaseSim::simulate_phases_recovering`]) so the plan survives
+    /// the fault plan's permanent node deaths. On a death-free plan the
+    /// committed makespan equals [`CommPlan::simulate_on_mesh`] exactly.
+    pub fn simulate_on_mesh_recovering(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+        plan: &FaultPlan,
+        policy: &CheckpointPolicy,
+    ) -> FaultReport {
+        let phases = self.phases_on_mesh(mesh, dist, vshape, bytes);
         PhaseSim::new(mesh.clone()).simulate_phases_recovering(&phases, plan, policy)
     }
 
@@ -443,6 +499,70 @@ mod tests {
         assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
         assert_eq!(rep.delivered, rep.messages);
         assert_eq!(rep.black_holes, 0);
+    }
+
+    #[test]
+    fn replicated_faulty_rep0_matches_classic_run() {
+        let (nest, _) = examples::motivating_example(6, 2);
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let plan = build_plan(&nest, &full);
+        let fplan = FaultPlan {
+            seed: 42,
+            drop_prob: 0.2,
+            dup_prob: 0.02,
+            ..FaultPlan::none()
+        };
+        let reps = plan.simulate_on_mesh_faulty_replicated(&mesh, dist, (24, 24), 64, &fplan, 5);
+        assert_eq!(reps.len(), 5);
+
+        // Replication 0 is the classic single-seed run, bit-identical to
+        // the per-call oracle over the same folded phases.
+        let phases = plan.phases_on_mesh(&mesh, dist, (24, 24), 64);
+        let oracle = PhaseSim::new(mesh.clone()).simulate_phases_faulty(&phases, &fplan);
+        assert_eq!(reps[0], oracle);
+        // Distinct seeds genuinely vary the runs.
+        assert!(reps
+            .iter()
+            .any(|r| r.retries != reps[0].retries || r != &reps[0]));
+    }
+
+    #[test]
+    fn replicated_recovering_rep0_matches_single_run() {
+        let (nest, _) = examples::motivating_example(6, 2);
+        let mesh = Mesh2D::new(4, 4, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let plan = build_plan(&nest, &full);
+        let healthy = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        let fplan = FaultPlan {
+            seed: 7,
+            drop_prob: 0.1,
+            node_deaths: vec![rescomm_machine::NodeDeath {
+                node: 6,
+                t: healthy / 2,
+            }],
+            detection_latency: 5_000,
+            ..FaultPlan::none()
+        };
+        let policy = CheckpointPolicy::default();
+        let reps = plan.simulate_on_mesh_recovering_replicated(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &fplan,
+            &policy,
+            3,
+        );
+        assert_eq!(reps.len(), 3);
+        let single = plan.simulate_on_mesh_recovering(&mesh, dist, (24, 24), 64, &fplan, &policy);
+        assert_eq!(reps[0], single, "replication 0 is the classic run");
+        for r in &reps {
+            assert!(r.recovery.all_recovered(), "{:?}", r.recovery);
+            assert_eq!(r.delivered, r.messages);
+        }
     }
 
     #[test]

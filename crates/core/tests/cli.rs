@@ -141,6 +141,53 @@ fn recover_rejects_killing_every_node() {
 }
 
 #[test]
+fn replications_prints_monte_carlo_stats() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--replications", "4", "--grid", "4x4", "--drop", "0.2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("monte carlo: 4 replications on a 4x4 mesh, drop 0.20"),
+        "{text}"
+    );
+    assert!(text.contains("healthy makespan:"), "{text}");
+    assert!(text.contains("faulty makespan:"), "{text}");
+    assert!(text.contains("delivered:"), "{text}");
+}
+
+#[test]
+fn replications_is_deterministic_across_runs() {
+    let f = write_nest(NEST);
+    let run = || {
+        let out = cli()
+            .arg(f.as_str())
+            .args(["--replications", "3", "--drop", "0.3"])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(run(), run(), "seeded Monte Carlo must be reproducible");
+}
+
+#[test]
+fn replications_rejects_bad_drop_probability() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--replications", "2", "--drop", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--drop"), "stderr: {err}");
+}
+
+#[test]
 fn recover_rejects_malformed_grid_spec() {
     let f = write_nest(NEST);
     let out = cli()

@@ -32,6 +32,8 @@
 //! bench bins). Recovery outcomes (rollbacks, replayed phases, lost work)
 //! land in the embedded [`RecoveryReport`].
 
+use crate::mesh::Mesh2D;
+
 /// A window `[from, until)` of simulated time during which a directed
 /// link is dead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,6 +268,306 @@ pub fn fold_target(px: usize, py: usize, node: usize, dead: &[usize]) -> Option<
         }
     }
     best.map(|(_, id)| id)
+}
+
+/// One disjoint segment of link-outage coverage: every `t` in
+/// `[from, until)` lies inside at least one raw window, and `min_until`
+/// is the smallest `until` among the windows covering the segment — the
+/// exact value [`FaultPlan::link_outage_until`] reports there. Segments
+/// are built over the breakpoints of the raw windows, so the min-until
+/// function is constant on each one.
+#[derive(Debug, Clone, Copy)]
+struct OutageSeg {
+    from: u64,
+    until: u64,
+    min_until: u64,
+}
+
+/// One [`NodeDeath`] in the order the recovery driver handles deaths
+/// (sorted by `(t, node)`), with everything the compiled recovering loop
+/// needs precomputed.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SortedDeath {
+    /// Flattened node id (may exceed the mesh — such a death still rolls
+    /// the run back, it just folds no traffic). The replay loop consumes
+    /// it only through the precomputed `first`/`k_after`; kept for tests
+    /// and debugging.
+    #[allow(dead_code)]
+    pub(crate) node: usize,
+    /// Time of death, in ns.
+    pub(crate) t: u64,
+    /// [`FaultPlan::detection_time`] of `t`.
+    pub(crate) detect: u64,
+    /// First death of this node in handling order (later duplicates are
+    /// detected again but fold nothing new).
+    pub(crate) first: bool,
+    /// Unique dead-node count once this death is handled: index into the
+    /// compiled fold tables.
+    pub(crate) k_after: usize,
+}
+
+/// A [`FaultPlan`] compiled for one mesh: outage windows bucketed per
+/// link / per node into sorted interval arrays answered by binary
+/// search, death and detection times precomputed, and the per-call
+/// [`fold_target`] chase replaced by prefix fold tables (one per unique
+/// death, in handling order). Every query is **bit-identical** to the
+/// corresponding [`FaultPlan`] method — compiling changes the cost,
+/// never the answer (pinned by unit and property tests).
+///
+/// One documented corner: a [`NodeDeath`] scheduled at exactly
+/// `u64::MAX` is treated as never striking (its detection time saturates
+/// there too, so no real schedule can observe it).
+#[derive(Debug, Clone)]
+pub struct CompiledFaultPlan {
+    plan: FaultPlan,
+    /// Per-link outage segments, flattened; link `l` owns
+    /// `link_segs[link_off[l]..link_off[l + 1]]`.
+    link_segs: Vec<OutageSeg>,
+    link_off: Vec<u32>,
+    /// Per-node outage windows with touching/overlapping windows merged
+    /// (so one lookup lands where the oracle's chase ends), flattened
+    /// like `link_segs`.
+    node_wins: Vec<(u64, u64)>,
+    node_off: Vec<u32>,
+    /// Earliest death time per node; `u64::MAX` = never dies.
+    death: Vec<u64>,
+    /// `true` when any in-mesh node has a death time.
+    has_death_times: bool,
+    /// Death entries in handling order.
+    deaths_sorted: Vec<SortedDeath>,
+    /// `fold[k][node]`: where `node`'s traffic lands once the first `k`
+    /// unique deaths are folded; `u32::MAX` = no survivor left.
+    fold: Vec<Vec<u32>>,
+}
+
+impl CompiledFaultPlan {
+    /// Compile `plan` for `mesh`. Outage windows naming links or nodes
+    /// outside the mesh are dropped from the buckets (no route link or
+    /// message endpoint can ever match them); deaths of out-of-mesh
+    /// nodes are kept in the handling order, because the recovery driver
+    /// still detects them and rolls back.
+    pub fn new(plan: &FaultPlan, mesh: &Mesh2D) -> Self {
+        let links = mesh.link_count();
+        let nodes = mesh.nodes();
+        let (px, py) = (mesh.px, mesh.py);
+
+        let mut link_segs = Vec::new();
+        let mut link_off = Vec::with_capacity(links + 1);
+        link_off.push(0u32);
+        let mut wins: Vec<(u64, u64)> = Vec::new();
+        for l in 0..links {
+            wins.clear();
+            wins.extend(
+                plan.link_outages
+                    .iter()
+                    .filter(|o| o.link == l && o.from < o.until)
+                    .map(|o| (o.from, o.until)),
+            );
+            let mut cuts: Vec<u64> = wins.iter().flat_map(|&(f, u)| [f, u]).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            // A window covering any point of `[cut, next)` covers all of
+            // it (its endpoints are themselves cuts), so the min-until on
+            // the segment is the min over windows covering its start.
+            for c in cuts.windows(2) {
+                let covering = wins.iter().filter(|&&(f, u)| f <= c[0] && c[0] < u);
+                if let Some(min_until) = covering.map(|&(_, u)| u).min() {
+                    link_segs.push(OutageSeg {
+                        from: c[0],
+                        until: c[1],
+                        min_until,
+                    });
+                }
+            }
+            link_off.push(link_segs.len() as u32);
+        }
+
+        let mut node_wins = Vec::new();
+        let mut node_off = Vec::with_capacity(nodes + 1);
+        node_off.push(0u32);
+        for n in 0..nodes {
+            wins.clear();
+            wins.extend(
+                plan.node_outages
+                    .iter()
+                    .filter(|o| o.node == n && o.from < o.until)
+                    .map(|o| (o.from, o.until)),
+            );
+            wins.sort_unstable();
+            let base = node_wins.len();
+            // Merge touching windows too ([a, b) + [b, c) = [a, c)): the
+            // oracle's chase steps from one window's `until` straight
+            // into the next.
+            for &(f, u) in &wins {
+                if node_wins.len() > base {
+                    let last: &mut (u64, u64) = node_wins.last_mut().unwrap();
+                    if f <= last.1 {
+                        last.1 = last.1.max(u);
+                        continue;
+                    }
+                }
+                node_wins.push((f, u));
+            }
+            node_off.push(node_wins.len() as u32);
+        }
+
+        let mut death = vec![u64::MAX; nodes];
+        for d in &plan.node_deaths {
+            if d.node < nodes {
+                death[d.node] = death[d.node].min(d.t);
+            }
+        }
+        let has_death_times = death.iter().any(|&t| t != u64::MAX);
+
+        let mut order: Vec<&NodeDeath> = plan.node_deaths.iter().collect();
+        order.sort_by_key(|d| (d.t, d.node));
+        let mut dead: Vec<usize> = Vec::new();
+        let mut fold = vec![fold_table(px, py, &dead)];
+        let mut deaths_sorted = Vec::with_capacity(order.len());
+        for d in order {
+            let first = !dead.contains(&d.node);
+            if first {
+                dead.push(d.node);
+                fold.push(fold_table(px, py, &dead));
+            }
+            deaths_sorted.push(SortedDeath {
+                node: d.node,
+                t: d.t,
+                detect: plan.detection_time(d.t),
+                first,
+                k_after: dead.len(),
+            });
+        }
+
+        CompiledFaultPlan {
+            plan: plan.clone(),
+            link_segs,
+            link_off,
+            node_wins,
+            node_off,
+            death,
+            has_death_times,
+            deaths_sorted,
+            fold,
+        }
+    }
+
+    /// The source plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    #[inline]
+    fn link_bucket(&self, link: usize) -> &[OutageSeg] {
+        &self.link_segs[self.link_off[link] as usize..self.link_off[link + 1] as usize]
+    }
+
+    #[inline]
+    fn node_bucket(&self, node: usize) -> &[(u64, u64)] {
+        &self.node_wins[self.node_off[node] as usize..self.node_off[node + 1] as usize]
+    }
+
+    /// Compiled [`FaultPlan::link_outage_until`]: one binary search
+    /// instead of an O(#outages) scan.
+    #[inline]
+    pub fn link_outage_until(&self, link: usize, t: u64) -> Option<u64> {
+        let segs = self.link_bucket(link);
+        match segs.partition_point(|s| s.from <= t) {
+            0 => None,
+            i => {
+                let s = &segs[i - 1];
+                (t < s.until).then_some(s.min_until)
+            }
+        }
+    }
+
+    /// Compiled [`FaultPlan::link_dead_at`].
+    #[inline]
+    pub fn link_dead_at(&self, link: usize, t: u64) -> bool {
+        self.link_outage_until(link, t).is_some()
+    }
+
+    /// Compiled [`FaultPlan::node_dead_at`].
+    #[inline]
+    pub fn node_dead_at(&self, node: usize, t: u64) -> bool {
+        if self.death[node] != u64::MAX && t >= self.death[node] {
+            return true;
+        }
+        let wins = self.node_bucket(node);
+        match wins.partition_point(|w| w.0 <= t) {
+            0 => false,
+            i => t < wins[i - 1].1,
+        }
+    }
+
+    /// Compiled [`FaultPlan::node_alive_after`]: the oracle's chase ends
+    /// at the end of the merged window component containing `t` (or `t`
+    /// itself outside every window), and reports `u64::MAX` exactly when
+    /// the node's death time is at or before that point.
+    #[inline]
+    pub fn node_alive_after(&self, node: usize, t: u64) -> u64 {
+        self.node_alive_after_mode(node, t, true)
+    }
+
+    /// The recovery driver strips deaths from the transport's view
+    /// (`with_deaths = false`): deaths are survived by rollback, not
+    /// black-holed.
+    #[inline]
+    pub(crate) fn node_alive_after_mode(&self, node: usize, t: u64, with_deaths: bool) -> u64 {
+        let wins = self.node_bucket(node);
+        let r = match wins.partition_point(|w| w.0 <= t) {
+            0 => t,
+            i => {
+                let w = wins[i - 1];
+                if t < w.1 {
+                    w.1
+                } else {
+                    t
+                }
+            }
+        };
+        if with_deaths && self.death[node] != u64::MAX && self.death[node] <= r {
+            return u64::MAX;
+        }
+        r
+    }
+
+    /// Any link-outage segment at all? Skipping the route outage scan
+    /// when there is none is observationally identical.
+    #[inline]
+    pub fn has_link_outages(&self) -> bool {
+        !self.link_segs.is_empty()
+    }
+
+    /// Must the transport check endpoint liveness? (`with_deaths` as in
+    /// [`CompiledFaultPlan::node_alive_after_mode`].) When `false`, every
+    /// liveness query would answer "alive now" and draw nothing, so the
+    /// whole check is skipped.
+    #[inline]
+    pub(crate) fn check_nodes(&self, with_deaths: bool) -> bool {
+        !self.node_wins.is_empty() || (with_deaths && self.has_death_times)
+    }
+
+    /// Death entries in the order the recovery driver handles them.
+    pub(crate) fn sorted_deaths(&self) -> &[SortedDeath] {
+        &self.deaths_sorted
+    }
+
+    /// Fold lookup after `k` unique deaths: compiled
+    /// [`fold_target`] over the first `k` dead nodes (a live node maps
+    /// to itself).
+    #[inline]
+    pub(crate) fn fold_lookup(&self, k: usize, node: usize) -> Option<usize> {
+        let t = self.fold[k][node];
+        (t != u32::MAX).then_some(t as usize)
+    }
+}
+
+/// Dense [`fold_target`] table for one dead set.
+fn fold_table(px: usize, py: usize, dead: &[usize]) -> Vec<u32> {
+    (0..px * py)
+        .map(|n| fold_target(px, py, n, dead).map_or(u32::MAX, |t| t as u32))
+        .collect()
 }
 
 /// Accounting of the checkpoint/rollback recovery path
@@ -592,5 +894,160 @@ mod tests {
         assert_eq!(a.recovery.detected, 1);
         assert_eq!(a.recovery.lost_work_ns, 40);
         assert!(RecoveryReport::default().all_recovered());
+    }
+
+    use crate::model::CostModel;
+
+    fn mesh8x4() -> Mesh2D {
+        Mesh2D::new(8, 4, CostModel::paragon())
+    }
+
+    #[test]
+    fn compiled_link_lookup_keeps_exact_min_until() {
+        // Overlapping windows: [0, 100) and [50, 200). At t = 60 both are
+        // active and the oracle reports the *earlier* end (100), which a
+        // naive merged-interval table would get wrong (200).
+        let mut p = FaultPlan::none();
+        p.link_outages.push(LinkOutage {
+            link: 3,
+            from: 0,
+            until: 100,
+        });
+        p.link_outages.push(LinkOutage {
+            link: 3,
+            from: 50,
+            until: 200,
+        });
+        let c = CompiledFaultPlan::new(&p, &mesh8x4());
+        for t in [0u64, 49, 50, 60, 99, 100, 150, 199, 200, 500] {
+            assert_eq!(
+                c.link_outage_until(3, t),
+                p.link_outage_until(3, t),
+                "t = {t}"
+            );
+            assert_eq!(c.link_dead_at(3, t), p.link_dead_at(3, t), "t = {t}");
+            assert_eq!(c.link_dead_at(4, t), p.link_dead_at(4, t));
+        }
+        assert_eq!(c.link_outage_until(3, 60), Some(100));
+        assert!(c.has_link_outages());
+        assert!(!CompiledFaultPlan::new(&FaultPlan::none(), &mesh8x4()).has_link_outages());
+    }
+
+    #[test]
+    fn compiled_node_lookup_chases_like_oracle() {
+        let mut p = FaultPlan::none();
+        // Touching windows [0, 100) + [100, 250): the chase crosses the
+        // boundary; an overlapping third [80, 120) changes nothing.
+        for (from, until) in [(0, 100), (100, 250), (80, 120)] {
+            p.node_outages.push(NodeOutage {
+                node: 5,
+                from,
+                until,
+            });
+        }
+        p.node_deaths.push(NodeDeath { node: 7, t: 1_000 });
+        let c = CompiledFaultPlan::new(&p, &mesh8x4());
+        for node in [5usize, 6, 7] {
+            for t in [0u64, 10, 99, 100, 249, 250, 999, 1_000, 5_000] {
+                assert_eq!(
+                    c.node_alive_after(node, t),
+                    p.node_alive_after(node, t),
+                    "node {node} t {t}"
+                );
+                assert_eq!(
+                    c.node_dead_at(node, t),
+                    p.node_dead_at(node, t),
+                    "node {node} t {t}"
+                );
+            }
+        }
+        assert_eq!(c.node_alive_after(5, 10), 250);
+        // Death inside a window component blacks the node out forever.
+        let mut q = FaultPlan::none();
+        q.node_outages.push(NodeOutage {
+            node: 3,
+            from: 100,
+            until: 200,
+        });
+        q.node_deaths.push(NodeDeath { node: 3, t: 200 });
+        let cq = CompiledFaultPlan::new(&q, &mesh8x4());
+        assert_eq!(cq.node_alive_after(3, 150), u64::MAX);
+        assert_eq!(cq.node_alive_after(3, 99), 99);
+        // The recovery driver's view ignores deaths.
+        assert_eq!(cq.node_alive_after_mode(3, 150, false), 200);
+        assert!(cq.check_nodes(false) && cq.check_nodes(true));
+        let bare = CompiledFaultPlan::new(&FaultPlan::none(), &mesh8x4());
+        assert!(!bare.check_nodes(true));
+    }
+
+    #[test]
+    fn compiled_death_order_and_fold_tables() {
+        let m = mesh8x4();
+        let mut p = FaultPlan::none();
+        p.detection_latency = 500;
+        // Out of handling order, one duplicate node, one out-of-mesh node.
+        p.node_deaths.push(NodeDeath { node: 9, t: 300 });
+        p.node_deaths.push(NodeDeath { node: 4, t: 100 });
+        p.node_deaths.push(NodeDeath { node: 4, t: 200 });
+        p.node_deaths.push(NodeDeath { node: 999, t: 250 });
+        let c = CompiledFaultPlan::new(&p, &m);
+        let d = c.sorted_deaths();
+        let order: Vec<(usize, u64, u64, bool, usize)> = d
+            .iter()
+            .map(|e| (e.node, e.t, e.detect, e.first, e.k_after))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (4, 100, 600, true, 1),
+                (4, 200, 700, false, 1),
+                (999, 250, 750, true, 2),
+                (9, 300, 800, true, 3),
+            ]
+        );
+        // Fold tables match the per-call chase at each prefix.
+        let dead_prefixes: [&[usize]; 4] = [&[], &[4], &[4, 999], &[4, 999, 9]];
+        for (k, dead) in dead_prefixes.iter().enumerate() {
+            for node in 0..m.nodes() {
+                assert_eq!(
+                    c.fold_lookup(k, node),
+                    fold_target(m.px, m.py, node, dead),
+                    "k {k} node {node}"
+                );
+            }
+        }
+        // In-mesh deaths feed the transport's death times; the
+        // out-of-mesh one does not.
+        assert_eq!(c.node_alive_after(4, 100), u64::MAX);
+        assert_eq!(c.node_alive_after(9, 299), 299);
+        assert_eq!(c.node_alive_after(9, 300), u64::MAX);
+    }
+
+    #[test]
+    fn compiled_lookup_ignores_out_of_range_outages() {
+        let m = mesh8x4();
+        let mut p = FaultPlan::none();
+        p.link_outages.push(LinkOutage {
+            link: m.link_count() + 7,
+            from: 0,
+            until: 100,
+        });
+        p.node_outages.push(NodeOutage {
+            node: m.nodes() + 3,
+            from: 0,
+            until: 100,
+        });
+        // Empty windows are dropped too.
+        p.link_outages.push(LinkOutage {
+            link: 0,
+            from: 50,
+            until: 50,
+        });
+        let c = CompiledFaultPlan::new(&p, &m);
+        assert!(!c.has_link_outages());
+        assert!(!c.check_nodes(true));
+        for l in 0..m.link_count() {
+            assert_eq!(c.link_outage_until(l, 10), p.link_outage_until(l, 10));
+        }
     }
 }

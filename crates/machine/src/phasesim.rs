@@ -25,11 +25,11 @@
 //! route table once, so each replay is a linear scan with no routing
 //! arithmetic at all.
 
-use crate::fault::{fold_target, FaultPlan, FaultReport};
+use crate::fault::{fold_target, CompiledFaultPlan, FaultPlan, FaultReport};
 use crate::mesh::{Mesh2D, RouteLinks};
 use crate::model::PMsg;
 use crate::rng::XorShift64;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Reusable scratch state for simulating mesh communication phases.
 #[derive(Debug, Clone)]
@@ -281,8 +281,10 @@ impl PhaseSim {
                 if rng.chance(plan.dup_prob) {
                     rep.duplicates += 1;
                     rep.attempts += 1;
-                    let (s2, h2, _) = self.scan_route(route(&self.mesh), end, plan);
-                    let end2 = self.transmit(route(&self.mesh), s2, h2, m.bytes);
+                    // The delivery just reserved every link of this route
+                    // to `end`, so a rescan would return start = `end` and
+                    // the same hop count: retransmit directly.
+                    let end2 = self.transmit(route(&self.mesh), end, hops, m.bytes);
                     rep.makespan = rep.makespan.max(end2);
                 }
                 break;
@@ -522,6 +524,148 @@ impl PhaseSim {
         }
         makespan
     }
+
+    /// Replay a precompiled phase under a precompiled fault plan:
+    /// bit-identical to [`PhaseSim::simulate_phase_faulty`] with
+    /// `FaultPlan { seed, ..plan }`, at [`CachedPhase`] speed — no
+    /// filtering, no sorting, no route arithmetic, and every outage
+    /// lookup is a binary search in a per-link/per-node bucket.
+    pub fn run_cached_faulty(
+        &mut self,
+        phase: &CachedFaultPhase,
+        plan: &CompiledFaultPlan,
+        seed: u64,
+    ) -> FaultReport {
+        self.run_cached_faulty_mode(phase, plan, seed, true)
+    }
+
+    /// `with_deaths = false` is the recovery driver's transport view
+    /// (deaths survived by rollback, not black-holed) — the compiled
+    /// twin of the oracle's `FaultPlan { node_deaths: vec![], .. }`.
+    fn run_cached_faulty_mode(
+        &mut self,
+        phase: &CachedFaultPhase,
+        plan: &CompiledFaultPlan,
+        seed: u64,
+        with_deaths: bool,
+    ) -> FaultReport {
+        self.begin_phase();
+        let mut rng = XorShift64::new(seed);
+        let p = plan.plan();
+        let mut rep = FaultReport {
+            messages: phase.len(),
+            ..FaultReport::default()
+        };
+        let max_attempts = if p.retry.enabled {
+            p.retry.max_attempts.max(1)
+        } else {
+            1
+        };
+        // Skipping a check block when the plan has no matching event is
+        // observationally identical: the oracle's scan would find
+        // nothing and no RNG draw happens on those paths.
+        let check_nodes = plan.check_nodes(with_deaths);
+        let check_links = plan.has_link_outages();
+        for i in 0..phase.len() {
+            let (src, dst) = (phase.src[i] as usize, phase.dst[i] as usize);
+            let xy = &phase.xy_links[phase.xy_off[i] as usize..phase.xy_off[i + 1] as usize];
+            let yx = &phase.yx_links[phase.yx_off[i] as usize..phase.yx_off[i + 1] as usize];
+            let dur = phase.dur[i];
+            let mut next_send = 0u64;
+            let mut attempt = 0u32;
+            loop {
+                if check_nodes {
+                    let alive = plan
+                        .node_alive_after_mode(src, next_send, with_deaths)
+                        .max(plan.node_alive_after_mode(dst, next_send, with_deaths));
+                    if alive == u64::MAX {
+                        rep.lost += 1;
+                        rep.black_holes += 1;
+                        break;
+                    }
+                    if alive > next_send {
+                        rep.deferrals += 1;
+                        next_send = alive;
+                        continue;
+                    }
+                }
+                let mut start = next_send;
+                for &l in xy {
+                    start = start.max(self.link_free_at(l as usize));
+                }
+                let xy_dead = if check_links {
+                    scan_outages(xy, start, plan)
+                } else {
+                    None
+                };
+                let (links, start) = if xy_dead.is_none() {
+                    (xy, start)
+                } else {
+                    let mut start_yx = next_send;
+                    for &l in yx {
+                        start_yx = start_yx.max(self.link_free_at(l as usize));
+                    }
+                    if let Some(yx_until) = scan_outages(yx, start_yx, plan) {
+                        rep.deferrals += 1;
+                        next_send = xy_dead
+                            .unwrap_or(u64::MAX)
+                            .min(yx_until)
+                            .max(next_send.saturating_add(1));
+                        continue;
+                    }
+                    rep.reroutes += 1;
+                    (yx, start_yx)
+                };
+                attempt += 1;
+                rep.attempts += 1;
+                let end = start.saturating_add(dur);
+                for &l in links {
+                    self.reserve_link(l as usize, end);
+                }
+                rep.makespan = rep.makespan.max(end);
+                let escalated = p.retry.enabled && attempt >= max_attempts;
+                let unlucky = rng.chance(p.drop_prob);
+                if unlucky && !escalated {
+                    if !p.retry.enabled {
+                        rep.lost += 1;
+                        break;
+                    }
+                    rep.retries += 1;
+                    next_send = end.saturating_add(p.retry.backoff_delay(attempt));
+                    continue;
+                }
+                if unlucky && escalated {
+                    rep.escalations += 1;
+                }
+                rep.delivered += 1;
+                if rng.chance(p.dup_prob) {
+                    rep.duplicates += 1;
+                    rep.attempts += 1;
+                    let end2 = end.saturating_add(dur);
+                    for &l in links {
+                        self.reserve_link(l as usize, end2);
+                    }
+                    rep.makespan = rep.makespan.max(end2);
+                }
+                break;
+            }
+        }
+        rep
+    }
+}
+
+/// Earliest comeback time among route links inside an outage window at
+/// `start` — the compiled twin of the oracle's per-link
+/// [`FaultPlan::link_outage_until`] scan inside `scan_route`.
+#[inline]
+fn scan_outages(links: &[u32], start: u64, plan: &CompiledFaultPlan) -> Option<u64> {
+    let mut dead_until: Option<u64> = None;
+    for &l in links {
+        if let Some(u) = plan.link_outage_until(l as usize, start) {
+            dead_until = Some(dead_until.map_or(u, |d: u64| d.min(u)));
+        }
+    }
+    dead_until
 }
 
 /// When and how often [`PhaseSim::simulate_phases_recovering`] takes
@@ -624,6 +768,296 @@ impl CachedPhase {
     pub fn is_empty(&self) -> bool {
         self.bytes.is_empty()
     }
+}
+
+/// A phase compiled for repeated *faulty* replay: like [`CachedPhase`],
+/// but with **both** routes of every message flattened (XY, and the YX
+/// fallback taken around a dead link), the endpoints kept for liveness
+/// checks, and the transmission duration precomputed (XY and YX have
+/// the same hop count, hence the same cost).
+#[derive(Debug, Clone)]
+pub struct CachedFaultPhase {
+    src: Vec<u32>,
+    dst: Vec<u32>,
+    /// Concatenated XY route links, in schedule order.
+    xy_links: Vec<u32>,
+    xy_off: Vec<u32>,
+    /// Concatenated YX route links.
+    yx_links: Vec<u32>,
+    yx_off: Vec<u32>,
+    /// `cost.p2p(hops, bytes)` of each scheduled message.
+    dur: Vec<u64>,
+}
+
+impl CachedFaultPhase {
+    /// Compile `msgs` for `mesh`: filter self-messages, sort, and record
+    /// both routes and the per-message cost once.
+    pub fn new(mesh: &Mesh2D, msgs: &[PMsg]) -> Self {
+        let mut sorted: Vec<PMsg> = msgs.iter().copied().filter(|m| m.src != m.dst).collect();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let mut out = CachedFaultPhase {
+            src: Vec::with_capacity(n),
+            dst: Vec::with_capacity(n),
+            xy_links: Vec::new(),
+            xy_off: Vec::with_capacity(n + 1),
+            yx_links: Vec::new(),
+            yx_off: Vec::with_capacity(n + 1),
+            dur: Vec::with_capacity(n),
+        };
+        out.xy_off.push(0);
+        out.yx_off.push(0);
+        for m in &sorted {
+            out.src.push(m.src as u32);
+            out.dst.push(m.dst as u32);
+            out.xy_links
+                .extend(mesh.route_links(m.src, m.dst).map(|l| l.index() as u32));
+            out.xy_off.push(out.xy_links.len() as u32);
+            out.yx_links
+                .extend(mesh.route_links_yx(m.src, m.dst).map(|l| l.index() as u32));
+            out.yx_off.push(out.yx_links.len() as u32);
+            out.dur
+                .push(mesh.cost.p2p(mesh.hops(m.src, m.dst), m.bytes));
+        }
+        out
+    }
+
+    /// Number of scheduled (non-local) messages.
+    pub fn len(&self) -> usize {
+        self.dur.len()
+    }
+
+    /// True when no message crosses a link.
+    pub fn is_empty(&self) -> bool {
+        self.dur.is_empty()
+    }
+}
+
+/// The compiled fault-simulation engine: one phase set, one fault plan,
+/// many seeds. Compiles every phase once ([`CachedFaultPhase`]) and the
+/// plan once ([`CompiledFaultPlan`]), then replays the whole run per
+/// seed with zero routing or sorting work. Every replay is
+/// **bit-identical** to the per-call oracle with the same seed
+/// substituted into the plan
+/// ([`PhaseSim::simulate_phases_faulty`] /
+/// [`PhaseSim::simulate_phases_recovering`]) — pinned by differential
+/// property tests.
+#[derive(Debug, Clone)]
+pub struct FaultSim {
+    sim: PhaseSim,
+    plan: CompiledFaultPlan,
+    phases: Vec<Vec<PMsg>>,
+    cached: Vec<CachedFaultPhase>,
+    /// Folded-phase cache for the recovering path, keyed by
+    /// `(phase index, unique deaths folded)` and holding the dropped
+    /// (no-survivor) message count. Fold outcomes depend only on the
+    /// plan's death order — never on the seed — so entries are reused
+    /// across all replications.
+    folded: BTreeMap<(usize, usize), (CachedFaultPhase, usize)>,
+}
+
+impl FaultSim {
+    /// Compile `phases` and `plan` for `mesh`.
+    pub fn new(mesh: &Mesh2D, phases: &[Vec<PMsg>], plan: &FaultPlan) -> Self {
+        FaultSim {
+            sim: PhaseSim::new(mesh.clone()),
+            plan: CompiledFaultPlan::new(plan, mesh),
+            phases: phases.to_vec(),
+            cached: phases
+                .iter()
+                .map(|p| CachedFaultPhase::new(mesh, p))
+                .collect(),
+            folded: BTreeMap::new(),
+        }
+    }
+
+    /// The simulated machine.
+    pub fn mesh(&self) -> &Mesh2D {
+        self.sim.mesh()
+    }
+
+    /// The current fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        self.plan.plan()
+    }
+
+    /// Swap the fault plan, keeping the (plan-independent) compiled
+    /// phases — the sweep fast path for evaluating one workload under
+    /// many plans.
+    pub fn set_plan(&mut self, plan: &FaultPlan) {
+        self.plan = CompiledFaultPlan::new(plan, self.sim.mesh());
+        self.folded.clear();
+    }
+
+    /// Replay the whole run once with `seed` substituted for the plan's:
+    /// bit-identical to [`PhaseSim::simulate_phases_faulty`] with
+    /// `FaultPlan { seed, ..plan }`.
+    pub fn run_faulty(&mut self, seed: u64) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (i, c) in self.cached.iter().enumerate() {
+            let rep =
+                self.sim
+                    .run_cached_faulty_mode(c, &self.plan, seed.wrapping_add(i as u64), true);
+            total.absorb(&rep);
+        }
+        total
+    }
+
+    /// Per-phase reports of [`FaultSim::run_faulty`] (same per-phase
+    /// seed derivation, `seed + index`): the batch-API view of the
+    /// guarantee that editing one phase never shifts another's fault
+    /// stream.
+    pub fn run_faulty_per_phase(&mut self, seed: u64) -> Vec<FaultReport> {
+        self.cached
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.sim
+                    .run_cached_faulty_mode(c, &self.plan, seed.wrapping_add(i as u64), true)
+            })
+            .collect()
+    }
+
+    /// Replay one faulty run per seed — the Monte Carlo batch API. The
+    /// compile cost is paid once, before the first seed.
+    pub fn replay_faulty(&mut self, seeds: &[u64]) -> Vec<FaultReport> {
+        seeds.iter().map(|&s| self.run_faulty(s)).collect()
+    }
+
+    /// Replay the checkpoint/rollback run once with `seed` substituted
+    /// for the plan's: bit-identical to
+    /// [`PhaseSim::simulate_phases_recovering`] with
+    /// `FaultPlan { seed, ..plan }`.
+    pub fn run_recovering(&mut self, policy: &CheckpointPolicy, seed: u64) -> FaultReport {
+        let FaultSim {
+            sim,
+            plan,
+            phases,
+            cached,
+            folded,
+        } = self;
+        let mesh = sim.mesh().clone();
+        let interval = policy.interval.max(1);
+        let ring_cap = policy.ring.max(1);
+        let deaths = plan.sorted_deaths();
+        let mut total = FaultReport::default();
+        // Deaths are precompiled in handling order ((t, node), stable),
+        // so the oracle's scan for the earliest visible unhandled death
+        // becomes one pointer: visibility is monotone along that order.
+        let mut next_death = 0usize;
+        // Unique deaths folded so far — the fold-table prefix in force.
+        let mut k = 0usize;
+        let mut ring: VecDeque<Checkpoint> = VecDeque::new();
+        let mut now = 0u64;
+        let mut frontier = 0usize;
+        let mut i = 0usize;
+        loop {
+            let mut phase_end = now;
+            let mut phase_rep: Option<(FaultReport, usize)> = None;
+            if i < phases.len() {
+                if i % interval == 0 && ring.back().is_none_or(|c| c.phase != i || c.elapsed != now)
+                {
+                    if ring.len() == ring_cap {
+                        ring.pop_front();
+                    }
+                    ring.push_back(sim.checkpoint(i, now, total));
+                    total.recovery.checkpoints += 1;
+                    total.recovery.checkpoint_overhead_ns += policy.cost_ns;
+                }
+                let (phase, dropped): (&CachedFaultPhase, usize) = if k == 0 {
+                    (&cached[i], 0)
+                } else {
+                    let entry = folded
+                        .entry((i, k))
+                        .or_insert_with(|| compile_folded(&mesh, plan, &phases[i], k));
+                    (&entry.0, entry.1)
+                };
+                let seed_i = seed.wrapping_add(i as u64);
+                let rep = sim.run_cached_faulty_mode(phase, plan, seed_i, false);
+                phase_end = now + rep.makespan;
+                phase_rep = Some((rep, dropped));
+            }
+            let visible = next_death < deaths.len() && {
+                let d = &deaths[next_death];
+                if phase_rep.is_some() {
+                    d.detect <= phase_end
+                } else {
+                    d.t < now
+                }
+            };
+            if visible {
+                let d = &deaths[next_death];
+                next_death += 1;
+                total.recovery.detected += 1;
+                if d.first {
+                    total.recovery.folded_nodes += 1;
+                }
+                k = d.k_after;
+                let pos = ring.iter().rposition(|c| c.elapsed <= d.t).unwrap_or(0);
+                ring.truncate(pos + 1);
+                let c = ring.back().expect("phase 0 is always checkpointed");
+                total.recovery.lost_work_ns += phase_end - c.elapsed;
+                let recovery = total.recovery;
+                total = c.report;
+                total.recovery = recovery;
+                total.recovery.rollbacks += 1;
+                now = c.elapsed;
+                i = c.phase;
+                sim.restore(c);
+                continue;
+            }
+            let Some((rep, dropped)) = phase_rep else {
+                break;
+            };
+            total.absorb(&rep);
+            total.messages += dropped;
+            total.lost += dropped;
+            total.black_holes += dropped as u64;
+            now = phase_end;
+            if i < frontier {
+                total.recovery.replayed_phases += 1;
+            } else {
+                frontier = i + 1;
+            }
+            i += 1;
+        }
+        total.recovery.deaths = next_death;
+        total
+    }
+
+    /// Replay one recovering run per seed — the Monte Carlo batch API
+    /// for the checkpoint/rollback path. Folded phases are compiled
+    /// lazily on the first seed that needs them and reused by the rest.
+    pub fn replay_recovering(
+        &mut self,
+        policy: &CheckpointPolicy,
+        seeds: &[u64],
+    ) -> Vec<FaultReport> {
+        seeds
+            .iter()
+            .map(|&s| self.run_recovering(policy, s))
+            .collect()
+    }
+}
+
+/// Fold one raw phase for the first `k` unique deaths and compile it:
+/// the compiled twin of the recovering oracle's per-message
+/// [`fold_target`] block, returning the dropped (no-survivor) count.
+fn compile_folded(
+    mesh: &Mesh2D,
+    plan: &CompiledFaultPlan,
+    raw: &[PMsg],
+    k: usize,
+) -> (CachedFaultPhase, usize) {
+    let mut folded = Vec::with_capacity(raw.len());
+    let mut dropped = 0usize;
+    for m in raw {
+        match (plan.fold_lookup(k, m.src), plan.fold_lookup(k, m.dst)) {
+            (Some(src), Some(dst)) => folded.push(PMsg { src, dst, ..*m }),
+            _ => dropped += 1,
+        }
+    }
+    (CachedFaultPhase::new(mesh, &folded), dropped)
 }
 
 /// Fan a batch of *independent* phases out over worker threads, one
@@ -1085,6 +1519,132 @@ mod tests {
         assert!(rep.recovery.rollbacks >= 2);
         assert_eq!(rep.delivered, rep.messages);
         assert_eq!(rep.black_holes, 0);
+    }
+
+    #[test]
+    fn duplicate_retransmit_reuses_scanned_route() {
+        // dup_prob = 1: the duplicate goes out back to back on the same
+        // route, so the makespan is exactly two transmissions. Pins the
+        // fixed duplicate branch (no second route scan — the links were
+        // just reserved to `end`, so the retransmission starts there).
+        let m = mesh(4, 1);
+        let mut sim = PhaseSim::new(m.clone());
+        let msg = [PMsg {
+            src: 0,
+            dst: 3,
+            bytes: 64,
+        }];
+        let plan = crate::FaultPlan {
+            dup_prob: 1.0,
+            ..crate::FaultPlan::none()
+        };
+        let rep = sim.simulate_phase_faulty(&msg, &plan);
+        assert_eq!(rep.makespan, 2 * m.cost.p2p(3, 64));
+        assert_eq!(rep.duplicates, 1);
+        assert_eq!(rep.attempts, 2);
+        // The compiled replay agrees bit for bit.
+        let cached = CachedFaultPhase::new(&m, &msg);
+        let compiled = CompiledFaultPlan::new(&plan, &m);
+        assert_eq!(sim.run_cached_faulty(&cached, &compiled, plan.seed), rep);
+    }
+
+    #[test]
+    fn compiled_faulty_replay_matches_oracle() {
+        let m = mesh(8, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..5).map(|s| mixed_phase(&m, 25, s)).collect();
+        // Outages on both routes of some messages, a node window, a
+        // death, drops and duplicates: every transport branch is live.
+        let mut plan = crate::FaultPlan {
+            dup_prob: 0.1,
+            ..crate::FaultPlan::with_drop(21, 0.3)
+        };
+        plan.link_outages.push(crate::LinkOutage {
+            link: m.h_link(2, 1, true).index(),
+            from: 0,
+            until: 300_000,
+        });
+        plan.link_outages.push(crate::LinkOutage {
+            link: m.v_link(4, 0, false).index(),
+            from: 50_000,
+            until: 400_000,
+        });
+        plan.node_outages.push(crate::NodeOutage {
+            node: 9,
+            from: 0,
+            until: 200_000,
+        });
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 17,
+            t: 100_000,
+        });
+        let mut engine = FaultSim::new(&m, &phases, &plan);
+        for seed in [plan.seed, 0, 7, 123_456] {
+            let seeded = crate::FaultPlan {
+                seed,
+                ..plan.clone()
+            };
+            assert_eq!(
+                engine.run_faulty(seed),
+                sim.simulate_phases_faulty(&phases, &seeded),
+                "seed {seed}"
+            );
+        }
+        let seeds = [3u64, 3, 99];
+        let batch = engine.replay_faulty(&seeds);
+        assert_eq!(batch[0], batch[1], "same seed replays identically");
+        let per_phase = engine.run_faulty_per_phase(plan.seed);
+        let mut summed = FaultReport::default();
+        for rep in &per_phase {
+            summed.absorb(rep);
+        }
+        assert_eq!(summed, engine.run_faulty(plan.seed));
+    }
+
+    #[test]
+    fn compiled_recovering_replay_matches_oracle() {
+        let m = mesh(4, 4);
+        let mut sim = PhaseSim::new(m.clone());
+        let phases: Vec<Vec<PMsg>> = (0..12).map(|s| mixed_phase(&m, 10, s)).collect();
+        let healthy = m.simulate_phases(&phases);
+        let mut plan = crate::FaultPlan::with_drop(5, 0.15);
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 5,
+            t: healthy / 4,
+        });
+        plan.node_deaths.push(crate::NodeDeath {
+            node: 10,
+            t: healthy / 2,
+        });
+        plan.detection_latency = 10_000;
+        let policy = CheckpointPolicy {
+            interval: 2,
+            ring: 4,
+            cost_ns: 25_000,
+        };
+        let mut engine = FaultSim::new(&m, &phases, &plan);
+        for seed in [plan.seed, 0, 41] {
+            let seeded = crate::FaultPlan {
+                seed,
+                ..plan.clone()
+            };
+            assert_eq!(
+                engine.run_recovering(&policy, seed),
+                sim.simulate_phases_recovering(&phases, &seeded, &policy),
+                "seed {seed}"
+            );
+        }
+        // The batch API reuses folded-phase compilations across seeds.
+        let seeds = [9u64, 9, 2];
+        let batch = engine.replay_recovering(&policy, &seeds);
+        assert_eq!(batch[0], batch[1]);
+        assert!(batch.iter().all(|r| r.recovery.all_recovered()));
+        // Swapping the plan recompiles: a death-free plan through the
+        // same engine matches the unfaulted scheduler.
+        engine.set_plan(&crate::FaultPlan::none());
+        let zero = engine.run_recovering(&CheckpointPolicy::default(), 0);
+        assert_eq!(zero.makespan, healthy);
+        assert_eq!(zero.recovery.rollbacks, 0);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! [`crate::PhaseSim`]), so per-simulation allocations are paid once per
 //! thread instead of once per configuration.
 
-use crate::fault::NodeDeath;
+use crate::fault::{FaultPlan, FaultReport, NodeDeath};
+use crate::mesh::Mesh2D;
+use crate::model::PMsg;
+use crate::phasesim::{CheckpointPolicy, FaultSim};
 use crate::rng::XorShift64;
 
 /// A deterministic mean-time-to-failure death schedule: one death every
@@ -81,6 +84,194 @@ where
         }
     });
     results
+}
+
+/// Seed of Monte Carlo replication `rep` for a plan whose own seed is
+/// `base`. Replication 0 **is** the plan's seed, so the first
+/// replication of any sweep reproduces the classic single-seed run bit
+/// for bit; later replications are splitmix-scrambled so neighbouring
+/// replications share no stream structure. Pure function of
+/// `(base, rep)` — workers can derive any replication independently,
+/// which is what makes parallel sweeps order-insensitive.
+pub fn replication_seed(base: u64, rep: u64) -> u64 {
+    if rep == 0 {
+        return base;
+    }
+    let mut z = base.wrapping_add(rep.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Welford online accumulator: mean/variance plus min/max in O(1) space,
+/// no sample storage. Pushing the same values in the same order always
+/// produces bitwise-identical state, which is how parallel sweeps stay
+/// bit-identical to serial ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    lo: f64,
+    hi: f64,
+}
+
+impl OnlineStats {
+    /// Fold one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        if self.n == 1 {
+            self.lo = x;
+            self.hi = x;
+        } else {
+            self.lo = self.lo.min(x);
+            self.hi = self.hi.max(x);
+        }
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0.0 below two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        self.lo
+    }
+
+    /// Largest sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        self.hi
+    }
+}
+
+/// Per-configuration result of a Monte Carlo fault sweep: online
+/// statistics over the replications plus the summed raw accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSweepStats {
+    /// Replications folded in.
+    pub replications: usize,
+    /// Committed makespan per replication, in ns.
+    pub makespan: OnlineStats,
+    /// [`FaultReport::wall_clock_ns`] per replication (differs from
+    /// `makespan` only on the recovery path).
+    pub wall_clock: OnlineStats,
+    /// [`FaultReport::delivered_fraction`] per replication.
+    pub delivered: OnlineStats,
+    /// Every replication's report summed ([`FaultReport::absorb`]) —
+    /// total attempts, retries, black holes, rollbacks, … across the
+    /// whole sample.
+    pub total: FaultReport,
+}
+
+impl FaultSweepStats {
+    /// Fold one replication's report in.
+    pub fn push(&mut self, rep: &FaultReport) {
+        self.replications += 1;
+        self.makespan.push(rep.makespan as f64);
+        self.wall_clock.push(rep.wall_clock_ns() as f64);
+        self.delivered.push(rep.delivered_fraction());
+        self.total.absorb(rep);
+    }
+
+    /// Mean makespan inflation over a healthy baseline.
+    pub fn inflation(&self, healthy_ns: u64) -> f64 {
+        self.makespan.mean() / healthy_ns.max(1) as f64
+    }
+}
+
+/// Monte Carlo sweep over fault plans: for every plan, replay the phase
+/// set under `replications` derived seeds ([`replication_seed`]) on the
+/// compiled engine ([`FaultSim`]) and fold the reports into
+/// [`FaultSweepStats`]. Plans are fanned out over `threads` workers,
+/// each holding one engine that is recompiled per plan
+/// ([`FaultSim::set_plan`] — the phase compilation is reused). Every
+/// replication is a pure function of `(plan, rep)`, so the result is
+/// **bit-identical** whatever `threads` is.
+pub fn par_fault_sweep(
+    mesh: &Mesh2D,
+    phases: &[Vec<PMsg>],
+    plans: &[FaultPlan],
+    replications: usize,
+    threads: usize,
+) -> Vec<FaultSweepStats> {
+    sweep_plans(mesh, phases, plans, threads, |engine, plan| {
+        let mut stats = FaultSweepStats::default();
+        for rep in 0..replications {
+            stats.push(&engine.run_faulty(replication_seed(plan.seed, rep as u64)));
+        }
+        stats
+    })
+}
+
+/// [`par_fault_sweep`] for the checkpoint/rollback path: every
+/// replication goes through [`FaultSim::run_recovering`] under `policy`.
+pub fn par_recovery_sweep(
+    mesh: &Mesh2D,
+    phases: &[Vec<PMsg>],
+    plans: &[FaultPlan],
+    policy: &CheckpointPolicy,
+    replications: usize,
+    threads: usize,
+) -> Vec<FaultSweepStats> {
+    sweep_plans(mesh, phases, plans, threads, |engine, plan| {
+        let mut stats = FaultSweepStats::default();
+        for rep in 0..replications {
+            stats.push(&engine.run_recovering(policy, replication_seed(plan.seed, rep as u64)));
+        }
+        stats
+    })
+}
+
+/// Shared worker harness of the Monte Carlo sweeps: one lazily-built
+/// [`FaultSim`] per worker thread, re-planned per configuration.
+fn sweep_plans<F>(
+    mesh: &Mesh2D,
+    phases: &[Vec<PMsg>],
+    plans: &[FaultPlan],
+    threads: usize,
+    eval: F,
+) -> Vec<FaultSweepStats>
+where
+    F: Fn(&mut FaultSim, &FaultPlan) -> FaultSweepStats + Sync,
+{
+    par_sweep_with(
+        plans,
+        threads,
+        || None::<FaultSim>,
+        |state, plan| {
+            let engine = match state {
+                Some(engine) => {
+                    engine.set_plan(plan);
+                    engine
+                }
+                None => state.get_or_insert_with(|| FaultSim::new(mesh, phases, plan)),
+            };
+            eval(engine, plan)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -170,5 +361,117 @@ mod tests {
             |sim, p| sim.simulate_phase(p),
         );
         assert_eq!(plain, scratch);
+    }
+
+    #[test]
+    fn replication_seed_is_stable_and_spread() {
+        assert_eq!(replication_seed(42, 0), 42, "replication 0 is the base");
+        let a = replication_seed(42, 1);
+        let b = replication_seed(42, 2);
+        assert_ne!(a, b);
+        assert_ne!(a, 42);
+        assert_eq!(a, replication_seed(42, 1), "pure function");
+        // Neighbouring bases at the same replication stay distinct.
+        assert_ne!(replication_seed(42, 1), replication_seed(43, 1));
+    }
+
+    #[test]
+    fn online_stats_match_two_pass() {
+        let xs = [3.0f64, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut s = OnlineStats::default();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert!((s.variance() - var).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        let empty = OnlineStats::default();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.variance(), 0.0);
+        let mut one = OnlineStats::default();
+        one.push(7.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!((one.min(), one.max()), (7.0, 7.0));
+    }
+
+    #[test]
+    fn fault_sweep_parallel_is_bit_identical_to_serial() {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases: Vec<Vec<PMsg>> = (0..4)
+            .map(|k| {
+                (0..20)
+                    .map(|i| PMsg {
+                        src: (i * 3 + k) % 32,
+                        dst: (i * 11 + 5) % 32,
+                        bytes: 64 + i as u64,
+                    })
+                    .collect()
+            })
+            .collect();
+        let plans: Vec<FaultPlan> = [0.0, 0.2, 0.8]
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| FaultPlan::with_drop(40 + i as u64, p))
+            .collect();
+        let serial = par_fault_sweep(&mesh, &phases, &plans, 6, 1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                serial,
+                par_fault_sweep(&mesh, &phases, &plans, 6, threads),
+                "threads = {threads}"
+            );
+        }
+        // Replication 0 of each config is the plan's own seed: the sweep
+        // brackets the classic single-seed run.
+        let mut sim = PhaseSim::new(mesh.clone());
+        for (plan, stats) in plans.iter().zip(&serial) {
+            assert_eq!(stats.replications, 6);
+            let classic = sim.simulate_phases_faulty(&phases, plan);
+            assert!(stats.makespan.min() <= classic.makespan as f64);
+            assert!(stats.makespan.max() >= classic.makespan as f64);
+            assert_eq!(stats.total.messages, 6 * classic.messages);
+        }
+        assert!(serial[0].inflation(serial[0].makespan.mean() as u64) > 0.9);
+    }
+
+    #[test]
+    fn recovery_sweep_parallel_is_bit_identical_to_serial() {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases: Vec<Vec<PMsg>> = (0..8)
+            .map(|k| {
+                (0..12)
+                    .map(|i| PMsg {
+                        src: (i * 7 + k) % 32,
+                        dst: (i * 5 + 1) % 32,
+                        bytes: 100,
+                    })
+                    .collect()
+            })
+            .collect();
+        let healthy = mesh.simulate_phases(&phases);
+        let plans: Vec<FaultPlan> = (0..2)
+            .map(|i| FaultPlan {
+                seed: 9 + i,
+                node_deaths: mttf_death_schedule(32, healthy / 3, healthy, 77 + i),
+                detection_latency: 5_000,
+                ..FaultPlan::none()
+            })
+            .collect();
+        let policy = CheckpointPolicy::default();
+        let serial = par_recovery_sweep(&mesh, &phases, &plans, &policy, 4, 1);
+        assert_eq!(
+            serial,
+            par_recovery_sweep(&mesh, &phases, &plans, &policy, 4, 4)
+        );
+        for stats in &serial {
+            assert_eq!(stats.replications, 4);
+            assert_eq!(stats.total.delivered, stats.total.messages);
+            assert!(stats.total.recovery.all_recovered());
+            assert!(stats.wall_clock.mean() >= stats.makespan.mean());
+        }
     }
 }

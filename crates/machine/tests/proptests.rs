@@ -3,8 +3,9 @@
 
 use proptest::prelude::*;
 use rescomm_machine::{
-    simulate_phases_batch, trace_phase, CachedPhase, CheckpointPolicy, CostModel, FatTree,
-    FaultPlan, LinkOutage, Mesh2D, NodeDeath, NodeOutage, PMsg, PhaseSim, RetryPolicy,
+    par_fault_sweep, replication_seed, simulate_phases_batch, trace_phase, CachedPhase,
+    CheckpointPolicy, CompiledFaultPlan, CostModel, FatTree, FaultPlan, FaultReport, FaultSim,
+    LinkOutage, Mesh2D, NodeDeath, NodeOutage, PMsg, PhaseSim, RetryPolicy,
 };
 
 fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
@@ -297,5 +298,163 @@ proptest! {
         prop_assert_eq!(rec.recovery.rollbacks, 0);
         prop_assert_eq!(rec.recovery.lost_work_ns, 0);
         prop_assert!(rec.recovery.checkpoints > 0);
+    }
+
+    /// The compiled plan answers every outage/liveness query exactly like
+    /// the per-call scans it replaces.
+    #[test]
+    fn compiled_plan_lookups_match(
+        plan in plans(),
+        deaths in proptest::collection::vec((0usize..32, 0u64..500_000), 0..3),
+        queries in proptest::collection::vec((0usize..104, 0usize..32, 0u64..600_000), 0..32),
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut plan = plan;
+        for (node, t) in deaths {
+            plan.node_deaths.push(NodeDeath { node, t });
+        }
+        let compiled = CompiledFaultPlan::new(&plan, &mesh);
+        for (link, node, t) in queries {
+            prop_assert_eq!(compiled.link_dead_at(link, t), plan.link_dead_at(link, t));
+            prop_assert_eq!(
+                compiled.link_outage_until(link, t),
+                plan.link_outage_until(link, t)
+            );
+            prop_assert_eq!(compiled.node_dead_at(node, t), plan.node_dead_at(node, t));
+            prop_assert_eq!(
+                compiled.node_alive_after(node, t),
+                plan.node_alive_after(node, t)
+            );
+        }
+    }
+
+    /// The compiled faulty replay produces the full `FaultReport` the
+    /// per-call oracle produces, for every seed of a batch, over random
+    /// plans that exercise drops, duplicates, reroutes, deferrals and
+    /// black holes.
+    #[test]
+    fn compiled_faulty_replay_bit_identical(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        plan in plans(),
+        deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 0..3),
+        no_retry in 0u32..2,
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..4),
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut plan = plan;
+        if no_retry == 1 {
+            plan.retry = RetryPolicy::disabled();
+        }
+        for (node, t) in deaths {
+            plan.node_deaths.push(NodeDeath { node, t });
+        }
+        let phases = vec![a, b, c];
+        let mut engine = FaultSim::new(&mesh, &phases, &plan);
+        let mut sim = PhaseSim::new(mesh);
+        let batch = engine.replay_faulty(&seeds);
+        for (&seed, got) in seeds.iter().zip(&batch) {
+            let seeded = FaultPlan { seed, ..plan.clone() };
+            prop_assert_eq!(*got, sim.simulate_phases_faulty(&phases, &seeded), "seed {}", seed);
+        }
+    }
+
+    /// The compiled recovering replay is bit-identical (full report,
+    /// `RecoveryReport` included) to the rollback oracle over random
+    /// plans, deaths, detection latencies, checkpoint policies and seeds.
+    #[test]
+    fn compiled_recovering_replay_bit_identical(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        plan in plans(),
+        deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 1..3),
+        latency in 0u64..50_000,
+        policy_raw in (1usize..6, 1usize..6),
+        seeds in proptest::collection::vec(0u64..1_000_000, 1..3),
+    ) {
+        let (interval, ring) = policy_raw;
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut plan = FaultPlan { detection_latency: latency, ..plan };
+        for (node, t) in deaths {
+            plan.node_deaths.push(NodeDeath { node, t });
+        }
+        let phases = vec![a, b, c];
+        let policy = CheckpointPolicy { interval, ring, ..CheckpointPolicy::default() };
+        let mut engine = FaultSim::new(&mesh, &phases, &plan);
+        let mut sim = PhaseSim::new(mesh);
+        let batch = engine.replay_recovering(&policy, &seeds);
+        for (&seed, got) in seeds.iter().zip(&batch) {
+            let seeded = FaultPlan { seed, ..plan.clone() };
+            prop_assert_eq!(
+                *got,
+                sim.simulate_phases_recovering(&phases, &seeded, &policy),
+                "seed {}", seed
+            );
+        }
+    }
+
+    /// Per-phase seed derivation (`seed + index`) through the batch API:
+    /// replacing one phase's content leaves every other phase's fault
+    /// stream untouched, and appending a phase never shifts the existing
+    /// ones — for the oracle and the compiled engine alike.
+    #[test]
+    fn batch_replay_per_phase_seed_stability(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        replacement in msgs(32),
+        plan in plans(),
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases = vec![a.clone(), b.clone(), c.clone()];
+        let mut engine = FaultSim::new(&mesh, &phases, &plan);
+        let base = engine.run_faulty_per_phase(plan.seed);
+        prop_assert_eq!(base.len(), 3);
+        // The per-phase reports sum to the whole-run report.
+        let mut summed = FaultReport::default();
+        for rep in &base {
+            summed.absorb(rep);
+        }
+        let mut sim = PhaseSim::new(mesh.clone());
+        prop_assert_eq!(summed, sim.simulate_phases_faulty(&phases, &plan));
+        // Replace the middle phase: streams 0 and 2 must not move.
+        let swapped = vec![a.clone(), replacement.clone(), c.clone()];
+        let swapped_reps =
+            FaultSim::new(&mesh, &swapped, &plan).run_faulty_per_phase(plan.seed);
+        prop_assert_eq!(&base[0], &swapped_reps[0]);
+        prop_assert_eq!(&base[2], &swapped_reps[2]);
+        // Append a phase: the existing three are bit-identical; dropping
+        // the last phase is the same statement read backwards.
+        let extended = vec![a, b, c, replacement];
+        let extended_reps =
+            FaultSim::new(&mesh, &extended, &plan).run_faulty_per_phase(plan.seed);
+        prop_assert_eq!(extended_reps.len(), 4);
+        prop_assert_eq!(&extended_reps[..3], &base[..]);
+    }
+
+    /// `par_fault_sweep` is bit-identical to serial evaluation order at
+    /// any thread count, and replication 0 of every configuration is the
+    /// plan's own single-seed run.
+    #[test]
+    fn par_fault_sweep_bit_identical_to_serial(
+        a in msgs(32), b in msgs(32),
+        plan_seeds in proptest::collection::vec(0u64..1_000_000, 1..4),
+        drop_pct in 0u32..101,
+        replications in 1usize..4,
+        threads in 2usize..6,
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases = vec![a, b];
+        let plans: Vec<FaultPlan> = plan_seeds
+            .iter()
+            .map(|&seed| FaultPlan::with_drop(seed, f64::from(drop_pct) / 100.0))
+            .collect();
+        let serial = par_fault_sweep(&mesh, &phases, &plans, replications, 1);
+        let parallel = par_fault_sweep(&mesh, &phases, &plans, replications, threads);
+        prop_assert_eq!(&serial, &parallel);
+        let mut sim = PhaseSim::new(mesh.clone());
+        for (plan, stats) in plans.iter().zip(&serial) {
+            prop_assert_eq!(stats.replications, replications);
+            prop_assert_eq!(replication_seed(plan.seed, 0), plan.seed);
+            let classic = sim.simulate_phases_faulty(&phases, plan);
+            prop_assert!(stats.makespan.min() <= classic.makespan as f64);
+            prop_assert!(stats.makespan.max() >= classic.makespan as f64);
+        }
     }
 }
