@@ -17,6 +17,17 @@ fn uk() -> IMat {
     IMat::from_rows(&[&[1, 3], &[0, 1]])
 }
 
+/// Matrices the old elementary-only fast path could not fold in closed
+/// form — before the general segment algebra they hit the dense `O(V)`
+/// fallback.
+fn previously_dense() -> Vec<(&'static str, IMat)> {
+    vec![
+        ("coupled", IMat::from_rows(&[&[1, 3], &[2, 7]])),
+        ("fib", IMat::from_rows(&[&[1, 1], &[1, 2]])),
+        ("rot90", IMat::from_rows(&[&[0, -1], &[1, 0]])),
+    ]
+}
+
 fn bench_generation(c: &mut Criterion) {
     let dist = Dist2D {
         rows: Dist1D::Grouped(3),
@@ -24,18 +35,34 @@ fn bench_generation(c: &mut Criterion) {
     };
     let pshape = (8usize, 4usize);
     let mut g = c.benchmark_group("msgset_generation");
-    for side in [64usize, 256, 1024] {
+    for side in [64usize, 256, 1024, 4096] {
         let vshape = (side, side);
         let t = uk();
-        g.bench_with_input(BenchmarkId::new("enumerated", side), &vshape, |b, &v| {
-            b.iter(|| {
-                let pat = general_pattern(&t, v);
-                black_box(physical_messages(&pat, dist, v, pshape, 64))
-            })
-        });
+        // The enumerated oracle is O(V log V): past 1024² it stops being
+        // a baseline and starts being a stress test, so it is capped.
+        if side <= 1024 {
+            g.bench_with_input(BenchmarkId::new("enumerated", side), &vshape, |b, &v| {
+                b.iter(|| {
+                    let pat = general_pattern(&t, v);
+                    black_box(physical_messages(&pat, dist, v, pshape, 64))
+                })
+            });
+        }
         g.bench_with_input(BenchmarkId::new("closed_form", side), &vshape, |b, &v| {
             b.iter(|| black_box(fold_general(&t, dist, v, pshape, 64)))
         });
+    }
+    // The fully-coupled zoo: closed-form cost stays flat in V where the
+    // dense fallback these matrices used to take is O(V).
+    for (name, t) in previously_dense() {
+        for side in [1024usize, 4096, 8192] {
+            let vshape = (side, side);
+            g.bench_with_input(
+                BenchmarkId::new(format!("closed_form_{name}"), side),
+                &vshape,
+                |b, &v| b.iter(|| black_box(fold_general(&t, dist, v, pshape, 64))),
+            );
+        }
     }
     g.finish();
 }

@@ -114,7 +114,7 @@ fn main() {
     }];
 
     let replications = if quick { 8usize } else { 32 };
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = rescomm_bench::workload::host_threads().max(1);
     eprintln!(
         "drop sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs, outages in force, \
          {replications} replications"
@@ -243,7 +243,8 @@ fn main() {
         .field("msgs_per_phase", per_phase)
         .field("healthy_makespan_ns", healthy)
         .field("dup_prob", fixed(0.02, 2))
-        .field("replications", replications);
+        .field("replications", replications)
+        .field("host_threads", rescomm_bench::workload::host_threads());
     doc.rows("drop_sweep", &rows, |r| {
         vec![
             ("drop_pct", Val::from(r.drop_pct)),

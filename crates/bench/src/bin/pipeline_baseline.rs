@@ -174,7 +174,8 @@ fn main() {
         .map(|i| chained_stencil_nest(20 + 3 * i, 8))
         .collect();
     let serial = map_nest_batch(&fleet, &opts, 1).unwrap();
-    let threads = std::thread::available_parallelism().map_or(2, |n| n.get().min(8));
+    let host = rescomm_bench::workload::host_threads();
+    let threads = host.clamp(2, 8);
     let par = map_nest_batch(&fleet, &opts, threads).unwrap();
     for (i, (s, p)) in serial.iter().zip(&par).enumerate() {
         assert_same_mapping(&format!("batch nest {i}"), p, s);
@@ -220,8 +221,9 @@ fn main() {
     j.push_str("  ],\n");
     let _ = writeln!(
         j,
-        "  \"batch\": {{\"nests\": {n}, \"threads\": {threads}, \"serial_ns\": {s}, \"parallel_ns\": {p}, \"speedup\": {x:.2}}}",
+        "  \"batch\": {{\"nests\": {n}, \"threads\": {threads}, \"host_threads\": {host}, \"oversubscribed\": {over}, \"serial_ns\": {s}, \"parallel_ns\": {p}, \"speedup\": {x:.2}}}",
         n = fleet.len(),
+        over = threads > host,
         s = serial_ns,
         p = batch_ns,
         x = serial_ns as f64 / batch_ns.max(1) as f64

@@ -106,7 +106,7 @@ fn main() {
     eprintln!("zero-death gate: makespan {} ns == healthy", zero.makespan);
 
     let replications = if quick { 8usize } else { 32 };
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let threads = rescomm_bench::workload::host_threads().max(1);
     eprintln!(
         "mttf sweep: 8x4 mesh, {n_phases} phases x {per_phase} msgs, {replications} replications"
     );
@@ -233,7 +233,8 @@ fn main() {
         .field("msgs_per_phase", per_phase)
         .field("healthy_makespan_ns", healthy)
         .field("detection_latency_ns", 5000u64)
-        .field("replications", replications);
+        .field("replications", replications)
+        .field("host_threads", rescomm_bench::workload::host_threads());
     doc.rows("mttf_sweep", &mttf_rows, |r| {
         vec![
             ("mttf_pct", Val::from(r.mttf_pct)),

@@ -3,25 +3,39 @@
 //!
 //! Two axes, matching the two halves of the optimization:
 //!
-//! * **generation** — enumerated (`general_pattern` + `physical_messages`,
-//!   the `O(V log V)` oracle) vs closed-form residue-class folding
-//!   (`fold_general`) at virtual grids 64²..2048².
+//! * **generation** — the closed residue-class fold
+//!   ([`rescomm_distribution::fold_general`]) vs the dense `O(V)` count
+//!   fold and the enumerated oracle, across a *kernel zoo* of unimodular
+//!   dataflow matrices (shears, fully-coupled maps, rotations, swaps —
+//!   the matrices that used to force the dense fallback) at virtual
+//!   grids 64² through 8192² (67M virtual processors).
 //! * **scheduling** — one-shot `Mesh2D::simulate_phase` (fresh link
 //!   table and route `Vec` per message) vs the reused `PhaseSim` scratch
 //!   engine and `CachedPhase` replay, at message counts up to 10⁵.
 //!
 //! ```text
-//! cargo run --release -p rescomm-bench --bin simulator_baseline [--out PATH]
+//! cargo run --release -p rescomm-bench --bin simulator_baseline [--out PATH] [--smoke]
 //! ```
 //!
+//! `--smoke` runs the correctness gates only (small grids, no timing, no
+//! artifact): every zoo matrix must take the closed path and match the
+//! enumeration oracle bit-for-bit — CI fails on any dense fallback for
+//! unimodular `T`.
+//!
 //! Every timed pair is also checked for equality (same message sets, same
-//! makespans) before timing, so the numbers can't drift from a wrong
-//! answer going fast.
+//! locality) before timing, so the numbers can't drift from a wrong
+//! answer going fast. The full run additionally gates the acceptance
+//! floor: closed ≥ 20× over the dense fold at 4096² for the
+//! previously-dense matrices, and sublinear-in-V growth of the closed
+//! path from 4096² to 8192².
 
-use rescomm_distribution::{fold_general, general_pattern, physical_messages, Dist1D, Dist2D};
+use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
+use rescomm_bench::workload::host_threads;
+use rescomm_distribution::{
+    fold_affine_with, fold_pattern, general_pattern, Dist1D, Dist2D, FoldPath,
+};
 use rescomm_intlin::IMat;
 use rescomm_machine::{CachedPhase, CostModel, Mesh2D, PMsg, PhaseSim};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -38,10 +52,66 @@ fn median_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// One zoo entry: a named dataflow matrix. `previously_dense` marks the
+/// matrices the old elementary-only fast path could not handle (they hit
+/// the dense `O(V)` fold before the general segment algebra) — these
+/// carry the ≥20× acceptance gate at 4096².
+struct Kernel {
+    name: &'static str,
+    t: IMat,
+    previously_dense: bool,
+}
+
+fn kernel_zoo() -> Vec<Kernel> {
+    let m = |rows: &[&[i64]]| IMat::from_rows(rows);
+    vec![
+        Kernel {
+            name: "U(3)",
+            t: m(&[&[1, 3], &[0, 1]]),
+            previously_dense: false,
+        },
+        Kernel {
+            name: "L(2)",
+            t: m(&[&[1, 0], &[2, 1]]),
+            previously_dense: false,
+        },
+        Kernel {
+            name: "U(-2)",
+            t: m(&[&[1, -2], &[0, 1]]),
+            previously_dense: false,
+        },
+        Kernel {
+            name: "coupled[[1,3],[2,7]]",
+            t: m(&[&[1, 3], &[2, 7]]),
+            previously_dense: true,
+        },
+        Kernel {
+            name: "fib[[1,1],[1,2]]",
+            t: m(&[&[1, 1], &[1, 2]]),
+            previously_dense: true,
+        },
+        Kernel {
+            name: "rot90",
+            t: m(&[&[0, -1], &[1, 0]]),
+            previously_dense: true,
+        },
+        Kernel {
+            name: "swap",
+            t: m(&[&[0, 1], &[1, 0]]),
+            previously_dense: true,
+        },
+    ]
+}
+
 struct GenRow {
+    matrix: &'static str,
     side: usize,
-    enumerated_ns: u64,
+    factors: usize,
     closed_ns: u64,
+    dense_ns: u64,
+    /// `None` above the enumeration cutoff (the oracle is `O(V log V)`
+    /// with tree-map constants; 16.8M-send patterns are not a baseline).
+    enumerated_ns: Option<u64>,
 }
 
 struct SchedRow {
@@ -51,49 +121,156 @@ struct SchedRow {
     cached_ns: u64,
 }
 
-fn main() {
-    let out = std::env::args()
-        .skip_while(|a| a != "--out")
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_simulator.json".into());
+/// Correctness gate: the closed path must fire for unimodular `T`, match
+/// the dense fold everywhere, and match the enumeration oracle below the
+/// cutoff. Panics with a witness on any divergence.
+fn gate(k: &Kernel, dist: Dist2D, side: usize, pshape: (usize, usize), bytes: u64, oracle: bool) {
+    let vshape = (side, side);
+    let closed = fold_affine_with(FoldPath::Closed, &k.t, (0, 0), dist, vshape, pshape, bytes);
+    assert!(
+        closed.closed,
+        "{}: closed path did not fire at {side}x{side}",
+        k.name
+    );
+    assert!(
+        closed.factors > 0,
+        "{}: unimodular matrix reported no factor chain",
+        k.name
+    );
+    let dense = fold_affine_with(FoldPath::Dense, &k.t, (0, 0), dist, vshape, pshape, bytes);
+    assert_eq!(
+        closed, dense,
+        "{}: closed fold diverged from dense at {side}x{side}",
+        k.name
+    );
+    // Auto must route unimodular T through the closed path.
+    let auto = fold_affine_with(FoldPath::Auto, &k.t, (0, 0), dist, vshape, pshape, bytes);
+    assert!(
+        auto.closed,
+        "{}: auto path fell back to dense for unimodular T at {side}x{side}",
+        k.name
+    );
+    if oracle {
+        let want = fold_pattern(&general_pattern(&k.t, vshape), dist, vshape, pshape, bytes);
+        assert_eq!(
+            closed, want,
+            "{}: closed fold diverged from the enumeration oracle at {side}x{side}",
+            k.name
+        );
+    }
+}
 
-    let t = IMat::from_rows(&[&[1, 3], &[0, 1]]);
+fn main() {
+    let mut out = "BENCH_simulator.json".to_string();
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
     let dist = Dist2D {
         rows: Dist1D::Grouped(3),
         cols: Dist1D::Block,
     };
     let pshape = (8usize, 4usize);
     let bytes = 64u64;
+    let zoo = kernel_zoo();
 
-    eprintln!("generation: enumerated vs closed-form, U(3), grouped×block on 8×4");
-    let mut gen = Vec::new();
-    for side in [64usize, 256, 1024, 2048] {
-        let vshape = (side, side);
-        // Correctness gate before timing.
-        let folded = fold_general(&t, dist, vshape, pshape, bytes);
-        let oracle = physical_messages(&general_pattern(&t, vshape), dist, vshape, pshape, bytes);
-        assert_eq!(folded.msgs, oracle, "closed form diverged at {side}x{side}");
-
-        let reps = if side >= 1024 { 5 } else { 9 };
-        let enumerated_ns = median_ns(reps, || {
-            let pat = general_pattern(&t, vshape);
-            physical_messages(&pat, dist, vshape, pshape, bytes)
-        });
-        let closed_ns = median_ns(reps.max(9), || {
-            fold_general(&t, dist, vshape, pshape, bytes)
-        });
-        eprintln!(
-            "  {side:>4}²  enumerated {:>12} ns   closed {:>9} ns   ×{:.1}",
-            enumerated_ns,
-            closed_ns,
-            enumerated_ns as f64 / closed_ns.max(1) as f64
-        );
-        gen.push(GenRow {
-            side,
-            enumerated_ns,
-            closed_ns,
-        });
+    if smoke {
+        eprintln!("smoke: closed-path + oracle gates over the kernel zoo");
+        for k in &zoo {
+            for side in [16usize, 48, 96] {
+                gate(k, dist, side, pshape, bytes, true);
+            }
+            eprintln!("  {:<22} closed path ok", k.name);
+        }
+        eprintln!("smoke ok: {} matrices, no dense fallback", zoo.len());
+        return;
     }
+
+    eprintln!("generation: closed vs dense vs enumerated, grouped(3)×block on 8×4");
+    let mut gen = Vec::new();
+    for k in &zoo {
+        let factors = {
+            let f = fold_affine_with(
+                FoldPath::Closed,
+                &k.t,
+                (0, 0),
+                dist,
+                (64, 64),
+                pshape,
+                bytes,
+            );
+            f.factors
+        };
+        for side in [64usize, 256, 1024, 4096, 8192] {
+            let vshape = (side, side);
+            // Enumeration is the gold oracle but O(V log V): gate against
+            // it only where it is tractable.
+            let with_oracle = side <= 1024;
+            gate(k, dist, side, pshape, bytes, with_oracle);
+
+            let reps = if side >= 4096 { 3 } else { 7 };
+            let closed_ns = median_ns(reps.max(7), || {
+                fold_affine_with(FoldPath::Closed, &k.t, (0, 0), dist, vshape, pshape, bytes)
+            });
+            let dense_ns = median_ns(reps, || {
+                fold_affine_with(FoldPath::Dense, &k.t, (0, 0), dist, vshape, pshape, bytes)
+            });
+            let enumerated_ns = with_oracle.then(|| {
+                median_ns(reps, || {
+                    fold_pattern(&general_pattern(&k.t, vshape), dist, vshape, pshape, bytes)
+                })
+            });
+            eprintln!(
+                "  {:<22} {side:>4}²  closed {closed_ns:>10} ns   dense {dense_ns:>12} ns (×{:.1})   enumerated {}",
+                k.name,
+                dense_ns as f64 / closed_ns.max(1) as f64,
+                enumerated_ns.map_or("-".into(), |e| format!("{e} ns")),
+            );
+            gen.push(GenRow {
+                matrix: k.name,
+                side,
+                factors,
+                closed_ns,
+                dense_ns,
+                enumerated_ns,
+            });
+        }
+    }
+
+    // Acceptance gates: the previously-dense matrices must beat the dense
+    // fold by ≥20× at 4096², and the closed path must grow sublinearly in
+    // V (V quadruples from 4096² to 8192²; flat-in-V means the ratio
+    // stays far under 4).
+    for k in zoo.iter().filter(|k| k.previously_dense) {
+        let at = |side: usize| {
+            gen.iter()
+                .find(|r| r.matrix == k.name && r.side == side)
+                .unwrap()
+        };
+        let r4 = at(4096);
+        let speedup = r4.dense_ns as f64 / r4.closed_ns.max(1) as f64;
+        assert!(
+            speedup >= 20.0,
+            "{}: closed path only {speedup:.1}x over dense at 4096² (gate: 20x)",
+            k.name
+        );
+        let r8 = at(8192);
+        // Floor the denominator at 50µs so scheduler noise on a
+        // sub-millisecond sample cannot fail the growth gate.
+        let growth = r8.closed_ns as f64 / r4.closed_ns.max(50_000) as f64;
+        assert!(
+            growth < 4.0,
+            "{}: closed path grew {growth:.2}x from 4096² to 8192² (V grew 4x; gate: sublinear)",
+            k.name
+        );
+    }
+    eprintln!("gates ok: ≥20x over dense at 4096², sublinear growth to 8192²");
 
     eprintln!("scheduling: one-shot vs PhaseSim vs CachedPhase replay on 8×4");
     let mesh = Mesh2D::new(8, 4, CostModel::paragon());
@@ -144,39 +321,45 @@ fn main() {
         });
     }
 
-    let mut j = String::new();
-    j.push_str("{\n  \"bench\": \"simulator\",\n  \"mesh\": [8, 4],\n");
-    let _ = writeln!(
-        j,
-        "  \"dataflow\": \"U(3)\",\n  \"dist\": \"grouped(3) x block\",\n  \"elem_bytes\": {bytes},"
-    );
-    j.push_str("  \"generation\": [\n");
-    for (i, r) in gen.iter().enumerate() {
-        let _ = write!(
-            j,
-            "    {{\"grid\": \"{side}x{side}\", \"enumerated_ns\": {e}, \"closed_form_ns\": {c}, \"speedup\": {s:.2}}}",
-            side = r.side,
-            e = r.enumerated_ns,
-            c = r.closed_ns,
-            s = r.enumerated_ns as f64 / r.closed_ns.max(1) as f64
-        );
-        j.push_str(if i + 1 < gen.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ],\n  \"scheduling\": [\n");
-    for (i, r) in sched.iter().enumerate() {
-        let _ = write!(
-            j,
-            "    {{\"messages\": {n}, \"oneshot_ns\": {o}, \"phasesim_ns\": {p}, \"cached_replay_ns\": {c}, \"phasesim_speedup\": {ps:.2}, \"cached_speedup\": {cs:.2}}}",
-            n = r.messages,
-            o = r.oneshot_ns,
-            p = r.phasesim_ns,
-            c = r.cached_ns,
-            ps = r.oneshot_ns as f64 / r.phasesim_ns.max(1) as f64,
-            cs = r.oneshot_ns as f64 / r.cached_ns.max(1) as f64
-        );
-        j.push_str(if i + 1 < sched.len() { ",\n" } else { "\n" });
-    }
-    j.push_str("  ]\n}\n");
-    std::fs::write(&out, &j).unwrap_or_else(|e| panic!("writing {out}: {e}"));
-    eprintln!("wrote {out}");
+    let mut doc = JsonDoc::new();
+    doc.field("bench", "simulator")
+        .field("mesh", raw("[8, 4]"))
+        .field("dist", "grouped(3) x block")
+        .field("elem_bytes", bytes)
+        .field("host_threads", host_threads());
+    doc.rows("generation", &gen, |r| {
+        vec![
+            ("matrix", Val::from(r.matrix)),
+            ("grid", Val::from(format!("{0}x{0}", r.side))),
+            ("closed", Val::from(true)),
+            ("factors", Val::from(r.factors)),
+            ("closed_ns", Val::from(r.closed_ns)),
+            ("dense_ns", Val::from(r.dense_ns)),
+            (
+                "enumerated_ns",
+                r.enumerated_ns.map_or(raw("null"), Val::from),
+            ),
+            (
+                "dense_speedup",
+                fixed(r.dense_ns as f64 / r.closed_ns.max(1) as f64, 2),
+            ),
+        ]
+    });
+    doc.rows("scheduling", &sched, |r| {
+        vec![
+            ("messages", Val::from(r.messages)),
+            ("oneshot_ns", Val::from(r.oneshot_ns)),
+            ("phasesim_ns", Val::from(r.phasesim_ns)),
+            ("cached_replay_ns", Val::from(r.cached_ns)),
+            (
+                "phasesim_speedup",
+                fixed(r.oneshot_ns as f64 / r.phasesim_ns.max(1) as f64, 2),
+            ),
+            (
+                "cached_speedup",
+                fixed(r.oneshot_ns as f64 / r.cached_ns.max(1) as f64, 2),
+            ),
+        ]
+    });
+    doc.write(&out);
 }

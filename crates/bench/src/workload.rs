@@ -47,6 +47,15 @@ pub fn simulate_dataflow(
 }
 
 /// The paper's default Paragon-like testbed: an 8×4 mesh (32 nodes).
+/// Number of hardware threads of the benchmarking host (0 when the OS
+/// will not say). Every committed `BENCH_*.json` records this so a
+/// parallel-speedup table can be read against the machine that produced
+/// it — a "4 threads, 1.0x" row is expected, not a regression, when the
+/// host only has one core.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
 pub fn paragon_mesh() -> Mesh2D {
     Mesh2D::new(8, 4, CostModel::paragon())
 }

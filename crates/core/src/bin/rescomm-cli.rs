@@ -5,7 +5,7 @@
 //! rescomm-cli <nest-file> [--m N] [--no-macro] [--no-decompose]
 //!             [--unit-weights] [--dot] [--compare] [--self-check]
 //!             [--recover N,N,...] [--grid WxH] [--replications N]
-//!             [--drop P]
+//!             [--drop P] [--closed-plan] [--vgrid WxH]
 //! ```
 //!
 //! * `--m N`           target virtual-grid dimension (default 2)
@@ -28,6 +28,12 @@
 //!   statistics (replication 0 is the classic single-seed run)
 //! * `--drop P`        per-message drop probability for
 //!   `--replications` (default 0.1)
+//! * `--closed-plan`   build the communication plan in closed (affine)
+//!   form, verify it, and fold/simulate it on the virtual grid given by
+//!   `--vgrid` — construction and fold cost stay flat in the grid area,
+//!   so grids like 4096x4096 are practical
+//! * `--vgrid WxH`     virtual grid shape for `--closed-plan`
+//!   (default 1024x1024)
 //!
 //! Malformed nests and arithmetic overflow exit with a diagnostic
 //! (line/column for parse errors) instead of a panic.
@@ -53,6 +59,8 @@ struct Args {
     grid: (usize, usize),
     replications: usize,
     drop_prob: f64,
+    closed_plan: bool,
+    vgrid: (usize, usize),
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
         grid: (4, 4),
         replications: 0,
         drop_prob: 0.1,
+        closed_plan: false,
+        vgrid: (1024, 1024),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -109,6 +119,18 @@ fn parse_args() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--replications needs an integer")?;
             }
+            "--closed-plan" => args.closed_plan = true,
+            "--vgrid" => {
+                let spec = it.next().ok_or("--vgrid needs WxH")?;
+                let (w, h) = spec
+                    .split_once('x')
+                    .ok_or("--vgrid needs WxH, e.g. 4096x4096")?;
+                args.vgrid = (
+                    w.parse().map_err(|_| format!("--vgrid: bad width {w:?}"))?,
+                    h.parse()
+                        .map_err(|_| format!("--vgrid: bad height {h:?}"))?,
+                );
+            }
             "--drop" => {
                 args.drop_prob = it
                     .next()
@@ -120,7 +142,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: rescomm-cli <nest-file> [--m N] [--no-macro] \
                             [--no-decompose] [--unit-weights] [--dot] [--compare] \
                             [--self-check] [--recover N,N,...] [--grid WxH] \
-                            [--replications N] [--drop P]"
+                            [--replications N] [--drop P] [--closed-plan] \
+                            [--vgrid WxH]"
                     .to_string())
             }
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
@@ -214,6 +237,50 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if args.closed_plan {
+        use rescomm::substrate::distribution::{Dist1D, Dist2D};
+        use rescomm::substrate::machine::{CostModel, Mesh2D};
+        use rescomm::{build_plan_closed, PhasePattern};
+        let (w, h) = args.grid;
+        let (vw, vh) = args.vgrid;
+        let plan = build_plan_closed(&nest, &mapping);
+        println!(
+            "--- closed plan: {} phases ({} affine) on a {w}x{h} mesh, \
+             virtual grid {vw}x{vh} ---",
+            plan.phases.len(),
+            plan.affine_phase_count()
+        );
+        for ph in &plan.phases {
+            match &ph.pattern {
+                PhasePattern::Affine { t, shift } => println!(
+                    "  {:?} {:?}: affine T=[[{},{}],[{},{}]] shift=({},{})",
+                    ph.access,
+                    ph.kind,
+                    t[(0, 0)],
+                    t[(0, 1)],
+                    t[(1, 0)],
+                    t[(1, 1)],
+                    shift.0,
+                    shift.1
+                ),
+                PhasePattern::Explicit(v) => println!(
+                    "  {:?} {:?}: explicit, {} endpoint pairs",
+                    ph.access,
+                    ph.kind,
+                    v.len()
+                ),
+            }
+        }
+        if let Err(e) = plan.verify_availability(&nest, &mapping) {
+            eprintln!("{}: closed plan availability failed: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+        let mesh = Mesh2D::new(w, h, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let t = plan.simulate_on_mesh(&mesh, dist, (vw, vh), 64);
+        println!("closed-plan makespan at {vw}x{vh}: {t} ns");
     }
 
     if args.replications > 0 {

@@ -44,7 +44,7 @@ pub use pipeline::{
     dataflow_matrix, dataflow_matrix_cached, map_nest, map_nest_batch, map_nest_reference,
     map_nest_with, par_map_nests, AnalysisCache, CommOutcome, Mapping, MappingOptions,
 };
-pub use plan::{build_plan, CommPhase, CommPlan, PhaseKind};
+pub use plan::{build_plan, build_plan_closed, CommPhase, CommPlan, PhaseKind, PhasePattern};
 pub use recover::{remap_for_survivors, DegradedGrid};
 pub use report::MappingReport;
 

@@ -15,9 +15,10 @@
 //! chaining the phases of each access delivers every element to exactly
 //! the processor that computes with it.
 
-use crate::pipeline::{CommOutcome, Mapping};
-use rescomm_decompose::Elementary;
-use rescomm_distribution::{fold_pattern, Dist2D};
+use crate::pipeline::{dataflow_matrix, CommOutcome, Mapping};
+use rescomm_decompose::{product, Elementary};
+use rescomm_distribution::{fold_affine, fold_pattern, Dist2D};
+use rescomm_intlin::IMat;
 use rescomm_loopnest::{AccessId, LoopNest};
 use rescomm_machine::{
     replication_seed, CheckpointPolicy, FaultPlan, FaultReport, FaultSim, Mesh2D, PMsg, PhaseSim,
@@ -43,6 +44,68 @@ pub enum PhaseKind {
     GeneralAffine,
 }
 
+/// One virtual endpoint pair `(source, destination)`, raw coordinates.
+pub type Endpoints = ((i64, i64), (i64, i64));
+
+/// How a phase's virtual message pattern is represented.
+///
+/// Explicit patterns are exact endpoint lists read off the iteration
+/// domain — `O(domain)` to build and to fold. Affine patterns are
+/// *grid-wide* closed forms `v → T·v + shift`: `O(1)` to build and
+/// folded through the residue-class segment algebra
+/// ([`rescomm_distribution::fold_affine`]) at a cost flat in the
+/// virtual-grid area, which is what lets one plan model a million-VP
+/// machine. The two differ in which virtual processors participate
+/// (an affine phase moves every VP of the grid, the SPMD execution
+/// model; an explicit pattern only the data-carrying subset) — the
+/// availability proof treats both exactly.
+#[derive(Debug, Clone)]
+pub enum PhasePattern {
+    /// Exact `(source, destination)` endpoint pairs, raw coordinates.
+    Explicit(Vec<Endpoints>),
+    /// Every virtual processor `v` sends to `T·v + shift` (wrapped into
+    /// `vshape` at fold time).
+    Affine {
+        /// The 2×2 linear part.
+        t: IMat,
+        /// The constant term.
+        shift: (i64, i64),
+    },
+}
+
+impl PhasePattern {
+    /// Where this phase moves the data sitting at `pos` (raw
+    /// coordinates; a position absent from an explicit pattern stays).
+    pub fn apply(&self, pos: (i64, i64)) -> (i64, i64) {
+        match self {
+            PhasePattern::Explicit(v) => v
+                .iter()
+                .find(|&&(from, _)| from == pos)
+                .map_or(pos, |&(_, to)| to),
+            PhasePattern::Affine { t, shift } => (
+                t[(0, 0)] * pos.0 + t[(0, 1)] * pos.1 + shift.0,
+                t[(1, 0)] * pos.0 + t[(1, 1)] * pos.1 + shift.1,
+            ),
+        }
+    }
+
+    /// Whether this phase carries the transfer `src → dst`.
+    pub fn routes(&self, src: (i64, i64), dst: (i64, i64)) -> bool {
+        match self {
+            PhasePattern::Explicit(v) => v.contains(&(src, dst)),
+            PhasePattern::Affine { .. } => self.apply(src) == dst,
+        }
+    }
+
+    /// The explicit endpoint list, when there is one.
+    pub fn explicit(&self) -> Option<&[Endpoints]> {
+        match self {
+            PhasePattern::Explicit(v) => Some(v),
+            PhasePattern::Affine { .. } => None,
+        }
+    }
+}
+
 /// One communication phase: a set of virtual-processor point-to-point
 /// transfers that may all proceed concurrently. Coordinates are raw
 /// (unwrapped) virtual grid positions.
@@ -52,8 +115,8 @@ pub struct CommPhase {
     pub access: AccessId,
     /// Reporting tag.
     pub kind: PhaseKind,
-    /// Virtual messages `(source, destination)` (2-D grids).
-    pub pattern: Vec<((i64, i64), (i64, i64))>,
+    /// Virtual messages of the phase.
+    pub pattern: PhasePattern,
 }
 
 /// The full plan of a mapping: phases in execution order.
@@ -80,9 +143,22 @@ fn coord2(v: &[i64]) -> (i64, i64) {
 }
 
 impl CommPlan {
-    /// Total number of virtual messages across all phases.
+    /// Total number of explicitly enumerated virtual messages. Affine
+    /// (grid-wide) phases count 0 here — their message volume is a
+    /// function of the virtual-grid shape chosen at fold time.
     pub fn message_count(&self) -> usize {
-        self.phases.iter().map(|p| p.pattern.len()).sum()
+        self.phases
+            .iter()
+            .map(|p| p.pattern.explicit().map_or(0, |v| v.len()))
+            .sum()
+    }
+
+    /// Number of phases carried in closed (affine) form.
+    pub fn affine_phase_count(&self) -> usize {
+        self.phases
+            .iter()
+            .filter(|p| matches!(p.pattern, PhasePattern::Affine { .. }))
+            .count()
     }
 
     /// Fold every phase onto physical mesh coordinates: toroidal wrap
@@ -100,13 +176,21 @@ impl CommPlan {
         self.phases
             .iter()
             .map(|phase| {
-                let wrapped: Vec<((i64, i64), (i64, i64))> = phase
-                    .pattern
-                    .iter()
-                    .map(|&(s, d)| (wrap2(s, vshape), wrap2(d, vshape)))
-                    .filter(|(s, d)| s != d)
-                    .collect();
-                let folded = fold_pattern(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes);
+                let folded = match &phase.pattern {
+                    PhasePattern::Explicit(pattern) => {
+                        let wrapped: Vec<((i64, i64), (i64, i64))> = pattern
+                            .iter()
+                            .map(|&(s, d)| (wrap2(s, vshape), wrap2(d, vshape)))
+                            .filter(|(s, d)| s != d)
+                            .collect();
+                        fold_pattern(&wrapped, dist, vshape, (mesh.px, mesh.py), bytes)
+                    }
+                    // The closed path: no virtual-grid enumeration, cost
+                    // flat in the grid area.
+                    PhasePattern::Affine { t, shift } => {
+                        fold_affine(t, *shift, dist, vshape, (mesh.px, mesh.py), bytes)
+                    }
+                };
                 folded
                     .msgs
                     .iter()
@@ -234,20 +318,21 @@ impl CommPlan {
                 if src == dst {
                     continue;
                 }
+                // A phase is functional when it moves every position by a
+                // well-defined map: affine phases always, explicit ones
+                // when they belong to a factor chain.
                 let chained = phases.iter().all(|ph| {
-                    matches!(
-                        ph.kind,
-                        PhaseKind::Elementary(_) | PhaseKind::DecompositionShift
-                    )
+                    matches!(ph.pattern, PhasePattern::Affine { .. })
+                        || matches!(
+                            ph.kind,
+                            PhaseKind::Elementary(_) | PhaseKind::DecompositionShift
+                        )
                 });
                 if chained {
-                    // A decomposition moves each position functionally:
-                    // chain the phases (absent entry = stays in place).
+                    // Chain the phases (absent entry = stays in place).
                     let mut pos = src;
                     for phase in &phases {
-                        if let Some(&(_, to)) = phase.pattern.iter().find(|&&(f, _)| f == pos) {
-                            pos = to;
-                        }
+                        pos = phase.pattern.apply(pos);
                     }
                     if pos != dst {
                         return Err(format!(
@@ -260,7 +345,7 @@ impl CommPlan {
                     // One-shot phases (translation / collective / general)
                     // may fan out: the endpoint pair must be present in
                     // some phase of this access.
-                    let present = phases.iter().any(|ph| ph.pattern.contains(&(src, dst)));
+                    let present = phases.iter().any(|ph| ph.pattern.routes(src, dst));
                     if !present {
                         return Err(format!(
                             "access {:?} at {:?}: transfer {:?} → {:?} missing \
@@ -302,12 +387,12 @@ pub fn build_plan(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
             CommOutcome::Translation => plan.phases.push(CommPhase {
                 access: acc.id,
                 kind: PhaseKind::Translation,
-                pattern: endpoints(),
+                pattern: PhasePattern::Explicit(endpoints()),
             }),
             CommOutcome::Macro { .. } => plan.phases.push(CommPhase {
                 access: acc.id,
                 kind: PhaseKind::CollectiveRound,
-                pattern: endpoints(),
+                pattern: PhasePattern::Explicit(endpoints()),
             }),
             CommOutcome::Decomposed { factors, .. } => {
                 // precv = F₁·…·F_n·psend + t₀: one phase per factor (right
@@ -343,7 +428,7 @@ pub fn build_plan(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
                     plan.phases.push(CommPhase {
                         access: acc.id,
                         kind: PhaseKind::Elementary(*f),
-                        pattern,
+                        pattern: PhasePattern::Explicit(pattern),
                     });
                 }
                 // Final constant shift to the true destination.
@@ -364,20 +449,143 @@ pub fn build_plan(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
                     plan.phases.push(CommPhase {
                         access: acc.id,
                         kind: PhaseKind::DecompositionShift,
-                        pattern: shift,
+                        pattern: PhasePattern::Explicit(shift),
                     });
                 }
             }
             CommOutcome::DecomposedGeneral { .. } => plan.phases.push(CommPhase {
                 access: acc.id,
                 kind: PhaseKind::UnirowFactor,
-                pattern: endpoints(),
+                pattern: PhasePattern::Explicit(endpoints()),
             }),
             CommOutcome::General => plan.phases.push(CommPhase {
                 access: acc.id,
                 kind: PhaseKind::GeneralAffine,
-                pattern: endpoints(),
+                pattern: PhasePattern::Explicit(endpoints()),
             }),
+        }
+    }
+    plan
+}
+
+/// Build the plan of a mapping in **closed (affine) form**: every phase
+/// whose transfer is an affine map of the sender's position is carried
+/// as [`PhasePattern::Affine`] instead of an enumerated endpoint list.
+///
+/// Construction cost is `O(1)` per affine access — the linear part comes
+/// from the dataflow matrix (or the decomposition's factor chain) and the
+/// constant term is pinned by sampling a *single* iteration point, since
+/// the mapping pipeline already proved `dst = T·src + t₀` holds
+/// point-wise. Folding such a plan onto a mesh then goes through
+/// [`rescomm_distribution::fold_affine`], flat in the virtual-grid area:
+/// this is the entry point for simulating plans on huge grids (4096²,
+/// 8192²) where [`build_plan`]'s per-point enumeration is intractable.
+///
+/// Collectives ([`CommOutcome::Macro`]) stay explicit — their placement
+/// phase is data-dependent, not a grid-wide map — as does any access
+/// whose dataflow matrix the alignment cannot express (rank-deficient
+/// replication); [`CommPlan::verify_availability`] treats both forms
+/// exactly, so `build_plan_closed` is proved against the same oracle as
+/// [`build_plan`].
+pub fn build_plan_closed(nest: &LoopNest, mapping: &Mapping) -> CommPlan {
+    assert_eq!(mapping.alignment.m, 2, "plans target 2-D grids");
+    let mut plan = CommPlan::default();
+    for (acc, out) in nest.accesses.iter().zip(&mapping.outcomes) {
+        if matches!(out, CommOutcome::Local) {
+            continue;
+        }
+        let dom = &nest.statement(acc.stmt).domain;
+        // One sample pins the affine constant term.
+        let Some(p0) = dom.points().next() else {
+            continue;
+        };
+        let e0 = acc.subscript(&p0);
+        let src0 = coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e0));
+        let dst0 = coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p0));
+        let endpoints = || {
+            let mut seen = BTreeSet::new();
+            let mut v = Vec::new();
+            for p in dom.points() {
+                let e = acc.subscript(&p);
+                let src = coord2(&mapping.alignment.array_alloc[acc.array.0].apply(&e));
+                let dst = coord2(&mapping.alignment.stmt_alloc[acc.stmt.0].apply(&p));
+                if src != dst && seen.insert((src, dst)) {
+                    v.push((src, dst));
+                }
+            }
+            v
+        };
+        match out {
+            CommOutcome::Local => unreachable!(),
+            CommOutcome::Translation => {
+                let d0 = (dst0.0 - src0.0, dst0.1 - src0.1);
+                plan.phases.push(CommPhase {
+                    access: acc.id,
+                    kind: PhaseKind::Translation,
+                    pattern: PhasePattern::Affine {
+                        t: IMat::identity(2),
+                        shift: d0,
+                    },
+                });
+            }
+            // The collective's placement phase is data-dependent (a
+            // fan-out/fan-in set, not a position map): keep it explicit.
+            CommOutcome::Macro { .. } => plan.phases.push(CommPhase {
+                access: acc.id,
+                kind: PhaseKind::CollectiveRound,
+                pattern: PhasePattern::Explicit(endpoints()),
+            }),
+            CommOutcome::Decomposed { factors, .. } => {
+                // precv = F₁·…·F_n·psend + t₀: factors apply right to
+                // left, each one a grid-wide linear sweep, then the
+                // constant shift t₀ = dst₀ − (F₁·…·F_n)·src₀.
+                for f in factors.iter().rev() {
+                    plan.phases.push(CommPhase {
+                        access: acc.id,
+                        kind: PhaseKind::Elementary(*f),
+                        pattern: PhasePattern::Affine {
+                            t: f.to_mat(),
+                            shift: (0, 0),
+                        },
+                    });
+                }
+                let prod = product(factors);
+                let moved = prod.mul_vec(&[src0.0, src0.1]);
+                let t0 = (dst0.0 - moved[0], dst0.1 - moved[1]);
+                if t0 != (0, 0) {
+                    plan.phases.push(CommPhase {
+                        access: acc.id,
+                        kind: PhaseKind::DecompositionShift,
+                        pattern: PhasePattern::Affine {
+                            t: IMat::identity(2),
+                            shift: t0,
+                        },
+                    });
+                }
+            }
+            CommOutcome::DecomposedGeneral { .. } | CommOutcome::General => {
+                let kind = if matches!(out, CommOutcome::General) {
+                    PhaseKind::GeneralAffine
+                } else {
+                    PhaseKind::UnirowFactor
+                };
+                let pattern = match dataflow_matrix(&mapping.alignment, nest, acc.id) {
+                    Some(t) => {
+                        let moved = t.mul_vec(&[src0.0, src0.1]);
+                        PhasePattern::Affine {
+                            t,
+                            shift: (dst0.0 - moved[0], dst0.1 - moved[1]),
+                        }
+                    }
+                    // Rank-deficient alignment: no grid-wide map exists.
+                    None => PhasePattern::Explicit(endpoints()),
+                };
+                plan.phases.push(CommPhase {
+                    access: acc.id,
+                    kind,
+                    pattern,
+                });
+            }
         }
     }
     plan
@@ -571,11 +779,94 @@ mod tests {
         let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &mapping);
         for phase in &plan.phases {
-            let mut sorted = phase.pattern.clone();
+            let mut sorted = phase
+                .pattern
+                .explicit()
+                .expect("build_plan is explicit")
+                .to_vec();
             sorted.sort();
             let before = sorted.len();
             sorted.dedup();
             assert_eq!(sorted.len(), before, "duplicate virtual messages");
+        }
+    }
+
+    #[test]
+    fn closed_plans_deliver_their_data() {
+        // The availability proof holds for affine-form plans on the same
+        // kernels as the explicit ones — same oracle, both forms exact.
+        for nest in [
+            examples::motivating_example(6, 2).0,
+            examples::jacobi2d(6),
+            examples::transpose(6),
+            examples::matmul(4),
+            examples::syrk(4),
+            examples::example2_broadcast(6),
+            examples::gauss_elim(4),
+            examples::adi_sweep(6),
+        ] {
+            let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+            let plan = build_plan_closed(&nest, &mapping);
+            plan.verify_availability(&nest, &mapping)
+                .unwrap_or_else(|e| panic!("{}: {e}", nest.name));
+        }
+    }
+
+    #[test]
+    fn closed_plan_carries_affine_phases() {
+        let (nest, _) = examples::motivating_example(6, 2);
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let plan = build_plan_closed(&nest, &mapping);
+        assert!(plan.affine_phase_count() > 0, "no closed phases emitted");
+        // Explicit enumeration only survives in collective phases.
+        for p in &plan.phases {
+            if p.pattern.explicit().is_some() {
+                assert_eq!(p.kind, PhaseKind::CollectiveRound, "{:?}", p.kind);
+            }
+        }
+        // Translations are pure shifts: identity linear part.
+        let nest = examples::jacobi2d(6);
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let plan = build_plan_closed(&nest, &mapping);
+        assert!(!plan.phases.is_empty());
+        for p in &plan.phases {
+            match &p.pattern {
+                PhasePattern::Affine { t, shift } => {
+                    assert_eq!(*t, IMat::identity(2));
+                    assert_ne!(*shift, (0, 0));
+                }
+                PhasePattern::Explicit(_) => panic!("jacobi plan should be fully affine"),
+            }
+        }
+    }
+
+    #[test]
+    fn closed_plan_simulates_huge_grids() {
+        // The point of the closed path: folding a plan at 4096² virtual
+        // processors without enumerating 16.8M sends. The explicit plan
+        // cannot even be built at this size; the closed one folds in
+        // milliseconds and still produces a positive makespan.
+        let (nest, _) = examples::motivating_example(6, 2);
+        let mesh = Mesh2D::new(8, 8, CostModel::paragon());
+        let dist = Dist2D::uniform(Dist1D::Cyclic);
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let plan = build_plan_closed(&nest, &mapping);
+        let t = plan.simulate_on_mesh(&mesh, dist, (4096, 4096), 64);
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn closed_plan_fold_matches_explicit_grid_wide_phases() {
+        // On a grid the size of the iteration space, an all-affine access
+        // folds to the same phase count through either plan form.
+        let nest = examples::jacobi2d(8);
+        let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
+        let explicit = build_plan(&nest, &mapping);
+        let closed = build_plan_closed(&nest, &mapping);
+        assert_eq!(explicit.phases.len(), closed.phases.len());
+        for (e, c) in explicit.phases.iter().zip(&closed.phases) {
+            assert_eq!(e.kind, c.kind);
+            assert_eq!(e.access, c.access);
         }
     }
 }

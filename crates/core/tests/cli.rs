@@ -188,6 +188,37 @@ fn replications_rejects_bad_drop_probability() {
 }
 
 #[test]
+fn closed_plan_simulates_huge_virtual_grid() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--closed-plan", "--vgrid", "4096x4096", "--grid", "8x8"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("closed plan:"), "{text}");
+    assert!(text.contains("affine"), "{text}");
+    assert!(
+        text.contains("closed-plan makespan at 4096x4096:"),
+        "{text}"
+    );
+}
+
+#[test]
+fn closed_plan_rejects_malformed_vgrid_spec() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--closed-plan", "--vgrid", "huge"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--vgrid"), "stderr: {err}");
+}
+
+#[test]
 fn recover_rejects_malformed_grid_spec() {
     let f = write_nest(NEST);
     let out = cli()

@@ -19,10 +19,10 @@
 pub mod closed;
 pub mod msgs;
 
-pub use closed::{fold_elementary, fold_general};
+pub use closed::{fold_affine, fold_affine_with, fold_elementary, fold_general, FoldPath};
 pub use msgs::{
-    elementary_pattern, fold_pattern, general_pattern, locality_fraction, physical_messages,
-    FoldedPattern, Msg, VSend,
+    affine_pattern, elementary_pattern, fold_pattern, general_pattern, locality_fraction,
+    physical_messages, FoldedPattern, Msg, VSend,
 };
 
 /// A one-dimensional virtual→physical folding scheme.

@@ -22,20 +22,33 @@ pub struct Msg {
     pub bytes: u64,
 }
 
-/// The virtual pattern of a dataflow matrix `T`: every virtual processor
-/// `v` sends one element to `T·v mod vshape` (toroidal wrap keeps the
-/// pattern inside the grid, as the paper's row-length-12 example does).
-pub fn general_pattern(t: &IMat, vshape: (usize, usize)) -> Vec<VSend> {
+/// The virtual pattern of the affine map `v → T·v + shift mod vshape`:
+/// every virtual processor sends one element, with per-axis toroidal
+/// wrap. Enumeration oracle for [`crate::closed::fold_affine`].
+pub fn affine_pattern(t: &IMat, shift: (i64, i64), vshape: (usize, usize)) -> Vec<VSend> {
     assert_eq!(t.shape(), (2, 2));
     let (vr, vc) = (vshape.0 as i64, vshape.1 as i64);
     let mut out = Vec::with_capacity(vshape.0 * vshape.1);
     for i in 0..vr {
         for j in 0..vc {
             let d = t.mul_vec(&[i, j]);
-            out.push(((i, j), (d[0].rem_euclid(vr), d[1].rem_euclid(vc))));
+            out.push((
+                (i, j),
+                (
+                    (d[0] + shift.0).rem_euclid(vr),
+                    (d[1] + shift.1).rem_euclid(vc),
+                ),
+            ));
         }
     }
     out
+}
+
+/// The virtual pattern of a dataflow matrix `T`: every virtual processor
+/// `v` sends one element to `T·v mod vshape` (toroidal wrap keeps the
+/// pattern inside the grid, as the paper's row-length-12 example does).
+pub fn general_pattern(t: &IMat, vshape: (usize, usize)) -> Vec<VSend> {
+    affine_pattern(t, (0, 0), vshape)
 }
 
 /// The virtual pattern of the elementary `U(k)` communication:
@@ -76,7 +89,12 @@ pub fn physical_messages(
 /// A virtual pattern folded onto the physical grid: the aggregated
 /// message set **and** the locality statistics of the same fold, computed
 /// together so no endpoint is mapped twice.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *fold data* (`msgs`, `local_sends`,
+/// `total_sends`) only; `closed` and `factors` are path diagnostics and
+/// never distinguish two patterns, so differential tests can assert
+/// bit-identical output across fold implementations directly with `==`.
+#[derive(Debug, Clone)]
 pub struct FoldedPattern {
     /// Aggregated non-local messages, sorted by `(src, dst)`.
     pub msgs: Vec<Msg>,
@@ -84,7 +102,24 @@ pub struct FoldedPattern {
     pub local_sends: u64,
     /// Total number of virtual sends folded.
     pub total_sends: u64,
+    /// Whether the closed residue-class path generated this fold (as
+    /// opposed to a dense `O(V)` or enumerating fold).
+    pub closed: bool,
+    /// Length of the unirow factor chain of the dataflow matrix, when the
+    /// fold came from one (0 for identity, singular `T`, or explicit
+    /// enumeration).
+    pub factors: usize,
 }
+
+impl PartialEq for FoldedPattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.msgs == other.msgs
+            && self.local_sends == other.local_sends
+            && self.total_sends == other.total_sends
+    }
+}
+
+impl Eq for FoldedPattern {}
 
 impl FoldedPattern {
     /// Fraction of virtual sends that stay on their physical processor
@@ -136,6 +171,8 @@ pub fn fold_pattern(
         msgs: crate::closed::msgs_from_counts(&counts, pshape, elem_bytes),
         local_sends: local,
         total_sends: pattern.len() as u64,
+        closed: false,
+        factors: 0,
     }
 }
 

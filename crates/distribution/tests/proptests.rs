@@ -1,9 +1,10 @@
 //! Property tests for the folding schemes.
 
 use proptest::prelude::*;
+use rescomm_decompose::general::{product_general, GenFactor};
 use rescomm_distribution::{
-    elementary_pattern, fold_general, fold_pattern, general_pattern, grouped_rank,
-    locality_fraction, physical_messages, Dist1D, Dist2D,
+    affine_pattern, elementary_pattern, fold_affine_with, fold_general, fold_pattern,
+    general_pattern, grouped_rank, locality_fraction, physical_messages, Dist1D, Dist2D, FoldPath,
 };
 use rescomm_intlin::IMat;
 
@@ -14,6 +15,35 @@ fn any_dist() -> impl Strategy<Value = Dist1D> {
         (1usize..=4).prop_map(Dist1D::CyclicBlock),
         (1usize..=6).prop_map(Dist1D::Grouped),
     ]
+}
+
+/// One unimodular unirow factor: a shear `U(k)`/`L(l)`, or an axis sign
+/// flip. Every product of these has `det = ±1`.
+fn unimodular_factor() -> impl Strategy<Value = GenFactor> {
+    prop_oneof![
+        (-4i64..5).prop_map(|k| GenFactor::Unirow {
+            row: 0,
+            coeffs: vec![1, k],
+        }),
+        (-4i64..5).prop_map(|l| GenFactor::Unirow {
+            row: 1,
+            coeffs: vec![l, 1],
+        }),
+        Just(GenFactor::Unirow {
+            row: 0,
+            coeffs: vec![-1, 0],
+        }),
+        Just(GenFactor::Unirow {
+            row: 1,
+            coeffs: vec![0, -1],
+        }),
+    ]
+}
+
+/// A random unimodular matrix built as a `product_general` of a random
+/// factor chain, as the paper's decomposition produces them.
+fn unimodular_matrix() -> impl Strategy<Value = IMat> {
+    proptest::collection::vec(unimodular_factor(), 0..6).prop_map(|f| product_general(&f, 2))
 }
 
 proptest! {
@@ -168,5 +198,53 @@ proptest! {
         prop_assert_eq!(folded.total_sends, pat.len() as u64);
         let sep = locality_fraction(&pat, dist, (vr, vc), (pr, pc));
         prop_assert!((folded.locality_fraction() - sep).abs() < 1e-12);
+    }
+
+    /// Random unimodular `T` (a `product_general` of random shear/flip
+    /// chains) through `fold_general` equals the enumeration oracle —
+    /// message set (order included), locality and send counts — and the
+    /// closed path fires for every one of them.
+    #[test]
+    fn random_unimodular_chain_matches_enumeration(
+        dr in any_dist(),
+        dc in any_dist(),
+        t in unimodular_matrix(),
+        vr in 1usize..26, vc in 1usize..26,
+        pr in 1usize..5, pc in 1usize..5,
+        bytes in 1u64..32,
+    ) {
+        let dist = Dist2D { rows: dr, cols: dc };
+        let pat = general_pattern(&t, (vr, vc));
+        let want = physical_messages(&pat, dist, (vr, vc), (pr, pc), bytes);
+        let want_loc = locality_fraction(&pat, dist, (vr, vc), (pr, pc));
+        let got = fold_general(&t, dist, (vr, vc), (pr, pc), bytes);
+        prop_assert!(got.closed, "unimodular T={t:?} fell back to the dense fold");
+        prop_assert_eq!(&got.msgs, &want);
+        prop_assert!((got.locality_fraction() - want_loc).abs() < 1e-12);
+        prop_assert_eq!(got.total_sends, (vr * vc) as u64);
+    }
+
+    /// Forcing the closed path never changes the fold: counts, locality
+    /// and message order are bit-identical to the dense fold and the
+    /// enumeration oracle for arbitrary affine maps (any `T`, any shift).
+    #[test]
+    fn forced_paths_agree_on_arbitrary_affine_maps(
+        dr in any_dist(),
+        dc in any_dist(),
+        t00 in -4i64..5, t01 in -4i64..5, t10 in -4i64..5, t11 in -4i64..5,
+        s0 in -30i64..31, s1 in -30i64..31,
+        vr in 1usize..22, vc in 1usize..22,
+        pr in 1usize..5, pc in 1usize..5,
+    ) {
+        let t = IMat::from_rows(&[&[t00, t01], &[t10, t11]]);
+        let dist = Dist2D { rows: dr, cols: dc };
+        let pat = affine_pattern(&t, (s0, s1), (vr, vc));
+        let want = physical_messages(&pat, dist, (vr, vc), (pr, pc), 8);
+        let closed = fold_affine_with(FoldPath::Closed, &t, (s0, s1), dist, (vr, vc), (pr, pc), 8);
+        let dense = fold_affine_with(FoldPath::Dense, &t, (s0, s1), dist, (vr, vc), (pr, pc), 8);
+        prop_assert!(closed.closed && !dense.closed);
+        prop_assert_eq!(&closed.msgs, &want);
+        // FoldedPattern equality covers msgs + local_sends + total_sends.
+        prop_assert_eq!(closed, dense);
     }
 }

@@ -36,7 +36,7 @@ fn main() {
         println!(
             "  access {:?}: {kind} ({} msgs)",
             phase.access,
-            phase.pattern.len()
+            phase.pattern.explicit().map_or(0, <[_]>::len)
         );
     }
 

@@ -30,6 +30,8 @@ fn plan_phases(nest: &rescomm_loopnest::LoopNest, mesh: &Mesh2D) -> Vec<Vec<PMsg
         .filter_map(|ph| {
             let msgs: Vec<PMsg> = ph
                 .pattern
+                .explicit()
+                .expect("build_plan emits explicit patterns")
                 .iter()
                 .map(|&(s, d)| PMsg {
                     src: mesh.node_id(wrap(s.0, mesh.px), wrap(s.1, mesh.py)),
