@@ -47,6 +47,9 @@ pub use pipeline::{
 pub use plan::{build_plan, build_plan_closed, CommPhase, CommPlan, PhaseKind, PhasePattern};
 pub use recover::{remap_for_survivors, DegradedGrid};
 pub use report::MappingReport;
+// The schedule-mode knob of `CommPlan::simulate_on_mesh`, re-exported so
+// plan consumers don't need a direct `rescomm_machine` dependency.
+pub use rescomm_machine::{OverlapOrder, ScheduleMode};
 
 /// Re-exports of the substrate crates.
 pub mod substrate {

@@ -21,7 +21,8 @@ use rescomm_distribution::{fold_affine, fold_pattern, Dist2D};
 use rescomm_intlin::IMat;
 use rescomm_loopnest::{AccessId, LoopNest};
 use rescomm_machine::{
-    replication_seed, CheckpointPolicy, FaultPlan, FaultReport, FaultSim, Mesh2D, PMsg, PhaseSim,
+    replication_seed, CachedPhase, CheckpointPolicy, FaultPlan, FaultReport, FaultSim, Mesh2D,
+    PMsg, PhaseSim, ScheduleMode,
 };
 use std::collections::BTreeSet;
 
@@ -205,21 +206,45 @@ impl CommPlan {
     }
 
     /// Fold onto a mesh with a distribution (toroidal wrap into `vshape`)
-    /// and simulate the phases sequentially; returns total time.
+    /// and simulate the phases under `mode`; returns total time.
+    /// [`ScheduleMode::Phased`] runs phases as strict barriers (the
+    /// historical behaviour); [`ScheduleMode::Overlapped`] releases each
+    /// phase-(k+1) message as soon as its source node has received all of
+    /// its phase-k inflows. Both pattern forms go through the same
+    /// lowering ([`CommPlan::phases_on_mesh`]): an affine phase folds to
+    /// at most `P²` physical messages regardless of virtual-grid size,
+    /// so the overlapped engine's per-node readiness tracking works on
+    /// the compact folded set without ever materializing the
+    /// virtual-processor message list.
     pub fn simulate_on_mesh(
         &self,
         mesh: &Mesh2D,
         dist: Dist2D,
         vshape: (usize, usize),
         bytes: u64,
+        mode: ScheduleMode,
     ) -> u64 {
         // One reused scratch engine for the whole plan — the pattern
         // never touches a tree map or a per-phase link table.
         let mut sim = PhaseSim::new(mesh.clone());
+        sim.simulate_phases_mode(&self.phases_on_mesh(mesh, dist, vshape, bytes), mode)
+    }
+
+    /// Compile the folded phases for repeated replay: the returned
+    /// [`CachedPhase`]s feed [`PhaseSim::run_cached_phases`] (or
+    /// [`rescomm_machine::par_schedule_sweep`]) under any
+    /// [`ScheduleMode`], which is the batch-sweep fast path.
+    pub fn compile_on_mesh(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+    ) -> Vec<CachedPhase> {
         self.phases_on_mesh(mesh, dist, vshape, bytes)
             .iter()
-            .map(|pms| sim.simulate_phase(pms))
-            .sum()
+            .map(|p| CachedPhase::new(mesh, p))
+            .collect()
     }
 
     /// Compile the plan into a reusable multi-seed fault replay engine:
@@ -668,8 +693,18 @@ mod tests {
         let mesh = Mesh2D::new(4, 4, CostModel::paragon());
         let dist = Dist2D::uniform(Dist1D::Cyclic);
         let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
-        let t = build_plan(&nest, &full).simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        let plan = build_plan(&nest, &full);
+        let t = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, ScheduleMode::Phased);
         assert!(t > 0);
+        // Relaxing the phase barriers can only help, and the compiled
+        // replay reproduces both modes exactly.
+        let cached = plan.compile_on_mesh(&mesh, dist, (24, 24), 64);
+        let mut sim = PhaseSim::new(mesh.clone());
+        for mode in [ScheduleMode::Phased, ScheduleMode::overlapped()] {
+            let direct = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, mode);
+            assert!(direct <= t);
+            assert_eq!(sim.run_cached_phases(&cached, mode, 1), direct);
+        }
     }
 
     #[test]
@@ -679,7 +714,7 @@ mod tests {
         let dist = Dist2D::uniform(Dist1D::Cyclic);
         let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &full);
-        let t = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        let t = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, ScheduleMode::Phased);
         let rep = plan.simulate_on_mesh_recovering(
             &mesh,
             dist,
@@ -743,7 +778,7 @@ mod tests {
         let dist = Dist2D::uniform(Dist1D::Cyclic);
         let full = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan(&nest, &full);
-        let healthy = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64);
+        let healthy = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, ScheduleMode::Phased);
         let fplan = FaultPlan {
             seed: 7,
             drop_prob: 0.1,
@@ -851,8 +886,12 @@ mod tests {
         let dist = Dist2D::uniform(Dist1D::Cyclic);
         let mapping = map_nest(&nest, &MappingOptions::new(2)).unwrap();
         let plan = build_plan_closed(&nest, &mapping);
-        let t = plan.simulate_on_mesh(&mesh, dist, (4096, 4096), 64);
+        let t = plan.simulate_on_mesh(&mesh, dist, (4096, 4096), 64, ScheduleMode::Phased);
         assert!(t > 0);
+        // Affine phases go through the same mode plumbing: overlapping
+        // a closed (million-VP) plan never makes it slower.
+        let over = plan.simulate_on_mesh(&mesh, dist, (4096, 4096), 64, ScheduleMode::overlapped());
+        assert!(over <= t);
     }
 
     #[test]

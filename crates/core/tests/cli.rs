@@ -200,9 +200,47 @@ fn closed_plan_simulates_huge_virtual_grid() {
     assert!(text.contains("closed plan:"), "{text}");
     assert!(text.contains("affine"), "{text}");
     assert!(
-        text.contains("closed-plan makespan at 4096x4096:"),
+        text.contains("closed-plan makespan at 4096x4096 (phased):"),
         "{text}"
     );
+}
+
+#[test]
+fn closed_plan_overlapped_schedule_reports_both_makespans() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args([
+            "--closed-plan",
+            "--vgrid",
+            "256x256",
+            "--grid",
+            "8x4",
+            "--schedule",
+            "overlapped",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains("closed-plan makespan at 256x256 (overlapped):"),
+        "{text}"
+    );
+    assert!(text.contains("phased makespan:"), "{text}");
+}
+
+#[test]
+fn schedule_rejects_unknown_mode() {
+    let f = write_nest(NEST);
+    let out = cli()
+        .arg(f.as_str())
+        .args(["--closed-plan", "--schedule", "chaotic"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--schedule"), "stderr: {err}");
 }
 
 #[test]

@@ -34,25 +34,35 @@ use std::collections::{BTreeMap, VecDeque};
 /// Reusable scratch state for simulating mesh communication phases.
 #[derive(Debug, Clone)]
 pub struct PhaseSim {
-    mesh: Mesh2D,
+    pub(crate) mesh: Mesh2D,
     /// Per-link time at which the link becomes free — valid only where
     /// `stamp` equals the current epoch.
     free: Vec<u64>,
     stamp: Vec<u32>,
     epoch: u32,
-    scratch: Vec<PMsg>,
+    pub(crate) scratch: Vec<PMsg>,
+    /// Per-node readiness/arrival scratch for the overlapped scheduler
+    /// (see [`crate::overlap`]); untouched by the phased paths.
+    pub(crate) node_ready: Vec<u64>,
+    pub(crate) node_arrival: Vec<u64>,
+    /// Index permutation scratch for the overlapped priority orders.
+    pub(crate) order: Vec<u32>,
 }
 
 impl PhaseSim {
     /// Build a scratch engine for `mesh` (sizes the link table once).
     pub fn new(mesh: Mesh2D) -> Self {
         let links = mesh.link_count();
+        let nodes = mesh.nodes();
         PhaseSim {
             mesh,
             free: vec![0; links],
             stamp: vec![0; links],
             epoch: 0,
             scratch: Vec::new(),
+            node_ready: vec![0; nodes],
+            node_arrival: vec![0; nodes],
+            order: Vec::new(),
         }
     }
 
@@ -62,7 +72,7 @@ impl PhaseSim {
     }
 
     /// Start a fresh phase: bump the epoch so every link reads as free.
-    fn begin_phase(&mut self) {
+    pub(crate) fn begin_phase(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // Epoch wrapped: physically clear the stamps once per 2³² phases.
@@ -72,7 +82,7 @@ impl PhaseSim {
     }
 
     #[inline]
-    fn link_free_at(&self, link: usize) -> u64 {
+    pub(crate) fn link_free_at(&self, link: usize) -> u64 {
         if self.stamp[link] == self.epoch {
             self.free[link]
         } else {
@@ -81,7 +91,7 @@ impl PhaseSim {
     }
 
     #[inline]
-    fn reserve_link(&mut self, link: usize, until: u64) {
+    pub(crate) fn reserve_link(&mut self, link: usize, until: u64) {
         self.stamp[link] = self.epoch;
         self.free[link] = until;
     }
@@ -730,11 +740,15 @@ impl Checkpoint {
 #[derive(Debug, Clone)]
 pub struct CachedPhase {
     /// Concatenated route link indices of every message, in schedule order.
-    links: Vec<u32>,
+    pub(crate) links: Vec<u32>,
     /// Prefix offsets into `links` (`len + 1` entries).
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Payload of each scheduled message.
-    bytes: Vec<u64>,
+    pub(crate) bytes: Vec<u64>,
+    /// Endpoints of each scheduled message — used by the overlapped
+    /// replay path to track per-node readiness (see [`crate::overlap`]).
+    pub(crate) src: Vec<u32>,
+    pub(crate) dst: Vec<u32>,
 }
 
 impl CachedPhase {
@@ -746,16 +760,22 @@ impl CachedPhase {
         let mut links = Vec::new();
         let mut offsets = Vec::with_capacity(sorted.len() + 1);
         let mut bytes = Vec::with_capacity(sorted.len());
+        let mut src = Vec::with_capacity(sorted.len());
+        let mut dst = Vec::with_capacity(sorted.len());
         offsets.push(0);
         for m in &sorted {
             links.extend(mesh.route_links(m.src, m.dst).map(|l| l.index() as u32));
             offsets.push(links.len() as u32);
             bytes.push(m.bytes);
+            src.push(m.src as u32);
+            dst.push(m.dst as u32);
         }
         CachedPhase {
             links,
             offsets,
             bytes,
+            src,
+            dst,
         }
     }
 

@@ -69,6 +69,13 @@ where
         return Vec::new();
     }
     let threads = threads.clamp(1, n);
+    if threads <= 1 {
+        // Single worker: run inline. Spawning a one-thread scope buys
+        // nothing and costs a thread launch + join per sweep, which is
+        // pure overhead on single-core hosts.
+        let mut state = init();
+        return configs.iter().map(|c| f(&mut state, c)).collect();
+    }
     let mut results = vec![R::default(); n];
     let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {

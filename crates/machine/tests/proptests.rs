@@ -5,7 +5,8 @@ use proptest::prelude::*;
 use rescomm_machine::{
     par_fault_sweep, replication_seed, simulate_phases_batch, trace_phase, CachedPhase,
     CheckpointPolicy, CompiledFaultPlan, CostModel, FatTree, FaultPlan, FaultReport, FaultSim,
-    LinkOutage, Mesh2D, NodeDeath, NodeOutage, PMsg, PhaseSim, RetryPolicy,
+    LinkOutage, Mesh2D, NodeDeath, NodeOutage, OverlapOrder, PMsg, PhaseSim, RetryPolicy,
+    ScheduleMode,
 };
 
 fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
@@ -455,6 +456,92 @@ proptest! {
             let classic = sim.simulate_phases_faulty(&phases, plan);
             prop_assert!(stats.makespan.min() <= classic.makespan as f64);
             prop_assert!(stats.makespan.max() >= classic.makespan as f64);
+        }
+    }
+
+    /// The overlapped scheduler (default order) never exceeds the phased
+    /// makespan, never beats the slowest standalone phase, is
+    /// deterministic across engine reuse, and `Phased` mode stays
+    /// bit-identical to `simulate_phases`.
+    #[test]
+    fn overlapped_bounded_by_phased(a in msgs(32), b in msgs(32), c in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh.clone());
+        let phases = vec![a, b, c];
+        let phased = sim.simulate_phases(&phases);
+        prop_assert_eq!(sim.simulate_phases_mode(&phases, ScheduleMode::Phased), phased);
+        prop_assert_eq!(phased, mesh.simulate_phases(&phases));
+        let over = sim.simulate_phases_overlapped(&phases, OverlapOrder::Sorted);
+        prop_assert!(over <= phased, "overlapped {over} beats phased {phased} the wrong way");
+        // Relaxing barriers cannot beat the slowest phase run alone.
+        let slowest = phases.iter().map(|p| mesh.simulate_phase(p)).max().unwrap_or(0);
+        prop_assert!(over >= slowest, "overlapped {over} below slowest phase {slowest}");
+        // Determinism across scratch reuse.
+        prop_assert_eq!(over, sim.simulate_phases_overlapped(&phases, OverlapOrder::Sorted));
+    }
+
+    /// Dependency safety, both orders: no message starts before every
+    /// inflow of its source node from all earlier phases has arrived,
+    /// and the reported makespan is exactly the last arrival.
+    #[test]
+    fn overlapped_dependency_safety(a in msgs(32), b in msgs(32), c in msgs(32), longest in 0u32..2) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let order = if longest == 1 { OverlapOrder::LongestFirst } else { OverlapOrder::Sorted };
+        let mut sim = PhaseSim::new(mesh.clone());
+        let phases = vec![a, b, c];
+        let (makespan, events) = sim.simulate_phases_overlapped_traced(&phases, order);
+        prop_assert_eq!(makespan, events.iter().map(|e| e.end).max().unwrap_or(0));
+        for e in &events {
+            // Inflows of the source node across *all* earlier phases —
+            // readiness accumulates, it is not reset per phase.
+            let inflow = events
+                .iter()
+                .filter(|p| p.phase < e.phase && p.msg.dst == e.msg.src)
+                .map(|p| p.end)
+                .max()
+                .unwrap_or(0);
+            prop_assert!(e.ready >= inflow, "released at {} before inflow {}", e.ready, inflow);
+            prop_assert!(e.start >= e.ready);
+            prop_assert!(e.end > e.start);
+        }
+    }
+
+    /// A single-phase plan schedules bit-identically under phased and
+    /// (default) overlapped modes — with no previous phase, every node is
+    /// ready at t=0 and the greedy order coincides.
+    #[test]
+    fn overlapped_single_phase_identical(ms in msgs(32)) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh.clone());
+        let phases = vec![ms];
+        let phased = sim.simulate_phases(&phases);
+        prop_assert_eq!(sim.simulate_phases_overlapped(&phases, OverlapOrder::Sorted), phased);
+        prop_assert_eq!(sim.simulate_phases_mode(&phases, ScheduleMode::overlapped()), phased);
+    }
+
+    /// Cached multi-phase replay under every mode equals direct
+    /// simulation of the uniformly scaled plan.
+    #[test]
+    fn cached_schedule_replay_bit_identical(
+        a in msgs(32), b in msgs(32),
+        scale in 1u64..64,
+        longest in 0u32..2,
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let phases = [a, b];
+        let cached: Vec<CachedPhase> =
+            phases.iter().map(|p| CachedPhase::new(&mesh, p)).collect();
+        let scaled: Vec<Vec<PMsg>> = phases
+            .iter()
+            .map(|p| p.iter().map(|m| PMsg { bytes: m.bytes * scale, ..*m }).collect())
+            .collect();
+        let order = if longest == 1 { OverlapOrder::LongestFirst } else { OverlapOrder::Sorted };
+        let mut sim = PhaseSim::new(mesh.clone());
+        for mode in [ScheduleMode::Phased, ScheduleMode::Overlapped(order)] {
+            prop_assert_eq!(
+                sim.run_cached_phases(&cached, mode, scale),
+                sim.simulate_phases_mode(&scaled, mode)
+            );
         }
     }
 }

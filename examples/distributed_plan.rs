@@ -9,7 +9,7 @@
 
 use rescomm::substrate::distribution::{Dist1D, Dist2D};
 use rescomm::substrate::machine::{CostModel, Mesh2D};
-use rescomm::{build_plan, map_nest, verify_execution, MappingOptions, PhaseKind};
+use rescomm::{build_plan, map_nest, verify_execution, MappingOptions, PhaseKind, ScheduleMode};
 use rescomm_loopnest::examples::motivating_example;
 
 fn main() {
@@ -54,8 +54,11 @@ fn main() {
         stats.remote_reads
     );
 
-    // Price the plan on the 8×4 mesh.
+    // Price the plan on the 8×4 mesh, under both schedule modes.
     let mesh = Mesh2D::new(8, 4, CostModel::paragon());
-    let t = plan.simulate_on_mesh(&mesh, Dist2D::uniform(Dist1D::Cyclic), (24, 24), 128);
-    println!("simulated plan time on 8×4 Paragon mesh: {t} ns");
+    let dist = Dist2D::uniform(Dist1D::Cyclic);
+    let t = plan.simulate_on_mesh(&mesh, dist, (24, 24), 128, ScheduleMode::Phased);
+    println!("simulated plan time on 8×4 Paragon mesh: {t} ns (phased)");
+    let over = plan.simulate_on_mesh(&mesh, dist, (24, 24), 128, ScheduleMode::overlapped());
+    println!("with overlapped phase scheduling:        {over} ns");
 }
