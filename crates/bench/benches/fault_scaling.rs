@@ -14,7 +14,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rescomm_machine::{
     replication_seed, CheckpointPolicy, CostModel, FaultPlan, FaultSim, LinkOutage, Mesh2D,
-    NodeDeath, PMsg, PhaseSim, XorShift64,
+    NodeDeath, PMsg, PhaseSim, SchedulePolicy, XorShift64,
 };
 use std::hint::black_box;
 
@@ -82,7 +82,7 @@ fn bench_replay(c: &mut Criterion) {
         });
         let mut engine = FaultSim::new(&mesh, &phases, &plan);
         g.bench_with_input(BenchmarkId::new("compiled", n), &seeds, |b, seeds| {
-            b.iter(|| black_box(engine.replay_faulty(seeds)))
+            b.iter(|| black_box(engine.replay_faulty(seeds, SchedulePolicy::default())))
         });
     }
     g.finish();
@@ -100,7 +100,7 @@ fn bench_outage_density(c: &mut Criterion) {
         });
         let mut engine = FaultSim::new(&mesh, &phases, &plan);
         g.bench_with_input(BenchmarkId::new("compiled", outages), &plan, |b, plan| {
-            b.iter(|| black_box(engine.run_faulty(plan.seed)))
+            b.iter(|| black_box(engine.run_faulty(plan.seed, SchedulePolicy::default())))
         });
     }
     g.finish();
@@ -146,7 +146,7 @@ fn bench_recovering(c: &mut Criterion) {
     });
     let mut engine = FaultSim::new(&mesh, &phases, &plan);
     g.bench_with_input(BenchmarkId::new("compiled", 16), &seeds, |b, seeds| {
-        b.iter(|| black_box(engine.replay_recovering(&policy, seeds)))
+        b.iter(|| black_box(engine.replay_recovering(&policy, seeds, SchedulePolicy::default())))
     });
     g.finish();
 }

@@ -46,6 +46,7 @@ use rescomm_loopnest::examples;
 use rescomm_machine::{
     mttf_death_schedule, par_fault_sweep, replication_seed, CheckpointPolicy, CostModel, FaultPlan,
     FaultReport, FaultSim, LinkOutage, Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
+    ScheduleMode, SchedulePolicy,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -149,6 +150,10 @@ fn main() {
 
     let rep_counts: &[usize] = if smoke { &[4, 8] } else { &[16, 64, 256] };
     let timing_reps = if smoke { 3 } else { 7 };
+    // The timed sections track the historical phased-barrier path; the
+    // overlapped schedules get their own identity gates below and their
+    // own artifact (`faultsched`).
+    let sched = SchedulePolicy::default();
 
     eprintln!(
         "replay: paper plan on 8x4 mesh, {} phases, {messages} messages, drop 0.20 dup 0.02",
@@ -178,12 +183,12 @@ fn main() {
         // Bit-identity gate before any timing: every compiled replay must
         // reproduce the oracle's full report, seed for seed.
         assert_eq!(
-            engine.replay_faulty(&seeds),
+            engine.replay_faulty(&seeds, sched),
             oracle_run(&mut oracle, &seeds),
             "compiled replay diverged from the oracle at {n} replications"
         );
         let oracle_ns = median_ns(timing_reps, || oracle_run(&mut oracle, &seeds));
-        let compiled_ns = median_ns(timing_reps, || engine.replay_faulty(&seeds));
+        let compiled_ns = median_ns(timing_reps, || engine.replay_faulty(&seeds, sched));
         let speedup = oracle_ns as f64 / compiled_ns.max(1) as f64;
         assert!(speedup > 0.0);
         // Wall-clock floor: the compiled engine has measured 4–6.5x over
@@ -204,6 +209,41 @@ fn main() {
             oracle_ns,
             compiled_ns,
         });
+    }
+
+    // Overlapped-faulty gate (runs in smoke too): the compiled engine
+    // must reproduce the per-call policy oracle bit for bit under the
+    // overlapped and adaptive schedules as well.
+    let gate_seeds: Vec<u64> = (0..4).map(|r| replication_seed(plan.seed, r)).collect();
+    for gate in [
+        SchedulePolicy::Fixed(ScheduleMode::overlapped()),
+        SchedulePolicy::Adaptive {
+            inflation_threshold: 1.5,
+        },
+    ] {
+        let want: Vec<FaultReport> = gate_seeds
+            .iter()
+            .map(|&seed| {
+                oracle.simulate_phases_faulty_policy(
+                    &phases,
+                    &FaultPlan {
+                        seed,
+                        ..plan.clone()
+                    },
+                    gate,
+                )
+            })
+            .collect();
+        assert_eq!(
+            engine.replay_faulty(&gate_seeds, gate),
+            want,
+            "compiled overlapped-faulty replay diverged from the oracle under {}",
+            gate.label()
+        );
+        for r in &want {
+            assert_eq!(r.delivered, r.messages, "{}", gate.label());
+        }
+        eprintln!("overlapped-faulty gate ({}): ok", gate.label());
     }
 
     // Checkpoint/rollback path with permanent deaths on top of the lossy
@@ -235,12 +275,43 @@ fn main() {
             .collect()
     };
     assert_eq!(
-        engine.replay_recovering(&policy, &seeds),
+        engine.replay_recovering(&policy, &seeds, sched),
         oracle_recover(&mut oracle, &seeds),
         "compiled recovering replay diverged from the oracle"
     );
+    // Overlapped-recovering gate (runs in smoke too): rollback + replay
+    // under the overlapped schedule, compiled vs per-call, exactly once.
+    {
+        let gate = SchedulePolicy::Fixed(ScheduleMode::overlapped());
+        let want: Vec<FaultReport> = gate_seeds
+            .iter()
+            .map(|&seed| {
+                oracle.simulate_phases_recovering_policy(
+                    &phases,
+                    &FaultPlan {
+                        seed,
+                        ..recover_plan.clone()
+                    },
+                    &policy,
+                    gate,
+                )
+            })
+            .collect();
+        assert_eq!(
+            engine.replay_recovering(&policy, &gate_seeds, gate),
+            want,
+            "compiled overlapped-recovering replay diverged from the oracle"
+        );
+        for r in &want {
+            assert!(r.recovery.all_recovered(), "{:?}", r.recovery);
+            assert_eq!(r.delivered, r.messages, "overlapped recovery exactly-once");
+        }
+        eprintln!("overlapped-recovering gate ({}): ok", gate.label());
+    }
     let rec_oracle_ns = median_ns(timing_reps, || oracle_recover(&mut oracle, &seeds));
-    let rec_compiled_ns = median_ns(timing_reps, || engine.replay_recovering(&policy, &seeds));
+    let rec_compiled_ns = median_ns(timing_reps, || {
+        engine.replay_recovering(&policy, &seeds, sched)
+    });
     eprintln!(
         "recovering: {n} replications  oracle {rec_oracle_ns} ns   compiled {rec_compiled_ns} ns   x{:.1}",
         rec_oracle_ns as f64 / rec_compiled_ns.max(1) as f64
@@ -256,7 +327,7 @@ fn main() {
         .collect();
     let par_reps = if smoke { 4 } else { 32 };
     let host = host_threads();
-    let serial = par_fault_sweep(&mesh, &phases, &bank, par_reps, 1);
+    let serial = par_fault_sweep(&mesh, &phases, &bank, par_reps, 1, sched);
     let mut par_rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         // On a single-core host every multi-thread row is oversubscribed:
@@ -273,12 +344,12 @@ fn main() {
         }
         // Thread-count-independence gate before timing.
         assert_eq!(
-            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads),
+            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads, sched),
             serial,
             "parallel sweep diverged from serial at {threads} threads"
         );
         let wall_ns = median_ns(timing_reps, || {
-            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads)
+            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads, sched)
         });
         let speedup = par_rows.first().map_or(1.0, |r: &ParRow| {
             r.wall_ns.unwrap_or(0) as f64 / wall_ns.max(1) as f64
@@ -319,9 +390,13 @@ fn main() {
         .field("drop_prob", fixed(0.2, 2))
         .field("dup_prob", fixed(0.02, 2))
         .field("host_threads", host)
+        .field("schedule_policy", sched.label())
         .field("smoke", smoke);
+    let mode_label = sched.healthy_mode().label();
     doc.rows("replay", &replay_rows, |r| {
         vec![
+            ("schedule_mode", Val::from(mode_label)),
+            ("policy", Val::from(sched.label())),
             ("replications", Val::from(r.replications)),
             ("oracle_ns", Val::from(r.oracle_ns)),
             ("compiled_ns", Val::from(r.compiled_ns)),
@@ -333,6 +408,8 @@ fn main() {
     });
     doc.rows("recovering", &[(n, rec_oracle_ns, rec_compiled_ns)], |r| {
         vec![
+            ("schedule_mode", Val::from(mode_label)),
+            ("policy", Val::from(sched.label())),
             ("replications", Val::from(r.0)),
             ("oracle_ns", Val::from(r.1)),
             ("compiled_ns", Val::from(r.2)),
@@ -342,6 +419,8 @@ fn main() {
     doc.rows("parallel", &par_rows, |r| {
         let speedup = r.wall_ns.map(|w| t1 as f64 / w.max(1) as f64);
         vec![
+            ("schedule_mode", Val::from(mode_label)),
+            ("policy", Val::from(sched.label())),
             ("threads", Val::from(r.threads)),
             ("plans", Val::from(bank.len())),
             ("replications", Val::from(par_reps)),

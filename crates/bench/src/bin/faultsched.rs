@@ -1,0 +1,313 @@
+//! Faulty execution under phased, overlapped and adaptive schedules,
+//! written as a machine-readable baseline to `BENCH_faultsched.json`.
+//!
+//! Workloads are the multi-factor kernel-zoo decompositions of
+//! `schedule_baseline` (each unimodular dataflow matrix decomposed into
+//! its unirow factor chain, one affine phase per factor) plus the
+//! paper's motivating-example plan, folded onto the 8×4 Paragon mesh.
+//! Every workload runs through the compiled fault engine
+//! ([`rescomm_machine::FaultSim`]) under a drop/duplication fault plan
+//! with retries, replayed over [`replication_seed`]-derived seeds under
+//! each [`SchedulePolicy`]: fixed phased barriers, fixed overlap (both
+//! orders) and adaptive degradation. Every simulated quantity is
+//! deterministic, so the committed artifact is byte-stable across hosts.
+//!
+//! ```text
+//! cargo run --release -p rescomm-bench --bin faultsched [--out PATH] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks the grid and replication count for the CI job; the
+//! gates are identical.
+//!
+//! Gates (checked before anything is written):
+//!
+//! * (a) **zero-fault identity per mode** — a zero-fault plan through
+//!   the fault engine is bit-identical in makespan to the fault-free
+//!   scheduler under every policy's healthy mode, with zero downgrades;
+//! * (b) **overlap helps under faults** — overlapped-faulty mean
+//!   makespan ≤ phased-faulty mean makespan at equal seeds on at least
+//!   one multi-factor chain (drop-only plans keep the per-message RNG
+//!   draw sequence identical across modes, so the comparison is
+//!   schedule-for-schedule);
+//! * (c) **adaptive dominance** — on every row the adaptive policy's
+//!   mean makespan is never worse than the worse of the two fixed
+//!   modes it arbitrates between;
+//! * (d) **oracle bit-identity** — the compiled replay reproduces the
+//!   per-call policy oracle on replication 0 under every policy;
+//! * (e) **delivery** — with retries enabled, every replication of
+//!   every row delivers every message.
+
+use rescomm::substrate::loopnest::examples;
+use rescomm::{build_plan_closed, map_nest, MappingOptions};
+use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
+use rescomm_bench::workload::host_threads;
+use rescomm_decompose::decompose_general;
+use rescomm_distribution::{fold_affine, Dist1D, Dist2D};
+use rescomm_intlin::IMat;
+use rescomm_machine::{
+    replication_seed, CostModel, FaultPlan, FaultReport, FaultSim, Mesh2D, OverlapOrder, PMsg,
+    PhaseSim, ScheduleMode, SchedulePolicy,
+};
+
+/// A named multi-phase workload, already folded to physical messages.
+struct Workload {
+    name: String,
+    factors: usize,
+    multi_factor: bool,
+    phases: Vec<Vec<PMsg>>,
+}
+
+/// The multi-factor subset of `schedule_baseline`'s kernel zoo: chains
+/// where phases can actually pipeline, plus one single-factor control.
+fn zoo() -> Vec<(&'static str, IMat)> {
+    let m = |rows: &[&[i64]]| IMat::from_rows(rows);
+    vec![
+        ("U(3)", m(&[&[1, 3], &[0, 1]])),
+        ("coupled[[1,3],[2,7]]", m(&[&[1, 3], &[2, 7]])),
+        ("fib[[1,1],[1,2]]", m(&[&[1, 1], &[1, 2]])),
+        ("rot90", m(&[&[0, -1], &[1, 0]])),
+    ]
+}
+
+fn fold_factor_chain(
+    factors: &[IMat],
+    mesh: &Mesh2D,
+    dist: Dist2D,
+    side: usize,
+    bytes: u64,
+) -> Vec<Vec<PMsg>> {
+    factors
+        .iter()
+        .rev()
+        .map(|t| {
+            let folded = fold_affine(t, (0, 0), dist, (side, side), (mesh.px, mesh.py), bytes);
+            folded
+                .msgs
+                .iter()
+                .map(|m| PMsg {
+                    src: mesh.node_id(m.src.0, m.src.1),
+                    dst: mesh.node_id(m.dst.0, m.dst.1),
+                    bytes: m.bytes,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn workloads(mesh: &Mesh2D, dist: Dist2D, side: usize, bytes: u64) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for (name, t) in zoo() {
+        let factors: Vec<IMat> = decompose_general(&t)
+            .expect("zoo matrices are unimodular")
+            .iter()
+            .map(|f| f.to_mat(2))
+            .collect();
+        out.push(Workload {
+            name: name.to_string(),
+            factors: factors.len(),
+            multi_factor: factors.len() >= 2,
+            phases: fold_factor_chain(&factors, mesh, dist, side, bytes),
+        });
+    }
+    let (nest, _) = examples::motivating_example(6, 2);
+    let mapping = map_nest(&nest, &MappingOptions::new(2)).expect("motivating example maps");
+    let plan = build_plan_closed(&nest, &mapping);
+    out.push(Workload {
+        name: "paper_plan".to_string(),
+        factors: plan.phases.len(),
+        multi_factor: false,
+        phases: plan.phases_on_mesh(mesh, dist, (side, side), bytes),
+    });
+    out
+}
+
+/// One (workload, policy) row of the artifact.
+struct Row {
+    workload: String,
+    factors: usize,
+    multi_factor: bool,
+    messages: usize,
+    policy: SchedulePolicy,
+    healthy_ns: u64,
+    mean_makespan_ns: f64,
+    max_makespan_ns: u64,
+    retries: u64,
+    downgrades: u64,
+}
+
+impl Row {
+    fn inflation(&self) -> f64 {
+        if self.healthy_ns == 0 {
+            return 1.0;
+        }
+        self.mean_makespan_ns / self.healthy_ns as f64
+    }
+}
+
+fn mean(reports: &[FaultReport]) -> f64 {
+    if reports.is_empty() {
+        return 0.0;
+    }
+    reports.iter().map(|r| r.makespan as f64).sum::<f64>() / reports.len() as f64
+}
+
+fn main() {
+    let mut out = "BENCH_faultsched.json".to_string();
+    let mut smoke = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let dist = Dist2D {
+        rows: Dist1D::Grouped(3),
+        cols: Dist1D::Block,
+    };
+    let bytes = 64u64;
+    let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+    let mut sim = PhaseSim::new(mesh.clone());
+    let side = if smoke { 48usize } else { 256 };
+    let replications = if smoke { 4usize } else { 16 };
+
+    // Drop-only (plus duplication) faults: no outage windows, so the
+    // per-message RNG draw sequence is identical under every schedule
+    // mode and gate (b) compares schedules, not fault timings.
+    let fault = FaultPlan {
+        dup_prob: 0.02,
+        ..FaultPlan::with_drop(42, 0.2)
+    };
+    let seeds: Vec<u64> = (0..replications)
+        .map(|r| replication_seed(fault.seed, r as u64))
+        .collect();
+
+    let policies = [
+        SchedulePolicy::Fixed(ScheduleMode::Phased),
+        SchedulePolicy::Fixed(ScheduleMode::overlapped()),
+        SchedulePolicy::Fixed(ScheduleMode::Overlapped(OverlapOrder::LongestFirst)),
+        SchedulePolicy::Adaptive {
+            inflation_threshold: 1.5,
+        },
+    ];
+
+    eprintln!("faultsched: {side}² grids on 8x4, drop 0.20 dup 0.02, {replications} replications");
+    let mut rows = Vec::new();
+    let mut overlap_beats_phased_somewhere = false;
+    for w in workloads(&mesh, dist, side, bytes) {
+        let messages: usize = w.phases.iter().map(Vec::len).sum();
+        let mut engine = FaultSim::new(&mesh, &w.phases, &fault);
+        let mut per_policy = Vec::new();
+        for sched in policies {
+            let healthy = sim.simulate_phases_mode(&w.phases, sched.healthy_mode());
+            // Gate (a): zero-fault identity under this policy.
+            let zero = FaultPlan {
+                seed: fault.seed,
+                ..FaultPlan::none()
+            };
+            let z = sim.simulate_phases_faulty_policy(&w.phases, &zero, sched);
+            assert_eq!(
+                z.makespan,
+                healthy,
+                "{}: zero-fault {} diverged from the fault-free scheduler",
+                w.name,
+                sched.label()
+            );
+            assert_eq!(z.downgrades, 0, "{}: zero-fault run degraded", w.name);
+
+            let reports = engine.replay_faulty(&seeds, sched);
+            // Gate (d): replication 0 is the per-call policy oracle.
+            assert_eq!(
+                reports[0],
+                sim.simulate_phases_faulty_policy(&w.phases, &fault, sched),
+                "{}: compiled replay diverged from the oracle under {}",
+                w.name,
+                sched.label()
+            );
+            // Gate (e): retries are on, so every message lands.
+            for r in &reports {
+                assert_eq!(
+                    r.delivered,
+                    r.messages,
+                    "{} under {}",
+                    w.name,
+                    sched.label()
+                );
+            }
+            let row = Row {
+                workload: w.name.clone(),
+                factors: w.factors,
+                multi_factor: w.multi_factor,
+                messages,
+                policy: sched,
+                healthy_ns: healthy,
+                mean_makespan_ns: mean(&reports),
+                max_makespan_ns: reports.iter().map(|r| r.makespan).max().unwrap_or(0),
+                retries: reports.iter().map(|r| r.retries).sum(),
+                downgrades: reports.iter().map(|r| r.downgrades).sum(),
+            };
+            eprintln!(
+                "  {:<22} {:<20} mean {:>12.0} ns  x{:.2}  retries {:>5}  downgrades {}",
+                row.workload,
+                sched.label(),
+                row.mean_makespan_ns,
+                row.inflation(),
+                row.retries,
+                row.downgrades
+            );
+            per_policy.push(row);
+        }
+        // Gate (b) bookkeeping: overlapped vs phased at equal seeds.
+        let phased_mean = per_policy[0].mean_makespan_ns;
+        let over_mean = per_policy[1].mean_makespan_ns;
+        if w.multi_factor && over_mean <= phased_mean {
+            overlap_beats_phased_somewhere = true;
+        }
+        // Gate (c): adaptive never worse than the worse fixed mode it
+        // arbitrates between (phased vs default overlap).
+        let adaptive_mean = per_policy[3].mean_makespan_ns;
+        assert!(
+            adaptive_mean <= phased_mean.max(over_mean) + 1e-9,
+            "{}: adaptive mean {adaptive_mean:.0} ns worse than both fixed modes \
+             (phased {phased_mean:.0}, overlapped {over_mean:.0})",
+            w.name
+        );
+        rows.extend(per_policy);
+    }
+    assert!(
+        overlap_beats_phased_somewhere,
+        "overlapped-faulty beat phased-faulty on no multi-factor chain"
+    );
+    eprintln!("gates ok: zero-fault identity, overlap win, adaptive dominance, oracle identity");
+
+    let mut doc = JsonDoc::new();
+    doc.field("bench", "faultsched")
+        .field("mesh", raw("[8, 4]"))
+        .field("dist", "grouped(3) x block")
+        .field("grid", format!("{side}x{side}"))
+        .field("elem_bytes", bytes)
+        .field("drop_prob", fixed(0.2, 2))
+        .field("dup_prob", fixed(0.02, 2))
+        .field("replications", replications)
+        .field("smoke", smoke)
+        .field("host_threads", host_threads());
+    doc.rows("faultsched", &rows, |r| {
+        vec![
+            ("workload", Val::from(r.workload.as_str())),
+            ("phases", Val::from(r.factors)),
+            ("multi_factor", Val::from(r.multi_factor)),
+            ("messages", Val::from(r.messages)),
+            ("schedule_mode", Val::from(r.policy.healthy_mode().label())),
+            ("policy", Val::from(r.policy.label())),
+            ("healthy_makespan_ns", Val::from(r.healthy_ns)),
+            ("mean_makespan_ns", fixed(r.mean_makespan_ns, 0)),
+            ("max_makespan_ns", Val::from(r.max_makespan_ns)),
+            ("inflation", fixed(r.inflation(), 3)),
+            ("retries", Val::from(r.retries)),
+            ("downgrades", Val::from(r.downgrades)),
+        ]
+    });
+    doc.write(&out);
+}

@@ -33,7 +33,7 @@
 use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
 use rescomm_machine::{
     par_fault_sweep, CostModel, FatTree, FaultPlan, FaultSim, LinkOutage, Mesh2D, NodeOutage, PMsg,
-    PhaseSim, RetryPolicy, XorShift64,
+    PhaseSim, RetryPolicy, SchedulePolicy, XorShift64,
 };
 
 /// Deterministic synthetic phase set on `nodes` processors.
@@ -139,12 +139,13 @@ fn main() {
             ..FaultPlan::none()
         })
         .collect();
-    let stats = par_fault_sweep(&mesh, &phases, &plans, replications, threads);
+    let sched = SchedulePolicy::default();
+    let stats = par_fault_sweep(&mesh, &phases, &plans, replications, threads, sched);
     // Parallel-determinism gate: the sweep must not depend on the
     // thread count.
     assert_eq!(
         stats,
-        par_fault_sweep(&mesh, &phases, &plans, replications, 1),
+        par_fault_sweep(&mesh, &phases, &plans, replications, 1, sched),
         "parallel fault sweep diverged from serial"
     );
 
@@ -157,7 +158,7 @@ fn main() {
         // (replication 0's seed is the plan's own seed).
         engine.set_plan(plan);
         assert_eq!(
-            engine.run_faulty(plan.seed),
+            engine.run_faulty(plan.seed, sched),
             rep,
             "compiled engine diverged from the oracle at drop={drop_pct}% retry={retry}"
         );

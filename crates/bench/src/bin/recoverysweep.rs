@@ -34,7 +34,7 @@
 use rescomm_bench::json::{fixed, raw, JsonDoc, Val};
 use rescomm_machine::{
     mttf_death_schedule, par_recovery_sweep, CheckpointPolicy, CostModel, FaultPlan, FaultSim,
-    Mesh2D, PMsg, PhaseSim, XorShift64,
+    Mesh2D, PMsg, PhaseSim, SchedulePolicy, XorShift64,
 };
 
 /// Deterministic synthetic phase set on `nodes` processors.
@@ -95,6 +95,10 @@ fn main() {
     let phases = synth_phases(mesh.nodes(), n_phases, per_phase, 0x4ec0);
     let healthy = mesh.simulate_phases(&phases);
     let policy = CheckpointPolicy::default();
+    // This artifact tracks the historical phased-barrier path; the
+    // overlapped/adaptive schedules are gated in `faultsched`. The
+    // policy is recorded in every row so the artifacts stay comparable.
+    let sched = SchedulePolicy::default();
 
     // Zero-death gate first: the recovering driver on a death-free plan
     // must match the unfaulted scheduler bit for bit.
@@ -123,12 +127,20 @@ fn main() {
             }
         })
         .collect();
-    let stats = par_recovery_sweep(&mesh, &phases, &plans, &policy, replications, threads);
+    let stats = par_recovery_sweep(
+        &mesh,
+        &phases,
+        &plans,
+        &policy,
+        replications,
+        threads,
+        sched,
+    );
     // Parallel-determinism gate: the sweep must not depend on the
     // thread count.
     assert_eq!(
         stats,
-        par_recovery_sweep(&mesh, &phases, &plans, &policy, replications, 1),
+        par_recovery_sweep(&mesh, &phases, &plans, &policy, replications, 1, sched),
         "parallel recovery sweep diverged from serial"
     );
 
@@ -141,7 +153,7 @@ fn main() {
         // (replication 0's seed is the plan's own seed).
         engine.set_plan(plan);
         assert_eq!(
-            engine.run_recovering(&policy, plan.seed),
+            engine.run_recovering(&policy, plan.seed, sched),
             rep,
             "compiled engine diverged from the oracle at mttf={mttf_pct}%"
         );
@@ -234,9 +246,13 @@ fn main() {
         .field("healthy_makespan_ns", healthy)
         .field("detection_latency_ns", 5000u64)
         .field("replications", replications)
+        .field("schedule_policy", sched.label())
         .field("host_threads", rescomm_bench::workload::host_threads());
+    let mode_label = sched.healthy_mode().label();
     doc.rows("mttf_sweep", &mttf_rows, |r| {
         vec![
+            ("schedule_mode", Val::from(mode_label)),
+            ("policy", Val::from(sched.label())),
             ("mttf_pct", Val::from(r.mttf_pct)),
             ("deaths", Val::from(r.deaths)),
             ("wall_clock_ns", Val::from(r.wall_clock_ns)),
@@ -257,6 +273,8 @@ fn main() {
     });
     doc.rows("interval_sweep", &interval_rows, |r| {
         vec![
+            ("schedule_mode", Val::from(mode_label)),
+            ("policy", Val::from(sched.label())),
             ("interval", Val::from(r.interval)),
             ("checkpoints", Val::from(r.checkpoints)),
             (

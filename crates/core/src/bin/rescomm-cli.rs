@@ -6,7 +6,7 @@
 //!             [--unit-weights] [--dot] [--compare] [--self-check]
 //!             [--recover N,N,...] [--grid WxH] [--replications N]
 //!             [--drop P] [--closed-plan] [--vgrid WxH]
-//!             [--schedule phased|overlapped|overlapped-longest]
+//!             [--schedule phased|overlapped|overlapped-longest|adaptive[:T]]
 //! ```
 //!
 //! * `--m N`           target virtual-grid dimension (default 2)
@@ -35,13 +35,20 @@
 //!   so grids like 4096x4096 are practical
 //! * `--vgrid WxH`     virtual grid shape for `--closed-plan`
 //!   (default 1024x1024)
-//! * `--schedule M`    execution mode for the `--closed-plan`
-//!   simulation: `phased` (strict barriers between phases, the default),
-//!   `overlapped` (a phase-k+1 message starts as soon as its source node
-//!   has all phase-k inflows; never slower than phased), or
-//!   `overlapped-longest` (overlapped with a longest-route-first
-//!   priority heuristic). Overlapped modes also print the phased
-//!   makespan and the reduction achieved
+//! * `--schedule M`    schedule policy for the `--closed-plan` and
+//!   `--replications` simulations: `phased` (strict barriers between
+//!   phases, the default), `overlapped` (a phase-k+1 message starts as
+//!   soon as its source node has all phase-k inflows; never slower than
+//!   phased on healthy runs), `overlapped-longest` (overlapped with a
+//!   longest-route-first priority heuristic), or `adaptive[:T]` (run
+//!   overlapped, fall back to phased barriers for the remaining phases
+//!   once fault inflation over the healthy overlapped baseline exceeds
+//!   `T`, default 1.5). Overlapped modes also print the phased makespan
+//!   and the reduction achieved. The policy composes with `--drop`,
+//!   `--recover` and `--replications`: the Monte Carlo healthy baseline
+//!   and every faulty replication are scheduled under the same policy,
+//!   and with `--recover` the closed plan is additionally folded onto
+//!   the survivor set and re-simulated
 //!
 //! Malformed nests and arithmetic overflow exit with a diagnostic
 //! (line/column for parse errors) instead of a panic.
@@ -69,7 +76,7 @@ struct Args {
     drop_prob: f64,
     closed_plan: bool,
     vgrid: (usize, usize),
-    schedule: rescomm::ScheduleMode,
+    schedule: rescomm::SchedulePolicy,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,7 +95,7 @@ fn parse_args() -> Result<Args, String> {
         drop_prob: 0.1,
         closed_plan: false,
         vgrid: (1024, 1024),
-        schedule: rescomm::ScheduleMode::Phased,
+        schedule: rescomm::SchedulePolicy::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -132,9 +139,10 @@ fn parse_args() -> Result<Args, String> {
             "--closed-plan" => args.closed_plan = true,
             "--schedule" => {
                 let spec = it.next().ok_or("--schedule needs a mode")?;
-                args.schedule = rescomm::ScheduleMode::parse(&spec).ok_or(format!(
-                    "--schedule: unknown mode {spec:?} \
-                     (expected phased, overlapped or overlapped-longest)"
+                args.schedule = rescomm::SchedulePolicy::parse(&spec).ok_or(format!(
+                    "--schedule: unknown policy {spec:?} \
+                     (expected phased, overlapped, overlapped-longest or \
+                     adaptive[:threshold], threshold >= 1)"
                 ))?;
             }
             "--vgrid" => {
@@ -160,7 +168,8 @@ fn parse_args() -> Result<Args, String> {
                             [--no-decompose] [--unit-weights] [--dot] [--compare] \
                             [--self-check] [--recover N,N,...] [--grid WxH] \
                             [--replications N] [--drop P] [--closed-plan] \
-                            [--vgrid WxH] [--schedule phased|overlapped|overlapped-longest]"
+                            [--vgrid WxH] \
+                            [--schedule phased|overlapped|overlapped-longest|adaptive[:T]]"
                     .to_string())
             }
             f if !f.starts_with('-') && args.file.is_empty() => args.file = f.to_string(),
@@ -296,12 +305,13 @@ fn main() -> ExitCode {
         }
         let mesh = Mesh2D::new(w, h, CostModel::paragon());
         let dist = Dist2D::uniform(Dist1D::Cyclic);
-        let t = plan.simulate_on_mesh(&mesh, dist, (vw, vh), 64, args.schedule);
+        let mode = args.schedule.healthy_mode();
+        let t = plan.simulate_on_mesh(&mesh, dist, (vw, vh), 64, mode);
         println!(
             "closed-plan makespan at {vw}x{vh} ({}): {t} ns",
-            args.schedule.label()
+            mode.label()
         );
-        if args.schedule != rescomm::ScheduleMode::Phased {
+        if mode != rescomm::ScheduleMode::Phased {
             let phased =
                 plan.simulate_on_mesh(&mesh, dist, (vw, vh), 64, rescomm::ScheduleMode::Phased);
             let pct = if phased > 0 {
@@ -310,6 +320,29 @@ fn main() -> ExitCode {
                 0.0
             };
             println!("phased makespan:  {phased} ns (overlap saves {pct:.1}%)");
+        }
+        if !args.recover.is_empty() {
+            // Compose with --recover: fold the lowered phases onto the
+            // survivor set (the compiler-side twin of the simulator's
+            // post-death folding) and re-simulate under the same mode.
+            use rescomm::substrate::machine::PhaseSim;
+            match DegradedGrid::new(w, h, &args.recover) {
+                Ok(grid) => {
+                    let (folded, redirected) =
+                        grid.fold_phases(&plan.phases_on_mesh(&mesh, dist, (vw, vh), 64));
+                    let td = PhaseSim::new(mesh.clone()).simulate_phases_mode(&folded, mode);
+                    println!(
+                        "degraded makespan on {} survivors ({}): {td} ns \
+                         ({redirected} endpoints folded)",
+                        grid.survivors(),
+                        mode.label()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", args.file);
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
 
@@ -321,10 +354,10 @@ fn main() -> ExitCode {
         let mesh = Mesh2D::new(w, h, CostModel::paragon());
         let dist = Dist2D::uniform(Dist1D::Cyclic);
         let plan = build_plan(&nest, &mapping);
-        // The fault engine schedules with strict barriers, so the
-        // healthy reference for inflation is the phased makespan.
+        // The healthy reference for inflation runs under the same
+        // policy's fault-free mode as the replications themselves.
         let healthy =
-            plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, rescomm::ScheduleMode::Phased);
+            plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, args.schedule.healthy_mode());
         let fplan = FaultPlan {
             seed: 42,
             drop_prob: args.drop_prob,
@@ -337,18 +370,23 @@ fn main() -> ExitCode {
             64,
             &fplan,
             args.replications,
+            args.schedule,
         );
         let mut makespan = OnlineStats::default();
         let mut delivered = OnlineStats::default();
         let mut total_msgs = 0u64;
+        let mut downgrades = 0u64;
         for r in &reports {
             makespan.push(r.makespan as f64);
             delivered.push(r.delivered as f64);
             total_msgs = r.messages as u64;
+            downgrades += r.downgrades;
         }
         println!(
-            "--- monte carlo: {} replications on a {w}x{h} mesh, drop {:.2} ---",
-            args.replications, args.drop_prob
+            "--- monte carlo: {} replications on a {w}x{h} mesh, drop {:.2}, schedule {} ---",
+            args.replications,
+            args.drop_prob,
+            args.schedule.label()
         );
         println!("healthy makespan: {healthy} ns");
         println!(
@@ -370,6 +408,13 @@ fn main() -> ExitCode {
             delivered.min() as u64,
             delivered.max() as u64
         );
+        if let rescomm::SchedulePolicy::Adaptive { .. } = args.schedule {
+            println!(
+                "adaptive:         {downgrades} downgrade(s) to phased barriers \
+                 across {} replications",
+                args.replications
+            );
+        }
     }
 
     if args.compare {

@@ -49,7 +49,7 @@ pub use recover::{remap_for_survivors, DegradedGrid};
 pub use report::MappingReport;
 // The schedule-mode knob of `CommPlan::simulate_on_mesh`, re-exported so
 // plan consumers don't need a direct `rescomm_machine` dependency.
-pub use rescomm_machine::{OverlapOrder, ScheduleMode};
+pub use rescomm_machine::{OverlapOrder, ScheduleMode, SchedulePolicy};
 
 /// Re-exports of the substrate crates.
 pub mod substrate {

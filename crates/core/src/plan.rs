@@ -22,7 +22,7 @@ use rescomm_intlin::IMat;
 use rescomm_loopnest::{AccessId, LoopNest};
 use rescomm_machine::{
     replication_seed, CachedPhase, CheckpointPolicy, FaultPlan, FaultReport, FaultSim, Mesh2D,
-    PMsg, PhaseSim, ScheduleMode,
+    PMsg, PhaseSim, ScheduleMode, SchedulePolicy,
 };
 use std::collections::BTreeSet;
 
@@ -263,11 +263,32 @@ impl CommPlan {
         FaultSim::new(mesh, &self.phases_on_mesh(mesh, dist, vshape, bytes), plan)
     }
 
+    /// Fold onto a mesh like [`CommPlan::simulate_on_mesh`], but drive
+    /// the phases through the resilient transport under `plan`, with
+    /// the phase schedule chosen by `sched` ([`SchedulePolicy::Fixed`]
+    /// barriers or overlap, or adaptive degradation). On a zero-fault
+    /// plan the makespan equals [`CommPlan::simulate_on_mesh`] under
+    /// the policy's healthy mode exactly.
+    pub fn simulate_on_mesh_faulty(
+        &self,
+        mesh: &Mesh2D,
+        dist: Dist2D,
+        vshape: (usize, usize),
+        bytes: u64,
+        plan: &FaultPlan,
+        sched: SchedulePolicy,
+    ) -> FaultReport {
+        let phases = self.phases_on_mesh(mesh, dist, vshape, bytes);
+        PhaseSim::new(mesh.clone()).simulate_phases_faulty_policy(&phases, plan, sched)
+    }
+
     /// Monte Carlo replication of the faulty simulation: run the plan
     /// under `plan` with `replications` independent seeds derived from
     /// `plan.seed` via [`replication_seed`] (replication 0 reproduces
-    /// the classic single-seed run exactly). Returns one full
-    /// [`FaultReport`] per replication.
+    /// the classic single-seed run exactly), every replication
+    /// scheduled per `sched`. Returns one full [`FaultReport`] per
+    /// replication.
+    #[allow(clippy::too_many_arguments)]
     pub fn simulate_on_mesh_faulty_replicated(
         &self,
         mesh: &Mesh2D,
@@ -276,17 +297,19 @@ impl CommPlan {
         bytes: u64,
         plan: &FaultPlan,
         replications: usize,
+        sched: SchedulePolicy,
     ) -> Vec<FaultReport> {
         let seeds: Vec<u64> = (0..replications)
             .map(|r| replication_seed(plan.seed, r as u64))
             .collect();
         self.fault_engine(mesh, dist, vshape, bytes, plan)
-            .replay_faulty(&seeds)
+            .replay_faulty(&seeds, sched)
     }
 
     /// Monte Carlo replication of the recovering simulation (checkpoint
     /// and rollback under permanent node deaths); seed derivation as in
-    /// [`CommPlan::simulate_on_mesh_faulty_replicated`].
+    /// [`CommPlan::simulate_on_mesh_faulty_replicated`], schedule per
+    /// `sched`.
     #[allow(clippy::too_many_arguments)]
     pub fn simulate_on_mesh_recovering_replicated(
         &self,
@@ -297,19 +320,22 @@ impl CommPlan {
         plan: &FaultPlan,
         policy: &CheckpointPolicy,
         replications: usize,
+        sched: SchedulePolicy,
     ) -> Vec<FaultReport> {
         let seeds: Vec<u64> = (0..replications)
             .map(|r| replication_seed(plan.seed, r as u64))
             .collect();
         self.fault_engine(mesh, dist, vshape, bytes, plan)
-            .replay_recovering(policy, &seeds)
+            .replay_recovering(policy, &seeds, sched)
     }
 
     /// Fold onto a mesh like [`CommPlan::simulate_on_mesh`], but drive
     /// the phases through the checkpoint/rollback engine
-    /// ([`PhaseSim::simulate_phases_recovering`]) so the plan survives
-    /// the fault plan's permanent node deaths. On a death-free plan the
-    /// committed makespan equals [`CommPlan::simulate_on_mesh`] exactly.
+    /// ([`PhaseSim::simulate_phases_recovering`] or its overlapped
+    /// twin, per `sched`) so the plan survives the fault plan's
+    /// permanent node deaths. On a death-free plan the committed
+    /// makespan equals the faulty run under the same policy exactly.
+    #[allow(clippy::too_many_arguments)]
     pub fn simulate_on_mesh_recovering(
         &self,
         mesh: &Mesh2D,
@@ -318,9 +344,10 @@ impl CommPlan {
         bytes: u64,
         plan: &FaultPlan,
         policy: &CheckpointPolicy,
+        sched: SchedulePolicy,
     ) -> FaultReport {
         let phases = self.phases_on_mesh(mesh, dist, vshape, bytes);
-        PhaseSim::new(mesh.clone()).simulate_phases_recovering(&phases, plan, policy)
+        PhaseSim::new(mesh.clone()).simulate_phases_recovering_policy(&phases, plan, policy, sched)
     }
 
     /// Verify the plan delivers data correctly: for every non-local access
@@ -722,26 +749,54 @@ mod tests {
             64,
             &FaultPlan::none(),
             &CheckpointPolicy::default(),
+            SchedulePolicy::default(),
         );
         assert_eq!(rep.makespan, t, "zero-death recovery is bit-identical");
         assert_eq!(rep.recovery.rollbacks, 0);
+        // Under an overlapped policy the zero-fault recovery matches the
+        // fault-free overlapped schedule instead.
+        let over = plan.simulate_on_mesh(&mesh, dist, (24, 24), 64, ScheduleMode::overlapped());
+        let rep = plan.simulate_on_mesh_recovering(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &FaultPlan::none(),
+            &CheckpointPolicy::default(),
+            SchedulePolicy::Fixed(ScheduleMode::overlapped()),
+        );
+        assert_eq!(rep.makespan, over, "zero-death overlapped recovery");
+        assert_eq!(rep.downgrades, 0);
 
         // And with a mid-run death the plan still completes, exactly once.
         let faulty = FaultPlan {
             node_deaths: vec![rescomm_machine::NodeDeath { node: 6, t: t / 2 }],
             ..FaultPlan::none()
         };
-        let rep = plan.simulate_on_mesh_recovering(
-            &mesh,
-            dist,
-            (24, 24),
-            64,
-            &faulty,
-            &CheckpointPolicy::default(),
-        );
-        assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
-        assert_eq!(rep.delivered, rep.messages);
-        assert_eq!(rep.black_holes, 0);
+        for sched in [
+            SchedulePolicy::default(),
+            SchedulePolicy::Fixed(ScheduleMode::overlapped()),
+            SchedulePolicy::Adaptive {
+                inflation_threshold: 1.2,
+            },
+        ] {
+            let rep = plan.simulate_on_mesh_recovering(
+                &mesh,
+                dist,
+                (24, 24),
+                64,
+                &faulty,
+                &CheckpointPolicy::default(),
+                sched,
+            );
+            assert!(
+                rep.recovery.all_recovered(),
+                "{sched:?}: {:?}",
+                rep.recovery
+            );
+            assert_eq!(rep.delivered, rep.messages, "{sched:?}");
+            assert_eq!(rep.black_holes, 0, "{sched:?}");
+        }
     }
 
     #[test]
@@ -757,7 +812,15 @@ mod tests {
             dup_prob: 0.02,
             ..FaultPlan::none()
         };
-        let reps = plan.simulate_on_mesh_faulty_replicated(&mesh, dist, (24, 24), 64, &fplan, 5);
+        let reps = plan.simulate_on_mesh_faulty_replicated(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &fplan,
+            5,
+            SchedulePolicy::default(),
+        );
         assert_eq!(reps.len(), 5);
 
         // Replication 0 is the classic single-seed run, bit-identical to
@@ -769,6 +832,15 @@ mod tests {
         assert!(reps
             .iter()
             .any(|r| r.retries != reps[0].retries || r != &reps[0]));
+        // The overlapped policy threads through to the batch engine and
+        // agrees with the per-call policy oracle on replication 0.
+        let sched = SchedulePolicy::Fixed(ScheduleMode::overlapped());
+        let over =
+            plan.simulate_on_mesh_faulty_replicated(&mesh, dist, (24, 24), 64, &fplan, 3, sched);
+        assert_eq!(
+            over[0],
+            plan.simulate_on_mesh_faulty(&mesh, dist, (24, 24), 64, &fplan, sched)
+        );
     }
 
     #[test]
@@ -798,9 +870,18 @@ mod tests {
             &fplan,
             &policy,
             3,
+            SchedulePolicy::default(),
         );
         assert_eq!(reps.len(), 3);
-        let single = plan.simulate_on_mesh_recovering(&mesh, dist, (24, 24), 64, &fplan, &policy);
+        let single = plan.simulate_on_mesh_recovering(
+            &mesh,
+            dist,
+            (24, 24),
+            64,
+            &fplan,
+            &policy,
+            SchedulePolicy::default(),
+        );
         assert_eq!(reps[0], single, "replication 0 is the classic run");
         for r in &reps {
             assert!(r.recovery.all_recovered(), "{:?}", r.recovery);

@@ -35,7 +35,7 @@ use rescomm_accessgraph::Vertex;
 use rescomm_alignment::Alignment;
 use rescomm_intlin::{is_unimodular, IMat};
 use rescomm_loopnest::{LoopNest, StmtId};
-use rescomm_machine::fold_target;
+use rescomm_machine::{fold_target, PMsg};
 use rescomm_macrocomm::axis_alignment_rotation;
 
 /// Domain points sampled per statement when scoring candidate rotations
@@ -127,6 +127,41 @@ impl DegradedGrid {
     /// toroidal home (i.e. the wrap landed on a dead node).
     pub fn displaced(&self, v: &[i64]) -> bool {
         self.is_dead(self.wrap(v))
+    }
+
+    /// Fold already-lowered physical phases onto the survivor set: every
+    /// endpoint on a dead node is chased to its [`fold_target`] survivor,
+    /// and messages that collapse to self-sends are dropped. This is the
+    /// compiler-side twin of the simulator's post-death folding — running
+    /// the folded phases on a healthy mesh (any schedule mode) models
+    /// steady-state traffic after recovery has committed. Returns the
+    /// folded phases and the number of messages redirected or absorbed.
+    pub fn fold_phases(&self, phases: &[Vec<PMsg>]) -> (Vec<Vec<PMsg>>, usize) {
+        let mut touched = 0;
+        let folded = phases
+            .iter()
+            .map(|phase| {
+                phase
+                    .iter()
+                    .filter_map(|m| {
+                        let mut msg = *m;
+                        if self.is_dead(msg.src) {
+                            msg.src = fold_target(self.px, self.py, msg.src, &self.dead)
+                                .expect("a validated DegradedGrid has at least one survivor");
+                        }
+                        if self.is_dead(msg.dst) {
+                            msg.dst = fold_target(self.px, self.py, msg.dst, &self.dead)
+                                .expect("a validated DegradedGrid has at least one survivor");
+                        }
+                        if msg.src != m.src || msg.dst != m.dst {
+                            touched += 1;
+                        }
+                        (msg.src != msg.dst).then_some(msg)
+                    })
+                    .collect()
+            })
+            .collect();
+        (folded, touched)
     }
 }
 
@@ -335,6 +370,51 @@ mod tests {
         let g = DegradedGrid::new(4, 4, &[5, 5, 1]).unwrap();
         assert_eq!(g.dead(), &[1, 5]);
         assert_eq!(g.survivors(), 14);
+    }
+
+    #[test]
+    fn fold_phases_redirects_onto_survivors() {
+        let g = DegradedGrid::new(4, 4, &[5]).unwrap();
+        let phases = vec![
+            vec![
+                PMsg {
+                    src: 0,
+                    dst: 5,
+                    bytes: 64,
+                },
+                PMsg {
+                    src: 5,
+                    dst: 9,
+                    bytes: 32,
+                },
+                PMsg {
+                    src: 1,
+                    dst: 2,
+                    bytes: 8,
+                },
+            ],
+            // A message that collapses onto itself after folding is
+            // absorbed rather than kept as a self-send.
+            vec![PMsg {
+                src: 5,
+                dst: fold_target(4, 4, 5, &[5]).unwrap(),
+                bytes: 16,
+            }],
+        ];
+        let (folded, touched) = g.fold_phases(&phases);
+        assert_eq!(touched, 3);
+        assert_eq!(folded.len(), 2);
+        assert!(folded[1].is_empty(), "self-send absorbed");
+        for m in folded.iter().flatten() {
+            assert!(!g.is_dead(m.src) && !g.is_dead(m.dst));
+            assert_ne!(m.src, m.dst);
+        }
+        // Untouched messages pass through byte-identical.
+        assert!(folded[0].contains(&phases[0][2]));
+        // A healthy grid folds nothing.
+        let whole = DegradedGrid::new(4, 4, &[]).unwrap();
+        let (same, zero) = whole.fold_phases(&phases);
+        assert_eq!((same, zero), (phases, 0));
     }
 
     #[test]

@@ -647,6 +647,11 @@ pub struct FaultReport {
     /// Messages sent into a permanently dead endpoint before the failure
     /// detector fired (black-holed: counted under `lost`).
     pub black_holes: u64,
+    /// Times an adaptive schedule policy fell back from overlapped
+    /// execution to phased barriers mid-run
+    /// ([`crate::SchedulePolicy::Adaptive`]; all-zero under fixed
+    /// policies).
+    pub downgrades: u64,
     /// Checkpoint/rollback accounting (all-zero outside the recovery
     /// path).
     pub recovery: RecoveryReport,
@@ -683,6 +688,7 @@ impl FaultReport {
         self.deferrals += other.deferrals;
         self.escalations += other.escalations;
         self.black_holes += other.black_holes;
+        self.downgrades += other.downgrades;
         self.recovery.absorb(&other.recovery);
     }
 }

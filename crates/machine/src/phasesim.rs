@@ -28,7 +28,9 @@
 use crate::fault::{fold_target, CompiledFaultPlan, FaultPlan, FaultReport};
 use crate::mesh::{Mesh2D, RouteLinks};
 use crate::model::PMsg;
+use crate::overlap::{inflation_exceeded, OverlapOrder, ScheduleMode, SchedulePolicy};
 use crate::rng::XorShift64;
+use std::cmp::Reverse;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Reusable scratch state for simulating mesh communication phases.
@@ -135,7 +137,7 @@ impl PhaseSim {
     /// link reservations, the hop count, and — if any link of the route is
     /// inside an outage window at that start — the earliest time one of the
     /// dead links comes back (the time worth deferring to).
-    fn scan_route(
+    pub(crate) fn scan_route(
         &self,
         route: RouteLinks,
         not_before: u64,
@@ -157,7 +159,13 @@ impl PhaseSim {
     }
 
     /// Transmit once over `route`, reserving every link `[start, end)`.
-    fn transmit(&mut self, route: RouteLinks, start: u64, hops: usize, bytes: u64) -> u64 {
+    pub(crate) fn transmit(
+        &mut self,
+        route: RouteLinks,
+        start: u64,
+        hops: usize,
+        bytes: u64,
+    ) -> u64 {
         let end = start.saturating_add(self.mesh.cost.p2p(hops, bytes));
         for l in route {
             self.reserve_link(l.index(), end);
@@ -323,7 +331,7 @@ impl PhaseSim {
 
     /// Take a phase-boundary snapshot of the engine and the committed
     /// run so far.
-    fn checkpoint(&self, phase: usize, elapsed: u64, report: FaultReport) -> Checkpoint {
+    pub(crate) fn checkpoint(&self, phase: usize, elapsed: u64, report: FaultReport) -> Checkpoint {
         Checkpoint {
             phase,
             elapsed,
@@ -335,10 +343,35 @@ impl PhaseSim {
     }
 
     /// Restore the engine's link-clock state from a snapshot.
-    fn restore(&mut self, c: &Checkpoint) {
+    pub(crate) fn restore(&mut self, c: &Checkpoint) {
         self.free.copy_from_slice(&c.free);
         self.stamp.copy_from_slice(&c.stamp);
         self.epoch = c.epoch;
+    }
+
+    /// [`PhaseSim::checkpoint`] plus the overlapped per-node timeline
+    /// and the adaptive policy's degradation flag.
+    pub(crate) fn checkpoint_overlapped(
+        &self,
+        phase: usize,
+        elapsed: u64,
+        report: FaultReport,
+        barrier: bool,
+    ) -> OverlapCheckpoint {
+        OverlapCheckpoint {
+            base: self.checkpoint(phase, elapsed, report),
+            node_ready: self.node_ready.clone(),
+            node_arrival: self.node_arrival.clone(),
+            barrier,
+        }
+    }
+
+    /// Restore link clocks *and* the per-node readiness/arrival
+    /// timeline (the caller restores the `barrier` flag itself).
+    pub(crate) fn restore_overlapped(&mut self, c: &OverlapCheckpoint) {
+        self.restore(&c.base);
+        self.node_ready.copy_from_slice(&c.node_ready);
+        self.node_arrival.copy_from_slice(&c.node_arrival);
     }
 
     /// Simulate dependent phases under a [`FaultPlan`] that may contain
@@ -662,13 +695,159 @@ impl PhaseSim {
         }
         rep
     }
+
+    /// Compiled twin of the overlapped-faulty step (see
+    /// [`crate::overlap`]): [`CachedFaultPhase`] replay through the
+    /// per-node ready/arrival timeline. The caller owns the run-wide
+    /// state — one `begin_phase()` per run, the readiness reset, and the
+    /// clock/barrier bookkeeping — so, unlike
+    /// [`PhaseSim::run_cached_faulty`], this must be driven phase by
+    /// phase on one shared link timeline.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_cached_overlapped_faulty_step(
+        &mut self,
+        merge: bool,
+        phase: &CachedFaultPhase,
+        plan: &CompiledFaultPlan,
+        seed: u64,
+        order: OverlapOrder,
+        with_deaths: bool,
+        barrier: bool,
+        clock: u64,
+    ) -> FaultReport {
+        if merge {
+            if barrier {
+                self.node_ready.fill(clock);
+            } else {
+                for n in 0..self.node_ready.len() {
+                    if self.node_arrival[n] > self.node_ready[n] {
+                        self.node_ready[n] = self.node_arrival[n];
+                    }
+                }
+            }
+        }
+        self.order.clear();
+        self.order.extend(0..phase.len() as u32);
+        if order == OverlapOrder::LongestFirst {
+            let mut perm = std::mem::take(&mut self.order);
+            let ready = &self.node_ready;
+            perm.sort_by_key(|&i| {
+                let i = i as usize;
+                let hops = phase.xy_off[i + 1] - phase.xy_off[i];
+                (ready[phase.src[i] as usize], Reverse(hops), i as u32)
+            });
+            self.order = perm;
+        }
+        let mut rng = XorShift64::new(seed);
+        let p = plan.plan();
+        let mut rep = FaultReport {
+            messages: phase.len(),
+            ..FaultReport::default()
+        };
+        let max_attempts = if p.retry.enabled {
+            p.retry.max_attempts.max(1)
+        } else {
+            1
+        };
+        let check_nodes = plan.check_nodes(with_deaths);
+        let check_links = plan.has_link_outages();
+        for oi in 0..self.order.len() {
+            let i = self.order[oi] as usize;
+            let (src, dst) = (phase.src[i] as usize, phase.dst[i] as usize);
+            let xy = &phase.xy_links[phase.xy_off[i] as usize..phase.xy_off[i + 1] as usize];
+            let yx = &phase.yx_links[phase.yx_off[i] as usize..phase.yx_off[i + 1] as usize];
+            let dur = phase.dur[i];
+            let mut next_send = self.node_ready[src];
+            let mut attempt = 0u32;
+            loop {
+                if check_nodes {
+                    let alive = plan
+                        .node_alive_after_mode(src, next_send, with_deaths)
+                        .max(plan.node_alive_after_mode(dst, next_send, with_deaths));
+                    if alive == u64::MAX {
+                        rep.lost += 1;
+                        rep.black_holes += 1;
+                        break;
+                    }
+                    if alive > next_send {
+                        rep.deferrals += 1;
+                        next_send = alive;
+                        continue;
+                    }
+                }
+                let mut start = next_send;
+                for &l in xy {
+                    start = start.max(self.link_free_at(l as usize));
+                }
+                let xy_dead = if check_links {
+                    scan_outages(xy, start, plan)
+                } else {
+                    None
+                };
+                let (links, start) = if xy_dead.is_none() {
+                    (xy, start)
+                } else {
+                    let mut start_yx = next_send;
+                    for &l in yx {
+                        start_yx = start_yx.max(self.link_free_at(l as usize));
+                    }
+                    if let Some(yx_until) = scan_outages(yx, start_yx, plan) {
+                        rep.deferrals += 1;
+                        next_send = xy_dead
+                            .unwrap_or(u64::MAX)
+                            .min(yx_until)
+                            .max(next_send.saturating_add(1));
+                        continue;
+                    }
+                    rep.reroutes += 1;
+                    (yx, start_yx)
+                };
+                attempt += 1;
+                rep.attempts += 1;
+                let end = start.saturating_add(dur);
+                for &l in links {
+                    self.reserve_link(l as usize, end);
+                }
+                rep.makespan = rep.makespan.max(end);
+                let escalated = p.retry.enabled && attempt >= max_attempts;
+                let unlucky = rng.chance(p.drop_prob);
+                if unlucky && !escalated {
+                    if !p.retry.enabled {
+                        rep.lost += 1;
+                        break;
+                    }
+                    rep.retries += 1;
+                    next_send = end.saturating_add(p.retry.backoff_delay(attempt));
+                    continue;
+                }
+                if unlucky && escalated {
+                    rep.escalations += 1;
+                }
+                rep.delivered += 1;
+                if end > self.node_arrival[dst] {
+                    self.node_arrival[dst] = end;
+                }
+                if rng.chance(p.dup_prob) {
+                    rep.duplicates += 1;
+                    rep.attempts += 1;
+                    let end2 = end.saturating_add(dur);
+                    for &l in links {
+                        self.reserve_link(l as usize, end2);
+                    }
+                    rep.makespan = rep.makespan.max(end2);
+                }
+                break;
+            }
+        }
+        rep
+    }
 }
 
 /// Earliest comeback time among route links inside an outage window at
 /// `start` — the compiled twin of the oracle's per-link
 /// [`FaultPlan::link_outage_until`] scan inside `scan_route`.
 #[inline]
-fn scan_outages(links: &[u32], start: u64, plan: &CompiledFaultPlan) -> Option<u64> {
+pub(crate) fn scan_outages(links: &[u32], start: u64, plan: &CompiledFaultPlan) -> Option<u64> {
     let mut dead_until: Option<u64> = None;
     for &l in links {
         if let Some(u) = plan.link_outage_until(l as usize, start) {
@@ -711,15 +890,27 @@ impl Default for CheckpointPolicy {
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Next phase to execute when restored.
-    phase: usize,
+    pub(crate) phase: usize,
     /// Committed simulated time at the boundary, in ns.
-    elapsed: u64,
+    pub(crate) elapsed: u64,
     /// Committed fault accounting at the boundary.
-    report: FaultReport,
+    pub(crate) report: FaultReport,
     /// Link-clock scratch state (valid where `stamp` matches `epoch`).
     free: Vec<u64>,
     stamp: Vec<u32>,
     epoch: u32,
+}
+
+/// A [`Checkpoint`] extended with the overlapped scheduler's per-node
+/// timeline (and the adaptive policy's degradation flag): rollback in
+/// overlapped mode must restore readiness/arrival state too, or the
+/// replay would release messages against a future that was undone.
+#[derive(Debug, Clone)]
+pub(crate) struct OverlapCheckpoint {
+    pub(crate) base: Checkpoint,
+    node_ready: Vec<u64>,
+    node_arrival: Vec<u64>,
+    pub(crate) barrier: bool,
 }
 
 impl Checkpoint {
@@ -797,16 +988,16 @@ impl CachedPhase {
 /// the same hop count, hence the same cost).
 #[derive(Debug, Clone)]
 pub struct CachedFaultPhase {
-    src: Vec<u32>,
-    dst: Vec<u32>,
+    pub(crate) src: Vec<u32>,
+    pub(crate) dst: Vec<u32>,
     /// Concatenated XY route links, in schedule order.
-    xy_links: Vec<u32>,
-    xy_off: Vec<u32>,
+    pub(crate) xy_links: Vec<u32>,
+    pub(crate) xy_off: Vec<u32>,
     /// Concatenated YX route links.
-    yx_links: Vec<u32>,
-    yx_off: Vec<u32>,
+    pub(crate) yx_links: Vec<u32>,
+    pub(crate) yx_off: Vec<u32>,
     /// `cost.p2p(hops, bytes)` of each scheduled message.
-    dur: Vec<u64>,
+    pub(crate) dur: Vec<u64>,
 }
 
 impl CachedFaultPhase {
@@ -874,6 +1065,10 @@ pub struct FaultSim {
     /// plan's death order — never on the seed — so entries are reused
     /// across all replications.
     folded: BTreeMap<(usize, usize), (CachedFaultPhase, usize)>,
+    /// Healthy overlapped prefix makespans — the adaptive policy's
+    /// baseline. Computed lazily from the (plan-independent) phases on
+    /// the first adaptive run; survives [`FaultSim::set_plan`].
+    healthy_prefix: Option<Vec<u64>>,
 }
 
 impl FaultSim {
@@ -888,6 +1083,7 @@ impl FaultSim {
                 .map(|p| CachedFaultPhase::new(mesh, p))
                 .collect(),
             folded: BTreeMap::new(),
+            healthy_prefix: None,
         }
     }
 
@@ -910,9 +1106,23 @@ impl FaultSim {
     }
 
     /// Replay the whole run once with `seed` substituted for the plan's:
-    /// bit-identical to [`PhaseSim::simulate_phases_faulty`] with
-    /// `FaultPlan { seed, ..plan }`.
-    pub fn run_faulty(&mut self, seed: u64) -> FaultReport {
+    /// bit-identical to [`PhaseSim::simulate_phases_faulty_policy`] with
+    /// `FaultPlan { seed, ..plan }` under the same `sched`.
+    pub fn run_faulty(&mut self, seed: u64, sched: SchedulePolicy) -> FaultReport {
+        match sched {
+            SchedulePolicy::Fixed(ScheduleMode::Phased) => self.run_faulty_phased(seed),
+            SchedulePolicy::Fixed(ScheduleMode::Overlapped(order)) => {
+                self.run_faulty_overlapped(seed, order, None)
+            }
+            SchedulePolicy::Adaptive {
+                inflation_threshold,
+            } => self.run_faulty_overlapped(seed, OverlapOrder::Sorted, Some(inflation_threshold)),
+        }
+    }
+
+    /// The historical phased replay: dependent phases back to back,
+    /// per-phase clock, summed reports.
+    fn run_faulty_phased(&mut self, seed: u64) -> FaultReport {
         let mut total = FaultReport::default();
         for (i, c) in self.cached.iter().enumerate() {
             let rep =
@@ -923,10 +1133,64 @@ impl FaultSim {
         total
     }
 
-    /// Per-phase reports of [`FaultSim::run_faulty`] (same per-phase
-    /// seed derivation, `seed + index`): the batch-API view of the
-    /// guarantee that editing one phase never shifts another's fault
-    /// stream.
+    /// Healthy overlapped prefix makespans (fault-free, `Sorted`) — the
+    /// adaptive baseline, identical by construction to the oracle's
+    /// [`PhaseSim::simulate_phases_overlapped_prefix`] on the raw
+    /// phases. Plan-independent, so it survives [`FaultSim::set_plan`].
+    fn healthy_overlapped_prefix(&mut self) -> Vec<u64> {
+        if self.healthy_prefix.is_none() {
+            self.healthy_prefix = Some(
+                self.sim
+                    .simulate_phases_overlapped_prefix(&self.phases, OverlapOrder::Sorted),
+            );
+        }
+        self.healthy_prefix.clone().unwrap()
+    }
+
+    /// Compiled twin of the oracle's overlapped-faulty driver.
+    fn run_faulty_overlapped(
+        &mut self,
+        seed: u64,
+        order: OverlapOrder,
+        adapt: Option<f64>,
+    ) -> FaultReport {
+        let adapt = adapt.map(|t| (t, self.healthy_overlapped_prefix()));
+        self.sim.node_ready.fill(0);
+        self.sim.node_arrival.fill(0);
+        self.sim.begin_phase();
+        let mut total = FaultReport::default();
+        let mut clock = 0u64;
+        let mut barrier = false;
+        for (i, c) in self.cached.iter().enumerate() {
+            let mut rep = self.sim.run_cached_overlapped_faulty_step(
+                i > 0,
+                c,
+                &self.plan,
+                seed.wrapping_add(i as u64),
+                order,
+                true,
+                barrier,
+                clock,
+            );
+            let advanced = clock.max(rep.makespan);
+            rep.makespan = advanced - clock;
+            clock = advanced;
+            total.absorb(&rep);
+            if let Some((threshold, prefix)) = &adapt {
+                if !barrier && inflation_exceeded(clock, prefix[i], *threshold) {
+                    barrier = true;
+                    total.downgrades += 1;
+                }
+            }
+        }
+        total
+    }
+
+    /// Per-phase reports of the **phased** replay (same per-phase seed
+    /// derivation, `seed + index`): the batch-API view of the guarantee
+    /// that editing one phase never shifts another's fault stream.
+    /// Overlapped runs have no per-phase decomposition — a phase's
+    /// schedule depends on every earlier phase's arrivals.
     pub fn run_faulty_per_phase(&mut self, seed: u64) -> Vec<FaultReport> {
         self.cached
             .iter()
@@ -938,23 +1202,46 @@ impl FaultSim {
             .collect()
     }
 
-    /// Replay one faulty run per seed — the Monte Carlo batch API. The
-    /// compile cost is paid once, before the first seed.
-    pub fn replay_faulty(&mut self, seeds: &[u64]) -> Vec<FaultReport> {
-        seeds.iter().map(|&s| self.run_faulty(s)).collect()
+    /// Replay one faulty run per seed under `sched` — the Monte Carlo
+    /// batch API. The compile cost is paid once, before the first seed.
+    pub fn replay_faulty(&mut self, seeds: &[u64], sched: SchedulePolicy) -> Vec<FaultReport> {
+        seeds.iter().map(|&s| self.run_faulty(s, sched)).collect()
     }
 
     /// Replay the checkpoint/rollback run once with `seed` substituted
     /// for the plan's: bit-identical to
-    /// [`PhaseSim::simulate_phases_recovering`] with
-    /// `FaultPlan { seed, ..plan }`.
-    pub fn run_recovering(&mut self, policy: &CheckpointPolicy, seed: u64) -> FaultReport {
+    /// [`PhaseSim::simulate_phases_recovering_policy`] with
+    /// `FaultPlan { seed, ..plan }` under the same `sched`.
+    pub fn run_recovering(
+        &mut self,
+        policy: &CheckpointPolicy,
+        seed: u64,
+        sched: SchedulePolicy,
+    ) -> FaultReport {
+        match sched {
+            SchedulePolicy::Fixed(ScheduleMode::Phased) => self.run_recovering_phased(policy, seed),
+            SchedulePolicy::Fixed(ScheduleMode::Overlapped(order)) => {
+                self.run_recovering_overlapped(policy, seed, order, None)
+            }
+            SchedulePolicy::Adaptive {
+                inflation_threshold,
+            } => self.run_recovering_overlapped(
+                policy,
+                seed,
+                OverlapOrder::Sorted,
+                Some(inflation_threshold),
+            ),
+        }
+    }
+
+    fn run_recovering_phased(&mut self, policy: &CheckpointPolicy, seed: u64) -> FaultReport {
         let FaultSim {
             sim,
             plan,
             phases,
             cached,
             folded,
+            ..
         } = self;
         let mesh = sim.mesh().clone();
         let interval = policy.interval.max(1);
@@ -1045,17 +1332,150 @@ impl FaultSim {
         total
     }
 
-    /// Replay one recovering run per seed — the Monte Carlo batch API
-    /// for the checkpoint/rollback path. Folded phases are compiled
-    /// lazily on the first seed that needs them and reused by the rest.
+    /// Compiled twin of the oracle's overlapped recovering driver: the
+    /// same checkpoint/rollback structure as the phased replay, with
+    /// the overlapped step, [`OverlapCheckpoint`] snapshots and
+    /// (optionally) adaptive degradation.
+    fn run_recovering_overlapped(
+        &mut self,
+        policy: &CheckpointPolicy,
+        seed: u64,
+        order: OverlapOrder,
+        adapt: Option<f64>,
+    ) -> FaultReport {
+        let adapt = adapt.map(|t| (t, self.healthy_overlapped_prefix()));
+        let FaultSim {
+            sim,
+            plan,
+            phases,
+            cached,
+            folded,
+            ..
+        } = self;
+        let mesh = sim.mesh().clone();
+        let interval = policy.interval.max(1);
+        let ring_cap = policy.ring.max(1);
+        let deaths = plan.sorted_deaths();
+        sim.node_ready.fill(0);
+        sim.node_arrival.fill(0);
+        sim.begin_phase();
+        let mut total = FaultReport::default();
+        let mut next_death = 0usize;
+        let mut k = 0usize;
+        let mut ring: VecDeque<OverlapCheckpoint> = VecDeque::new();
+        let mut now = 0u64;
+        let mut barrier = false;
+        let mut frontier = 0usize;
+        let mut i = 0usize;
+        loop {
+            let mut phase_end = now;
+            let mut phase_rep: Option<(FaultReport, usize)> = None;
+            if i < phases.len() {
+                if i % interval == 0
+                    && ring
+                        .back()
+                        .is_none_or(|c| c.base.phase != i || c.base.elapsed != now)
+                {
+                    if ring.len() == ring_cap {
+                        ring.pop_front();
+                    }
+                    ring.push_back(sim.checkpoint_overlapped(i, now, total, barrier));
+                    total.recovery.checkpoints += 1;
+                    total.recovery.checkpoint_overhead_ns += policy.cost_ns;
+                }
+                let (phase, dropped): (&CachedFaultPhase, usize) = if k == 0 {
+                    (&cached[i], 0)
+                } else {
+                    let entry = folded
+                        .entry((i, k))
+                        .or_insert_with(|| compile_folded(&mesh, plan, &phases[i], k));
+                    (&entry.0, entry.1)
+                };
+                let mut rep = sim.run_cached_overlapped_faulty_step(
+                    i > 0,
+                    phase,
+                    plan,
+                    seed.wrapping_add(i as u64),
+                    order,
+                    false,
+                    barrier,
+                    now,
+                );
+                phase_end = now.max(rep.makespan);
+                rep.makespan = phase_end - now;
+                phase_rep = Some((rep, dropped));
+            }
+            let visible = next_death < deaths.len() && {
+                let d = &deaths[next_death];
+                if phase_rep.is_some() {
+                    d.detect <= phase_end
+                } else {
+                    d.t < now
+                }
+            };
+            if visible {
+                let d = &deaths[next_death];
+                next_death += 1;
+                total.recovery.detected += 1;
+                if d.first {
+                    total.recovery.folded_nodes += 1;
+                }
+                k = d.k_after;
+                let pos = ring
+                    .iter()
+                    .rposition(|c| c.base.elapsed <= d.t)
+                    .unwrap_or(0);
+                ring.truncate(pos + 1);
+                let c = ring.back().expect("phase 0 is always checkpointed");
+                total.recovery.lost_work_ns += phase_end - c.base.elapsed;
+                let recovery = total.recovery;
+                total = c.base.report;
+                total.recovery = recovery;
+                total.recovery.rollbacks += 1;
+                now = c.base.elapsed;
+                i = c.base.phase;
+                barrier = c.barrier;
+                sim.restore_overlapped(c);
+                continue;
+            }
+            let Some((rep, dropped)) = phase_rep else {
+                break;
+            };
+            total.absorb(&rep);
+            total.messages += dropped;
+            total.lost += dropped;
+            total.black_holes += dropped as u64;
+            now = phase_end;
+            if let Some((threshold, prefix)) = &adapt {
+                if !barrier && inflation_exceeded(now, prefix[i], *threshold) {
+                    barrier = true;
+                    total.downgrades += 1;
+                }
+            }
+            if i < frontier {
+                total.recovery.replayed_phases += 1;
+            } else {
+                frontier = i + 1;
+            }
+            i += 1;
+        }
+        total.recovery.deaths = next_death;
+        total
+    }
+
+    /// Replay one recovering run per seed under `sched` — the Monte
+    /// Carlo batch API for the checkpoint/rollback path. Folded phases
+    /// are compiled lazily on the first seed that needs them and reused
+    /// by the rest.
     pub fn replay_recovering(
         &mut self,
         policy: &CheckpointPolicy,
         seeds: &[u64],
+        sched: SchedulePolicy,
     ) -> Vec<FaultReport> {
         seeds
             .iter()
-            .map(|&s| self.run_recovering(policy, s))
+            .map(|&s| self.run_recovering(policy, s, sched))
             .collect()
     }
 }
@@ -1605,20 +2025,23 @@ mod tests {
                 ..plan.clone()
             };
             assert_eq!(
-                engine.run_faulty(seed),
+                engine.run_faulty(seed, SchedulePolicy::default()),
                 sim.simulate_phases_faulty(&phases, &seeded),
                 "seed {seed}"
             );
         }
         let seeds = [3u64, 3, 99];
-        let batch = engine.replay_faulty(&seeds);
+        let batch = engine.replay_faulty(&seeds, SchedulePolicy::default());
         assert_eq!(batch[0], batch[1], "same seed replays identically");
         let per_phase = engine.run_faulty_per_phase(plan.seed);
         let mut summed = FaultReport::default();
         for rep in &per_phase {
             summed.absorb(rep);
         }
-        assert_eq!(summed, engine.run_faulty(plan.seed));
+        assert_eq!(
+            summed,
+            engine.run_faulty(plan.seed, SchedulePolicy::default())
+        );
     }
 
     #[test]
@@ -1649,20 +2072,21 @@ mod tests {
                 ..plan.clone()
             };
             assert_eq!(
-                engine.run_recovering(&policy, seed),
+                engine.run_recovering(&policy, seed, SchedulePolicy::default()),
                 sim.simulate_phases_recovering(&phases, &seeded, &policy),
                 "seed {seed}"
             );
         }
         // The batch API reuses folded-phase compilations across seeds.
         let seeds = [9u64, 9, 2];
-        let batch = engine.replay_recovering(&policy, &seeds);
+        let batch = engine.replay_recovering(&policy, &seeds, SchedulePolicy::default());
         assert_eq!(batch[0], batch[1]);
         assert!(batch.iter().all(|r| r.recovery.all_recovered()));
         // Swapping the plan recompiles: a death-free plan through the
         // same engine matches the unfaulted scheduler.
         engine.set_plan(&crate::FaultPlan::none());
-        let zero = engine.run_recovering(&CheckpointPolicy::default(), 0);
+        let zero =
+            engine.run_recovering(&CheckpointPolicy::default(), 0, SchedulePolicy::default());
         assert_eq!(zero.makespan, healthy);
         assert_eq!(zero.recovery.rollbacks, 0);
     }

@@ -12,6 +12,7 @@
 use crate::fault::{FaultPlan, FaultReport, NodeDeath};
 use crate::mesh::Mesh2D;
 use crate::model::PMsg;
+use crate::overlap::SchedulePolicy;
 use crate::phasesim::{CheckpointPolicy, FaultSim};
 use crate::rng::XorShift64;
 
@@ -215,26 +216,28 @@ impl FaultSweepStats {
 /// [`FaultSweepStats`]. Plans are fanned out over `threads` workers,
 /// each holding one engine that is recompiled per plan
 /// ([`FaultSim::set_plan`] — the phase compilation is reused). Every
-/// replication is a pure function of `(plan, rep)`, so the result is
-/// **bit-identical** whatever `threads` is.
+/// replication is a pure function of `(plan, rep, sched)`, so the
+/// result is **bit-identical** whatever `threads` is.
 pub fn par_fault_sweep(
     mesh: &Mesh2D,
     phases: &[Vec<PMsg>],
     plans: &[FaultPlan],
     replications: usize,
     threads: usize,
+    sched: SchedulePolicy,
 ) -> Vec<FaultSweepStats> {
     sweep_plans(mesh, phases, plans, threads, |engine, plan| {
         let mut stats = FaultSweepStats::default();
         for rep in 0..replications {
-            stats.push(&engine.run_faulty(replication_seed(plan.seed, rep as u64)));
+            stats.push(&engine.run_faulty(replication_seed(plan.seed, rep as u64), sched));
         }
         stats
     })
 }
 
 /// [`par_fault_sweep`] for the checkpoint/rollback path: every
-/// replication goes through [`FaultSim::run_recovering`] under `policy`.
+/// replication goes through [`FaultSim::run_recovering`] under `policy`
+/// and `sched`.
 pub fn par_recovery_sweep(
     mesh: &Mesh2D,
     phases: &[Vec<PMsg>],
@@ -242,11 +245,16 @@ pub fn par_recovery_sweep(
     policy: &CheckpointPolicy,
     replications: usize,
     threads: usize,
+    sched: SchedulePolicy,
 ) -> Vec<FaultSweepStats> {
     sweep_plans(mesh, phases, plans, threads, |engine, plan| {
         let mut stats = FaultSweepStats::default();
         for rep in 0..replications {
-            stats.push(&engine.run_recovering(policy, replication_seed(plan.seed, rep as u64)));
+            stats.push(&engine.run_recovering(
+                policy,
+                replication_seed(plan.seed, rep as u64),
+                sched,
+            ));
         }
         stats
     })
@@ -424,11 +432,12 @@ mod tests {
             .enumerate()
             .map(|(i, &p)| FaultPlan::with_drop(40 + i as u64, p))
             .collect();
-        let serial = par_fault_sweep(&mesh, &phases, &plans, 6, 1);
+        let sched = SchedulePolicy::default();
+        let serial = par_fault_sweep(&mesh, &phases, &plans, 6, 1, sched);
         for threads in [2, 3, 8] {
             assert_eq!(
                 serial,
-                par_fault_sweep(&mesh, &phases, &plans, 6, threads),
+                par_fault_sweep(&mesh, &phases, &plans, 6, threads, sched),
                 "threads = {threads}"
             );
         }
@@ -469,10 +478,11 @@ mod tests {
             })
             .collect();
         let policy = CheckpointPolicy::default();
-        let serial = par_recovery_sweep(&mesh, &phases, &plans, &policy, 4, 1);
+        let sched = SchedulePolicy::default();
+        let serial = par_recovery_sweep(&mesh, &phases, &plans, &policy, 4, 1, sched);
         assert_eq!(
             serial,
-            par_recovery_sweep(&mesh, &phases, &plans, &policy, 4, 4)
+            par_recovery_sweep(&mesh, &phases, &plans, &policy, 4, 4, sched)
         );
         for stats in &serial {
             assert_eq!(stats.replications, 4);

@@ -3,11 +3,24 @@
 
 use proptest::prelude::*;
 use rescomm_machine::{
-    par_fault_sweep, replication_seed, simulate_phases_batch, trace_phase, CachedPhase,
-    CheckpointPolicy, CompiledFaultPlan, CostModel, FatTree, FaultPlan, FaultReport, FaultSim,
-    LinkOutage, Mesh2D, NodeDeath, NodeOutage, OverlapOrder, PMsg, PhaseSim, RetryPolicy,
-    ScheduleMode,
+    par_fault_sweep, par_recovery_sweep, replication_seed, simulate_phases_batch, trace_phase,
+    CachedPhase, CheckpointPolicy, CompiledFaultPlan, CostModel, FatTree, FaultPlan, FaultReport,
+    FaultSim, LinkOutage, Mesh2D, NodeDeath, NodeOutage, OverlapOrder, PMsg, PhaseSim, RetryPolicy,
+    ScheduleMode, SchedulePolicy,
 };
+
+/// Every schedule policy the fault engines dispatch over — indexed so
+/// proptest can draw one without a float strategy.
+fn policy(idx: u32) -> SchedulePolicy {
+    match idx % 4 {
+        0 => SchedulePolicy::Fixed(ScheduleMode::Phased),
+        1 => SchedulePolicy::Fixed(ScheduleMode::overlapped()),
+        2 => SchedulePolicy::Fixed(ScheduleMode::Overlapped(OverlapOrder::LongestFirst)),
+        _ => SchedulePolicy::Adaptive {
+            inflation_threshold: 1.2,
+        },
+    }
+}
 
 fn msgs(n_nodes: usize) -> impl Strategy<Value = Vec<PMsg>> {
     proptest::collection::vec((0..n_nodes, 0..n_nodes, 1u64..512), 0..24).prop_map(|v| {
@@ -330,15 +343,16 @@ proptest! {
     }
 
     /// The compiled faulty replay produces the full `FaultReport` the
-    /// per-call oracle produces, for every seed of a batch, over random
-    /// plans that exercise drops, duplicates, reroutes, deferrals and
-    /// black holes.
+    /// per-call oracle produces, for every seed of a batch and under
+    /// every schedule policy, over random plans that exercise drops,
+    /// duplicates, reroutes, deferrals and black holes.
     #[test]
     fn compiled_faulty_replay_bit_identical(
         a in msgs(32), b in msgs(32), c in msgs(32),
         plan in plans(),
         deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 0..3),
         no_retry in 0u32..2,
+        sched_idx in 0u32..4,
         seeds in proptest::collection::vec(0u64..1_000_000, 1..4),
     ) {
         let mesh = Mesh2D::new(8, 4, CostModel::paragon());
@@ -349,19 +363,25 @@ proptest! {
         for (node, t) in deaths {
             plan.node_deaths.push(NodeDeath { node, t });
         }
+        let sched = policy(sched_idx);
         let phases = vec![a, b, c];
         let mut engine = FaultSim::new(&mesh, &phases, &plan);
         let mut sim = PhaseSim::new(mesh);
-        let batch = engine.replay_faulty(&seeds);
+        let batch = engine.replay_faulty(&seeds, sched);
         for (&seed, got) in seeds.iter().zip(&batch) {
             let seeded = FaultPlan { seed, ..plan.clone() };
-            prop_assert_eq!(*got, sim.simulate_phases_faulty(&phases, &seeded), "seed {}", seed);
+            prop_assert_eq!(
+                *got,
+                sim.simulate_phases_faulty_policy(&phases, &seeded, sched),
+                "seed {} sched {:?}", seed, sched
+            );
         }
     }
 
     /// The compiled recovering replay is bit-identical (full report,
     /// `RecoveryReport` included) to the rollback oracle over random
-    /// plans, deaths, detection latencies, checkpoint policies and seeds.
+    /// plans, deaths, detection latencies, checkpoint policies, seeds
+    /// and schedule policies.
     #[test]
     fn compiled_recovering_replay_bit_identical(
         a in msgs(32), b in msgs(32), c in msgs(32),
@@ -369,6 +389,7 @@ proptest! {
         deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 1..3),
         latency in 0u64..50_000,
         policy_raw in (1usize..6, 1usize..6),
+        sched_idx in 0u32..4,
         seeds in proptest::collection::vec(0u64..1_000_000, 1..3),
     ) {
         let (interval, ring) = policy_raw;
@@ -377,17 +398,18 @@ proptest! {
         for (node, t) in deaths {
             plan.node_deaths.push(NodeDeath { node, t });
         }
+        let sched = policy(sched_idx);
         let phases = vec![a, b, c];
         let policy = CheckpointPolicy { interval, ring, ..CheckpointPolicy::default() };
         let mut engine = FaultSim::new(&mesh, &phases, &plan);
         let mut sim = PhaseSim::new(mesh);
-        let batch = engine.replay_recovering(&policy, &seeds);
+        let batch = engine.replay_recovering(&policy, &seeds, sched);
         for (&seed, got) in seeds.iter().zip(&batch) {
             let seeded = FaultPlan { seed, ..plan.clone() };
             prop_assert_eq!(
                 *got,
-                sim.simulate_phases_recovering(&phases, &seeded, &policy),
-                "seed {}", seed
+                sim.simulate_phases_recovering_policy(&phases, &seeded, &policy, sched),
+                "seed {} sched {:?}", seed, sched
             );
         }
     }
@@ -446,8 +468,8 @@ proptest! {
             .iter()
             .map(|&seed| FaultPlan::with_drop(seed, f64::from(drop_pct) / 100.0))
             .collect();
-        let serial = par_fault_sweep(&mesh, &phases, &plans, replications, 1);
-        let parallel = par_fault_sweep(&mesh, &phases, &plans, replications, threads);
+        let serial = par_fault_sweep(&mesh, &phases, &plans, replications, 1, SchedulePolicy::default());
+        let parallel = par_fault_sweep(&mesh, &phases, &plans, replications, threads, SchedulePolicy::default());
         prop_assert_eq!(&serial, &parallel);
         let mut sim = PhaseSim::new(mesh.clone());
         for (plan, stats) in plans.iter().zip(&serial) {
@@ -543,5 +565,127 @@ proptest! {
                 sim.simulate_phases_mode(&scaled, mode)
             );
         }
+    }
+
+    /// A zero-fault plan under the overlapped engines is bit-identical
+    /// in makespan to the fault-free overlapped scheduler, under both
+    /// orders and under every policy dispatch; the adaptive policy
+    /// never degrades without fault inflation.
+    #[test]
+    fn zero_fault_overlapped_bit_identical(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        seed in 0u64..1000,
+        longest in 0u32..2,
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh);
+        let plan = FaultPlan { seed, ..FaultPlan::none() };
+        prop_assert!(plan.is_zero_fault());
+        let phases = vec![a, b, c];
+        let order = if longest == 1 { OverlapOrder::LongestFirst } else { OverlapOrder::Sorted };
+        let healthy = sim.simulate_phases_overlapped(&phases, order);
+        let rep = sim.simulate_phases_overlapped_faulty(&phases, &plan, order);
+        prop_assert_eq!(rep.makespan, healthy);
+        prop_assert_eq!(rep.delivered, rep.messages);
+        prop_assert_eq!(rep.retries + rep.duplicates + rep.reroutes + rep.deferrals, 0);
+        prop_assert_eq!(rep.downgrades, 0);
+        // Policy dispatch agrees with the mode it names.
+        for idx in 0..4u32 {
+            let sched = policy(idx);
+            let got = sim.simulate_phases_faulty_policy(&phases, &plan, sched);
+            prop_assert_eq!(
+                got.makespan,
+                sim.simulate_phases_mode(&phases, sched.healthy_mode()),
+                "sched {:?}", sched
+            );
+            prop_assert_eq!(got.downgrades, 0, "zero-fault run degraded: {:?}", sched);
+        }
+        // The prefix baseline's last entry is the full overlapped run.
+        let prefix = sim.simulate_phases_overlapped_prefix(&phases, OverlapOrder::Sorted);
+        prop_assert_eq!(prefix.len(), phases.len());
+        prop_assert_eq!(
+            prefix.last().copied().unwrap_or(0),
+            sim.simulate_phases_overlapped(&phases, OverlapOrder::Sorted)
+        );
+        prop_assert!(prefix.windows(2).all(|w| w[0] <= w[1]), "prefix not monotone");
+    }
+
+    /// Recovery under overlap: every death detected and survived, every
+    /// message delivered exactly once to a live survivor, the run
+    /// replays bit-identically, and with no deaths the recovering
+    /// driver is bit-identical to the overlapped faulty engine.
+    #[test]
+    fn overlapped_recovery_exactly_once_and_deterministic(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        plan in plans(),
+        deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 1..3),
+        latency in 0u64..50_000,
+        policy_raw in (1usize..6, 1usize..6),
+        longest in 0u32..2,
+    ) {
+        let (interval, ring) = policy_raw;
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut sim = PhaseSim::new(mesh);
+        let order = if longest == 1 { OverlapOrder::LongestFirst } else { OverlapOrder::Sorted };
+        let phases = vec![a, b, c];
+        let ckpt = CheckpointPolicy { interval, ring, ..CheckpointPolicy::default() };
+        // Zero-death: bit-identical to the overlapped faulty engine.
+        let rec = sim.simulate_phases_overlapped_recovering(&phases, &plan, &ckpt, order);
+        let base = sim.simulate_phases_overlapped_faulty(&phases, &plan, order);
+        prop_assert_eq!(rec.makespan, base.makespan);
+        prop_assert_eq!(rec.delivered, base.delivered);
+        prop_assert_eq!(rec.recovery.rollbacks, 0);
+        // With deaths: exactly-once, fully recovered, deterministic.
+        let mut plan = FaultPlan { detection_latency: latency, ..plan };
+        for (node, t) in deaths {
+            if !plan.node_deaths.iter().any(|d| d.node == node) {
+                plan.node_deaths.push(NodeDeath { node, t });
+            }
+        }
+        let rep = sim.simulate_phases_overlapped_recovering(&phases, &plan, &ckpt, order);
+        prop_assert!(rep.recovery.all_recovered(), "{:?}", rep.recovery);
+        prop_assert_eq!(rep.delivered, rep.messages, "exactly-once delivery");
+        prop_assert_eq!(rep.black_holes, 0, "folding leaves no black holes");
+        prop_assert!(rep.wall_clock_ns() >= rep.makespan);
+        prop_assert_eq!(
+            rep,
+            sim.simulate_phases_overlapped_recovering(&phases, &plan, &ckpt, order)
+        );
+    }
+
+    /// The Monte Carlo sweeps are bit-identical across thread counts
+    /// under every schedule policy — overlapped and adaptive replication
+    /// stays a pure function of `(plan, rep, sched)`.
+    #[test]
+    fn sweeps_thread_deterministic_under_every_policy(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        plan in plans(),
+        deaths in proptest::collection::vec((0usize..32, 0u64..2_000_000), 0..2),
+        sched_idx in 0u32..4,
+        threads in 2usize..5,
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mut plan = plan;
+        for (node, t) in deaths {
+            plan.node_deaths.push(NodeDeath { node, t });
+        }
+        let sched = policy(sched_idx);
+        let phases = vec![a, b, c];
+        let plans = [plan.clone(), FaultPlan { seed: plan.seed ^ 0xbeef, ..plan.clone() }];
+        let ckpt = CheckpointPolicy::default();
+        let serial = par_fault_sweep(&mesh, &phases, &plans, 2, 1, sched);
+        prop_assert_eq!(
+            &serial,
+            &par_fault_sweep(&mesh, &phases, &plans, 2, threads, sched)
+        );
+        let serial_rec = par_recovery_sweep(&mesh, &phases, &plans, &ckpt, 2, 1, sched);
+        prop_assert_eq!(
+            &serial_rec,
+            &par_recovery_sweep(&mesh, &phases, &plans, &ckpt, 2, threads, sched)
+        );
+        // And the sweep's replication 0 is the engine's own run.
+        let mut engine = FaultSim::new(&mesh, &phases, &plans[0]);
+        let one = engine.run_faulty(replication_seed(plans[0].seed, 0), sched);
+        prop_assert_eq!(serial[0].total.makespan >= one.makespan, true);
     }
 }
