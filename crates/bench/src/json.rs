@@ -1,233 +1,7 @@
-//! Field-order-stable JSON emission for the benchmark harnesses.
+//! Stable JSON emission for committed `BENCH_*.json` artifacts.
 //!
-//! Every `src/bin/*` harness writes a committed `BENCH_*.json` artifact
-//! whose byte layout is part of the repo's regression surface: top-level
-//! scalars first, then named row arrays of flat objects, fields in
-//! insertion order, floats at a fixed precision. The emitters used to be
-//! hand-rolled per binary; this module is the single shared
-//! implementation. [`JsonDoc`] renders exactly that layout:
-//!
-//! ```text
-//! {
-//!   "bench": "faults",
-//!   "mesh": [8, 4],
-//!   "drop_sweep": [
-//!     {"drop_pct": 0, "retry": true, "inflation": 1.000},
-//!     {"drop_pct": 5, "retry": true, "inflation": 1.413}
-//!   ]
-//! }
-//! ```
-//!
-//! Field order is **always** insertion order — new columns must be
-//! appended after existing ones so downstream diffs of the committed
-//! artifacts stay readable.
+//! The implementation moved to the bottom-layer `rescomm-json` crate so
+//! the machine-layer snapshots and the service protocol can share it;
+//! this module re-exports it unchanged for the existing harness bins.
 
-use std::fmt::Write as _;
-
-/// A JSON value with explicit rendering. Floats carry their precision so
-/// the artifact bytes do not depend on default float formatting.
-#[derive(Debug, Clone)]
-pub enum Val {
-    /// An unsigned integer.
-    U64(u64),
-    /// A boolean.
-    Bool(bool),
-    /// A string (quoted and escaped on render).
-    Str(String),
-    /// A float rendered at a fixed number of decimal places.
-    Fixed(f64, usize),
-    /// Pre-rendered JSON spliced in verbatim (e.g. `[8, 4]`).
-    Raw(String),
-}
-
-/// Fixed-precision float: `fixed(1.4128, 3)` renders as `1.413`.
-pub fn fixed(x: f64, places: usize) -> Val {
-    Val::Fixed(x, places)
-}
-
-/// Verbatim JSON fragment, e.g. a literal array or nested object.
-pub fn raw(json: impl Into<String>) -> Val {
-    Val::Raw(json.into())
-}
-
-impl From<u64> for Val {
-    fn from(x: u64) -> Self {
-        Val::U64(x)
-    }
-}
-impl From<u32> for Val {
-    fn from(x: u32) -> Self {
-        Val::U64(u64::from(x))
-    }
-}
-impl From<usize> for Val {
-    fn from(x: usize) -> Self {
-        Val::U64(x as u64)
-    }
-}
-impl From<bool> for Val {
-    fn from(x: bool) -> Self {
-        Val::Bool(x)
-    }
-}
-impl From<&str> for Val {
-    fn from(x: &str) -> Self {
-        Val::Str(x.to_string())
-    }
-}
-impl From<String> for Val {
-    fn from(x: String) -> Self {
-        Val::Str(x)
-    }
-}
-
-fn render_val(out: &mut String, v: &Val) {
-    match v {
-        Val::U64(x) => {
-            let _ = write!(out, "{x}");
-        }
-        Val::Bool(x) => {
-            let _ = write!(out, "{x}");
-        }
-        Val::Str(s) => {
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-        }
-        Val::Fixed(x, p) => {
-            let _ = write!(out, "{x:.p$}");
-        }
-        Val::Raw(s) => out.push_str(s),
-    }
-}
-
-enum Entry {
-    Scalar(Val),
-    Array(Vec<Vec<(&'static str, Val)>>),
-}
-
-/// An in-order JSON document builder (see the module docs for the exact
-/// layout). Keys render in insertion order; [`JsonDoc::finish`] produces
-/// the final string including the trailing newline.
-#[derive(Default)]
-pub struct JsonDoc {
-    items: Vec<(&'static str, Entry)>,
-}
-
-impl JsonDoc {
-    /// Empty document.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Append a top-level scalar field.
-    pub fn field(&mut self, key: &'static str, val: impl Into<Val>) -> &mut Self {
-        self.items.push((key, Entry::Scalar(val.into())));
-        self
-    }
-
-    /// Append a named array of flat row objects; `row` maps each item to
-    /// its `(key, value)` columns, rendered in the order returned.
-    pub fn rows<T>(
-        &mut self,
-        key: &'static str,
-        items: &[T],
-        row: impl Fn(&T) -> Vec<(&'static str, Val)>,
-    ) -> &mut Self {
-        self.items
-            .push((key, Entry::Array(items.iter().map(row).collect())));
-        self
-    }
-
-    /// Render the document.
-    pub fn finish(&self) -> String {
-        let mut j = String::from("{\n");
-        for (i, (key, entry)) in self.items.iter().enumerate() {
-            let _ = write!(j, "  \"{key}\": ");
-            match entry {
-                Entry::Scalar(v) => render_val(&mut j, v),
-                Entry::Array(rows) => {
-                    j.push_str("[\n");
-                    for (r, fields) in rows.iter().enumerate() {
-                        j.push_str("    {");
-                        for (f, (k, v)) in fields.iter().enumerate() {
-                            if f > 0 {
-                                j.push_str(", ");
-                            }
-                            let _ = write!(j, "\"{k}\": ");
-                            render_val(&mut j, v);
-                        }
-                        j.push('}');
-                        j.push_str(if r + 1 < rows.len() { ",\n" } else { "\n" });
-                    }
-                    j.push_str("  ]");
-                }
-            }
-            j.push_str(if i + 1 < self.items.len() {
-                ",\n"
-            } else {
-                "\n"
-            });
-        }
-        j.push_str("}\n");
-        j
-    }
-
-    /// Render and write the document to `path`, panicking with a
-    /// diagnostic on failure (harness binaries treat I/O errors as
-    /// fatal).
-    pub fn write(&self, path: &str) {
-        std::fs::write(path, self.finish()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        eprintln!("wrote {path}");
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn renders_the_committed_artifact_layout() {
-        let mut doc = JsonDoc::new();
-        doc.field("bench", "faults")
-            .field("mesh", raw("[8, 4]"))
-            .field("phases", 8u64)
-            .field("dup_prob", fixed(0.02, 2));
-        doc.rows("drop_sweep", &[(0u32, 1.0f64), (5, 1.4128)], |r| {
-            vec![
-                ("drop_pct", Val::from(r.0)),
-                ("retry", Val::from(true)),
-                ("inflation", fixed(r.1, 3)),
-            ]
-        });
-        assert_eq!(
-            doc.finish(),
-            "{\n  \"bench\": \"faults\",\n  \"mesh\": [8, 4],\n  \"phases\": 8,\n  \
-             \"dup_prob\": 0.02,\n  \"drop_sweep\": [\n    \
-             {\"drop_pct\": 0, \"retry\": true, \"inflation\": 1.000},\n    \
-             {\"drop_pct\": 5, \"retry\": true, \"inflation\": 1.413}\n  ]\n}\n"
-        );
-    }
-
-    #[test]
-    fn last_field_has_no_trailing_comma_and_strings_escape() {
-        let mut doc = JsonDoc::new();
-        doc.field("name", "a \"b\" \\ c");
-        assert_eq!(doc.finish(), "{\n  \"name\": \"a \\\"b\\\" \\\\ c\"\n}\n");
-    }
-
-    #[test]
-    fn empty_array_renders_flat() {
-        let mut doc = JsonDoc::new();
-        doc.field("n", 0u64);
-        doc.rows("rows", &[] as &[u64], |_| vec![]);
-        assert_eq!(doc.finish(), "{\n  \"n\": 0,\n  \"rows\": [\n  ]\n}\n");
-    }
-}
+pub use rescomm_json::{fixed, raw, JsonDoc, Val};

@@ -51,15 +51,38 @@
 //!   the survivor set and re-simulated
 //!
 //! Malformed nests and arithmetic overflow exit with a diagnostic
-//! (line/column for parse errors) instead of a panic.
+//! (line/column for parse errors) instead of a panic. The exit code
+//! tells scripts *which* stage failed: `0` success, `1` usage or I/O,
+//! then one distinct code per [`rescomm::RescommError`] variant —
+//! `2` parse, `3` linear algebra, `4` analysis, `5` execution,
+//! `6` cancelled (see `RescommError::exit_code`). Incidents absorbed
+//! during mapping (oracle fallbacks, failed self-checks, node-loss
+//! remaps) are printed to stderr, one `incident:` line each.
 //!
 //! The nest format is documented in `rescomm_loopnest::parser`.
 
 use rescomm::baselines::{feautrier_map, platonoff_map};
 use rescomm::substrate::accessgraph::{maximum_branching, to_dot, AccessGraph};
-use rescomm::{map_nest, remap_for_survivors, verify_execution_on, DegradedGrid, MappingOptions};
+use rescomm::{
+    map_nest, remap_for_survivors, verify_execution_on, DegradedGrid, Mapping, MappingOptions,
+    RescommError,
+};
 use rescomm_loopnest::parser::parse_nest;
 use std::process::ExitCode;
+
+/// Exit with the stage-specific code for a pipeline error.
+fn fail(file: &str, e: RescommError) -> ExitCode {
+    eprintln!("{file}: {e}");
+    ExitCode::from(e.exit_code())
+}
+
+/// Surface every absorbed incident on stderr (the report only counts
+/// them; scripts watching stderr get the details).
+fn print_incidents(mapping: &Mapping) {
+    for inc in &mapping.incidents {
+        eprintln!("incident: {inc}");
+    }
+}
 
 struct Args {
     file: String,
@@ -199,10 +222,7 @@ fn main() -> ExitCode {
     };
     let nest = match parse_nest(&src) {
         Ok(n) => n,
-        Err(e) => {
-            eprintln!("{}: parse error: {e}", args.file);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&args.file, RescommError::from(e)),
     };
 
     if args.dot {
@@ -221,11 +241,9 @@ fn main() -> ExitCode {
     println!("{nest}");
     let mapping = match map_nest(&nest, &opts) {
         Ok(m) => m,
-        Err(e) => {
-            eprintln!("{}: {e}", args.file);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&args.file, e),
     };
+    print_incidents(&mapping);
     println!("{}", mapping.report(&nest));
 
     if !args.recover.is_empty() {
@@ -237,10 +255,11 @@ fn main() -> ExitCode {
         let remapped = match remap_for_survivors(&nest, &mapping, &opts, &args.recover, args.grid) {
             Ok(m) => m,
             Err(e) => {
-                eprintln!("{}: recovery failed: {e}", args.file);
-                return ExitCode::FAILURE;
+                eprintln!("{}: recovery failed", args.file);
+                return fail(&args.file, e);
             }
         };
+        print_incidents(&remapped);
         println!("{}", remapped.report(&nest));
         let grid = match DegradedGrid::new(w, h, &args.recover) {
             Ok(g) => g,
@@ -259,8 +278,8 @@ fn main() -> ExitCode {
                 stats.read_locality()
             ),
             Err(e) => {
-                eprintln!("{}: degraded verification failed: {e}", args.file);
-                return ExitCode::FAILURE;
+                eprintln!("{}: degraded verification failed", args.file);
+                return fail(&args.file, e);
             }
         }
     }

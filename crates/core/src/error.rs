@@ -15,6 +15,9 @@ use rescomm_intlin::LinError;
 use rescomm_loopnest::ParseError;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Any error the public pipeline API can return.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +41,29 @@ pub enum RescommError {
         /// What happened.
         detail: String,
     },
+    /// The request was cancelled cooperatively — its deadline expired (or
+    /// its [`CancelToken`] was cancelled) and the pipeline stopped at the
+    /// named checkpoint instead of finishing the work.
+    Cancelled {
+        /// The checkpoint that observed the cancellation.
+        stage: &'static str,
+    },
+}
+
+impl RescommError {
+    /// Process exit code for scripted callers: each variant gets a
+    /// distinct nonzero code so a wrapper script can tell a malformed
+    /// nest from an analysis failure without parsing stderr. Code 1 is
+    /// left to usage/I-O errors.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            RescommError::Parse(_) => 2,
+            RescommError::Lin(_) => 3,
+            RescommError::Analysis { .. } => 4,
+            RescommError::Exec { .. } => 5,
+            RescommError::Cancelled { .. } => 6,
+        }
+    }
 }
 
 impl fmt::Display for RescommError {
@@ -49,6 +75,9 @@ impl fmt::Display for RescommError {
                 write!(f, "analysis error in {stage}: {detail}")
             }
             RescommError::Exec { detail } => write!(f, "execution error: {detail}"),
+            RescommError::Cancelled { stage } => {
+                write!(f, "cancelled at {stage}: deadline exceeded")
+            }
         }
     }
 }
@@ -58,7 +87,101 @@ impl std::error::Error for RescommError {
         match self {
             RescommError::Parse(e) => Some(e),
             RescommError::Lin(e) => Some(e),
-            RescommError::Analysis { .. } | RescommError::Exec { .. } => None,
+            RescommError::Analysis { .. }
+            | RescommError::Exec { .. }
+            | RescommError::Cancelled { .. } => None,
+        }
+    }
+}
+
+/// Witness that a [`CancelToken`] fired: carries the checkpoint that
+/// observed it. Converted into [`RescommError::Cancelled`] at the API
+/// boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// The pipeline checkpoint that observed the cancellation.
+    pub stage: &'static str,
+}
+
+impl From<Cancelled> for RescommError {
+    fn from(c: Cancelled) -> Self {
+        RescommError::Cancelled { stage: c.stage }
+    }
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Cooperative cancellation for long-running pipeline work.
+///
+/// The mapping pipeline has no natural preemption points — its passes
+/// are exact integer algebra — so cancellation is *cooperative*: the
+/// pipeline calls [`CancelToken::check`] between passes and returns
+/// [`Cancelled`] from the first checkpoint past the deadline. A token is
+/// either inert ([`CancelToken::none`], zero-cost, never fires), armed
+/// with a wall-clock deadline ([`CancelToken::with_deadline`]), or
+/// manual ([`CancelToken::manual`] + [`CancelToken::cancel`], e.g. a
+/// server draining on shutdown). Clones share state, so one token can be
+/// handed to a worker and cancelled from the accept loop.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+impl CancelToken {
+    /// The inert token: never cancels, adds no overhead.
+    pub fn none() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A token that fires once `deadline` from now has passed.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(deadline),
+            })),
+        }
+    }
+
+    /// A token that fires only when [`CancelToken::cancel`] is called.
+    pub fn manual() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// Cancel now (all clones observe it). Inert tokens ignore this.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Has the token fired (explicitly or by deadline)?
+    pub fn is_cancelled(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => {
+                inner.cancelled.load(Ordering::Acquire)
+                    || inner.deadline.is_some_and(|d| Instant::now() >= d)
+            }
+        }
+    }
+
+    /// Checkpoint: return [`Cancelled`] at `stage` if the token fired.
+    #[inline]
+    pub fn check(&self, stage: &'static str) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled { stage })
+        } else {
+            Ok(())
         }
     }
 }
@@ -184,5 +307,61 @@ mod tests {
         use std::error::Error;
         assert!(lin.source().is_some());
         assert!(analysis.source().is_none());
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let errors = [
+            RescommError::Parse(ParseError {
+                line: 1,
+                col: 1,
+                msg: "x".into(),
+            }),
+            RescommError::Lin(LinError::Overflow),
+            RescommError::Analysis {
+                stage: "s",
+                detail: "d".into(),
+            },
+            RescommError::Exec { detail: "d".into() },
+            RescommError::Cancelled { stage: "classify" },
+        ];
+        let codes: Vec<u8> = errors.iter().map(|e| e.exit_code()).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes collide: {codes:?}");
+        assert!(codes.iter().all(|&c| c > 1), "0/1 are reserved: {codes:?}");
+    }
+
+    #[test]
+    fn inert_token_never_fires() {
+        let t = CancelToken::none();
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check("anywhere").is_ok());
+        assert!(!CancelToken::default().is_cancelled());
+    }
+
+    #[test]
+    fn manual_token_fires_for_all_clones() {
+        let t = CancelToken::manual();
+        let clone = t.clone();
+        assert!(clone.check("before").is_ok());
+        t.cancel();
+        let c = clone.check("augment").unwrap_err();
+        assert_eq!(c.stage, "augment");
+        let e: RescommError = c.into();
+        assert_eq!(e.exit_code(), 6);
+        assert!(format!("{e}").contains("augment"));
+    }
+
+    #[test]
+    fn deadline_token_fires_after_expiry() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check("early").is_ok());
+        let expired = CancelToken::with_deadline(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(expired.is_cancelled());
+        assert_eq!(expired.check("late").unwrap_err().stage, "late");
     }
 }

@@ -10,7 +10,7 @@
 //!    axis-parallel factors — directly, after a unimodular similarity
 //!    rotation, or with unirow factors when `det ≠ ±1`.
 
-use crate::error::{guarded, Incident, RescommError};
+use crate::error::{guarded, CancelToken, Cancelled, Incident, RescommError};
 use rescomm_accessgraph::{
     augment, component_structure, maximum_branching, merge_cross_components, reference,
     AccessGraph, GraphBuildCache, Vertex,
@@ -254,13 +254,33 @@ pub fn map_nest_with(
     opts: &MappingOptions,
     cache: &mut AnalysisCache,
 ) -> Result<Mapping, RescommError> {
-    match guarded("map_nest_fast", || map_nest_impl(nest, opts, cache, false)) {
-        Ok(mut mapping) => {
+    map_nest_cancellable(nest, opts, cache, &CancelToken::none())
+}
+
+/// [`map_nest_with`] under a [`CancelToken`]: the pipeline checks the
+/// token between passes and returns [`RescommError::Cancelled`] from the
+/// first checkpoint past the deadline — cooperative cancellation for
+/// servers enforcing per-request deadlines. A fired token also suppresses
+/// the reference-oracle fallback (falling back to a *slower* path after
+/// the deadline would invert the point of having one). With the inert
+/// token this is exactly [`map_nest_with`].
+pub fn map_nest_cancellable(
+    nest: &LoopNest,
+    opts: &MappingOptions,
+    cache: &mut AnalysisCache,
+    cancel: &CancelToken,
+) -> Result<Mapping, RescommError> {
+    match guarded("map_nest_fast", || {
+        map_nest_impl(nest, opts, cache, false, cancel)
+    }) {
+        Ok(Err(c)) => Err(c.into()),
+        Ok(Ok(mut mapping)) => {
             if opts.self_check {
                 match guarded("map_nest_reference", || {
-                    map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
+                    map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true, cancel)
                 }) {
-                    Ok(reference) if reference.outcomes != mapping.outcomes => {
+                    Ok(Err(c)) => Err(c.into()),
+                    Ok(Ok(reference)) if reference.outcomes != mapping.outcomes => {
                         // The oracle wins; keep the evidence.
                         let mut m = reference;
                         m.incidents.push(Incident::fallback(
@@ -273,7 +293,7 @@ pub fn map_nest_with(
                         ));
                         Ok(m)
                     }
-                    Ok(_) => Ok(mapping),
+                    Ok(Ok(_)) => Ok(mapping),
                     Err(inc) => {
                         // The fast result stands, but the failed check is
                         // on the record.
@@ -289,10 +309,16 @@ pub fn map_nest_with(
             }
         }
         Err(incident) => {
+            // Past the deadline the fallback is pointless work; report
+            // the cancellation, not the panic that raced with it.
+            if let Err(c) = cancel.check("fallback") {
+                return Err(c.into());
+            }
             match guarded("map_nest_reference", || {
-                map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
+                map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true, cancel)
             }) {
-                Ok(mut m) => {
+                Ok(Err(c)) => Err(c.into()),
+                Ok(Ok(mut m)) => {
                     m.incidents.push(incident);
                     Ok(m)
                 }
@@ -314,7 +340,14 @@ pub fn map_nest_with(
 /// guarded [`map_nest`], and the `pipeline_baseline` "old" timing path.
 /// Unlike [`map_nest`] it is unguarded — it panics where the seed did.
 pub fn map_nest_reference(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
-    map_nest_impl(nest, opts, &mut AnalysisCache::disabled(), true)
+    map_nest_impl(
+        nest,
+        opts,
+        &mut AnalysisCache::disabled(),
+        true,
+        &CancelToken::none(),
+    )
+    .expect("the inert token never cancels")
 }
 
 /// Map every nest, fanning out over `threads` workers with one
@@ -348,32 +381,38 @@ fn map_nest_impl(
     opts: &MappingOptions,
     cache: &mut AnalysisCache,
     use_reference: bool,
-) -> Mapping {
+    cancel: &CancelToken,
+) -> Result<Mapping, Cancelled> {
     let m = opts.m;
+    cancel.check("graph_build")?;
     // ---- Step 1: zero out what we can. ----
     let graph = if cache.enabled {
         AccessGraph::build_weighted_cached(nest, m, opts.weight_by_rank, &mut cache.graph)
     } else {
         AccessGraph::build_weighted(nest, m, opts.weight_by_rank)
     };
+    cancel.check("branching")?;
     let branching = if use_reference {
         reference::maximum_branching_reference(&graph)
     } else {
         maximum_branching(&graph)
     };
     let mut comps = component_structure(&graph, &branching, nest);
+    cancel.check("augment")?;
     let mut aug = if use_reference {
         reference::augment_reference(&graph, &branching.edges, &comps, m)
     } else {
         augment(&graph, &branching.edges, &comps, m)
     };
     if opts.enable_merging {
+        cancel.check("merge")?;
         if use_reference {
             reference::merge_cross_components_reference(&graph, &mut comps, &mut aug, m);
         } else {
             merge_cross_components(&graph, &mut comps, &mut aug, m);
         }
     }
+    cancel.check("alignment")?;
     let mut alignment = if use_reference {
         rescomm_alignment::reference::compute_alignment_reference(nest, &graph, &comps, &aug)
     } else {
@@ -383,6 +422,7 @@ fn map_nest_impl(
 
     // ---- Step 2(a): macro-communications, rotating components. ----
     if opts.enable_macro {
+        cancel.check("macro_scan")?;
         // Process residuals; rotate each component at most once, driven by
         // the first partial collective that needs it.
         let residuals = residual_communications(nest, &alignment);
@@ -420,14 +460,15 @@ fn map_nest_impl(
 
     // ---- Classify every access under the (possibly rotated) alignment,
     //      decomposing leftover general communications. ----
+    cancel.check("classify")?;
     let outcomes = classify_outcomes(nest, &mut alignment, &mut rotations, opts, cache);
 
-    Mapping {
+    Ok(Mapping {
         alignment,
         outcomes,
         rotations,
         incidents: Vec::new(),
-    }
+    })
 }
 
 /// Classify every access under `alignment`, decomposing leftover general

@@ -4,9 +4,9 @@
 use proptest::prelude::*;
 use rescomm_machine::{
     par_fault_sweep, par_recovery_sweep, replication_seed, simulate_phases_batch, trace_phase,
-    CachedPhase, CheckpointPolicy, CompiledFaultPlan, CostModel, FatTree, FaultPlan, FaultReport,
-    FaultSim, LinkOutage, Mesh2D, NodeDeath, NodeOutage, OverlapOrder, PMsg, PhaseSim, RetryPolicy,
-    ScheduleMode, SchedulePolicy,
+    CachedFaultPhase, CachedPhase, CheckpointPolicy, CompiledFaultPlan, CostModel, FatTree,
+    FaultPlan, FaultReport, FaultSim, LinkOutage, Mesh2D, NodeDeath, NodeOutage, OverlapOrder,
+    PMsg, PhaseSim, RetryPolicy, ScheduleMode, SchedulePolicy,
 };
 
 /// Every schedule policy the fault engines dispatch over — indexed so
@@ -687,5 +687,90 @@ proptest! {
         let mut engine = FaultSim::new(&mesh, &phases, &plans[0]);
         let one = engine.run_faulty(replication_seed(plans[0].seed, 0), sched);
         prop_assert_eq!(serial[0].total.makespan >= one.makespan, true);
+    }
+}
+
+// --- snapshot/restore round-trips (the service durability contract) ------
+
+use rescomm_machine::snapshot::{
+    cached_phases_from_json, cached_phases_to_json, compiled_plan_from_json, compiled_plan_to_json,
+    fault_plan_from_json, fault_plan_to_json, mesh_from_json, mesh_to_json,
+};
+
+proptest! {
+    /// Cached phases survive JSON round-trips verbatim: the restored
+    /// plan replays bit-identically under every schedule mode and
+    /// payload scale.
+    #[test]
+    fn cached_phase_snapshot_replays_bit_identical(
+        a in msgs(32), b in msgs(32),
+        scale in 1u64..64,
+        longest in 0u32..2,
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let cached: Vec<CachedPhase> =
+            [&a, &b].iter().map(|p| CachedPhase::new(&mesh, p)).collect();
+        let text = cached_phases_to_json(&cached).render();
+        let back = cached_phases_from_json(
+            &rescomm_json::parse(&text).expect("self-produced JSON parses"),
+        ).expect("restore");
+        let order = if longest == 1 { OverlapOrder::LongestFirst } else { OverlapOrder::Sorted };
+        let mut sim = PhaseSim::new(mesh.clone());
+        for mode in [ScheduleMode::Phased, ScheduleMode::Overlapped(order)] {
+            prop_assert_eq!(
+                sim.run_cached_phases(&back, mode, scale),
+                sim.run_cached_phases(&cached, mode, scale),
+                "{:?}", mode
+            );
+        }
+    }
+
+    /// A compiled fault plan snapshot restores to an engine that
+    /// replays the exact `FaultReport` of the original, and answers
+    /// every outage/liveness query identically.
+    #[test]
+    fn compiled_plan_snapshot_replays_bit_identical(
+        a in msgs(32),
+        plan in plans(),
+        queries in proptest::collection::vec((0usize..104, 0usize..32, 0u64..500_000), 0..16),
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let compiled = CompiledFaultPlan::new(&plan, &mesh);
+        let text = compiled_plan_to_json(&compiled, &mesh).render();
+        let (back, mesh_back) = compiled_plan_from_json(
+            &rescomm_json::parse(&text).expect("self-produced JSON parses"),
+        ).expect("restore");
+        prop_assert_eq!(mesh_back.px, mesh.px);
+        prop_assert_eq!(mesh_back.py, mesh.py);
+        for (link, node, t) in queries {
+            prop_assert_eq!(back.link_dead_at(link, t), compiled.link_dead_at(link, t));
+            prop_assert_eq!(back.link_outage_until(link, t), compiled.link_outage_until(link, t));
+            prop_assert_eq!(back.node_dead_at(node, t), compiled.node_dead_at(node, t));
+            prop_assert_eq!(back.node_alive_after(node, t), compiled.node_alive_after(node, t));
+        }
+        let phase = CachedFaultPhase::new(&mesh, &a);
+        let seed = replication_seed(plan.seed, 1);
+        let want = PhaseSim::new(mesh.clone()).run_cached_faulty(&phase, &compiled, seed);
+        let got = PhaseSim::new(mesh_back).run_cached_faulty(&phase, &back, seed);
+        prop_assert_eq!(got, want);
+    }
+
+    /// The raw fault-plan and mesh snapshots are lossless for every
+    /// generated plan (probabilities, outages, retry policy, cost
+    /// model — bit for bit).
+    #[test]
+    fn fault_plan_and_mesh_snapshots_lossless(plan in plans()) {
+        let text = fault_plan_to_json(&plan).render();
+        let back = fault_plan_from_json(
+            &rescomm_json::parse(&text).expect("self-produced JSON parses"),
+        ).expect("restore");
+        prop_assert_eq!(back, plan);
+        let mesh = Mesh2D::new(8, 4, CostModel::cm5());
+        let mesh_back = mesh_from_json(
+            &rescomm_json::parse(&mesh_to_json(&mesh).render()).expect("parses"),
+        ).expect("restore");
+        prop_assert_eq!(mesh_back.px, mesh.px);
+        prop_assert_eq!(mesh_back.py, mesh.py);
+        prop_assert_eq!(mesh_back.cost, mesh.cost);
     }
 }
