@@ -19,13 +19,16 @@
 //! * **recovering** — the same comparison through the
 //!   checkpoint/rollback path with permanent node deaths.
 //! * **parallel** — [`par_fault_sweep`] wall-clock at 1..8 threads over
-//!   a bank of plans; reports speedup over one thread and per-thread
-//!   efficiency. Rows asking for more workers than the host has
-//!   hardware threads are marked `oversubscribed` in the artifact and
-//!   excluded from the efficiency gate; on a single-core host the
-//!   multi-thread rows are skipped outright (emitted with
-//!   `skipped: true` and null timings) — timing them would measure the
-//!   OS scheduler, not the sweep.
+//!   a bank of plans on the shared work-stealing pool (plan×seed task
+//!   sharding; see `machine::pool` and `BENCH_scaling.json` for the
+//!   dedicated scaling study); reports speedup over one thread and
+//!   efficiency against `workers_used` (the pool's post-clamp worker
+//!   count). Rows asking for more workers than the host has hardware
+//!   threads are marked `oversubscribed` in the artifact and excluded
+//!   from the efficiency gate; on a single-core host the multi-thread
+//!   rows are skipped outright (emitted with `skipped: true` and null
+//!   timings) — timing them would measure the OS scheduler, not the
+//!   sweep. The thread-count bit-identity gate runs on every host.
 //!
 //! ```text
 //! cargo run --release -p rescomm-bench --bin fault_baseline [--smoke] [--out PATH]
@@ -44,9 +47,9 @@ use rescomm_bench::workload::host_threads;
 use rescomm_distribution::{Dist1D, Dist2D};
 use rescomm_loopnest::examples;
 use rescomm_machine::{
-    mttf_death_schedule, par_fault_sweep, replication_seed, CheckpointPolicy, CostModel, FaultPlan,
-    FaultReport, FaultSim, LinkOutage, Mesh2D, NodeOutage, PMsg, PhaseSim, RetryPolicy,
-    ScheduleMode, SchedulePolicy,
+    mttf_death_schedule, par_fault_sweep, par_fault_sweep_report, replication_seed,
+    CheckpointPolicy, CostModel, FaultPlan, FaultReport, FaultSim, LinkOutage, Mesh2D, NodeOutage,
+    PMsg, PhaseSim, RetryPolicy, ScheduleMode, SchedulePolicy,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -72,6 +75,9 @@ struct ReplayRow {
 
 struct ParRow {
     threads: usize,
+    /// Workers the pool actually used (after clamping to the task
+    /// count) — efficiency is computed against this, not the request.
+    workers: usize,
     /// `None` when the row was skipped (multi-thread sweep on a
     /// single-core host — there is nothing meaningful to time).
     wall_ns: Option<u64>,
@@ -330,24 +336,28 @@ fn main() {
     let serial = par_fault_sweep(&mesh, &phases, &bank, par_reps, 1, sched);
     let mut par_rows = Vec::new();
     for threads in [1usize, 2, 4, 8] {
+        // Thread-count-independence gate before timing — on *every*
+        // host, including single-core CI (the work-stealing pool still
+        // runs real worker threads there; only the timing is
+        // meaningless).
+        let (swept, report) =
+            par_fault_sweep_report(&mesh, &phases, &bank, par_reps, threads, sched);
+        assert_eq!(
+            swept, serial,
+            "parallel sweep diverged from serial at {threads} threads"
+        );
         // On a single-core host every multi-thread row is oversubscribed:
         // it times the OS scheduler, not the sweep. Skip those rows
-        // outright (thread-count independence is covered by the unit and
-        // property tests) instead of burning CI minutes on them.
+        // outright instead of burning CI minutes on them.
         if threads > 1 && host <= 1 {
             eprintln!("  {threads} threads  skipped (single-core host)");
             par_rows.push(ParRow {
                 threads,
+                workers: report.workers,
                 wall_ns: None,
             });
             continue;
         }
-        // Thread-count-independence gate before timing.
-        assert_eq!(
-            par_fault_sweep(&mesh, &phases, &bank, par_reps, threads, sched),
-            serial,
-            "parallel sweep diverged from serial at {threads} threads"
-        );
         let wall_ns = median_ns(timing_reps, || {
             par_fault_sweep(&mesh, &phases, &bank, par_reps, threads, sched)
         });
@@ -356,8 +366,9 @@ fn main() {
         });
         let oversubscribed = threads > host;
         eprintln!(
-            "  {threads} threads  wall {wall_ns:>12} ns   x{speedup:.2}   efficiency {:.2}{}",
-            speedup / threads as f64,
+            "  {threads} threads ({} used)  wall {wall_ns:>12} ns   x{speedup:.2}   efficiency {:.2}{}",
+            report.workers,
+            speedup / report.workers.max(1) as f64,
             if oversubscribed {
                 "   (oversubscribed)"
             } else {
@@ -376,6 +387,7 @@ fn main() {
         }
         par_rows.push(ParRow {
             threads,
+            workers: report.workers,
             wall_ns: Some(wall_ns),
         });
     }
@@ -422,13 +434,14 @@ fn main() {
             ("schedule_mode", Val::from(mode_label)),
             ("policy", Val::from(sched.label())),
             ("threads", Val::from(r.threads)),
+            ("workers_used", Val::from(r.workers)),
             ("plans", Val::from(bank.len())),
             ("replications", Val::from(par_reps)),
             ("wall_ns", r.wall_ns.map_or(raw("null"), Val::from)),
             ("speedup_vs_1", speedup.map_or(raw("null"), |s| fixed(s, 2))),
             (
                 "efficiency",
-                speedup.map_or(raw("null"), |s| fixed(s / r.threads as f64, 2)),
+                speedup.map_or(raw("null"), |s| fixed(s / r.workers.max(1) as f64, 2)),
             ),
             ("oversubscribed", Val::from(r.threads > host)),
             ("skipped", Val::from(r.wall_ns.is_none())),

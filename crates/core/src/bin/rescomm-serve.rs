@@ -5,7 +5,7 @@
 //! rescomm-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!               [--snapshot PATH] [--snapshot-every N]
 //!               [--snapshot-interval-ms N] [--deadline-ms N]
-//!               [--max-line-bytes N]
+//!               [--max-line-bytes N] [--cache-cap N]
 //! ```
 //!
 //! * `--addr`          bind address (default `127.0.0.1:7457`; port 0
@@ -22,6 +22,8 @@
 //! * `--deadline-ms N` default per-request deadline for requests that
 //!   don't set their own (default: none)
 //! * `--max-line-bytes N`        request line cap (default 1 MiB)
+//! * `--cache-cap N`   plan-cache entry cap; LRU eviction past it
+//!   (default 1024; 0 = unbounded)
 //!
 //! On startup the server prints exactly one line
 //! `listening on HOST:PORT` to stdout, then serves until a `shutdown`
@@ -69,11 +71,14 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--max-line-bytes" => {
                 cfg.max_line_bytes = num("--max-line-bytes")?.max(64) as usize;
             }
+            "--cache-cap" => {
+                cfg.plan_cache_cap = num("--cache-cap")? as usize;
+            }
             "--help" | "-h" => {
                 return Err("usage: rescomm-serve [--addr HOST:PORT] [--workers N] \
                             [--queue N] [--snapshot PATH] [--snapshot-every N] \
                             [--snapshot-interval-ms N] [--deadline-ms N] \
-                            [--max-line-bytes N]"
+                            [--max-line-bytes N] [--cache-cap N]"
                     .to_string())
             }
             other => return Err(format!("unknown argument {other:?}")),

@@ -43,9 +43,9 @@ pub use exec::{
     ExecStats,
 };
 pub use pipeline::{
-    dataflow_matrix, dataflow_matrix_cached, map_nest, map_nest_batch, map_nest_cancellable,
-    map_nest_reference, map_nest_with, par_map_nests, AnalysisCache, CommOutcome, Mapping,
-    MappingOptions,
+    dataflow_matrix, dataflow_matrix_cached, map_nest, map_nest_batch, map_nest_batch_report,
+    map_nest_cancellable, map_nest_reference, map_nest_with, par_map_nests, AnalysisCache,
+    CommOutcome, Mapping, MappingOptions,
 };
 pub use plan::{build_plan, build_plan_closed, CommPhase, CommPlan, PhaseKind, PhasePattern};
 pub use recover::{remap_for_survivors, DegradedGrid};

@@ -21,7 +21,8 @@ use rescomm_decompose::{
 };
 use rescomm_intlin::{solve_xf_eq_s, IMat};
 use rescomm_loopnest::{AccessId, AccessKind, LoopNest};
-use rescomm_machine::sweep::par_sweep_with;
+use rescomm_machine::sweep::par_sweep_with_report;
+use rescomm_machine::SweepReport;
 use rescomm_macrocomm::{
     axis_alignment_rotation, detect, Extent, MacroComm, MacroInput, MacroKind,
 };
@@ -350,21 +351,36 @@ pub fn map_nest_reference(nest: &LoopNest, opts: &MappingOptions) -> Mapping {
     .expect("the inert token never cancels")
 }
 
-/// Map every nest, fanning out over `threads` workers with one
-/// [`AnalysisCache`] per worker (the `par_sweep_with` scratch pattern).
-/// Results are in input order and identical to mapping each nest alone;
-/// the first failing nest's error is returned.
+/// Map every nest, fanning out over `threads` workers on the shared
+/// work-stealing pool with one [`AnalysisCache`] per worker (the
+/// `par_sweep_with` scratch pattern). Results are in input order and
+/// identical to mapping each nest alone; the first failing nest's error
+/// is returned.
 pub fn map_nest_batch(
     nests: &[LoopNest],
     opts: &MappingOptions,
     threads: usize,
 ) -> Result<Vec<Mapping>, RescommError> {
-    par_sweep_with(nests, threads, AnalysisCache::new, |cache, nest| {
-        Some(map_nest_with(nest, opts, cache))
-    })
-    .into_iter()
-    .map(|r| r.expect("map_nest_batch worker produced no mapping"))
-    .collect()
+    map_nest_batch_report(nests, opts, threads).0
+}
+
+/// [`map_nest_batch`] plus the pool's execution report (workers actually
+/// used, grain, steal count) — the analysis-batch scaling bench computes
+/// efficiency against [`SweepReport::workers`], never the request.
+pub fn map_nest_batch_report(
+    nests: &[LoopNest],
+    opts: &MappingOptions,
+    threads: usize,
+) -> (Result<Vec<Mapping>, RescommError>, SweepReport) {
+    let (results, report) =
+        par_sweep_with_report(nests, threads, AnalysisCache::new, |cache, nest| {
+            Some(map_nest_with(nest, opts, cache))
+        });
+    let mappings = results
+        .into_iter()
+        .map(|r| r.expect("map_nest_batch worker produced no mapping"))
+        .collect();
+    (mappings, report)
 }
 
 /// Alias for [`map_nest_batch`] with one worker per available core.

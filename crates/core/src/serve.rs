@@ -24,6 +24,10 @@
 //!   (`retry_after_ms` included), 429-style. Plan-cache hits bypass
 //!   admission entirely — under overload the server degrades to serving
 //!   cached results before it starts rejecting.
+//! * **Bounded plan cache.** The cache holds at most `plan_cache_cap`
+//!   entries; past the cap the least-recently-used entry is evicted
+//!   (hits refresh recency). Hit/miss/eviction counters surface in the
+//!   `stats` op.
 //! * **Deadlines.** A request's `deadline_ms` arms a [`CancelToken`];
 //!   the pipeline checks it between passes and the first checkpoint
 //!   past the deadline aborts the work with a `deadline` error.
@@ -33,9 +37,9 @@
 //!   write-then-rename) every `snapshot_every` completed computations,
 //!   on an interval, on `shutdown` (drain first), and on demand. A
 //!   restarted server — even after `kill -9` — reloads the snapshot,
-//!   re-simulates every restored [`CommPlan`] to verify bit-identical
-//!   makespans, and serves the same bytes with `"served":
-//!   "snapshot"`.
+//!   re-simulates every restored [`CommPlan`] (fanned out over the
+//!   shared work-stealing pool) to verify bit-identical makespans, and
+//!   serves the same bytes with `"served": "snapshot"`.
 
 use crate::error::{CancelToken, RescommError};
 use crate::pipeline::{map_nest_batch, map_nest_cancellable, AnalysisCache, MappingOptions};
@@ -47,8 +51,9 @@ use rescomm_json::{parse, JsonValue};
 use rescomm_loopnest::parser::parse_nest;
 use rescomm_loopnest::LoopNest;
 use rescomm_machine::snapshot::{mesh_from_json, mesh_to_json};
+use rescomm_machine::sweep::par_sweep_with;
 use rescomm_machine::{CostModel, Mesh2D, ScheduleMode};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -83,6 +88,9 @@ pub struct ServerConfig {
     /// Hard cap on one request line; longer lines get a structured
     /// rejection and the connection is closed.
     pub max_line_bytes: usize,
+    /// Plan-cache entry cap; the least-recently-used entry is evicted
+    /// past it (0 = unbounded). Evictions are counted in `stats`.
+    pub plan_cache_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +104,7 @@ impl Default for ServerConfig {
             snapshot_interval: Some(Duration::from_secs(5)),
             default_deadline: None,
             max_line_bytes: 1 << 20,
+            plan_cache_cap: 1024,
         }
     }
 }
@@ -118,6 +127,63 @@ struct PlanEntry {
     from_snapshot: bool,
 }
 
+/// The bounded LRU plan cache. Recency is a monotonically increasing
+/// clock stamp per entry; `by_age` indexes stamp → key so eviction pops
+/// the stalest entry in O(log n) instead of scanning the whole map.
+struct PlanCache {
+    cap: usize,
+    clock: u64,
+    map: HashMap<String, (u64, PlanEntry)>,
+    by_age: BTreeMap<u64, String>,
+}
+
+impl PlanCache {
+    fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            cap,
+            clock: 0,
+            map: HashMap::new(),
+            by_age: BTreeMap::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Look up an entry and refresh its recency.
+    fn touch(&mut self, key: &str) -> Option<&PlanEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (stamp, entry) = self.map.get_mut(key)?;
+        self.by_age.remove(stamp);
+        self.by_age.insert(clock, key.to_string());
+        *stamp = clock;
+        Some(entry)
+    }
+
+    /// Insert (or replace) an entry, evicting least-recently-used
+    /// entries past the cap. Returns how many were evicted.
+    fn insert(&mut self, key: String, entry: PlanEntry) -> u64 {
+        self.clock += 1;
+        if let Some((old_stamp, _)) = self.map.insert(key.clone(), (self.clock, entry)) {
+            self.by_age.remove(&old_stamp);
+        }
+        self.by_age.insert(self.clock, key);
+        let mut evicted = 0;
+        while self.cap > 0 && self.map.len() > self.cap {
+            // Smallest stamp = least recently used.
+            let (_, victim) = self
+                .by_age
+                .pop_first()
+                .expect("cache over cap is non-empty");
+            self.map.remove(&victim);
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 #[derive(Default)]
 struct AdmState {
     active: usize,
@@ -130,6 +196,8 @@ struct Stats {
     requests: AtomicU64,
     computed: AtomicU64,
     cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
     snapshot_hits: AtomicU64,
     rejected_overload: AtomicU64,
     deadline_cancelled: AtomicU64,
@@ -144,7 +212,7 @@ struct Shared {
     cfg: ServerConfig,
     /// Pool of warm analysis caches, one checked out per computation.
     caches: Mutex<Vec<AnalysisCache>>,
-    plans: Mutex<HashMap<String, PlanEntry>>,
+    plans: Mutex<PlanCache>,
     adm: Mutex<AdmState>,
     adm_cv: Condvar,
     shutdown: AtomicBool,
@@ -443,8 +511,9 @@ fn handle_map(shared: &Shared, id: &JsonValue, req: &JsonValue) -> String {
     let key = p.key();
 
     // Cached path first: hits are served even under full overload — the
-    // degradation ladder is fresh → cached → rejected.
-    if let Some(entry) = lock(&shared.plans).get(&key) {
+    // degradation ladder is fresh → cached → rejected. `touch` also
+    // refreshes recency so hot plans survive LRU eviction.
+    if let Some(entry) = lock(&shared.plans).touch(&key) {
         let (served, ctr) = if entry.from_snapshot {
             ("snapshot", &shared.stats.snapshot_hits)
         } else {
@@ -453,6 +522,7 @@ fn handle_map(shared: &Shared, id: &JsonValue, req: &JsonValue) -> String {
         ctr.fetch_add(1, Ordering::Relaxed);
         return ok_response(id, served, &entry.result_json);
     }
+    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     let deadline_ms = req.get("deadline_ms").and_then(JsonValue::as_u64);
     let deadline = deadline_ms
@@ -500,7 +570,11 @@ fn handle_map(shared: &Shared, id: &JsonValue, req: &JsonValue) -> String {
     match outcome {
         Ok(Ok(entry)) => {
             let response = ok_response(id, "fresh", &entry.result_json);
-            lock(&shared.plans).insert(key, entry);
+            let evicted = lock(&shared.plans).insert(key, entry);
+            shared
+                .stats
+                .cache_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
             shared.stats.computed.fetch_add(1, Ordering::Relaxed);
             let dirty = shared.dirty.fetch_add(1, Ordering::AcqRel) + 1;
             if shared.cfg.snapshot_every > 0 && dirty >= shared.cfg.snapshot_every {
@@ -622,9 +696,14 @@ fn handle_map_batch(shared: &Shared, id: &JsonValue, req: &JsonValue) -> String 
             drop(results);
             {
                 let mut plans = lock(&shared.plans);
+                let mut evicted = 0;
                 for (p, entry) in params.iter().zip(entries) {
-                    plans.insert(p.key(), entry);
+                    evicted += plans.insert(p.key(), entry);
                 }
+                shared
+                    .stats
+                    .cache_evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
             }
             shared.stats.computed.fetch_add(count, Ordering::Relaxed);
             let dirty = shared.dirty.fetch_add(count, Ordering::AcqRel) + count;
@@ -657,6 +736,11 @@ fn handle_stats(shared: &Shared, id: &JsonValue) -> String {
         ("requests", ju(s.requests.load(Ordering::Relaxed))),
         ("computed", ju(s.computed.load(Ordering::Relaxed))),
         ("cache_hits", ju(s.cache_hits.load(Ordering::Relaxed))),
+        ("cache_misses", ju(s.cache_misses.load(Ordering::Relaxed))),
+        (
+            "cache_evictions",
+            ju(s.cache_evictions.load(Ordering::Relaxed)),
+        ),
         ("snapshot_hits", ju(s.snapshot_hits.load(Ordering::Relaxed))),
         (
             "rejected_overload",
@@ -687,6 +771,7 @@ fn handle_stats(shared: &Shared, id: &JsonValue) -> String {
             ju(s.snapshot_flushes.load(Ordering::Relaxed)),
         ),
         ("plan_entries", ju(plan_entries as u64)),
+        ("plan_cache_cap", ju(shared.cfg.plan_cache_cap as u64)),
         ("analysis_entries", ju(analysis_entries as u64)),
     ])
     .render();
@@ -751,15 +836,15 @@ fn handle_line(shared: &Shared, line: &str) -> String {
 // --- snapshot persistence --------------------------------------------------
 
 /// Render the plan cache as one snapshot document.
-fn snapshot_doc(plans: &HashMap<String, PlanEntry>) -> String {
+fn snapshot_doc(plans: &PlanCache) -> String {
     // Deterministic entry order so back-to-back flushes of the same
     // state write the same bytes.
-    let mut keys: Vec<&String> = plans.keys().collect();
+    let mut keys: Vec<&String> = plans.map.keys().collect();
     keys.sort();
     let entries: Vec<JsonValue> = keys
         .iter()
         .filter_map(|k| {
-            let e = &plans[*k];
+            let (_, e) = &plans.map[*k];
             // Self-produced JSON: reparse for embedding. An entry that
             // fails (cannot happen short of memory corruption) is
             // dropped rather than poisoning the whole snapshot.
@@ -818,12 +903,21 @@ fn flush_snapshot(shared: &Shared) -> bool {
     }
 }
 
+/// One parsed-but-unverified snapshot entry awaiting its restore proof.
+struct RestoredEntry {
+    key: String,
+    entry: PlanEntry,
+    plan: CommPlan,
+    mesh: Mesh2D,
+}
+
 /// Load and *verify* a snapshot: every entry's [`CommPlan`] is restored
-/// and re-simulated, and only entries whose recomputed makespan is
-/// bit-identical to the recorded one are accepted — a corrupted or
-/// stale-format snapshot degrades to a cold start, never to wrong
-/// answers. Returns the accepted entries.
-fn load_snapshot(path: &PathBuf) -> Result<HashMap<String, PlanEntry>, String> {
+/// and re-simulated (fanned out over `workers` on the shared pool), and
+/// only entries whose recomputed makespan is bit-identical to the
+/// recorded one are accepted — a corrupted or stale-format snapshot
+/// degrades to a cold start, never to wrong answers. Returns the
+/// accepted entries.
+fn load_snapshot(path: &PathBuf, workers: usize) -> Result<Vec<(String, PlanEntry)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read: {e}"))?;
     let doc = parse(&text).map_err(|e| format!("parse: {e}"))?;
     if doc.get("format").and_then(JsonValue::as_str) != Some(SNAPSHOT_FORMAT) {
@@ -838,19 +932,37 @@ fn load_snapshot(path: &PathBuf) -> Result<HashMap<String, PlanEntry>, String> {
         .get("entries")
         .and_then(JsonValue::as_array)
         .ok_or("missing entries")?;
-    let mut plans = HashMap::new();
+    let mut parsed = Vec::with_capacity(entries.len());
     for (i, e) in entries.iter().enumerate() {
-        let restored = restore_entry(e).map_err(|err| format!("entries[{i}]: {err}"))?;
-        if let Some((key, entry)) = restored {
-            plans.insert(key, entry);
-        }
+        parsed.push(restore_entry(e).map_err(|err| format!("entries[{i}]: {err}"))?);
     }
-    Ok(plans)
+    // The restore proof: each deserialized plan must replay to the exact
+    // recorded makespan on its deserialized mesh. Entries are
+    // independent, so verification rides the work-stealing pool.
+    let verdicts = par_sweep_with(
+        &parsed,
+        workers,
+        || (),
+        |(), r| {
+            let dist = Dist2D::uniform(Dist1D::Block);
+            let replayed = guarded("snapshot_verify", || {
+                r.plan
+                    .simulate_on_mesh(&r.mesh, dist, r.entry.vshape, r.entry.bytes, r.entry.mode)
+            });
+            replayed == Ok(r.entry.makespan)
+        },
+    );
+    Ok(parsed
+        .into_iter()
+        .zip(verdicts)
+        .filter(|(_, ok)| *ok)
+        .map(|(r, _)| (r.key, r.entry))
+        .collect())
 }
 
-/// Restore one snapshot entry; `Ok(None)` = verification failed (entry
-/// skipped), `Err` = structurally broken snapshot.
-fn restore_entry(e: &JsonValue) -> Result<Option<(String, PlanEntry)>, String> {
+/// Parse one snapshot entry (no verification yet); `Err` = structurally
+/// broken snapshot.
+fn restore_entry(e: &JsonValue) -> Result<RestoredEntry, String> {
     let key = e
         .get("key")
         .and_then(JsonValue::as_str)
@@ -885,18 +997,9 @@ fn restore_entry(e: &JsonValue) -> Result<Option<(String, PlanEntry)>, String> {
     let mesh_v = e.get("mesh").ok_or("missing mesh")?;
     let plan = plan_from_json(plan_v).map_err(|err| err.to_string())?;
     let mesh = mesh_from_json(mesh_v).map_err(|err| err.to_string())?;
-    // The restore proof: the deserialized plan must replay to the exact
-    // recorded makespan on the deserialized mesh.
-    let dist = Dist2D::uniform(Dist1D::Block);
-    let replayed = guarded("snapshot_verify", || {
-        plan.simulate_on_mesh(&mesh, dist, (vw, vh), bytes, mode)
-    });
-    if replayed != Ok(makespan) {
-        return Ok(None);
-    }
-    Ok(Some((
+    Ok(RestoredEntry {
         key,
-        PlanEntry {
+        entry: PlanEntry {
             result_json: result.render(),
             plan_json: plan_v.render(),
             mesh_json: mesh_v.render(),
@@ -906,7 +1009,9 @@ fn restore_entry(e: &JsonValue) -> Result<Option<(String, PlanEntry)>, String> {
             makespan,
             from_snapshot: true,
         },
-    )))
+        plan,
+        mesh,
+    })
 }
 
 // --- the server ------------------------------------------------------------
@@ -943,14 +1048,18 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let mut plans = HashMap::new();
+        let mut plans = PlanCache::new(cfg.plan_cache_cap);
         let mut restored = 0u64;
         if let Some(path) = &cfg.snapshot_path {
             if path.exists() {
-                match load_snapshot(path) {
+                match load_snapshot(path, cfg.workers.max(1)) {
                     Ok(p) => {
                         restored = p.len() as u64;
-                        plans = p;
+                        for (key, entry) in p {
+                            // A snapshot larger than the cap degrades to
+                            // the freshest cap entries, silently.
+                            plans.insert(key, entry);
+                        }
                     }
                     Err(e) => {
                         // Cold start beats refusing to serve.
@@ -1318,6 +1427,52 @@ mod tests {
         // With the slot free the same request computes fine.
         let resp = roundtrip(&mut r, &mut w, &map_req(2));
         assert_eq!(resp.get("ok"), Some(&JsonValue::Bool(true)), "{resp:?}");
+        handle.stop().unwrap();
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru_and_counts() {
+        let cfg = ServerConfig {
+            plan_cache_cap: 2,
+            ..ServerConfig::default()
+        };
+        let handle = Server::bind(cfg).unwrap().spawn();
+        let (mut r, mut w) = client(handle.addr);
+        // `bytes` participates in the cache key, so each value is a
+        // distinct plan-cache entry.
+        let req = |id: u64, bytes: u64| {
+            let nest = JsonValue::Str(NEST.to_string()).render();
+            format!(
+                "{{\"id\": {id}, \"op\": \"map\", \"nest\": {nest}, \
+                 \"mesh\": [4, 4], \"bytes\": {bytes}}}"
+            )
+        };
+        let served = |resp: &JsonValue| {
+            resp.get("served")
+                .and_then(JsonValue::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(served(&roundtrip(&mut r, &mut w, &req(1, 64))), "fresh");
+        assert_eq!(served(&roundtrip(&mut r, &mut w, &req(2, 128))), "fresh");
+        // Touch 64 so 128 becomes the LRU entry...
+        assert_eq!(served(&roundtrip(&mut r, &mut w, &req(3, 64))), "cache");
+        // ...and the third insert evicts 128, not 64 (FIFO would evict
+        // 64, the oldest insert).
+        assert_eq!(served(&roundtrip(&mut r, &mut w, &req(4, 256))), "fresh");
+        assert_eq!(served(&roundtrip(&mut r, &mut w, &req(5, 64))), "cache");
+        assert_eq!(served(&roundtrip(&mut r, &mut w, &req(6, 128))), "fresh");
+
+        let stats = roundtrip(&mut r, &mut w, "{\"id\": 7, \"op\": \"stats\"}");
+        let sr = stats.get("result").unwrap();
+        let field = |k: &str| sr.get(k).and_then(JsonValue::as_u64).unwrap();
+        assert_eq!(field("cache_hits"), 2);
+        assert_eq!(field("cache_misses"), 4);
+        // Insert of 256 evicted 128; re-insert of 128 evicted 256 (64
+        // stayed resident — its recency was refreshed by the hits).
+        assert_eq!(field("cache_evictions"), 2);
+        assert_eq!(field("plan_entries"), 2);
+        assert_eq!(field("plan_cache_cap"), 2);
         handle.stop().unwrap();
     }
 

@@ -1,19 +1,25 @@
-//! Parallel parameter sweeps with std scoped threads, plus the
-//! deterministic fault-schedule generators the sweeps share.
+//! Parallel parameter sweeps on the shared work-stealing pool
+//! ([`crate::pool`]), plus the deterministic fault-schedule generators
+//! the sweeps share.
 //!
 //! The benchmark harness evaluates many (machine, distribution, k, size)
-//! configurations; each simulation is independent, so we fan them out over
-//! the available cores with `std::thread::scope` — no `'static` bounds, no
-//! locks, results returned in input order. [`par_sweep_with`] additionally
-//! gives every worker a private scratch state (e.g. a
+//! configurations; each simulation is independent, so we shard them over
+//! the pool's per-worker deques — results land in pre-sized slots, in
+//! input order, bit-identical for every worker count. [`par_sweep_with`]
+//! additionally gives every worker a private scratch state (e.g. a
 //! [`crate::PhaseSim`]), so per-simulation allocations are paid once per
-//! thread instead of once per configuration.
+//! worker instead of once per configuration. The Monte Carlo drivers
+//! ([`par_fault_sweep`], [`par_recovery_sweep`]) shard at plan×seed
+//! granularity and refold the per-replication reports serially, so their
+//! Welford statistics stay bit-identical to a serial run even though the
+//! replications of one plan may run on different workers.
 
 use crate::fault::{FaultPlan, FaultReport, NodeDeath};
 use crate::mesh::Mesh2D;
 use crate::model::PMsg;
 use crate::overlap::SchedulePolicy;
 use crate::phasesim::{CheckpointPolicy, FaultSim};
+use crate::pool::{self, SweepReport};
 use crate::rng::XorShift64;
 
 /// A deterministic mean-time-to-failure death schedule: one death every
@@ -55,9 +61,12 @@ where
     par_sweep_with(configs, threads, || (), |(), c| f(c))
 }
 
-/// Like [`par_sweep`], but each worker thread first builds a private
-/// scratch state with `init` and threads it through its chunk — the
-/// pattern used to amortize simulator allocations across a sweep.
+/// Like [`par_sweep`], but each worker first builds a private scratch
+/// state with `init` and threads it through every task it claims or
+/// steals — the pattern used to amortize simulator allocations across a
+/// sweep. Runs on the shared work-stealing pool; `threads` is clamped to
+/// `[1, n]` (use [`par_sweep_with_report`] when the caller needs the
+/// effective worker count back).
 pub fn par_sweep_with<C, R, S, I, F>(configs: &[C], threads: usize, init: I, f: F) -> Vec<R>
 where
     C: Sync,
@@ -65,33 +74,25 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &C) -> R + Sync,
 {
-    let n = configs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = threads.clamp(1, n);
-    if threads <= 1 {
-        // Single worker: run inline. Spawning a one-thread scope buys
-        // nothing and costs a thread launch + join per sweep, which is
-        // pure overhead on single-core hosts.
-        let mut state = init();
-        return configs.iter().map(|c| f(&mut state, c)).collect();
-    }
-    let mut results = vec![R::default(); n];
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (slot, work) in results.chunks_mut(chunk).zip(configs.chunks(chunk)) {
-            let f = &f;
-            let init = &init;
-            scope.spawn(move || {
-                let mut state = init();
-                for (out, cfg) in slot.iter_mut().zip(work) {
-                    *out = f(&mut state, cfg);
-                }
-            });
-        }
-    });
-    results
+    par_sweep_with_report(configs, threads, init, f).0
+}
+
+/// [`par_sweep_with`] plus the execution report: how many workers
+/// actually ran (after clamping), the grain, and the steal count — so
+/// benches compute efficiency against workers used, never requested.
+pub fn par_sweep_with_report<C, R, S, I, F>(
+    configs: &[C],
+    threads: usize,
+    init: I,
+    f: F,
+) -> (Vec<R>, SweepReport)
+where
+    C: Sync,
+    R: Send + Default + Clone,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &C) -> R + Sync,
+{
+    pool::sweep(configs, threads, 0, init, f)
 }
 
 /// Seed of Monte Carlo replication `rep` for a plan whose own seed is
@@ -213,11 +214,13 @@ impl FaultSweepStats {
 /// Monte Carlo sweep over fault plans: for every plan, replay the phase
 /// set under `replications` derived seeds ([`replication_seed`]) on the
 /// compiled engine ([`FaultSim`]) and fold the reports into
-/// [`FaultSweepStats`]. Plans are fanned out over `threads` workers,
-/// each holding one engine that is recompiled per plan
-/// ([`FaultSim::set_plan`] — the phase compilation is reused). Every
-/// replication is a pure function of `(plan, rep, sched)`, so the
-/// result is **bit-identical** whatever `threads` is.
+/// [`FaultSweepStats`]. Work units are sharded at **plan×seed**
+/// granularity over the shared work-stealing pool — each worker holds
+/// one engine that is recompiled only when its claimed block crosses a
+/// plan boundary ([`FaultSim::set_plan`]; the phase compilation is
+/// reused) — and the per-replication reports are refolded serially in
+/// `(plan, rep)` order, so the result is **bit-identical** whatever
+/// `threads` is.
 pub fn par_fault_sweep(
     mesh: &Mesh2D,
     phases: &[Vec<PMsg>],
@@ -226,13 +229,26 @@ pub fn par_fault_sweep(
     threads: usize,
     sched: SchedulePolicy,
 ) -> Vec<FaultSweepStats> {
-    sweep_plans(mesh, phases, plans, threads, |engine, plan| {
-        let mut stats = FaultSweepStats::default();
-        for rep in 0..replications {
-            stats.push(&engine.run_faulty(replication_seed(plan.seed, rep as u64), sched));
-        }
-        stats
-    })
+    par_fault_sweep_report(mesh, phases, plans, replications, threads, sched).0
+}
+
+/// [`par_fault_sweep`] plus the pool's [`SweepReport`].
+pub fn par_fault_sweep_report(
+    mesh: &Mesh2D,
+    phases: &[Vec<PMsg>],
+    plans: &[FaultPlan],
+    replications: usize,
+    threads: usize,
+    sched: SchedulePolicy,
+) -> (Vec<FaultSweepStats>, SweepReport) {
+    mc_sweep(
+        plans,
+        replications,
+        threads,
+        mesh,
+        phases,
+        |engine, seed| engine.run_faulty(seed, sched),
+    )
 }
 
 /// [`par_fault_sweep`] for the checkpoint/rollback path: every
@@ -247,46 +263,75 @@ pub fn par_recovery_sweep(
     threads: usize,
     sched: SchedulePolicy,
 ) -> Vec<FaultSweepStats> {
-    sweep_plans(mesh, phases, plans, threads, |engine, plan| {
-        let mut stats = FaultSweepStats::default();
-        for rep in 0..replications {
-            stats.push(&engine.run_recovering(
-                policy,
-                replication_seed(plan.seed, rep as u64),
-                sched,
-            ));
-        }
-        stats
-    })
+    par_recovery_sweep_report(mesh, phases, plans, policy, replications, threads, sched).0
 }
 
-/// Shared worker harness of the Monte Carlo sweeps: one lazily-built
-/// [`FaultSim`] per worker thread, re-planned per configuration.
-fn sweep_plans<F>(
+/// [`par_recovery_sweep`] plus the pool's [`SweepReport`].
+pub fn par_recovery_sweep_report(
     mesh: &Mesh2D,
     phases: &[Vec<PMsg>],
     plans: &[FaultPlan],
+    policy: &CheckpointPolicy,
+    replications: usize,
     threads: usize,
-    eval: F,
-) -> Vec<FaultSweepStats>
-where
-    F: Fn(&mut FaultSim, &FaultPlan) -> FaultSweepStats + Sync,
-{
-    par_sweep_with(
+    sched: SchedulePolicy,
+) -> (Vec<FaultSweepStats>, SweepReport) {
+    mc_sweep(
         plans,
+        replications,
         threads,
-        || None::<FaultSim>,
-        |state, plan| {
-            let engine = match state {
-                Some(engine) => {
-                    engine.set_plan(plan);
-                    engine
-                }
-                None => state.get_or_insert_with(|| FaultSim::new(mesh, phases, plan)),
-            };
-            eval(engine, plan)
-        },
+        mesh,
+        phases,
+        |engine, seed| engine.run_recovering(policy, seed, sched),
     )
+}
+
+/// Shared Monte Carlo harness: shard `plans.len() × replications` work
+/// units over the pool, one lazily-built [`FaultSim`] per worker,
+/// re-planned only at plan boundaries; then refold the reports serially
+/// so [`OnlineStats`] sees the exact push order of a serial run.
+fn mc_sweep<E>(
+    plans: &[FaultPlan],
+    replications: usize,
+    threads: usize,
+    mesh: &Mesh2D,
+    phases: &[Vec<PMsg>],
+    eval: E,
+) -> (Vec<FaultSweepStats>, SweepReport)
+where
+    E: Fn(&mut FaultSim, u64) -> FaultReport + Sync,
+{
+    if plans.is_empty() || replications == 0 {
+        let report = SweepReport {
+            requested: threads,
+            workers: threads.clamp(1, plans.len().max(1)),
+            ..SweepReport::default()
+        };
+        return (vec![FaultSweepStats::default(); plans.len()], report);
+    }
+    let tasks: Vec<u32> = (0..(plans.len() * replications) as u32).collect();
+    let (reports, exec) = pool::sweep(
+        &tasks,
+        threads,
+        0,
+        || None::<(FaultSim, usize)>,
+        |state, &t| {
+            let (plan_idx, rep) = (t as usize / replications, t as usize % replications);
+            let plan = &plans[plan_idx];
+            let (engine, current) =
+                state.get_or_insert_with(|| (FaultSim::new(mesh, phases, plan), plan_idx));
+            if *current != plan_idx {
+                engine.set_plan(plan);
+                *current = plan_idx;
+            }
+            eval(engine, replication_seed(plan.seed, rep as u64))
+        },
+    );
+    let mut stats = vec![FaultSweepStats::default(); plans.len()];
+    for (t, report) in reports.iter().enumerate() {
+        stats[t / replications].push(report);
+    }
+    (stats, exec)
 }
 
 #[cfg(test)]

@@ -774,3 +774,96 @@ proptest! {
         prop_assert_eq!(mesh_back.cost, mesh.cost);
     }
 }
+
+// --- the work-stealing pool (the determinism contract, end to end) -------
+
+use rescomm_machine::pool::{auto_grain, sweep};
+use rescomm_machine::{par_schedule_sweep, par_sweep_with};
+
+/// A pure task of tunable cost: `w` multiply-add rounds over a seed.
+fn spin(seed: u64, w: u64) -> u64 {
+    let mut acc = seed ^ w;
+    for i in 0..w {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+proptest! {
+    /// The pool itself: results land in input order and bit-identical to
+    /// the serial map at any worker count, any explicit or auto grain,
+    /// and any task-cost skew — and the report tells the truth about the
+    /// workers actually used.
+    #[test]
+    fn pool_sweep_bit_identical_under_cost_skew(
+        weights in proptest::collection::vec(0u64..3_000, 1..120),
+        workers in 1usize..9,
+        grain in 0usize..9,
+    ) {
+        let expect: Vec<u64> = weights.iter().map(|&w| spin(0x5eed, w)).collect();
+        let (got, report) = sweep(
+            &weights,
+            workers,
+            grain,
+            || 0u64,
+            // The per-worker counter proves scratch-state reuse cannot
+            // leak into results: the answer ignores it entirely.
+            |calls, &w| {
+                *calls += 1;
+                spin(0x5eed, w)
+            },
+        );
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(report.requested, workers);
+        prop_assert_eq!(report.workers, workers.clamp(1, weights.len()));
+        prop_assert_eq!(report.tasks, weights.len());
+        let want_grain = if grain > 0 {
+            grain
+        } else {
+            auto_grain(weights.len(), report.workers)
+        };
+        prop_assert_eq!(report.grain, want_grain);
+    }
+
+    /// `par_sweep_with` (the driver every entry point shares) under the
+    /// same skew, against a plain serial map.
+    #[test]
+    fn par_sweep_with_bit_identical_under_cost_skew(
+        weights in proptest::collection::vec(0u64..3_000, 1..120),
+        workers in 2usize..9,
+    ) {
+        let expect: Vec<u64> = weights.iter().map(|&w| spin(0xcafe, w)).collect();
+        let got = par_sweep_with(&weights, workers, || (), |(), &w| spin(0xcafe, w));
+        prop_assert_eq!(&got, &expect);
+    }
+
+    /// The schedule sweep: bit-identical to its 1-worker run and to the
+    /// per-scale oracle at any worker count.
+    #[test]
+    fn par_schedule_sweep_bit_identical_to_serial(
+        a in msgs(32), b in msgs(32), c in msgs(32),
+        scales in proptest::collection::vec(1u64..64, 1..12),
+        workers in 2usize..7,
+        mode_idx in 0u32..3,
+    ) {
+        let mesh = Mesh2D::new(8, 4, CostModel::paragon());
+        let mode = match mode_idx {
+            0 => ScheduleMode::Phased,
+            1 => ScheduleMode::overlapped(),
+            _ => ScheduleMode::Overlapped(OverlapOrder::LongestFirst),
+        };
+        let cached: Vec<CachedPhase> = [&a, &b, &c]
+            .iter()
+            .map(|p| CachedPhase::new(&mesh, p))
+            .collect();
+        let serial = par_schedule_sweep(&mesh, &cached, mode, &scales, 1);
+        prop_assert_eq!(
+            &serial,
+            &par_schedule_sweep(&mesh, &cached, mode, &scales, workers)
+        );
+        let mut sim = PhaseSim::new(mesh.clone());
+        for (&scale, &got) in scales.iter().zip(&serial) {
+            prop_assert_eq!(sim.run_cached_phases(&cached, mode, scale), got);
+        }
+    }
+}
